@@ -1,0 +1,129 @@
+// Shared scaffolding for the experiment harnesses (exp_*.cc). Each binary
+// regenerates one table/figure of the evaluation; see DESIGN.md §4 and
+// EXPERIMENTS.md for the mapping.
+//
+// Scale: set ACHERON_BENCH_SCALE=<n> (default 1) to multiply operation
+// counts; the shipped defaults keep every binary under a few seconds so the
+// whole suite can run in one go.
+#ifndef ACHERON_BENCH_BENCH_COMMON_H_
+#define ACHERON_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "src/env/env.h"
+#include "src/lsm/db.h"
+#include "src/lsm/version_set.h"
+#include "src/workload/workload.h"
+
+namespace acheron {
+namespace bench {
+
+inline uint64_t Scale() {
+  const char* s = std::getenv("ACHERON_BENCH_SCALE");
+  if (s == nullptr) return 1;
+  long v = std::atol(s);
+  return v < 1 ? 1 : static_cast<uint64_t>(v);
+}
+
+// A DB in a fresh in-memory filesystem (IO cost excluded by design: the
+// experiments compare engine *policies*, and the authors' SSD numbers are
+// not reproducible here anyway -- see DESIGN.md).
+class BenchDB {
+ public:
+  explicit BenchDB(Options options) : env_(NewMemEnv()), options_(options) {
+    options_.env = env_.get();
+    DB* db = nullptr;
+    Status s = DB::Open(options_, "/bench", &db);
+    if (!s.ok()) {
+      std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    db_.reset(db);
+  }
+
+  DB* db() { return db_.get(); }
+  DB* operator->() { return db_.get(); }
+
+  uint64_t PropertyU64(const std::string& name) {
+    std::string v;
+    if (!db_->GetProperty(name, &v)) return 0;
+    return std::stoull(v);
+  }
+
+  // Bytes across all SST files / bytes of user-visible live data.
+  double SpaceAmplification() {
+    uint64_t disk = PropertyU64("acheron.total-bytes");
+    uint64_t live = 0;
+    std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      live += it->key().size() + it->value().size();
+    }
+    return live == 0 ? 0.0 : static_cast<double>(disk) / live;
+  }
+
+ private:
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+// Default small-but-multi-level tuning shared by the experiments.
+inline Options BenchOptions() {
+  Options options;
+  options.write_buffer_size = 64 << 10;
+  options.max_file_size = 128 << 10;
+  options.size_ratio = 4;
+  options.num_levels = 5;
+  options.level0_compaction_trigger = 4;
+  options.disable_wal = true;  // measure engine work, not log appends
+  return options;
+}
+
+// Drives |ops| operations of |spec| into |db|; returns ops/second.
+inline double RunWorkload(DB* db, const workload::WorkloadSpec& spec) {
+  workload::Generator gen(spec);
+  WriteOptions wo;
+  ReadOptions ro;
+  auto start = std::chrono::steady_clock::now();
+  std::string value;
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    workload::Op op = gen.Next();
+    switch (op.type) {
+      case workload::OpType::kInsert:
+      case workload::OpType::kUpdate:
+        db->Put(wo, op.key, op.value);
+        break;
+      case workload::OpType::kDelete:
+        db->Delete(wo, op.key);
+        break;
+      case workload::OpType::kPointQuery:
+        db->Get(ro, op.key, &value);
+        break;
+      case workload::OpType::kRangeQuery: {
+        std::unique_ptr<Iterator> it(db->NewIterator(ro));
+        int n = 0;
+        for (it->Seek(op.key); it->Valid() && n < op.scan_length; it->Next()) {
+          n++;
+        }
+        break;
+      }
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  double secs = std::chrono::duration<double>(end - start).count();
+  return secs > 0 ? static_cast<double>(spec.num_ops) / secs : 0;
+}
+
+inline void PrintHeader(const char* title, const char* legend) {
+  std::printf("=== %s ===\n", title);
+  if (legend && legend[0]) std::printf("%s\n", legend);
+}
+
+}  // namespace bench
+}  // namespace acheron
+
+#endif  // ACHERON_BENCH_BENCH_COMMON_H_

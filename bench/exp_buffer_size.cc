@@ -1,0 +1,58 @@
+// E12 -- Write buffer (memtable) size sensitivity: larger buffers mean
+// fewer flushes (lower WA) but longer tombstone residency before the clock
+// starts mattering; the persistence bound holds across sizes.
+#include "bench/bench_common.h"
+
+namespace acheron {
+namespace bench {
+
+static void Run(size_t buffer_size) {
+  Options options = BenchOptions();
+  options.write_buffer_size = buffer_size;
+  options.max_file_size = std::max<size_t>(buffer_size, 64 << 10);
+  options.delete_persistence_threshold = 20000 * Scale();
+  BenchDB db(options);
+
+  workload::WorkloadSpec spec;
+  spec.num_ops = 120000 * Scale();
+  spec.key_space = 12000;
+  spec.update_percent = 30;
+  spec.delete_percent = 25;
+  spec.seed = 59;
+
+  workload::Generator gen(spec);
+  WriteOptions wo;
+  auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    workload::Op op = gen.Next();
+    if (op.type == workload::OpType::kDelete) {
+      db->Delete(wo, op.key);
+    } else {
+      db->Put(wo, op.key, op.value);
+    }
+  }
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  InternalStats stats = db->GetStats();
+  DeleteStats ds = db->GetDeleteStats();
+  std::printf("%8zuK %12.0f %8.2f %8llu %12.0f\n", buffer_size >> 10,
+              spec.num_ops / secs, stats.WriteAmplification(),
+              static_cast<unsigned long long>(stats.flush_count),
+              ds.persistence_latency_max);
+}
+
+static void Main() {
+  PrintHeader("E12: write buffer size sensitivity (FADE)",
+              "bigger buffers -> fewer flushes, lower WA; bound holds");
+  std::printf("%9s %12s %8s %8s %12s\n", "buffer", "ingest(op/s)", "WA",
+              "flushes", "persist-max");
+  for (size_t kb : {16, 64, 256, 1024}) {
+    Run(kb << 10);
+  }
+}
+
+}  // namespace bench
+}  // namespace acheron
+
+int main() { acheron::bench::Main(); }

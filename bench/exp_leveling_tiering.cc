@@ -1,0 +1,62 @@
+// E10 -- Leveling vs tiering (engine validation): tiering trades read
+// performance for much lower write amplification; delete persistence holds
+// under both.
+#include "bench/bench_common.h"
+
+namespace acheron {
+namespace bench {
+
+static void Run(CompactionStyle style, uint64_t dth, const char* label) {
+  Options options = BenchOptions();
+  options.compaction_style = style;
+  options.delete_persistence_threshold = dth;
+  BenchDB db(options);
+
+  workload::WorkloadSpec spec;
+  spec.num_ops = 120000 * Scale();
+  spec.key_space = 12000;
+  spec.value_size = 64;
+  spec.update_percent = 30;
+  spec.delete_percent = 20;
+  spec.seed = 47;
+
+  double ingest_ops = RunWorkload(db.db(), spec);
+  InternalStats stats = db->GetStats();
+
+  // Read phase.
+  const uint64_t kLookups = 50000 * Scale();
+  workload::Generator gen(spec);
+  Random rnd(53);
+  ReadOptions ro;
+  std::string value;
+  auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < kLookups; i++) {
+    db->Get(ro, gen.KeyAt(rnd.Uniform(spec.key_space)), &value);
+  }
+  double read_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  DeleteStats ds = db->GetDeleteStats();
+
+  std::printf("%-18s %12.0f %8.2f %12.0f %12.0f\n", label, ingest_ops,
+              stats.WriteAmplification(), kLookups / read_secs,
+              ds.persistence_latency_max);
+}
+
+static void Main() {
+  const uint64_t dth = 20000 * Scale();
+  PrintHeader("E10: leveling vs tiering",
+              "expected shape: tiering ingests faster (lower WA), reads "
+              "slower; persistence bound holds for both");
+  std::printf("%-18s %12s %8s %12s %12s\n", "config", "ingest(op/s)", "WA",
+              "reads(op/s)", "persist-max");
+  Run(CompactionStyle::kLeveling, 0, "leveling");
+  Run(CompactionStyle::kTiering, 0, "tiering");
+  Run(CompactionStyle::kLeveling, dth, "leveling+FADE");
+  Run(CompactionStyle::kTiering, dth, "tiering+FADE");
+}
+
+}  // namespace bench
+}  // namespace acheron
+
+int main() { acheron::bench::Main(); }

@@ -1,0 +1,70 @@
+// E5 -- Point lookup throughput vs delete fraction: purged tombstones mean
+// fewer runs to probe and fewer wasted comparisons, so FADE reads faster on
+// delete-heavy data (Lethe reports 1.17-1.4x).
+#include "bench/bench_common.h"
+
+namespace acheron {
+namespace bench {
+
+struct Result {
+  double lookups_per_sec;
+  uint64_t bloom_negatives;
+};
+
+static Result Run(uint64_t dth, int delete_percent) {
+  Options options = BenchOptions();
+  options.delete_persistence_threshold = dth;
+  BenchDB db(options);
+
+  workload::WorkloadSpec spec;
+  spec.num_ops = 100000 * Scale();
+  spec.key_space = 10000;
+  spec.value_size = 64;
+  spec.update_percent = 20;
+  spec.delete_percent = delete_percent;
+  spec.seed = 17;
+
+  workload::Generator gen(spec);
+  WriteOptions wo;
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    workload::Op op = gen.Next();
+    if (op.type == workload::OpType::kDelete) {
+      db->Delete(wo, op.key);
+    } else {
+      db->Put(wo, op.key, op.value);
+    }
+  }
+
+  // Measurement phase: uniform point lookups over the key space (mix of
+  // live, deleted, and never-written keys).
+  const uint64_t kLookups = 200000 * Scale();
+  Random rnd(99);
+  ReadOptions ro;
+  std::string value;
+  auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < kLookups; i++) {
+    db->Get(ro, gen.KeyAt(rnd.Uniform(spec.key_space)), &value);
+  }
+  auto end = std::chrono::steady_clock::now();
+  double secs = std::chrono::duration<double>(end - start).count();
+  return {kLookups / secs, db->GetStats().bloom_useful};
+}
+
+static void Main() {
+  PrintHeader("E5: point lookup throughput vs delete fraction",
+              "expected shape: FADE >= baseline, gap widens with deletes");
+  std::printf("%-10s %14s %14s %10s\n", "deletes", "baseline(op/s)",
+              "FADE(op/s)", "speedup");
+  for (int delete_percent : {2, 10, 25, 40}) {
+    Result base = Run(0, delete_percent);
+    Result fade = Run(20000 * Scale(), delete_percent);
+    std::printf("%9d%% %14.0f %14.0f %9.2fx\n", delete_percent,
+                base.lookups_per_sec, fade.lookups_per_sec,
+                fade.lookups_per_sec / base.lookups_per_sec);
+  }
+}
+
+}  // namespace bench
+}  // namespace acheron
+
+int main() { acheron::bench::Main(); }

@@ -1,0 +1,76 @@
+// E6 -- Range scan cost vs tombstone density: scans must step over live
+// tombstones; FADE's purged tree scans fewer dead entries.
+#include "bench/bench_common.h"
+
+namespace acheron {
+namespace bench {
+
+struct Result {
+  double scans_per_sec;
+  uint64_t tombstones_skipped;
+};
+
+static Result Run(uint64_t dth, int delete_percent) {
+  Options options = BenchOptions();
+  options.delete_persistence_threshold = dth;
+  BenchDB db(options);
+
+  workload::WorkloadSpec spec;
+  spec.num_ops = 100000 * Scale();
+  spec.key_space = 10000;
+  spec.value_size = 64;
+  spec.update_percent = 20;
+  spec.delete_percent = delete_percent;
+  spec.seed = 23;
+
+  workload::Generator gen(spec);
+  WriteOptions wo;
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    workload::Op op = gen.Next();
+    if (op.type == workload::OpType::kDelete) {
+      db->Delete(wo, op.key);
+    } else {
+      db->Put(wo, op.key, op.value);
+    }
+  }
+
+  const uint64_t kScans = 3000 * Scale();
+  const int kScanLength = 64;
+  Random rnd(31);
+  ReadOptions ro;
+  auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < kScans; i++) {
+    std::unique_ptr<Iterator> it(db->NewIterator(ro));
+    int n = 0;
+    for (it->Seek(gen.KeyAt(rnd.Uniform(spec.key_space)));
+         it->Valid() && n < kScanLength; it->Next()) {
+      n++;
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  double secs = std::chrono::duration<double>(end - start).count();
+  return {kScans / secs, db->GetStats().iter_tombstones_skipped};
+}
+
+static void Main() {
+  PrintHeader("E6: range scan cost vs tombstone density",
+              "64-entry scans; 'ts-skipped' = dead entries stepped over");
+  std::printf("%-10s | %13s %12s | %13s %12s | %8s\n", "deletes",
+              "base(scan/s)", "ts-skipped", "fade(scan/s)", "ts-skipped",
+              "speedup");
+  for (int delete_percent : {2, 10, 25, 40}) {
+    Result base = Run(0, delete_percent);
+    Result fade = Run(20000 * Scale(), delete_percent);
+    std::printf("%9d%% | %13.0f %12llu | %13.0f %12llu | %7.2fx\n",
+                delete_percent, base.scans_per_sec,
+                static_cast<unsigned long long>(base.tombstones_skipped),
+                fade.scans_per_sec,
+                static_cast<unsigned long long>(fade.tombstones_skipped),
+                fade.scans_per_sec / base.scans_per_sec);
+  }
+}
+
+}  // namespace bench
+}  // namespace acheron
+
+int main() { acheron::bench::Main(); }

@@ -1,0 +1,58 @@
+// E8 -- Sensitivity to the size ratio T: higher T means fewer, larger
+// levels (lower write-amp per entry moved, longer per-level TTL budgets).
+// The persistence bound holds at every T.
+#include "bench/bench_common.h"
+
+namespace acheron {
+namespace bench {
+
+static void Run(int size_ratio, uint64_t dth) {
+  Options options = BenchOptions();
+  options.size_ratio = size_ratio;
+  options.delete_persistence_threshold = dth;
+  BenchDB db(options);
+
+  workload::WorkloadSpec spec;
+  spec.num_ops = 120000 * Scale();
+  spec.key_space = 12000;
+  spec.update_percent = 30;
+  spec.delete_percent = 25;
+  spec.seed = 41;
+
+  workload::Generator gen(spec);
+  WriteOptions wo;
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    workload::Op op = gen.Next();
+    if (op.type == workload::OpType::kDelete) {
+      db->Delete(wo, op.key);
+    } else {
+      db->Put(wo, op.key, op.value);
+    }
+  }
+  InternalStats stats = db->GetStats();
+  DeleteStats ds = db->GetDeleteStats();
+  std::printf("%6d %8.2f %12.0f %12.0f %12llu\n", size_ratio,
+              stats.WriteAmplification(), ds.persistence_latency_p99,
+              ds.persistence_latency_max,
+              static_cast<unsigned long long>(
+                  stats.compactions_by_reason[static_cast<size_t>(
+                      CompactionReason::kTtlExpiry)]));
+}
+
+static void Main() {
+  const uint64_t dth = 20000 * Scale();
+  PrintHeader("E8: size ratio T sensitivity (FADE, D_th fixed)",
+              ("D_th = " + std::to_string(dth) +
+               " ops; persistence max must stay <= D_th at every T")
+                  .c_str());
+  std::printf("%6s %8s %12s %12s %12s\n", "T", "WA", "persist-p99",
+              "persist-max", "ttl-compact");
+  for (int t : {2, 4, 8, 16}) {
+    Run(t, dth);
+  }
+}
+
+}  // namespace bench
+}  // namespace acheron
+
+int main() { acheron::bench::Main(); }

@@ -1,0 +1,52 @@
+// E3 -- Space amplification vs delete fraction: logically-deleted entries
+// and their tombstones inflate a vanilla LSM; FADE purges them on schedule
+// (the Lethe line of work reports 2.1-9.8x lower space-amp).
+#include "bench/bench_common.h"
+
+namespace acheron {
+namespace bench {
+
+static double Run(uint64_t dth, int delete_percent) {
+  Options options = BenchOptions();
+  options.delete_persistence_threshold = dth;
+  BenchDB db(options);
+
+  workload::WorkloadSpec spec;
+  spec.num_ops = 120000 * Scale();
+  spec.key_space = 12000;
+  spec.value_size = 128;
+  spec.update_percent = 20;
+  spec.delete_percent = delete_percent;
+  spec.seed = 5;
+
+  workload::Generator gen(spec);
+  WriteOptions wo;
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    workload::Op op = gen.Next();
+    if (op.type == workload::OpType::kDelete) {
+      db->Delete(wo, op.key);
+    } else {
+      db->Put(wo, op.key, op.value);
+    }
+  }
+  return db.SpaceAmplification();
+}
+
+static void Main() {
+  PrintHeader("E3: space amplification vs delete fraction",
+              "space-amp = bytes on disk / bytes of live data "
+              "(steady churn, no settle)");
+  std::printf("%-10s %12s %12s %10s\n", "deletes", "baseline", "FADE(20k)",
+              "ratio");
+  for (int delete_percent : {2, 10, 25, 40}) {
+    double base = Run(0, delete_percent);
+    double fade = Run(20000 * Scale(), delete_percent);
+    std::printf("%9d%% %12.2f %12.2f %9.2fx\n", delete_percent, base, fade,
+                fade > 0 ? base / fade : 0.0);
+  }
+}
+
+}  // namespace bench
+}  // namespace acheron
+
+int main() { acheron::bench::Main(); }

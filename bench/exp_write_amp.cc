@@ -1,0 +1,67 @@
+// E4 -- Write amplification overhead of delete-awareness: FADE's extra
+// TTL-driven compactions cost some write amplification (Lethe reports a
+// modest +4-25%) in exchange for the persistence bound.
+#include "bench/bench_common.h"
+
+namespace acheron {
+namespace bench {
+
+struct Result {
+  double wa;
+  uint64_t ttl_compactions;
+  uint64_t total_compactions;
+};
+
+static Result Run(uint64_t dth) {
+  Options options = BenchOptions();
+  options.delete_persistence_threshold = dth;
+  BenchDB db(options);
+
+  workload::WorkloadSpec spec;
+  spec.num_ops = 150000 * Scale();
+  spec.key_space = 15000;
+  spec.value_size = 64;
+  spec.update_percent = 30;
+  spec.delete_percent = 25;
+  spec.seed = 13;
+
+  workload::Generator gen(spec);
+  WriteOptions wo;
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    workload::Op op = gen.Next();
+    if (op.type == workload::OpType::kDelete) {
+      db->Delete(wo, op.key);
+    } else {
+      db->Put(wo, op.key, op.value);
+    }
+  }
+  InternalStats stats = db->GetStats();
+  return {stats.WriteAmplification(),
+          stats.compactions_by_reason[static_cast<size_t>(
+              CompactionReason::kTtlExpiry)],
+          stats.compaction_count};
+}
+
+static void Main() {
+  PrintHeader("E4: write amplification overhead of FADE",
+              "WA = storage bytes written per user byte "
+              "(expected shape: modest single/low-double-digit % overhead)");
+  Result base = Run(0);
+  std::printf("%-12s %8s %10s %12s %10s\n", "config", "WA", "overhead",
+              "ttl-compact", "compactions");
+  std::printf("%-12s %8.2f %10s %12llu %10llu\n", "baseline", base.wa, "-",
+              0ull, static_cast<unsigned long long>(base.total_compactions));
+  for (uint64_t dth : {200000, 50000, 20000, 5000}) {
+    Result r = Run(dth * Scale());
+    std::printf("%-12s %8.2f %9.1f%% %12llu %10llu\n",
+                ("Dth=" + std::to_string(dth * Scale())).c_str(), r.wa,
+                (r.wa / base.wa - 1.0) * 100.0,
+                static_cast<unsigned long long>(r.ttl_compactions),
+                static_cast<unsigned long long>(r.total_compactions));
+  }
+}
+
+}  // namespace bench
+}  // namespace acheron
+
+int main() { acheron::bench::Main(); }

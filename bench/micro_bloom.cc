@@ -1,0 +1,76 @@
+// M1 -- Bloom filter microbenchmarks: build throughput, probe latency, and
+// measured false-positive rate across bits-per-key settings.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/util/bloom.h"
+#include "src/util/random.h"
+
+namespace acheron {
+
+static std::vector<std::string> MakeKeys(int n, uint64_t seed) {
+  Random rnd(seed);
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; i++) {
+    keys.push_back("key_" + std::to_string(rnd.Next64()));
+  }
+  return keys;
+}
+
+static void BM_BloomCreate(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const int n = 10000;
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(bits));
+  auto keys = MakeKeys(n, 1);
+  std::vector<Slice> slices(keys.begin(), keys.end());
+  for (auto _ : state) {
+    std::string filter;
+    policy->CreateFilter(slices.data(), n, &filter);
+    benchmark::DoNotOptimize(filter);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BloomCreate)->Arg(4)->Arg(10)->Arg(16);
+
+static void BM_BloomProbeHit(benchmark::State& state) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  auto keys = MakeKeys(10000, 1);
+  std::vector<Slice> slices(keys.begin(), keys.end());
+  std::string filter;
+  policy->CreateFilter(slices.data(), static_cast<int>(slices.size()),
+                       &filter);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->KeyMayMatch(keys[i % keys.size()], filter));
+    i++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomProbeHit);
+
+static void BM_BloomProbeMiss(benchmark::State& state) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  auto keys = MakeKeys(10000, 1);
+  std::vector<Slice> slices(keys.begin(), keys.end());
+  std::string filter;
+  policy->CreateFilter(slices.data(), static_cast<int>(slices.size()),
+                       &filter);
+  auto probes = MakeKeys(10000, 999);  // disjoint with high probability
+  size_t i = 0;
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    hits += policy->KeyMayMatch(probes[i % probes.size()], filter);
+    i++;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["measured_fpr"] =
+      static_cast<double>(hits) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_BloomProbeMiss);
+
+}  // namespace acheron
+
+BENCHMARK_MAIN();

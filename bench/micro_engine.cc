@@ -1,0 +1,109 @@
+// M5 -- Whole-engine microbenchmarks: Put/Get/scan through the public API
+// (in-memory env; measures CPU cost of the full write/read paths).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace acheron {
+namespace bench {
+
+static void BM_DbPut(benchmark::State& state) {
+  Options options = BenchOptions();
+  options.delete_persistence_threshold = static_cast<uint64_t>(state.range(0));
+  BenchDB db(options);
+  Random rnd(1);
+  std::string value(64, 'v');
+  WriteOptions wo;
+  for (auto _ : state) {
+    db->Put(wo, "key" + std::to_string(rnd.Uniform(100000)), value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DbPut)->Arg(0)->Arg(100000);
+
+static void BM_DbGet(benchmark::State& state) {
+  BenchDB db(BenchOptions());
+  WriteOptions wo;
+  const int n = 50000;
+  for (int i = 0; i < n; i++) {
+    db->Put(wo, "key" + std::to_string(i), std::string(64, 'v'));
+  }
+  db->WaitForCompactions();
+  Random rnd(2);
+  ReadOptions ro;
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->Get(ro, "key" + std::to_string(rnd.Uniform(n)), &value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DbGet);
+
+static void BM_DbGetMissing(benchmark::State& state) {
+  BenchDB db(BenchOptions());
+  WriteOptions wo;
+  for (int i = 0; i < 50000; i++) {
+    db->Put(wo, "key" + std::to_string(i), std::string(64, 'v'));
+  }
+  db->WaitForCompactions();
+  Random rnd(2);
+  ReadOptions ro;
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->Get(ro, "absent" + std::to_string(rnd.Next()), &value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DbGetMissing);
+
+static void BM_DbScan100(benchmark::State& state) {
+  BenchDB db(BenchOptions());
+  WriteOptions wo;
+  workload::WorkloadSpec spec;
+  workload::Generator gen(spec);
+  const int n = 50000;
+  for (int i = 0; i < n; i++) {
+    db->Put(wo, gen.KeyAt(i), std::string(64, 'v'));
+  }
+  db->WaitForCompactions();
+  Random rnd(3);
+  ReadOptions ro;
+  for (auto _ : state) {
+    std::unique_ptr<Iterator> it(db->NewIterator(ro));
+    int count = 0;
+    for (it->Seek(gen.KeyAt(rnd.Uniform(n))); it->Valid() && count < 100;
+         it->Next()) {
+      count++;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_DbScan100);
+
+static void BM_DbDelete(benchmark::State& state) {
+  Options options = BenchOptions();
+  options.delete_persistence_threshold = static_cast<uint64_t>(state.range(0));
+  BenchDB db(options);
+  WriteOptions wo;
+  Random rnd(4);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    if ((i & 1) == 0) {
+      db->Put(wo, "key" + std::to_string(rnd.Uniform(50000)),
+              std::string(64, 'v'));
+    } else {
+      db->Delete(wo, "key" + std::to_string(rnd.Uniform(50000)));
+    }
+    i++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DbDelete)->Arg(0)->Arg(100000);
+
+}  // namespace bench
+}  // namespace acheron
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// M2 -- Memtable skiplist microbenchmarks: insert and lookup throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/memtable/memtable.h"
+#include "src/util/random.h"
+
+namespace acheron {
+
+static void BM_MemTableAdd(benchmark::State& state) {
+  const size_t value_size = static_cast<size_t>(state.range(0));
+  InternalKeyComparator icmp(BytewiseComparator());
+  MemTable* mem = new MemTable(icmp);
+  mem->Ref();
+  Random rnd(1);
+  std::string value(value_size, 'v');
+  uint64_t seq = 1;
+  for (auto _ : state) {
+    mem->Add(seq++, kTypeValue, "key" + std::to_string(rnd.Next64()), value);
+    if (mem->ApproximateMemoryUsage() > (64 << 20)) {
+      state.PauseTiming();
+      mem->Unref();
+      mem = new MemTable(icmp);
+      mem->Ref();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  mem->Unref();
+}
+BENCHMARK(BM_MemTableAdd)->Arg(16)->Arg(128)->Arg(1024);
+
+static void BM_MemTableGet(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  MemTable* mem = new MemTable(icmp);
+  mem->Ref();
+  const int n = 100000;
+  for (int i = 0; i < n; i++) {
+    mem->Add(i + 1, kTypeValue, "key" + std::to_string(i), "value");
+  }
+  Random rnd(2);
+  std::string value;
+  Status s;
+  for (auto _ : state) {
+    LookupKey lkey("key" + std::to_string(rnd.Uniform(n)), n + 1);
+    benchmark::DoNotOptimize(mem->Get(lkey, &value, &s));
+  }
+  state.SetItemsProcessed(state.iterations());
+  mem->Unref();
+}
+BENCHMARK(BM_MemTableGet);
+
+static void BM_MemTableIterate(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  MemTable* mem = new MemTable(icmp);
+  mem->Ref();
+  const int n = 100000;
+  for (int i = 0; i < n; i++) {
+    mem->Add(i + 1, kTypeValue, "key" + std::to_string(i), "value");
+  }
+  for (auto _ : state) {
+    std::unique_ptr<Iterator> it(mem->NewIterator());
+    uint64_t count = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) count++;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  mem->Unref();
+}
+BENCHMARK(BM_MemTableIterate);
+
+}  // namespace acheron
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// M4 -- WAL microbenchmarks: record append and replay throughput.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/env/env.h"
+#include "src/wal/log_reader.h"
+#include "src/wal/log_writer.h"
+
+namespace acheron {
+
+static void BM_WalAppend(benchmark::State& state) {
+  const size_t record_size = static_cast<size_t>(state.range(0));
+  std::unique_ptr<Env> env(NewMemEnv());
+  std::unique_ptr<WritableFile> file;
+  env->NewWritableFile("/wal", &file);
+  wal::Writer writer(file.get());
+  std::string record(record_size, 'r');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer.AddRecord(record).ok());
+  }
+  state.SetBytesProcessed(state.iterations() * record_size);
+}
+BENCHMARK(BM_WalAppend)->Arg(64)->Arg(512)->Arg(16384);
+
+static void BM_WalReplay(benchmark::State& state) {
+  const int kRecords = 10000;
+  std::unique_ptr<Env> env(NewMemEnv());
+  {
+    std::unique_ptr<WritableFile> file;
+    env->NewWritableFile("/wal", &file);
+    wal::Writer writer(file.get());
+    std::string record(128, 'r');
+    for (int i = 0; i < kRecords; i++) {
+      writer.AddRecord(record);
+    }
+  }
+  for (auto _ : state) {
+    std::unique_ptr<SequentialFile> file;
+    env->NewSequentialFile("/wal", &file);
+    wal::Reader reader(file.get(), nullptr, true);
+    Slice record;
+    std::string scratch;
+    int n = 0;
+    while (reader.ReadRecord(&record, &scratch)) n++;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * kRecords);
+}
+BENCHMARK(BM_WalReplay);
+
+}  // namespace acheron
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// compaction_explorer: a terminal rendition of the Acheron demonstration.
+// Runs a configurable insert/update/delete workload against a chosen engine
+// configuration and periodically renders the shape of the LSM-tree -- files,
+// bytes, tombstones, and the delete-persistence clock -- so you can *watch*
+// tombstones ride (or fail to ride) down the tree.
+//
+// Usage:
+//   ./example_compaction_explorer [ops] [delete_percent] [dth] [style]
+//     ops            total operations              (default 100000)
+//     delete_percent share of deletes, 0-90        (default 25)
+//     dth            persistence threshold in ops  (default 20000; 0 = off)
+//     style          "leveling" | "tiering"        (default leveling)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "src/env/env.h"
+#include "src/lsm/db.h"
+#include "src/lsm/version_set.h"
+#include "src/workload/workload.h"
+
+namespace {
+
+void RenderTree(acheron::DB* db, uint64_t op, uint64_t dth) {
+  std::printf("---- after %llu ops ----\n",
+              static_cast<unsigned long long>(op));
+  std::printf("%6s %7s %10s %12s  %s\n", "level", "files", "KiB",
+              "tombstones", "fill");
+  std::string summary;
+  db->GetProperty("acheron.level-summary", &summary);
+  int level, files;
+  long long bytes;
+  unsigned long long tombstones;
+  const char* p = summary.c_str();
+  while (std::sscanf(p, "%d %d %lld %llu", &level, &files, &bytes,
+                     &tombstones) == 4) {
+    int bars = static_cast<int>(bytes / 16384) + 1;
+    if (bars > 40) bars = 40;
+    std::printf("%6d %7d %10.1f %12llu  %.*s\n", level, files,
+                bytes / 1024.0, tombstones, bars,
+                "########################################");
+    p = std::strchr(p, '\n');
+    if (p == nullptr) break;
+    p++;
+  }
+  std::string ts, age;
+  db->GetProperty("acheron.total-tombstones", &ts);
+  db->GetProperty("acheron.max-tombstone-age", &age);
+  std::printf("live tombstones: %s | oldest age: %s ops", ts.c_str(),
+              age.c_str());
+  if (dth > 0) {
+    std::printf(" | budget: %llu (%.0f%% used)",
+                static_cast<unsigned long long>(dth),
+                100.0 * std::stod(age) / static_cast<double>(dth));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t ops = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+  const int delete_percent = argc > 2 ? std::atoi(argv[2]) : 25;
+  const uint64_t dth = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 20000;
+  const bool tiering = argc > 4 && std::strcmp(argv[4], "tiering") == 0;
+
+  acheron::Options options;
+  options.env = acheron::NewMemEnv();  // throwaway exploration
+  options.create_if_missing = true;
+  options.write_buffer_size = 64 << 10;
+  options.max_file_size = 128 << 10;
+  options.size_ratio = 4;
+  options.disable_wal = true;
+  options.delete_persistence_threshold = dth;
+  options.compaction_style = tiering ? acheron::CompactionStyle::kTiering
+                                     : acheron::CompactionStyle::kLeveling;
+
+  std::printf("acheron compaction explorer -- %llu ops, %d%% deletes, "
+              "D_th=%llu, %s\n",
+              static_cast<unsigned long long>(ops), delete_percent,
+              static_cast<unsigned long long>(dth),
+              tiering ? "tiering" : "leveling");
+
+  acheron::DB* raw = nullptr;
+  auto s = acheron::DB::Open(options, "/explore", &raw);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<acheron::DB> db(raw);
+
+  acheron::workload::WorkloadSpec spec;
+  spec.num_ops = ops;
+  spec.key_space = 10000;
+  spec.update_percent = 30;
+  spec.delete_percent = delete_percent;
+  acheron::workload::Generator gen(spec);
+
+  const uint64_t checkpoint = ops / 5 ? ops / 5 : 1;
+  for (uint64_t i = 0; i < ops; i++) {
+    acheron::workload::Op op = gen.Next();
+    if (op.type == acheron::workload::OpType::kDelete) {
+      db->Delete(acheron::WriteOptions(), op.key);
+    } else {
+      db->Put(acheron::WriteOptions(), op.key, op.value);
+    }
+    if ((i + 1) % checkpoint == 0) {
+      RenderTree(db.get(), i + 1, dth);
+    }
+  }
+
+  std::printf("\nfinal accounting:\n");
+  acheron::DeleteStats ds = db->GetDeleteStats();
+  std::printf("  %s\n", ds.ToString().c_str());
+  std::string stats;
+  db->GetProperty("acheron.stats", &stats);
+  std::printf("  %s\n", stats.c_str());
+
+  db.reset();
+  delete options.env;
+  return 0;
+}

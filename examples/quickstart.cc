@@ -1,0 +1,65 @@
+// Quickstart: open an Acheron DB, write, read, delete, scan, and inspect
+// delete-persistence statistics.
+//
+//   ./example_quickstart [db_path]
+#include <cstdio>
+#include <memory>
+
+#include "src/lsm/db.h"
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "/tmp/acheron_quickstart";
+
+  acheron::Options options;
+  options.create_if_missing = true;
+  // The Acheron knob: every delete becomes physically persistent within
+  // 100k subsequently ingested operations.
+  options.delete_persistence_threshold = 100000;
+
+  acheron::DB* raw = nullptr;
+  acheron::Status s = acheron::DB::Open(options, path, &raw);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<acheron::DB> db(raw);
+
+  // Writes.
+  db->Put(acheron::WriteOptions(), "user:1001:name", "ada");
+  db->Put(acheron::WriteOptions(), "user:1001:email", "ada@example.com");
+  db->Put(acheron::WriteOptions(), "user:1002:name", "grace");
+
+  // Point read.
+  std::string value;
+  s = db->Get(acheron::ReadOptions(), "user:1001:name", &value);
+  std::printf("user:1001:name = %s\n", value.c_str());
+
+  // Atomic batch.
+  acheron::WriteBatch batch;
+  batch.Put("user:1003:name", "edsger");
+  batch.Delete("user:1002:name");
+  db->Write(acheron::WriteOptions(), &batch);
+
+  // Deleted keys are NotFound.
+  s = db->Get(acheron::ReadOptions(), "user:1002:name", &value);
+  std::printf("user:1002:name -> %s\n", s.ToString().c_str());
+
+  // Prefix scan.
+  std::printf("all user keys:\n");
+  std::unique_ptr<acheron::Iterator> it(
+      db->NewIterator(acheron::ReadOptions()));
+  for (it->Seek("user:"); it->Valid() && it->key().starts_with("user:");
+       it->Next()) {
+    std::printf("  %s = %s\n", it->key().ToString().c_str(),
+                it->value().ToString().c_str());
+  }
+
+  // Acheron observability: what happened to the deletes?
+  acheron::DeleteStats ds = db->GetDeleteStats();
+  std::printf("delete stats: %s\n", ds.ToString().c_str());
+
+  std::string stats;
+  db->GetProperty("acheron.stats", &stats);
+  std::printf("engine stats: %s\n", stats.c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "src/core/persistence_monitor.h"
+
+#include <cstdio>
+
+namespace acheron {
+
+std::string DeleteStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "tombstones: written=%llu persisted=%llu superseded=%llu live=%llu "
+      "oldest_live_age=%llu | persistence latency (ops): avg=%.0f p50=%.0f "
+      "p90=%.0f p99=%.0f max=%.0f",
+      static_cast<unsigned long long>(tombstones_written),
+      static_cast<unsigned long long>(tombstones_persisted),
+      static_cast<unsigned long long>(tombstones_superseded),
+      static_cast<unsigned long long>(tombstones_live),
+      static_cast<unsigned long long>(oldest_live_tombstone_age),
+      persistence_latency_avg, persistence_latency_p50,
+      persistence_latency_p90, persistence_latency_p99,
+      persistence_latency_max);
+  return buf;
+}
+
+void DeletePersistenceMonitor::OnTombstoneWritten(uint64_t n) {
+  std::lock_guard<std::mutex> l(mu_);
+  written_ += n;
+}
+
+void DeletePersistenceMonitor::OnTombstonePersisted(SequenceNumber created_seq,
+                                                    SequenceNumber now_seq) {
+  std::lock_guard<std::mutex> l(mu_);
+  persisted_++;
+  const uint64_t latency = now_seq >= created_seq ? now_seq - created_seq : 0;
+  latency_.Add(static_cast<double>(latency));
+}
+
+void DeletePersistenceMonitor::OnTombstoneSuperseded(uint64_t n) {
+  std::lock_guard<std::mutex> l(mu_);
+  superseded_ += n;
+}
+
+void DeletePersistenceMonitor::Snapshot(DeleteStats* stats,
+                                        uint64_t tombstones_live,
+                                        uint64_t oldest_live_age) const {
+  std::lock_guard<std::mutex> l(mu_);
+  stats->tombstones_written = written_;
+  stats->tombstones_persisted = persisted_;
+  stats->tombstones_superseded = superseded_;
+  stats->tombstones_live = tombstones_live;
+  stats->oldest_live_tombstone_age = oldest_live_age;
+  stats->persistence_latency_p50 = latency_.Percentile(50);
+  stats->persistence_latency_p90 = latency_.Percentile(90);
+  stats->persistence_latency_p99 = latency_.Percentile(99);
+  stats->persistence_latency_max = latency_.Max();
+  stats->persistence_latency_avg = latency_.Average();
+}
+
+Histogram DeletePersistenceMonitor::LatencyHistogram() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return latency_;
+}
+
+}  // namespace acheron

@@ -1,0 +1,88 @@
+// DeletePersistenceMonitor: observes the life cycle of tombstones and
+// reports delete-persistence statistics -- the headline metric of Acheron.
+//
+// A delete becomes *persistent* when its tombstone is dropped at the
+// bottommost level: at that instant no older version of the key can ever be
+// read again (nothing below remains to shadow). The monitor records, for
+// every persisted tombstone, the latency between tombstone creation and that
+// drop, measured on the logical clock (sequence numbers == operations
+// ingested). With a delete persistence threshold D_th configured, the
+// invariant under FADE is max latency <= D_th (modulo in-flight compactions
+// and snapshot pins).
+#ifndef ACHERON_CORE_PERSISTENCE_MONITOR_H_
+#define ACHERON_CORE_PERSISTENCE_MONITOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/lsm/dbformat.h"
+#include "src/util/histogram.h"
+
+namespace acheron {
+
+// Aggregate snapshot of delete-persistence state, returned by
+// DB::GetDeleteStats().
+struct DeleteStats {
+  // Tombstones written since open.
+  uint64_t tombstones_written = 0;
+  // Tombstones persisted (dropped at the bottommost level).
+  uint64_t tombstones_persisted = 0;
+  // Tombstones superseded before persisting (e.g. the key was re-inserted,
+  // making the tombstone obsolete; the delete never became observable).
+  uint64_t tombstones_superseded = 0;
+  // Live tombstones currently in the tree (memtable excluded).
+  uint64_t tombstones_live = 0;
+  // Age (in logical ops) of the oldest live tombstone in the tree.
+  uint64_t oldest_live_tombstone_age = 0;
+
+  // Persistence latency distribution in logical ops (seq delta between
+  // tombstone creation and its drop at the bottom level).
+  double persistence_latency_p50 = 0;
+  double persistence_latency_p90 = 0;
+  double persistence_latency_p99 = 0;
+  double persistence_latency_max = 0;
+  double persistence_latency_avg = 0;
+
+  std::string ToString() const;
+};
+
+class DeletePersistenceMonitor {
+ public:
+  DeletePersistenceMonitor() = default;
+
+  DeletePersistenceMonitor(const DeletePersistenceMonitor&) = delete;
+  DeletePersistenceMonitor& operator=(const DeletePersistenceMonitor&) =
+      delete;
+
+  // A tombstone entered the system (Delete() was written).
+  void OnTombstoneWritten(uint64_t n = 1);
+
+  // A tombstone created at |created_seq| was dropped at the bottommost
+  // level at logical time |now_seq|: the delete is now persistent.
+  void OnTombstonePersisted(SequenceNumber created_seq,
+                            SequenceNumber now_seq);
+
+  // A tombstone was dropped because a newer entry for the same key shadows
+  // it (it no longer represented the live state of the key).
+  void OnTombstoneSuperseded(uint64_t n = 1);
+
+  // Fill |*stats| with the current aggregate; live-tombstone numbers are
+  // supplied by the caller (they come from the current Version).
+  void Snapshot(DeleteStats* stats, uint64_t tombstones_live,
+                uint64_t oldest_live_age) const;
+
+  // Raw access to the latency histogram (benchmark reporting).
+  Histogram LatencyHistogram() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t written_ = 0;
+  uint64_t persisted_ = 0;
+  uint64_t superseded_ = 0;
+  Histogram latency_;
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_CORE_PERSISTENCE_MONITOR_H_

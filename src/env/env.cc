@@ -1,0 +1,33 @@
+#include "src/env/env.h"
+
+namespace acheron {
+
+Status Env::WriteStringToFile(const Slice& data, const std::string& fname) {
+  std::unique_ptr<WritableFile> file;
+  Status s = NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  s = file->Append(data);
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) RemoveFile(fname);
+  return s;
+}
+
+Status Env::ReadFileToString(const std::string& fname, std::string* data) {
+  data->clear();
+  std::unique_ptr<SequentialFile> file;
+  Status s = NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+  static const int kBufferSize = 8192;
+  std::string scratch(kBufferSize, '\0');
+  while (true) {
+    Slice fragment;
+    s = file->Read(kBufferSize, &fragment, scratch.data());
+    if (!s.ok()) break;
+    data->append(fragment.data(), fragment.size());
+    if (fragment.empty()) break;
+  }
+  return s;
+}
+
+}  // namespace acheron

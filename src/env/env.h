@@ -1,0 +1,86 @@
+// Env: abstraction over the host filesystem. The engine performs all IO
+// through an Env so tests can run against an in-memory filesystem and fault
+// injection wrappers, while production uses the POSIX implementation.
+#ifndef ACHERON_ENV_ENV_H_
+#define ACHERON_ENV_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace acheron {
+
+// Sequential read-only file (WAL/MANIFEST replay).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  // Read up to n bytes. Sets *result to the data read (may point into
+  // scratch, which must have room for n bytes). Returns a short result at
+  // EOF, empty at exact EOF.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+// Random-access read-only file (SSTable reads). Must be safe for concurrent
+// use by multiple threads.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+// Append-only writable file (WAL, SSTable, MANIFEST).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Close() = 0;
+  virtual Status Flush() = 0;
+  // Durably persist written data (fsync/fdatasync equivalent).
+  virtual Status Sync() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname, std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDir(const std::string& dirname) = 0;
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+
+  // Read/write an entire small file; used for CURRENT.
+  Status WriteStringToFile(const Slice& data, const std::string& fname);
+  Status ReadFileToString(const std::string& fname, std::string* data);
+};
+
+// The default POSIX environment; singleton, never destroyed.
+Env* DefaultEnv();
+
+// A fully in-memory environment for tests and RAM-resident benchmarks.
+// Caller owns the result.
+Env* NewMemEnv();
+
+}  // namespace acheron
+
+#endif  // ACHERON_ENV_ENV_H_

@@ -1,0 +1,97 @@
+#include "src/env/fault_env.h"
+
+namespace acheron {
+
+namespace {
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env,
+                    std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(const Slice& data) override {
+    if (env_->ShouldFailWrite()) {
+      return Status::IOError("injected write fault");
+    }
+    return base_->Append(data);
+  }
+  Status Close() override { return base_->Close(); }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override { return base_->Sync(); }
+
+ private:
+  FaultInjectionEnv* const env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(FaultInjectionEnv* env, std::string fname,
+                        std::unique_ptr<RandomAccessFile> base)
+      : env_(env), fname_(std::move(fname)), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    if (env_->ShouldFailRead(fname_)) {
+      return Status::IOError("injected read fault", fname_);
+    }
+    return base_->Read(offset, n, result, scratch);
+  }
+
+ private:
+  FaultInjectionEnv* const env_;
+  const std::string fname_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+}  // namespace
+
+bool FaultInjectionEnv::ShouldFailWrite() {
+  int64_t v = write_countdown_.load(std::memory_order_acquire);
+  while (true) {
+    if (v < 0) return false;  // fault disabled
+    if (v == 0) {
+      // Countdown expired: keep failing until the fault is cleared.
+      faults_injected_.fetch_add(1, std::memory_order_acq_rel);
+      return true;
+    }
+    if (write_countdown_.compare_exchange_weak(v, v - 1,
+                                               std::memory_order_acq_rel)) {
+      return false;
+    }
+  }
+}
+
+bool FaultInjectionEnv::ShouldFailRead(const std::string& fname) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (read_fault_substr_.empty()) return false;
+  if (fname.find(read_fault_substr_) == std::string::npos) return false;
+  faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Status FaultInjectionEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  return base_->NewSequentialFile(fname, result);
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> base;
+  Status s = base_->NewRandomAccessFile(fname, &base);
+  if (!s.ok()) return s;
+  result->reset(new FaultRandomAccessFile(this, fname, std::move(base)));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> base;
+  Status s = base_->NewWritableFile(fname, &base);
+  if (!s.ok()) return s;
+  result->reset(new FaultWritableFile(this, std::move(base)));
+  return Status::OK();
+}
+
+}  // namespace acheron

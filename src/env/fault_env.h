@@ -1,0 +1,86 @@
+// FaultInjectionEnv: wraps another Env and injects IO failures for tests --
+// write errors after a countdown, read errors by filename substring, and
+// "crash" semantics that drop data appended after the last Sync().
+#ifndef ACHERON_ENV_FAULT_ENV_H_
+#define ACHERON_ENV_FAULT_ENV_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/env/env.h"
+
+namespace acheron {
+
+class FaultInjectionEnv : public Env {
+ public:
+  // Does not take ownership of |base|.
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  // After |n| more Append() calls (across all writable files), every write
+  // fails with IOError. n < 0 disables the fault.
+  void SetWriteFaultCountdown(int64_t n) {
+    write_countdown_.store(n, std::memory_order_release);
+  }
+
+  // Reads from any file whose name contains |substr| fail with IOError.
+  // Empty string disables the fault.
+  void SetReadFaultSubstring(const std::string& substr) {
+    std::lock_guard<std::mutex> l(mu_);
+    read_fault_substr_ = substr;
+  }
+
+  // Number of injected faults fired so far.
+  uint64_t FaultsInjected() const {
+    return faults_injected_.load(std::memory_order_acquire);
+  }
+
+  // Env interface: forwards to base with fault hooks.
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return base_->CreateDir(dirname);
+  }
+  Status RemoveDir(const std::string& dirname) override {
+    return base_->RemoveDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+
+  // Fault hooks used by the wrapped file objects; also callable from tests.
+  // Returns true if this write should fail (and counts the fault).
+  bool ShouldFailWrite();
+  bool ShouldFailRead(const std::string& fname);
+
+ private:
+
+  Env* const base_;
+  std::mutex mu_;
+  std::string read_fault_substr_;
+  std::atomic<int64_t> write_countdown_{-1};
+  std::atomic<uint64_t> faults_injected_{0};
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_ENV_FAULT_ENV_H_

@@ -1,0 +1,1367 @@
+#include "src/lsm/db_impl.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/env/env.h"
+#include "src/lsm/db_iter.h"
+#include "src/lsm/filename.h"
+#include "src/lsm/merger.h"
+#include "src/lsm/table_cache.h"
+#include "src/lsm/write_batch_internal.h"
+#include "src/memtable/memtable.h"
+#include "src/table/table_builder.h"
+#include "src/util/clock.h"
+#include "src/wal/log_reader.h"
+
+namespace acheron {
+
+// Per-compaction working state.
+struct DBImpl::CompactionState {
+  // Files produced by compaction
+  struct Output {
+    uint64_t number;
+    uint64_t file_size;
+    InternalKey smallest, largest;
+    uint64_t num_entries = 0;
+    uint64_t num_tombstones = 0;
+    SequenceNumber earliest_tombstone_seq = kMaxSequenceNumber;
+    uint64_t earliest_tombstone_wall_micros = UINT64_MAX;
+    std::string min_secondary_key;
+    std::string max_secondary_key;
+  };
+
+  Output* current_output() { return &outputs[outputs.size() - 1]; }
+
+  explicit CompactionState(Compaction* c)
+      : compaction(c), smallest_snapshot(0), total_bytes(0) {}
+
+  Compaction* const compaction;
+
+  // Sequence numbers < smallest_snapshot are not significant since we will
+  // never have to service a snapshot below smallest_snapshot. Therefore if
+  // we have seen a sequence number S <= smallest_snapshot, we can drop all
+  // entries for the same key with sequence numbers < S.
+  SequenceNumber smallest_snapshot;
+
+  std::vector<Output> outputs;
+
+  // State kept for output being generated
+  std::unique_ptr<WritableFile> outfile;
+  std::unique_ptr<TableBuilder> builder;
+
+  uint64_t total_bytes;
+};
+
+Options SanitizeOptions(const std::string&, const Options& src) {
+  Options result = src;
+  if (result.comparator == nullptr) result.comparator = BytewiseComparator();
+  if (result.env == nullptr) result.env = DefaultEnv();
+  auto clamp = [](auto v, auto lo, auto hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+  };
+  result.write_buffer_size =
+      clamp(result.write_buffer_size, size_t{4 << 10}, size_t{1} << 30);
+  result.max_file_size =
+      clamp(result.max_file_size, size_t{16 << 10}, size_t{1} << 30);
+  result.block_size = clamp(result.block_size, size_t{512}, size_t{4} << 20);
+  result.size_ratio = clamp(result.size_ratio, 2, 64);
+  result.num_levels = clamp(result.num_levels, 1, kNumLevels);
+  result.level0_compaction_trigger =
+      clamp(result.level0_compaction_trigger, 1, 64);
+  return result;
+}
+
+DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
+    : env_(raw_options.env ? raw_options.env : DefaultEnv()),
+      internal_comparator_(raw_options.comparator ? raw_options.comparator
+                                                  : BytewiseComparator()),
+      options_(SanitizeOptions(dbname, raw_options)),
+      owns_cache_(options_.block_cache == nullptr),
+      dbname_(dbname),
+      mem_(nullptr),
+      logfile_number_(0),
+      planner_(options_, &internal_comparator_) {
+  // The Options copy held by the DB (and handed to tables) always carries a
+  // usable block cache; build a private one when the caller didn't.
+  Options* mutable_options = const_cast<Options*>(&options_);
+  mutable_options->comparator = &internal_comparator_;
+  if (owns_cache_) {
+    mutable_options->block_cache = NewLRUCache(8 << 20);
+  }
+  table_cache_ = std::make_unique<TableCache>(dbname_, options_,
+                                              options_.max_open_files);
+  versions_ = std::make_unique<VersionSet>(dbname_, &options_,
+                                           table_cache_.get(),
+                                           &internal_comparator_);
+}
+
+DBImpl::~DBImpl() {
+  std::lock_guard<std::mutex> l(mutex_);
+  if (mem_ != nullptr) mem_->Unref();
+  versions_.reset();
+  table_cache_.reset();
+  if (owns_cache_) {
+    delete options_.block_cache;
+  }
+}
+
+Status DBImpl::NewDB() {
+  VersionEdit new_db;
+  new_db.SetComparatorName(internal_comparator_.user_comparator()->Name());
+  new_db.SetLogNumber(0);
+  new_db.SetNextFile(2);
+  new_db.SetLastSequence(0);
+
+  const std::string manifest = DescriptorFileName(dbname_, 1);
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(manifest, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    wal::Writer log(file.get());
+    std::string record;
+    new_db.EncodeTo(&record);
+    s = log.AddRecord(record);
+    if (s.ok()) {
+      s = file->Sync();
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+  }
+  if (s.ok()) {
+    // Make "CURRENT" file that points to the new manifest file.
+    s = SetCurrentFile(env_, dbname_, 1);
+  } else {
+    env_->RemoveFile(manifest);
+  }
+  return s;
+}
+
+void DBImpl::RemoveObsoleteFiles() {
+  // mutex_ must be held.
+  if (!bg_error_.ok()) {
+    // After a background error, we don't know whether a new version may
+    // or may not have been committed, so we cannot safely garbage collect.
+    return;
+  }
+
+  // Make a set of all of the live files
+  std::set<uint64_t> live = pending_outputs_;
+  versions_->AddLiveFiles(&live);
+
+  std::vector<std::string> filenames;
+  env_->GetChildren(dbname_, &filenames);  // Ignoring errors on purpose
+  uint64_t number;
+  FileType type;
+  std::vector<std::string> files_to_delete;
+  for (std::string& filename : filenames) {
+    if (ParseFileName(filename, &number, &type)) {
+      bool keep = true;
+      switch (type) {
+        case kLogFile:
+          keep = (number >= versions_->LogNumber());
+          break;
+        case kDescriptorFile:
+          // Keep my manifest file, and any newer incarnations'.
+          keep = (number >= versions_->ManifestFileNumber());
+          break;
+        case kTableFile:
+          keep = (live.find(number) != live.end());
+          break;
+        case kTempFile:
+          // Any temp files that are currently being written to must be
+          // recorded in pending_outputs_, which is inserted into "live".
+          keep = (live.find(number) != live.end());
+          break;
+        case kCurrentFile:
+        case kDBLockFile:
+          keep = true;
+          break;
+      }
+
+      if (!keep) {
+        files_to_delete.push_back(std::move(filename));
+        if (type == kTableFile) {
+          table_cache_->Evict(number);
+        }
+      }
+    }
+  }
+
+  for (const std::string& filename : files_to_delete) {
+    env_->RemoveFile(dbname_ + "/" + filename);
+  }
+}
+
+Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
+  // mutex_ held by Open.
+  env_->CreateDir(dbname_);
+
+  if (!env_->FileExists(CurrentFileName(dbname_))) {
+    if (options_.create_if_missing) {
+      Status s = NewDB();
+      if (!s.ok()) {
+        return s;
+      }
+    } else {
+      return Status::InvalidArgument(
+          dbname_, "does not exist (create_if_missing is false)");
+    }
+  } else {
+    if (options_.error_if_exists) {
+      return Status::InvalidArgument(dbname_,
+                                     "exists (error_if_exists is true)");
+    }
+  }
+
+  Status s = versions_->Recover(save_manifest);
+  if (!s.ok()) {
+    return s;
+  }
+  SequenceNumber max_sequence(0);
+
+  // Recover from all newer log files than the ones named in the descriptor
+  // (new log files may have been added by the previous incarnation without
+  // registering them in the descriptor).
+  const uint64_t min_log = versions_->LogNumber();
+  std::vector<std::string> filenames;
+  s = env_->GetChildren(dbname_, &filenames);
+  if (!s.ok()) {
+    return s;
+  }
+  std::set<uint64_t> expected;
+  versions_->AddLiveFiles(&expected);
+  uint64_t number;
+  FileType type;
+  std::vector<uint64_t> logs;
+  for (size_t i = 0; i < filenames.size(); i++) {
+    if (ParseFileName(filenames[i], &number, &type)) {
+      expected.erase(number);
+      if (type == kLogFile && number >= min_log) logs.push_back(number);
+    }
+  }
+  if (!expected.empty()) {
+    char buf[50];
+    std::snprintf(buf, sizeof(buf), "%d missing table files",
+                  static_cast<int>(expected.size()));
+    return Status::Corruption(buf, TableFileName(dbname_, *expected.begin()));
+  }
+
+  // Recover in the order in which the logs were generated
+  std::sort(logs.begin(), logs.end());
+  for (size_t i = 0; i < logs.size(); i++) {
+    s = RecoverLogFile(logs[i], (i == logs.size() - 1), save_manifest, edit,
+                       &max_sequence);
+    if (!s.ok()) {
+      return s;
+    }
+
+    // The previous incarnation may not have written any MANIFEST records
+    // after allocating this log number. So we manually update the file
+    // number allocation counter in VersionSet.
+    versions_->MarkFileNumberUsed(logs[i]);
+  }
+
+  if (versions_->LastSequence() < max_sequence) {
+    versions_->SetLastSequence(max_sequence);
+  }
+
+  return Status::OK();
+}
+
+Status DBImpl::RecoverLogFile(uint64_t log_number, bool, bool* save_manifest,
+                              VersionEdit* edit,
+                              SequenceNumber* max_sequence) {
+  struct LogReporter : public wal::Reader::Reporter {
+    Status* status;
+    void Corruption(size_t, const Status& s) override {
+      if (this->status != nullptr && this->status->ok()) *this->status = s;
+    }
+  };
+
+  // Open the log file
+  std::string fname = LogFileName(dbname_, log_number);
+  std::unique_ptr<SequentialFile> file;
+  Status status = env_->NewSequentialFile(fname, &file);
+  if (!status.ok()) {
+    return status;
+  }
+
+  // Create the log reader.
+  LogReporter reporter;
+  reporter.status = (options_.paranoid_checks ? &status : nullptr);
+  // We intentionally make the reader checksum mismatches tolerant unless
+  // paranoid_checks is on, matching the common recovery posture.
+  wal::Reader reader(file.get(), &reporter, true /*checksum*/);
+
+  // Read all the records and add to a memtable
+  std::string scratch;
+  Slice record;
+  WriteBatch batch;
+  int compactions = 0;
+  MemTable* mem = nullptr;
+  while (reader.ReadRecord(&record, &scratch) && status.ok()) {
+    if (record.size() < 12) {
+      reporter.Corruption(record.size(),
+                          Status::Corruption("log record too small"));
+      continue;
+    }
+    WriteBatchInternal::SetContents(&batch, record);
+
+    if (mem == nullptr) {
+      mem = new MemTable(internal_comparator_);
+      mem->Ref();
+    }
+    status = WriteBatchInternal::InsertInto(&batch, mem);
+    if (!status.ok()) {
+      break;
+    }
+    const SequenceNumber last_seq = WriteBatchInternal::Sequence(&batch) +
+                                    WriteBatchInternal::Count(&batch) - 1;
+    if (last_seq > *max_sequence) {
+      *max_sequence = last_seq;
+    }
+
+    if (mem->ApproximateMemoryUsage() > options_.write_buffer_size) {
+      compactions++;
+      *save_manifest = true;
+      status = WriteLevel0Table(mem, edit);
+      mem->Unref();
+      mem = nullptr;
+      if (!status.ok()) {
+        // Reflect errors immediately so that conditions like full
+        // file-systems cause the DB::Open() to fail.
+        break;
+      }
+    }
+  }
+
+  if (status.ok() && mem != nullptr) {
+    *save_manifest = true;
+    status = WriteLevel0Table(mem, edit);
+  }
+  if (mem != nullptr) mem->Unref();
+  (void)compactions;
+  return status;
+}
+
+Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
+  // mutex_ held.
+  const uint64_t start_micros = SystemClock::NowMicros();
+  FileMetaData meta;
+  meta.number = versions_->NewFileNumber();
+  pending_outputs_.insert(meta.number);
+  Iterator* iter = mem->NewIterator();
+
+  Status s;
+  {
+    // Build the table. The mutex stays held: the engine flushes the *active*
+    // memtable (there is no immutable memtable in this synchronous design),
+    // so a concurrent writer must not mutate it mid-flush. Writers simply
+    // stall behind the flush, which is the intended write-stall behaviour.
+    std::string fname = TableFileName(dbname_, meta.number);
+    std::unique_ptr<WritableFile> file;
+    s = env_->NewWritableFile(fname, &file);
+    if (s.ok()) {
+      TableBuilder builder(options_, file.get());
+      iter->SeekToFirst();
+      if (iter->Valid()) {
+        meta.smallest.DecodeFrom(iter->key());
+        Slice prev_key;
+        for (; iter->Valid(); iter->Next()) {
+          Slice key = iter->key();
+          meta.largest.DecodeFrom(key);
+          const Slice user_key = ExtractUserKey(key);
+          builder.Add(key, iter->value(), user_key);
+          ParsedInternalKey parsed;
+          if (ParseInternalKey(key, &parsed)) {
+            if (parsed.type == kTypeValue &&
+                options_.secondary_key_extractor) {
+              std::string sec =
+                  options_.secondary_key_extractor(user_key, iter->value());
+              if (!sec.empty()) {
+                if (meta.min_secondary_key.empty() ||
+                    sec < meta.min_secondary_key) {
+                  meta.min_secondary_key = sec;
+                }
+                if (meta.max_secondary_key.empty() ||
+                    sec > meta.max_secondary_key) {
+                  meta.max_secondary_key = sec;
+                }
+              }
+            }
+          }
+        }
+        meta.num_entries = builder.NumEntries();
+        meta.num_tombstones = mem->num_tombstones();
+        meta.earliest_tombstone_seq = mem->earliest_tombstone_seq();
+        meta.earliest_tombstone_wall_micros =
+            mem->earliest_tombstone_wall_micros();
+        // Mirror the metadata into the table's own properties block.
+        TableProperties* props = builder.mutable_properties();
+        props->num_tombstones = meta.num_tombstones;
+        props->earliest_tombstone_time = meta.earliest_tombstone_seq;
+        props->earliest_tombstone_wall_micros =
+            meta.earliest_tombstone_wall_micros;
+        props->min_secondary_key = meta.min_secondary_key;
+        props->max_secondary_key = meta.max_secondary_key;
+        s = builder.Finish();
+        if (s.ok()) {
+          meta.file_size = builder.FileSize();
+          if (options_.sync_writes) s = file->Sync();
+          if (s.ok()) s = file->Close();
+        }
+      } else {
+        builder.Abandon();
+      }
+    }
+  }
+
+  if (!iter->status().ok()) {
+    s = iter->status();
+  }
+  delete iter;
+  pending_outputs_.erase(meta.number);
+
+  // Note that if file_size is zero, the file has been deleted and should
+  // not be added to the manifest.
+  if (s.ok() && meta.file_size > 0) {
+    meta.run_id = meta.number;
+    edit->AddFile(0, meta);
+    stats_.flush_count++;
+    stats_.flush_bytes_written += meta.file_size;
+  } else {
+    env_->RemoveFile(TableFileName(dbname_, meta.number));
+  }
+  (void)start_micros;
+  return s;
+}
+
+Status DBImpl::CompactMemTable() {
+  // mutex_ held.
+  assert(mem_ != nullptr);
+  if (mem_->num_entries() == 0) return Status::OK();
+
+  VersionEdit edit;
+  Status s = WriteLevel0Table(mem_, &edit);
+
+  // Replace memtable and log file.
+  if (s.ok()) {
+    const uint64_t new_log_number = versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> lfile;
+    if (!options_.disable_wal) {
+      s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+    }
+    if (s.ok()) {
+      edit.SetLogNumber(new_log_number);
+      s = versions_->LogAndApply(&edit);
+    }
+    if (s.ok()) {
+      if (!options_.disable_wal) {
+        logfile_ = std::move(lfile);
+        log_ = std::make_unique<wal::Writer>(logfile_.get());
+      }
+      logfile_number_ = new_log_number;
+      mem_->Unref();
+      mem_ = new MemTable(internal_comparator_);
+      mem_->Ref();
+      RemoveObsoleteFiles();
+    }
+  }
+
+  if (!s.ok()) {
+    RecordBackgroundError(s);
+  }
+  return s;
+}
+
+SequenceNumber DBImpl::SmallestSnapshot() const {
+  return snapshots_.empty() ? versions_->LastSequence()
+                            : snapshots_.oldest()->sequence_number();
+}
+
+Status DBImpl::MakeRoomForWrite() {
+  // mutex_ held.
+  if (!bg_error_.ok()) return bg_error_;
+
+  bool flush = mem_->ApproximateMemoryUsage() >= options_.write_buffer_size;
+
+  // FADE also bounds how long a tombstone may sit in the *memtable*: flush
+  // once the oldest buffered tombstone has consumed half of level 0's TTL
+  // budget (the other half covers its L0 residency).
+  if (!flush && planner_.delete_aware() && mem_->num_tombstones() > 0) {
+    const int depth = versions_->current()->DeepestNonEmptyLevel() + 1;
+    const uint64_t age =
+        versions_->LastSequence() - mem_->earliest_tombstone_seq();
+    if (age > planner_.LevelTtl(0, depth) / 2) {
+      flush = true;
+    }
+  }
+
+  if (flush) {
+    Status s = CompactMemTable();
+    if (!s.ok()) return s;
+    return MaybeCompact();
+  }
+  return Status::OK();
+}
+
+void DBImpl::ComputeNextTtlDeadline() {
+  next_ttl_deadline_ = UINT64_MAX;
+  if (!planner_.delete_aware()) return;
+  Version* v = versions_->current();
+  const int depth = v->DeepestNonEmptyLevel() + 1;
+  for (int level = 0; level < kNumLevels; level++) {
+    for (FileMetaData* f : v->files(level)) {
+      if (!f->has_tombstones()) continue;
+      const uint64_t deadline =
+          f->earliest_tombstone_seq + planner_.CumulativeTtl(level, depth);
+      next_ttl_deadline_ = std::min(next_ttl_deadline_, deadline);
+    }
+  }
+}
+
+Status DBImpl::MaybeCompact() {
+  // mutex_ held. Run compactions until the planner is satisfied. The loop
+  // terminates because every compaction either reduces the trigger that
+  // caused it (run counts, level sizes) or eliminates expired tombstones.
+  Status s = bg_error_;
+  int safety = 0;
+  while (s.ok()) {
+    if (++safety > 10000) {
+      s = Status::Corruption("compaction loop failed to converge");
+      RecordBackgroundError(s);
+      break;
+    }
+    std::unique_ptr<Compaction> c(
+        versions_->PickCompaction(planner_, SmallestSnapshot()));
+    if (c == nullptr) break;
+
+    stats_.compaction_count++;
+    size_t reason_idx = static_cast<size_t>(c->reason());
+    if (reason_idx < stats_.compactions_by_reason.size()) {
+      stats_.compactions_by_reason[reason_idx]++;
+    }
+
+    if (c->IsTrivialMove()) {
+      // Move file to next level
+      assert(c->num_input_files(0) == 1);
+      FileMetaData* f = c->input(0, 0);
+      c->edit()->RemoveFile(c->level(), f->number);
+      FileMetaData moved = *f;
+      moved.refs = 0;
+      c->edit()->AddFile(c->output_level(), moved);
+      s = versions_->LogAndApply(c->edit());
+      if (!s.ok()) {
+        RecordBackgroundError(s);
+      }
+      stats_.trivial_move_count++;
+    } else {
+      CompactionState* compact = new CompactionState(c.get());
+      s = DoCompactionWork(compact);
+      if (!s.ok()) {
+        RecordBackgroundError(s);
+      }
+      CleanupCompaction(compact);
+      c->ReleaseInputs();
+      RemoveObsoleteFiles();
+    }
+  }
+  ComputeNextTtlDeadline();
+  return s;
+}
+
+Status DBImpl::OpenCompactionOutputFile(CompactionState* compact) {
+  assert(compact != nullptr);
+  assert(compact->builder == nullptr);
+  uint64_t file_number;
+  {
+    file_number = versions_->NewFileNumber();
+    pending_outputs_.insert(file_number);
+    CompactionState::Output out;
+    out.number = file_number;
+    out.smallest.Clear();
+    out.largest.Clear();
+    compact->outputs.push_back(out);
+  }
+
+  // Make the output file (IO under mutex: acceptable for the synchronous
+  // compaction model, the writer is the only active thread).
+  std::string fname = TableFileName(dbname_, file_number);
+  Status s = env_->NewWritableFile(fname, &compact->outfile);
+  if (s.ok()) {
+    compact->builder = std::make_unique<TableBuilder>(options_,
+                                                      compact->outfile.get());
+  }
+  return s;
+}
+
+Status DBImpl::FinishCompactionOutputFile(CompactionState* compact,
+                                          Iterator* input) {
+  assert(compact != nullptr);
+  assert(compact->outfile != nullptr);
+  assert(compact->builder != nullptr);
+
+  const uint64_t output_number = compact->current_output()->number;
+  assert(output_number != 0);
+
+  // Check for iterator errors
+  Status s = input->status();
+  const uint64_t current_entries = compact->builder->NumEntries();
+
+  // Mirror tombstone metadata into the table's properties block.
+  CompactionState::Output* out = compact->current_output();
+  TableProperties* props = compact->builder->mutable_properties();
+  props->num_tombstones = out->num_tombstones;
+  props->earliest_tombstone_time = out->earliest_tombstone_seq;
+  props->earliest_tombstone_wall_micros = out->earliest_tombstone_wall_micros;
+  props->min_secondary_key = out->min_secondary_key;
+  props->max_secondary_key = out->max_secondary_key;
+
+  if (s.ok()) {
+    s = compact->builder->Finish();
+  } else {
+    compact->builder->Abandon();
+  }
+  const uint64_t current_bytes = compact->builder->FileSize();
+  out->file_size = current_bytes;
+  out->num_entries = current_entries;
+  compact->total_bytes += current_bytes;
+  compact->builder.reset();
+
+  // Finish and check for file errors
+  if (s.ok() && options_.sync_writes) {
+    s = compact->outfile->Sync();
+  }
+  if (s.ok()) {
+    s = compact->outfile->Close();
+  }
+  compact->outfile.reset();
+
+  if (s.ok() && current_entries == 0) {
+    // An empty output: delete it and forget it.
+    env_->RemoveFile(TableFileName(dbname_, output_number));
+    pending_outputs_.erase(output_number);
+    compact->outputs.pop_back();
+  }
+  return s;
+}
+
+Status DBImpl::InstallCompactionResults(CompactionState* compact) {
+  // Add compaction outputs
+  compact->compaction->AddInputDeletions(compact->compaction->edit());
+  const int output_level = compact->compaction->output_level();
+  for (size_t i = 0; i < compact->outputs.size(); i++) {
+    const CompactionState::Output& out = compact->outputs[i];
+    FileMetaData meta;
+    meta.number = out.number;
+    meta.file_size = out.file_size;
+    meta.smallest = out.smallest;
+    meta.largest = out.largest;
+    meta.num_entries = out.num_entries;
+    meta.num_tombstones = out.num_tombstones;
+    meta.earliest_tombstone_seq = out.earliest_tombstone_seq;
+    meta.earliest_tombstone_wall_micros = out.earliest_tombstone_wall_micros;
+    meta.min_secondary_key = out.min_secondary_key;
+    meta.max_secondary_key = out.max_secondary_key;
+    meta.run_id = out.number;
+    compact->compaction->edit()->AddFile(output_level, meta);
+  }
+  return versions_->LogAndApply(compact->compaction->edit());
+}
+
+Status DBImpl::DoCompactionWork(CompactionState* compact) {
+  assert(versions_->NumLevelFiles(compact->compaction->level()) > 0);
+  assert(compact->builder == nullptr);
+  assert(compact->outfile == nullptr);
+
+  compact->smallest_snapshot = SmallestSnapshot();
+  stats_.compaction_bytes_read += compact->compaction->TotalInputBytes();
+
+  Iterator* input = versions_->MakeInputIterator(compact->compaction);
+  input->SeekToFirst();
+  Status status;
+  ParsedInternalKey ikey;
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+  const SequenceNumber now_seq = versions_->LastSequence();
+
+  while (input->Valid()) {
+    Slice key = input->key();
+    bool drop = false;
+    if (!ParseInternalKey(key, &ikey)) {
+      // Do not hide error keys
+      current_user_key.clear();
+      has_current_user_key = false;
+      last_sequence_for_key = kMaxSequenceNumber;
+    } else {
+      if (!has_current_user_key ||
+          internal_comparator_.user_comparator()->Compare(
+              ikey.user_key, Slice(current_user_key)) != 0) {
+        // First occurrence of this user key
+        current_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+        has_current_user_key = true;
+        last_sequence_for_key = kMaxSequenceNumber;
+      }
+
+      if (last_sequence_for_key <= compact->smallest_snapshot) {
+        // Hidden by an newer entry for same user key
+        drop = true;  // (A)
+        stats_.entries_shadowed_dropped++;
+        if (ikey.type == kTypeDeletion) {
+          // A newer write replaced this tombstone before it could persist.
+          monitor_.OnTombstoneSuperseded();
+        }
+      } else if (ikey.type == kTypeDeletion &&
+                 ikey.sequence <= compact->smallest_snapshot &&
+                 compact->compaction->IsBaseLevelForKey(ikey.user_key)) {
+        // For this user key:
+        // (1) there is no data in higher levels
+        // (2) data in lower levels will have larger sequence numbers
+        // (3) data in layers that are being compacted here and have
+        //     smaller sequence numbers will be dropped in the next
+        //     few iterations of this loop (by rule (A) above).
+        // Therefore this deletion marker is obsolete and can be dropped:
+        // the delete is now *persistent*.
+        drop = true;
+        stats_.tombstones_dropped_bottom++;
+        monitor_.OnTombstonePersisted(ikey.sequence, now_seq);
+      }
+
+      last_sequence_for_key = ikey.sequence;
+    }
+
+    if (!drop) {
+      // Open output file if necessary
+      if (compact->builder == nullptr) {
+        status = OpenCompactionOutputFile(compact);
+        if (!status.ok()) {
+          break;
+        }
+      }
+      CompactionState::Output* out = compact->current_output();
+      if (compact->builder->NumEntries() == 0) {
+        out->smallest.DecodeFrom(key);
+      }
+      out->largest.DecodeFrom(key);
+      compact->builder->Add(key, input->value(), ExtractUserKey(key));
+
+      // Maintain Acheron per-output metadata.
+      if (ikey.type == kTypeDeletion) {
+        out->num_tombstones++;
+        if (ikey.sequence < out->earliest_tombstone_seq) {
+          out->earliest_tombstone_seq = ikey.sequence;
+          // Approximate: inherit the earliest wall stamp among inputs.
+          for (int which = 0; which < 2; which++) {
+            for (int i = 0; i < compact->compaction->num_input_files(which);
+                 i++) {
+              out->earliest_tombstone_wall_micros =
+                  std::min(out->earliest_tombstone_wall_micros,
+                           compact->compaction->input(which, i)
+                               ->earliest_tombstone_wall_micros);
+            }
+          }
+        }
+      } else if (options_.secondary_key_extractor) {
+        std::string sec = options_.secondary_key_extractor(ikey.user_key,
+                                                           input->value());
+        if (!sec.empty()) {
+          if (out->min_secondary_key.empty() || sec < out->min_secondary_key) {
+            out->min_secondary_key = sec;
+          }
+          if (out->max_secondary_key.empty() || sec > out->max_secondary_key) {
+            out->max_secondary_key = sec;
+          }
+        }
+      }
+
+      // Close output file if it is big enough
+      if (compact->builder->FileSize() >=
+          compact->compaction->MaxOutputFileSize()) {
+        status = FinishCompactionOutputFile(compact, input);
+        if (!status.ok()) {
+          break;
+        }
+      }
+    }
+
+    input->Next();
+  }
+
+  if (status.ok() && compact->builder != nullptr) {
+    status = FinishCompactionOutputFile(compact, input);
+  }
+  if (status.ok()) {
+    status = input->status();
+  }
+  delete input;
+  input = nullptr;
+
+  stats_.compaction_bytes_written += compact->total_bytes;
+
+  if (status.ok()) {
+    status = InstallCompactionResults(compact);
+  }
+  return status;
+}
+
+void DBImpl::CleanupCompaction(CompactionState* compact) {
+  if (compact->builder != nullptr) {
+    // May happen if we get a shutdown call in the middle of compaction
+    compact->builder->Abandon();
+    compact->builder.reset();
+  }
+  compact->outfile.reset();
+  for (size_t i = 0; i < compact->outputs.size(); i++) {
+    const CompactionState::Output& out = compact->outputs[i];
+    pending_outputs_.erase(out.number);
+  }
+  delete compact;
+}
+
+void DBImpl::RecordBackgroundError(const Status& s) {
+  if (bg_error_.ok()) {
+    bg_error_ = s;
+  }
+}
+
+// ---------------- Reads ----------------
+
+Status DBImpl::Get(const ReadOptions& options, const Slice& key,
+                   std::string* value) {
+  Status s;
+  std::unique_lock<std::mutex> l(mutex_);
+  SequenceNumber snapshot;
+  if (options.snapshot != nullptr) {
+    snapshot =
+        static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
+  } else {
+    snapshot = versions_->LastSequence();
+  }
+
+  MemTable* mem = mem_;
+  mem->Ref();
+  Version* current = versions_->current();
+  current->Ref();
+  stats_.gets++;
+
+  // Unlock while reading from files and memtables
+  {
+    l.unlock();
+    // First look in the memtable, then in the SSTables.
+    LookupKey lkey(key, snapshot);
+    if (mem->Get(lkey, value, &s)) {
+      // Done
+    } else {
+      s = current->Get(options, lkey, value);
+    }
+    l.lock();
+  }
+
+  if (s.ok()) stats_.gets_found++;
+  mem->Unref();
+  current->Unref();
+  return s;
+}
+
+static void CleanupIteratorState(void* arg1, void* arg2) {
+  MemTable* mem = reinterpret_cast<MemTable*>(arg1);
+  Version* version = reinterpret_cast<Version*>(arg2);
+  mem->Unref();
+  version->Unref();
+}
+
+Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
+                                      SequenceNumber* latest_snapshot) {
+  std::lock_guard<std::mutex> l(mutex_);
+  *latest_snapshot = versions_->LastSequence();
+
+  // Collect together all needed child iterators
+  std::vector<Iterator*> list;
+  list.push_back(mem_->NewIterator());
+  mem_->Ref();
+  versions_->current()->AddIterators(options, &list);
+  Iterator* internal_iter = NewMergingIterator(
+      &internal_comparator_, list.data(), static_cast<int>(list.size()));
+  Version* current = versions_->current();
+  current->Ref();
+
+  internal_iter->RegisterCleanup(CleanupIteratorState, mem_, current);
+  return internal_iter;
+}
+
+Iterator* DBImpl::TEST_NewInternalIterator() {
+  SequenceNumber ignored;
+  return NewInternalIterator(ReadOptions(), &ignored);
+}
+
+Iterator* DBImpl::NewIterator(const ReadOptions& options) {
+  SequenceNumber latest_snapshot;
+  Iterator* iter = NewInternalIterator(options, &latest_snapshot);
+  SequenceNumber seq =
+      (options.snapshot != nullptr
+           ? static_cast<const SnapshotImpl*>(options.snapshot)
+                 ->sequence_number()
+           : latest_snapshot);
+  return NewDBIterator(internal_comparator_.user_comparator(), iter, seq,
+                       &stats_);
+}
+
+const Snapshot* DBImpl::GetSnapshot() {
+  std::lock_guard<std::mutex> l(mutex_);
+  return snapshots_.New(versions_->LastSequence());
+}
+
+void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
+  std::lock_guard<std::mutex> l(mutex_);
+  snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
+}
+
+// ---------------- Writes ----------------
+
+Status DBImpl::Put(const WriteOptions& o, const Slice& key,
+                   const Slice& val) {
+  WriteBatch batch;
+  batch.Put(key, val);
+  return Write(o, &batch);
+}
+
+Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, &batch);
+}
+
+namespace {
+// Counts the tombstones in a batch for the persistence monitor.
+class DeleteCounter : public WriteBatch::Handler {
+ public:
+  uint64_t deletes = 0;
+  uint64_t bytes = 0;
+  void Put(const Slice& key, const Slice& value) override {
+    bytes += key.size() + value.size();
+  }
+  void Delete(const Slice& key) override {
+    deletes++;
+    bytes += key.size();
+  }
+};
+}  // namespace
+
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  std::lock_guard<std::mutex> l(mutex_);
+  Status status = MakeRoomForWrite();
+  if (!status.ok()) return status;
+
+  const SequenceNumber last_sequence = versions_->LastSequence();
+  WriteBatchInternal::SetSequence(updates, last_sequence + 1);
+  const int count = WriteBatchInternal::Count(updates);
+
+  // Append to WAL, then apply to the memtable.
+  if (!options_.disable_wal) {
+    Slice contents = WriteBatchInternal::Contents(updates);
+    status = log_->AddRecord(contents);
+    stats_.wal_bytes_written += contents.size();
+    if (status.ok() && (options.sync || options_.sync_writes)) {
+      status = logfile_->Sync();
+    }
+  }
+  if (status.ok()) {
+    status = WriteBatchInternal::InsertInto(updates, mem_);
+  }
+  if (status.ok()) {
+    versions_->SetLastSequence(last_sequence + count);
+    DeleteCounter counter;
+    updates->Iterate(&counter);
+    stats_.user_bytes_written += counter.bytes;
+    if (counter.deletes > 0) {
+      monitor_.OnTombstoneWritten(counter.deletes);
+    }
+    // FADE: the logical clock just advanced; fire the compaction loop the
+    // moment a file's tombstone TTL lapses, independent of flush activity.
+    if (versions_->LastSequence() >= next_ttl_deadline_) {
+      status = MaybeCompact();
+    }
+  } else {
+    RecordBackgroundError(status);
+  }
+  return status;
+}
+
+Status DBImpl::FlushMemTable() {
+  std::lock_guard<std::mutex> l(mutex_);
+  Status s = CompactMemTable();
+  if (s.ok()) s = MaybeCompact();
+  return s;
+}
+
+Status DBImpl::WaitForCompactions() {
+  std::lock_guard<std::mutex> l(mutex_);
+  return MaybeCompact();
+}
+
+void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
+  int max_level_with_files = 1;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    Version* base = versions_->current();
+    for (int level = 1; level < kNumLevels; level++) {
+      if (base->OverlapInLevel(level, begin, end)) {
+        max_level_with_files = level;
+      }
+    }
+  }
+  FlushMemTable();
+  for (int level = 0; level <= max_level_with_files; level++) {
+    TEST_CompactRange(level, begin, end);
+  }
+}
+
+void DBImpl::TEST_CompactRange(int level, const Slice* begin,
+                               const Slice* end) {
+  assert(level >= 0);
+  assert(level < kNumLevels);
+
+  InternalKey begin_storage, end_storage;
+  InternalKey* begin_key = nullptr;
+  InternalKey* end_key = nullptr;
+  if (begin != nullptr) {
+    begin_storage = InternalKey(*begin, kMaxSequenceNumber, kValueTypeForSeek);
+    begin_key = &begin_storage;
+  }
+  if (end != nullptr) {
+    end_storage = InternalKey(*end, 0, static_cast<ValueType>(0));
+    end_key = &end_storage;
+  }
+
+  std::lock_guard<std::mutex> l(mutex_);
+  std::unique_ptr<Compaction> c(
+      versions_->CompactRange(level, begin_key, end_key));
+  if (c == nullptr) return;
+
+  stats_.compaction_count++;
+  stats_.compactions_by_reason[static_cast<size_t>(
+      CompactionReason::kManual)]++;
+
+  CompactionState* compact = new CompactionState(c.get());
+  Status s = DoCompactionWork(compact);
+  if (!s.ok()) {
+    RecordBackgroundError(s);
+  }
+  CleanupCompaction(compact);
+  c->ReleaseInputs();
+  RemoveObsoleteFiles();
+}
+
+// ---------------- Properties & stats ----------------
+
+bool DBImpl::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+  std::lock_guard<std::mutex> l(mutex_);
+  Slice in = property;
+  Slice prefix("acheron.");
+  if (!in.starts_with(prefix)) return false;
+  in.remove_prefix(prefix.size());
+
+  if (in.starts_with("num-files-at-level")) {
+    in.remove_prefix(strlen("num-files-at-level"));
+    uint64_t level = 0;
+    bool ok = !in.empty();
+    for (size_t i = 0; ok && i < in.size(); i++) {
+      if (in[i] < '0' || in[i] > '9') {
+        ok = false;
+      } else {
+        level = level * 10 + (in[i] - '0');
+      }
+    }
+    if (!ok || level >= static_cast<uint64_t>(kNumLevels)) {
+      return false;
+    }
+    *value = std::to_string(versions_->NumLevelFiles(static_cast<int>(level)));
+    return true;
+  } else if (in == "stats") {
+    *value = stats_.ToString();
+    return true;
+  } else if (in == "sstables") {
+    *value = versions_->current()->DebugString();
+    return true;
+  } else if (in == "level-summary") {
+    // One line per populated level: "level files bytes tombstones".
+    Version* v = versions_->current();
+    for (int level = 0; level < kNumLevels; level++) {
+      if (v->files(level).empty()) continue;
+      uint64_t tombstones = 0;
+      for (FileMetaData* f : v->files(level)) tombstones += f->num_tombstones;
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%d %d %lld %llu\n", level,
+                    v->NumFiles(level),
+                    static_cast<long long>(v->NumLevelBytes(level)),
+                    static_cast<unsigned long long>(tombstones));
+      value->append(buf);
+    }
+    return true;
+  } else if (in == "total-bytes") {
+    int64_t total = 0;
+    for (int level = 0; level < kNumLevels; level++) {
+      total += versions_->NumLevelBytes(level);
+    }
+    *value = std::to_string(total);
+    return true;
+  } else if (in == "total-tombstones") {
+    *value = std::to_string(versions_->current()->TotalTombstones() +
+                            mem_->num_tombstones());
+    return true;
+  } else if (in == "max-tombstone-age") {
+    uint64_t age =
+        versions_->current()->MaxTombstoneAge(versions_->LastSequence());
+    if (mem_->num_tombstones() > 0) {
+      age = std::max(age, versions_->LastSequence() -
+                              mem_->earliest_tombstone_seq());
+    }
+    *value = std::to_string(age);
+    return true;
+  } else if (in == "delete-stats") {
+    DeleteStats ds;
+    uint64_t live = versions_->current()->TotalTombstones() +
+                    mem_->num_tombstones();
+    uint64_t age =
+        versions_->current()->MaxTombstoneAge(versions_->LastSequence());
+    monitor_.Snapshot(&ds, live, age);
+    *value = ds.ToString();
+    return true;
+  }
+  return false;
+}
+
+DeleteStats DBImpl::GetDeleteStats() {
+  std::lock_guard<std::mutex> l(mutex_);
+  DeleteStats ds;
+  uint64_t live =
+      versions_->current()->TotalTombstones() + mem_->num_tombstones();
+  uint64_t age =
+      versions_->current()->MaxTombstoneAge(versions_->LastSequence());
+  if (mem_->num_tombstones() > 0) {
+    age = std::max(age,
+                   versions_->LastSequence() - mem_->earliest_tombstone_seq());
+  }
+  monitor_.Snapshot(&ds, live, age);
+  return ds;
+}
+
+InternalStats DBImpl::GetStats() {
+  std::lock_guard<std::mutex> l(mutex_);
+  return stats_;
+}
+
+// ---------------- Secondary (retention) purge, KiWi-lite ----------------
+
+Status DBImpl::RewriteFileForPurge(FileMetaData* f, int level,
+                                   const Slice& threshold,
+                                   VersionEdit* edit) {
+  // mutex_ held. Rewrites |f| skipping every value entry whose secondary
+  // key sorts below |threshold|. Tombstones are preserved.
+  ReadOptions ropts;
+  ropts.fill_cache = false;
+  std::unique_ptr<Iterator> it(
+      table_cache_->NewIterator(ropts, f->number, f->file_size));
+
+  const uint64_t new_number = versions_->NewFileNumber();
+  pending_outputs_.insert(new_number);
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(TableFileName(dbname_, new_number), &file);
+  if (!s.ok()) {
+    pending_outputs_.erase(new_number);
+    return s;
+  }
+
+  FileMetaData meta;
+  meta.number = new_number;
+  TableBuilder builder(options_, file.get());
+  uint64_t dropped = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    Slice key = it->key();
+    ParsedInternalKey parsed;
+    bool keep = true;
+    std::string sec;
+    if (ParseInternalKey(key, &parsed) && parsed.type == kTypeValue) {
+      sec = options_.secondary_key_extractor(parsed.user_key, it->value());
+      if (!sec.empty() && Slice(sec).compare(threshold) < 0) {
+        keep = false;
+        dropped++;
+      }
+    }
+    if (!keep) continue;
+    if (builder.NumEntries() == 0) meta.smallest.DecodeFrom(key);
+    meta.largest.DecodeFrom(key);
+    builder.Add(key, it->value(), ExtractUserKey(key));
+    if (ParseInternalKey(key, &parsed)) {
+      if (parsed.type == kTypeDeletion) {
+        meta.num_tombstones++;
+        meta.earliest_tombstone_seq =
+            std::min(meta.earliest_tombstone_seq, parsed.sequence);
+        meta.earliest_tombstone_wall_micros = std::min(
+            meta.earliest_tombstone_wall_micros,
+            f->earliest_tombstone_wall_micros);
+      } else if (!sec.empty()) {
+        if (meta.min_secondary_key.empty() || sec < meta.min_secondary_key) {
+          meta.min_secondary_key = sec;
+        }
+        if (meta.max_secondary_key.empty() || sec > meta.max_secondary_key) {
+          meta.max_secondary_key = sec;
+        }
+      }
+    }
+  }
+  if (!it->status().ok()) {
+    s = it->status();
+  }
+
+  if (s.ok() && builder.NumEntries() > 0) {
+    meta.num_entries = builder.NumEntries();
+    TableProperties* props = builder.mutable_properties();
+    props->num_tombstones = meta.num_tombstones;
+    props->earliest_tombstone_time = meta.earliest_tombstone_seq;
+    props->min_secondary_key = meta.min_secondary_key;
+    props->max_secondary_key = meta.max_secondary_key;
+    s = builder.Finish();
+    if (s.ok()) {
+      meta.file_size = builder.FileSize();
+      meta.run_id = f->run_id;  // preserve recency ordering within the level
+      s = file->Close();
+    }
+    if (s.ok()) {
+      edit->RemoveFile(level, f->number);
+      edit->AddFile(level, meta);
+      stats_.blocks_purged_secondary += dropped;
+    }
+  } else {
+    builder.Abandon();
+    if (s.ok()) {
+      // Everything in the file was purged.
+      env_->RemoveFile(TableFileName(dbname_, new_number));
+      edit->RemoveFile(level, f->number);
+      stats_.blocks_purged_secondary += dropped;
+    }
+  }
+  pending_outputs_.erase(new_number);
+  return s;
+}
+
+Status DBImpl::PurgeSecondaryRange(const Slice& threshold) {
+  if (!options_.secondary_key_extractor) {
+    return Status::NotSupported(
+        "PurgeSecondaryRange requires Options::secondary_key_extractor");
+  }
+  // Flush so the memtable participates (simplest correct semantics).
+  Status s = FlushMemTable();
+  if (!s.ok()) return s;
+
+  std::lock_guard<std::mutex> l(mutex_);
+  VersionEdit edit;
+  Version* base = versions_->current();
+  base->Ref();
+  for (int level = 0; level < kNumLevels && s.ok(); level++) {
+    for (FileMetaData* f : base->files(level)) {
+      if (f->max_secondary_key.empty()) {
+        // File holds no secondary-keyed values (e.g. all tombstones); skip.
+        continue;
+      }
+      if (Slice(f->max_secondary_key).compare(threshold) < 0) {
+        // Whole file is dead: drop it without reading a byte (this is the
+        // KiWi-style wholesale drop the experiment measures).
+        edit.RemoveFile(level, f->number);
+        continue;
+      }
+      if (Slice(f->min_secondary_key).compare(threshold) < 0) {
+        // Straddles the threshold: rewrite, skipping dead entries.
+        s = RewriteFileForPurge(f, level, threshold, &edit);
+        if (!s.ok()) break;
+      }
+    }
+  }
+  base->Unref();
+  if (s.ok()) {
+    s = versions_->LogAndApply(&edit);
+  }
+  if (s.ok()) {
+    RemoveObsoleteFiles();
+  }
+  return s;
+}
+
+// ---------------- Open / Destroy ----------------
+
+Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
+  *dbptr = nullptr;
+
+  DBImpl* impl = new DBImpl(options, dbname);
+  impl->mutex_.lock();
+  VersionEdit edit;
+  // Recover handles create_if_missing, error_if_exists
+  bool save_manifest = false;
+  Status s = impl->Recover(&edit, &save_manifest);
+  if (s.ok() && impl->mem_ == nullptr) {
+    // Create new log and a corresponding memtable.
+    uint64_t new_log_number = impl->versions_->NewFileNumber();
+    if (!impl->options_.disable_wal) {
+      std::unique_ptr<WritableFile> lfile;
+      s = impl->env_->NewWritableFile(LogFileName(dbname, new_log_number),
+                                      &lfile);
+      if (s.ok()) {
+        impl->logfile_ = std::move(lfile);
+        impl->log_ = std::make_unique<wal::Writer>(impl->logfile_.get());
+      }
+    }
+    if (s.ok()) {
+      edit.SetLogNumber(new_log_number);
+      impl->logfile_number_ = new_log_number;
+      impl->mem_ = new MemTable(impl->internal_comparator_);
+      impl->mem_->Ref();
+    }
+  }
+  if (s.ok() && save_manifest) {
+    edit.SetLogNumber(impl->logfile_number_);
+    s = impl->versions_->LogAndApply(&edit);
+  }
+  if (s.ok()) {
+    impl->RemoveObsoleteFiles();
+    s = impl->MaybeCompact();
+  }
+  impl->mutex_.unlock();
+  if (s.ok()) {
+    assert(impl->mem_ != nullptr);
+    *dbptr = impl;
+  } else {
+    delete impl;
+  }
+  return s;
+}
+
+Status DestroyDB(const std::string& dbname, const Options& options) {
+  Env* env = options.env ? options.env : DefaultEnv();
+  std::vector<std::string> filenames;
+  Status result = env->GetChildren(dbname, &filenames);
+  if (!result.ok()) {
+    // Ignore error in case directory does not exist
+    return Status::OK();
+  }
+
+  uint64_t number;
+  FileType type;
+  for (size_t i = 0; i < filenames.size(); i++) {
+    if (ParseFileName(filenames[i], &number, &type)) {
+      Status del = env->RemoveFile(dbname + "/" + filenames[i]);
+      if (result.ok() && !del.ok()) {
+        result = del;
+      }
+    }
+  }
+  env->RemoveDir(dbname);  // Ignore error in case dir contains other files
+  return result;
+}
+
+}  // namespace acheron

@@ -1,0 +1,168 @@
+// DBImpl: the concrete Acheron engine.
+//
+// Concurrency model: a single DB mutex protects all mutable state. Flushes
+// and compactions run synchronously inside the write path when a trigger
+// fires (deterministic write stalls instead of background threads), which
+// makes delete-persistence behaviour exactly reproducible. Reads share the
+// mutex only to pin the memtable/version and then proceed lock-free.
+#ifndef ACHERON_LSM_DB_IMPL_H_
+#define ACHERON_LSM_DB_IMPL_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "src/core/compaction_planner.h"
+#include "src/core/persistence_monitor.h"
+#include "src/lsm/db.h"
+#include "src/lsm/dbformat.h"
+#include "src/lsm/snapshot.h"
+#include "src/lsm/stats.h"
+#include "src/lsm/version_set.h"
+#include "src/wal/log_writer.h"
+
+namespace acheron {
+
+class MemTable;
+class TableBuilder;
+class TableCache;
+
+class DBImpl : public DB {
+ public:
+  DBImpl(const Options& options, const std::string& dbname);
+
+  DBImpl(const DBImpl&) = delete;
+  DBImpl& operator=(const DBImpl&) = delete;
+
+  ~DBImpl() override;
+
+  // Implementations of the DB interface.
+  Status Put(const WriteOptions&, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions&, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions&) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  bool GetProperty(const Slice& property, std::string* value) override;
+  void CompactRange(const Slice* begin, const Slice* end) override;
+  Status FlushMemTable() override;
+  Status WaitForCompactions() override;
+  DeleteStats GetDeleteStats() override;
+  InternalStats GetStats() override;
+  Status PurgeSecondaryRange(const Slice& threshold) override;
+
+  // Extra test/bench hooks.
+  // Compact any files in level L that overlap [*begin,*end].
+  void TEST_CompactRange(int level, const Slice* begin, const Slice* end);
+  // Return an internal iterator over the current DB state (internal keys).
+  Iterator* TEST_NewInternalIterator();
+  // The planner in use (TTL schedule inspection).
+  const CompactionPlanner& TEST_planner() const { return planner_; }
+
+ private:
+  friend class DB;
+  struct CompactionState;
+
+  Iterator* NewInternalIterator(const ReadOptions&,
+                                SequenceNumber* latest_snapshot);
+
+  Status NewDB();
+
+  // Recover the descriptor from persistent storage. May do a significant
+  // amount of work to recover recently logged updates.
+  Status Recover(VersionEdit* edit, bool* save_manifest);
+
+  Status RecoverLogFile(uint64_t log_number, bool last_log,
+                        bool* save_manifest, VersionEdit* edit,
+                        SequenceNumber* max_sequence);
+
+  // Delete any unneeded files and stale in-memory entries.
+  void RemoveObsoleteFiles();
+
+  // Flush the current memtable to an L0 table and swap in a fresh one.
+  // REQUIRES: mutex_ held.
+  Status CompactMemTable();
+
+  // Build an SSTable from |mem| and register it in |edit| at level 0.
+  // REQUIRES: mutex_ held (dropped during the IO).
+  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit);
+
+  // Flush / stall logic ahead of a write of |bytes| user bytes.
+  // REQUIRES: mutex_ held.
+  Status MakeRoomForWrite();
+
+  // Run compactions until the planner reports nothing to do.
+  // REQUIRES: mutex_ held.
+  Status MaybeCompact();
+
+  Status DoCompactionWork(CompactionState* compact);
+  Status OpenCompactionOutputFile(CompactionState* compact);
+  Status FinishCompactionOutputFile(CompactionState* compact, Iterator* input);
+  Status InstallCompactionResults(CompactionState* compact);
+  void CleanupCompaction(CompactionState* compact);
+
+  void RecordBackgroundError(const Status& s);
+
+  // The oldest sequence number any reader may still need.
+  SequenceNumber SmallestSnapshot() const;
+
+  // Recompute next_ttl_deadline_ from the current version: the earliest
+  // logical time at which some file's oldest tombstone will exceed its
+  // level's cumulative TTL. REQUIRES: mutex_ held.
+  void ComputeNextTtlDeadline();
+
+  // Rewrite one table file, dropping entries whose secondary key is below
+  // |threshold|; emits the replacement (if non-empty) into |edit|.
+  Status RewriteFileForPurge(FileMetaData* f, int level, const Slice& threshold,
+                             VersionEdit* edit);
+
+  // Constant after construction.
+  Env* const env_;
+  const InternalKeyComparator internal_comparator_;
+  const Options options_;  // sanitized
+  const bool owns_cache_;
+  const std::string dbname_;
+
+  // table_cache_ provides its own synchronization.
+  std::unique_ptr<TableCache> table_cache_;
+
+  // State below is protected by mutex_.
+  mutable std::mutex mutex_;
+  MemTable* mem_;
+  std::unique_ptr<WritableFile> logfile_;
+  uint64_t logfile_number_;
+  std::unique_ptr<wal::Writer> log_;
+
+  SnapshotList snapshots_;
+
+  // Set of table files to protect from deletion because they are part of
+  // ongoing work.
+  std::set<uint64_t> pending_outputs_;
+
+  std::unique_ptr<VersionSet> versions_;
+
+  CompactionPlanner planner_;
+  DeletePersistenceMonitor monitor_;
+  InternalStats stats_;
+
+  // Logical time at which the next file-TTL expiry fires; writes past this
+  // point invoke the compaction loop even without a flush. UINT64_MAX when
+  // no live tombstone is on the clock.
+  uint64_t next_ttl_deadline_ = UINT64_MAX;
+
+  // Sticky error: once set, all writes fail with it.
+  Status bg_error_;
+};
+
+// Sanitize db options: clamp user-supplied values to reasonable ranges and
+// fill defaults (env, comparator).
+Options SanitizeOptions(const std::string& dbname, const Options& src);
+
+}  // namespace acheron
+
+#endif  // ACHERON_LSM_DB_IMPL_H_

@@ -1,0 +1,25 @@
+// DBIter: wraps an internal-key merging iterator and exposes user keys,
+// suppressing tombstoned and superseded versions as of a read sequence.
+#ifndef ACHERON_LSM_DB_ITER_H_
+#define ACHERON_LSM_DB_ITER_H_
+
+#include <cstdint>
+
+#include "src/lsm/dbformat.h"
+#include "src/table/iterator.h"
+
+namespace acheron {
+
+struct InternalStats;
+
+// Return a new iterator that converts internal keys (yielded by
+// "*internal_iter") that were live at the specified "sequence" number into
+// appropriate user keys. Takes ownership of internal_iter. |stats| may be
+// null; when set, tombstones skipped during iteration are counted into it.
+Iterator* NewDBIterator(const Comparator* user_key_comparator,
+                        Iterator* internal_iter, SequenceNumber sequence,
+                        InternalStats* stats);
+
+}  // namespace acheron
+
+#endif  // ACHERON_LSM_DB_ITER_H_

@@ -1,0 +1,50 @@
+// File naming scheme inside a DB directory:
+//   <number>.log       -- write-ahead log
+//   <number>.sst       -- sorted table
+//   MANIFEST-<number>  -- version-edit log
+//   CURRENT            -- names the current MANIFEST
+//   LOCK               -- advisory lock marker
+//   <number>.tmp       -- temporary (descriptor swap)
+#ifndef ACHERON_LSM_FILENAME_H_
+#define ACHERON_LSM_FILENAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace acheron {
+
+class Env;
+
+enum FileType {
+  kLogFile,
+  kDBLockFile,
+  kTableFile,
+  kDescriptorFile,
+  kCurrentFile,
+  kTempFile,
+};
+
+std::string LogFileName(const std::string& dbname, uint64_t number);
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string DescriptorFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+std::string LockFileName(const std::string& dbname);
+std::string TempFileName(const std::string& dbname, uint64_t number);
+
+// If filename is an acheron file, store the type of the file in *type.
+// The number encoded in the filename is stored in *number. If the filename
+// was successfully parsed, returns true. Else return false.
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type);
+
+// Make the CURRENT file point to the descriptor file with the specified
+// number.
+Status SetCurrentFile(Env* env, const std::string& dbname,
+                      uint64_t descriptor_number);
+
+}  // namespace acheron
+
+#endif  // ACHERON_LSM_FILENAME_H_

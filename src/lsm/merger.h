@@ -1,0 +1,23 @@
+// Merging iterator: yields the union of its children in comparator order.
+#ifndef ACHERON_LSM_MERGER_H_
+#define ACHERON_LSM_MERGER_H_
+
+namespace acheron {
+
+class Comparator;
+class Iterator;
+
+// Return an iterator that provides the union of the data in
+// children[0,n-1]. Takes ownership of the child iterators and will delete
+// them when the result iterator is deleted.
+//
+// The result does no duplicate suppression. I.e., if a particular key is
+// present in K child iterators, it will be yielded K times.
+//
+// REQUIRES: n >= 0
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children,
+                             int n);
+
+}  // namespace acheron
+
+#endif  // ACHERON_LSM_MERGER_H_

@@ -1,0 +1,155 @@
+// Options: tuning knobs for the engine, including Acheron's delete-aware
+// (tombstone-persistence) controls.
+#ifndef ACHERON_LSM_OPTIONS_H_
+#define ACHERON_LSM_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace acheron {
+
+class Cache;
+class Comparator;
+class Env;
+class FilterPolicy;
+class Snapshot;
+
+// How levels are laid out and merged.
+enum class CompactionStyle {
+  // One sorted run per level; a level compacts into the next when it exceeds
+  // its capacity (LevelDB/RocksDB leveled compaction).
+  kLeveling,
+  // Up to T sorted runs per level; when a level accumulates T runs they are
+  // merged together into a single run in the next level (write-optimized).
+  kTiering,
+};
+
+// How the delete persistence threshold D_th is split into per-level TTLs.
+enum class TtlAllocation {
+  // d_0 = D_th (T-1)/(T^L - 1), d_{i+1} = T d_i. Matches the exponential
+  // level capacities so every level's TTL expires "just in time" (FADE).
+  kGeometric,
+  // d_i = D_th / L. Simpler but over-triggers on deep levels (ablation).
+  kUniform,
+};
+
+// Extracts the secondary delete key (e.g. a creation timestamp) from an
+// entry, enabling retention purges on a non-sort attribute. Returns an empty
+// slice if the entry has no secondary key.
+using SecondaryKeyExtractor =
+    std::function<std::string(const Slice& user_key, const Slice& value)>;
+
+struct Options {
+  // -------- Generic engine knobs --------
+
+  // Comparator used to define the order of keys in the table.
+  // Default: a comparator that uses lexicographic byte-wise ordering.
+  const Comparator* comparator = nullptr;  // nullptr => BytewiseComparator()
+
+  // If true, the database will be created if it is missing.
+  bool create_if_missing = true;
+  // If true, an error is raised if the database already exists.
+  bool error_if_exists = false;
+  // If true, the implementation does aggressive checking of the data it is
+  // processing and stops early on detected errors.
+  bool paranoid_checks = false;
+
+  // Use the specified Env for all file operations. nullptr => DefaultEnv().
+  Env* env = nullptr;
+
+  // Amount of data to build up in the in-memory memtable before flushing to
+  // a sorted on-disk file.
+  size_t write_buffer_size = 4 * 1024 * 1024;
+
+  // Approximate size of user data packed per data block.
+  size_t block_size = 4 * 1024;
+
+  // Number of keys between restart points for delta encoding of keys.
+  int block_restart_interval = 16;
+
+  // Maximum size of an SSTable produced by flush/compaction under leveling
+  // (compaction output is partitioned into files of roughly this size).
+  // Tiering ignores this: each sorted run is a single file.
+  size_t max_file_size = 2 * 1024 * 1024;
+
+  // Block cache for uncompressed data blocks. nullptr => an 8MB internal
+  // cache is created per DB.
+  Cache* block_cache = nullptr;
+
+  // Bloom filter bits per key for SSTable filters; 0 disables filters.
+  int filter_bits_per_key = 10;
+
+  // Max number of open table files cached.
+  int max_open_files = 1000;
+
+  // If true, every write is followed by a WAL fsync. Slower but no data is
+  // lost on machine crash (process crash never loses synced data).
+  bool sync_writes = false;
+
+  // Disable the WAL entirely (benchmarks on throwaway data).
+  bool disable_wal = false;
+
+  // -------- LSM shape --------
+
+  // Size ratio T between adjacent level capacities (and, for tiering, the
+  // number of runs per level that triggers a merge).
+  int size_ratio = 10;
+
+  // Number of on-disk levels the TTL allocation plans for. The tree may
+  // grow deeper; files below plan depth inherit the last level's TTL.
+  int num_levels = 7;
+
+  // L0 file count that triggers a compaction into L1 under leveling.
+  int level0_compaction_trigger = 4;
+
+  // Compaction layout policy.
+  CompactionStyle compaction_style = CompactionStyle::kLeveling;
+
+  // -------- Acheron: delete persistence (FADE) --------
+
+  // Delete persistence threshold D_th in *logical operations* (entries
+  // ingested). Every tombstone is guaranteed to reach the bottommost level
+  // -- i.e. the delete becomes persistent -- within D_th ingested entries
+  // of when it was written. 0 disables delete-aware compaction entirely
+  // (the engine behaves like a vanilla LSM).
+  uint64_t delete_persistence_threshold = 0;
+
+  // How D_th is divided into per-level TTLs.
+  TtlAllocation ttl_allocation = TtlAllocation::kGeometric;
+
+  // When picking a file for a size-triggered compaction, prefer the file
+  // with the highest weighted tombstone density instead of the default
+  // round-robin choice. (Lethe's delete-aware file picking.)
+  bool delete_aware_picking = false;
+
+  // Optional extractor for a secondary delete key stored inside values;
+  // enables DB::PurgeSecondaryRange (KiWi-style retention deletes).
+  SecondaryKeyExtractor secondary_key_extractor;
+};
+
+// Options that control read operations.
+struct ReadOptions {
+  // If true, all data read from underlying storage will be verified against
+  // corresponding checksums.
+  bool verify_checksums = false;
+  // Should the data read for this iteration be cached in memory?
+  bool fill_cache = true;
+  // If non-null, read as of the supplied snapshot (which must belong to the
+  // DB that is being read and must not have been released).
+  const Snapshot* snapshot = nullptr;
+};
+
+// Options that control write operations.
+struct WriteOptions {
+  // If true, the write will be flushed from the operating system buffer
+  // cache before the write is considered complete.
+  bool sync = false;
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_LSM_OPTIONS_H_

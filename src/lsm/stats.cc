@@ -1,0 +1,34 @@
+#include "src/lsm/stats.h"
+
+#include <cstdio>
+
+namespace acheron {
+
+std::string InternalStats::ToString() const {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "writes: user=%llu wal=%llu | flush: n=%llu bytes=%llu | "
+      "compaction: n=%llu read=%llu written=%llu trivial=%llu | "
+      "dropped: shadowed=%llu tombstones_bottom=%llu | "
+      "reads: gets=%llu found=%llu bloom_useful=%llu iter_ts_skip=%llu | "
+      "WA=%.2f",
+      static_cast<unsigned long long>(user_bytes_written),
+      static_cast<unsigned long long>(wal_bytes_written),
+      static_cast<unsigned long long>(flush_count),
+      static_cast<unsigned long long>(flush_bytes_written),
+      static_cast<unsigned long long>(compaction_count),
+      static_cast<unsigned long long>(compaction_bytes_read),
+      static_cast<unsigned long long>(compaction_bytes_written),
+      static_cast<unsigned long long>(trivial_move_count),
+      static_cast<unsigned long long>(entries_shadowed_dropped),
+      static_cast<unsigned long long>(tombstones_dropped_bottom),
+      static_cast<unsigned long long>(gets),
+      static_cast<unsigned long long>(gets_found),
+      static_cast<unsigned long long>(bloom_useful),
+      static_cast<unsigned long long>(iter_tombstones_skipped),
+      WriteAmplification());
+  return buf;
+}
+
+}  // namespace acheron

@@ -1,0 +1,52 @@
+// InternalStats: engine-wide counters surfaced through DB::GetStats(),
+// powering the write/space/read-amplification experiments.
+#ifndef ACHERON_LSM_STATS_H_
+#define ACHERON_LSM_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace acheron {
+
+struct InternalStats {
+  // --- write path ---
+  uint64_t user_bytes_written = 0;  // key+value bytes accepted from callers
+  uint64_t wal_bytes_written = 0;
+  uint64_t flush_count = 0;
+  uint64_t flush_bytes_written = 0;
+
+  // --- compactions ---
+  uint64_t compaction_count = 0;
+  uint64_t compaction_bytes_read = 0;
+  uint64_t compaction_bytes_written = 0;
+  uint64_t trivial_move_count = 0;
+  // Indexed by CompactionReason (see version_set.h); sized generously.
+  std::array<uint64_t, 8> compactions_by_reason{};
+
+  // --- entries dropped during compactions ---
+  uint64_t entries_shadowed_dropped = 0;    // hidden by a newer entry
+  uint64_t tombstones_dropped_bottom = 0;   // persisted deletes
+  uint64_t blocks_purged_secondary = 0;     // KiWi-lite block drops
+
+  // --- reads ---
+  uint64_t gets = 0;
+  uint64_t gets_found = 0;
+  uint64_t bloom_useful = 0;         // table probes skipped by the filter
+  uint64_t iter_tombstones_skipped = 0;  // tombstones stepped over by scans
+
+  // Write amplification: bytes written to storage (flush + compaction)
+  // per user byte.
+  double WriteAmplification() const {
+    if (user_bytes_written == 0) return 0.0;
+    return static_cast<double>(flush_bytes_written +
+                               compaction_bytes_written) /
+           static_cast<double>(user_bytes_written);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_LSM_STATS_H_

@@ -1,0 +1,120 @@
+// VersionEdit: a delta between two versions of the LSM file set, logged to
+// the MANIFEST. FileMetaData carries Acheron's per-file tombstone metadata
+// so delete-persistence state survives restarts.
+#ifndef ACHERON_LSM_VERSION_EDIT_H_
+#define ACHERON_LSM_VERSION_EDIT_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/lsm/dbformat.h"
+#include "src/util/status.h"
+
+namespace acheron {
+
+class VersionSet;
+
+// Maximum number of levels the tree may physically use.
+static const int kNumLevels = 12;
+
+struct FileMetaData {
+  FileMetaData() = default;
+
+  int refs = 0;
+  uint64_t number = 0;
+  uint64_t file_size = 0;    // File size in bytes
+  InternalKey smallest;      // Smallest internal key served by table
+  InternalKey largest;       // Largest internal key served by table
+  uint64_t num_entries = 0;  // Total entries in the table
+
+  // ---- Acheron delete-persistence metadata ----
+  // Point tombstones contained in the file.
+  uint64_t num_tombstones = 0;
+  // Sequence number (== logical timestamp) of the oldest tombstone;
+  // kMaxSequenceNumber when the file has none.
+  SequenceNumber earliest_tombstone_seq = kMaxSequenceNumber;
+  // Wall-clock microseconds when the oldest tombstone was created.
+  uint64_t earliest_tombstone_wall_micros = UINT64_MAX;
+  // Secondary delete-key range covered by the file (empty when unused).
+  std::string min_secondary_key;
+  std::string max_secondary_key;
+
+  // For tiering: id of the sorted run within its level this file belongs
+  // to. Files of the same run are non-overlapping; distinct runs overlap.
+  // Runs are ordered by recency: higher run_id == newer data.
+  uint64_t run_id = 0;
+
+  bool has_tombstones() const { return num_tombstones > 0; }
+  double tombstone_density() const {
+    return num_entries == 0
+               ? 0.0
+               : static_cast<double>(num_tombstones) / num_entries;
+  }
+};
+
+class VersionEdit {
+ public:
+  VersionEdit() { Clear(); }
+  ~VersionEdit() = default;
+
+  void Clear();
+
+  void SetComparatorName(const Slice& name) {
+    has_comparator_ = true;
+    comparator_ = name.ToString();
+  }
+  void SetLogNumber(uint64_t num) {
+    has_log_number_ = true;
+    log_number_ = num;
+  }
+  void SetNextFile(uint64_t num) {
+    has_next_file_number_ = true;
+    next_file_number_ = num;
+  }
+  void SetLastSequence(SequenceNumber seq) {
+    has_last_sequence_ = true;
+    last_sequence_ = seq;
+  }
+  void SetCompactPointer(int level, const InternalKey& key) {
+    compact_pointers_.push_back(std::make_pair(level, key));
+  }
+
+  // Add the specified file at the specified level.
+  // REQUIRES: This version has not been saved (see VersionSet::SaveTo)
+  void AddFile(int level, const FileMetaData& f) {
+    new_files_.push_back(std::make_pair(level, f));
+  }
+
+  // Delete the specified "file" from the specified "level".
+  void RemoveFile(int level, uint64_t file) {
+    deleted_files_.insert(std::make_pair(level, file));
+  }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(const Slice& src);
+
+  std::string DebugString() const;
+
+ private:
+  friend class VersionSet;
+
+  typedef std::set<std::pair<int, uint64_t>> DeletedFileSet;
+
+  std::string comparator_;
+  uint64_t log_number_;
+  uint64_t next_file_number_;
+  SequenceNumber last_sequence_;
+  bool has_comparator_;
+  bool has_log_number_;
+  bool has_next_file_number_;
+  bool has_last_sequence_;
+
+  std::vector<std::pair<int, InternalKey>> compact_pointers_;
+  DeletedFileSet deleted_files_;
+  std::vector<std::pair<int, FileMetaData>> new_files_;
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_LSM_VERSION_EDIT_H_

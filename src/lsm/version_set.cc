@@ -1,0 +1,1193 @@
+#include "src/lsm/version_set.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/compaction_planner.h"
+#include "src/env/env.h"
+#include "src/lsm/filename.h"
+#include "src/lsm/merger.h"
+#include "src/lsm/table_cache.h"
+#include "src/table/two_level_iterator.h"
+#include "src/util/coding.h"
+#include "src/wal/log_reader.h"
+#include "src/wal/log_writer.h"
+
+namespace acheron {
+
+// Is |level| one where sorted runs may overlap (L0 always; every level under
+// tiering)?
+static bool IsOverlappingLevel(const Options* options, int level) {
+  return level == 0 ||
+         options->compaction_style == CompactionStyle::kTiering;
+}
+
+int FindFile(const InternalKeyComparator& icmp,
+             const std::vector<FileMetaData*>& files, const Slice& key) {
+  uint32_t left = 0;
+  uint32_t right = static_cast<uint32_t>(files.size());
+  while (left < right) {
+    uint32_t mid = (left + right) / 2;
+    const FileMetaData* f = files[mid];
+    if (icmp.Compare(f->largest.Encode(), key) < 0) {
+      // Key at "mid.largest" is < "target". Therefore all files at or
+      // before "mid" are uninteresting.
+      left = mid + 1;
+    } else {
+      // Key at "mid.largest" is >= "target". Therefore all files after
+      // "mid" are uninteresting.
+      right = mid;
+    }
+  }
+  return right;
+}
+
+static bool AfterFile(const Comparator* ucmp, const Slice* user_key,
+                      const FileMetaData* f) {
+  // null user_key occurs before all keys and is therefore never after *f
+  return (user_key != nullptr &&
+          ucmp->Compare(*user_key, f->largest.user_key()) > 0);
+}
+
+static bool BeforeFile(const Comparator* ucmp, const Slice* user_key,
+                       const FileMetaData* f) {
+  // null user_key occurs after all keys and is therefore never before *f
+  return (user_key != nullptr &&
+          ucmp->Compare(*user_key, f->smallest.user_key()) < 0);
+}
+
+bool SomeFileOverlapsRange(const InternalKeyComparator& icmp,
+                           bool disjoint_sorted_files,
+                           const std::vector<FileMetaData*>& files,
+                           const Slice* smallest_user_key,
+                           const Slice* largest_user_key) {
+  const Comparator* ucmp = icmp.user_comparator();
+  if (!disjoint_sorted_files) {
+    // Need to check against all files
+    for (size_t i = 0; i < files.size(); i++) {
+      const FileMetaData* f = files[i];
+      if (AfterFile(ucmp, smallest_user_key, f) ||
+          BeforeFile(ucmp, largest_user_key, f)) {
+        // No overlap
+      } else {
+        return true;  // Overlap
+      }
+    }
+    return false;
+  }
+
+  // Binary search over file list
+  uint32_t index = 0;
+  if (smallest_user_key != nullptr) {
+    // Find the earliest possible internal key for smallest_user_key
+    InternalKey small_key(*smallest_user_key, kMaxSequenceNumber,
+                          kValueTypeForSeek);
+    index = FindFile(icmp, files, small_key.Encode());
+  }
+
+  if (index >= files.size()) {
+    // beginning of range is after all files, so no overlap.
+    return false;
+  }
+
+  return !BeforeFile(ucmp, largest_user_key, files[index]);
+}
+
+Version::~Version() {
+  assert(refs_ == 0);
+
+  // Remove from linked list
+  prev_->next_ = next_;
+  next_->prev_ = prev_;
+
+  // Drop references to files
+  for (int level = 0; level < kNumLevels; level++) {
+    for (size_t i = 0; i < files_[level].size(); i++) {
+      FileMetaData* f = files_[level][i];
+      assert(f->refs > 0);
+      f->refs--;
+      if (f->refs <= 0) {
+        delete f;
+      }
+    }
+  }
+}
+
+void Version::Ref() { ++refs_; }
+
+void Version::Unref() {
+  assert(this != &vset_->dummy_versions_);
+  assert(refs_ >= 1);
+  --refs_;
+  if (refs_ == 0) {
+    delete this;
+  }
+}
+
+// An internal iterator. For a given version/level pair, yields information
+// about the files in the level. For a given entry, key() is the largest key
+// that occurs in the file, and value() is a 16-byte value containing the
+// file number and file size, both encoded using EncodeFixed64.
+class LevelFileNumIterator : public Iterator {
+ public:
+  LevelFileNumIterator(const InternalKeyComparator& icmp,
+                       const std::vector<FileMetaData*>* flist)
+      : icmp_(icmp), flist_(flist), index_(flist->size()) {  // Marks as invalid
+  }
+  bool Valid() const override { return index_ < flist_->size(); }
+  void Seek(const Slice& target) override {
+    index_ = FindFile(icmp_, *flist_, target);
+  }
+  void SeekToFirst() override { index_ = 0; }
+  void SeekToLast() override {
+    index_ = flist_->empty() ? 0 : flist_->size() - 1;
+  }
+  void Next() override {
+    assert(Valid());
+    index_++;
+  }
+  void Prev() override {
+    assert(Valid());
+    if (index_ == 0) {
+      index_ = flist_->size();  // Marks as invalid
+    } else {
+      index_--;
+    }
+  }
+  Slice key() const override {
+    assert(Valid());
+    return (*flist_)[index_]->largest.Encode();
+  }
+  Slice value() const override {
+    assert(Valid());
+    EncodeFixed64(value_buf_, (*flist_)[index_]->number);
+    EncodeFixed64(value_buf_ + 8, (*flist_)[index_]->file_size);
+    return Slice(value_buf_, sizeof(value_buf_));
+  }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  const InternalKeyComparator icmp_;
+  const std::vector<FileMetaData*>* const flist_;
+  size_t index_;
+
+  // Backing store for value(). Holds the file number and size.
+  mutable char value_buf_[16];
+};
+
+static Iterator* GetFileIterator(void* arg, const ReadOptions& options,
+                                 const Slice& file_value) {
+  TableCache* cache = reinterpret_cast<TableCache*>(arg);
+  if (file_value.size() != 16) {
+    return NewErrorIterator(
+        Status::Corruption("FileReader invoked with unexpected value"));
+  } else {
+    return cache->NewIterator(options, DecodeFixed64(file_value.data()),
+                              DecodeFixed64(file_value.data() + 8));
+  }
+}
+
+Iterator* Version::NewConcatenatingIterator(const ReadOptions& options,
+                                            int level) const {
+  return NewTwoLevelIterator(
+      new LevelFileNumIterator(vset_->icmp_, &files_[level]), &GetFileIterator,
+      vset_->table_cache_, options);
+}
+
+void Version::AddIterators(const ReadOptions& options,
+                           std::vector<Iterator*>* iters) {
+  for (int level = 0; level < kNumLevels; level++) {
+    if (files_[level].empty()) continue;
+    if (IsOverlappingLevel(vset_->options_, level)) {
+      // Merge all runs; newest first so the merging iterator prefers fresh
+      // entries on ties (the internal key comparator already breaks ties by
+      // sequence, so order here only matters for efficiency).
+      for (size_t i = files_[level].size(); i > 0; i--) {
+        const FileMetaData* f = files_[level][i - 1];
+        iters->push_back(
+            vset_->table_cache_->NewIterator(options, f->number, f->file_size));
+      }
+    } else {
+      // For sorted levels, we can use a concatenating iterator that
+      // sequentially walks through the non-overlapping files in the level,
+      // opening them lazily.
+      iters->push_back(NewConcatenatingIterator(options, level));
+    }
+  }
+}
+
+// Callback from TableCache::Get()
+namespace {
+enum SaverState {
+  kNotFound,
+  kFound,
+  kDeleted,
+  kCorrupt,
+};
+struct Saver {
+  SaverState state;
+  const Comparator* ucmp;
+  Slice user_key;
+  std::string* value;
+};
+}  // namespace
+static void SaveValue(void* arg, const Slice& ikey, const Slice& v) {
+  Saver* s = reinterpret_cast<Saver*>(arg);
+  ParsedInternalKey parsed_key;
+  if (!ParseInternalKey(ikey, &parsed_key)) {
+    s->state = kCorrupt;
+  } else {
+    if (s->ucmp->Compare(parsed_key.user_key, s->user_key) == 0) {
+      s->state = (parsed_key.type == kTypeValue) ? kFound : kDeleted;
+      if (s->state == kFound) {
+        s->value->assign(v.data(), v.size());
+      }
+    }
+  }
+}
+
+static bool NewestFirst(FileMetaData* a, FileMetaData* b) {
+  return a->number > b->number;
+}
+
+Status Version::Get(const ReadOptions& options, const LookupKey& k,
+                    std::string* value) {
+  Slice ikey = k.internal_key();
+  Slice user_key = k.user_key();
+  const Comparator* ucmp = vset_->icmp_.user_comparator();
+
+  std::vector<FileMetaData*> tmp;
+  for (int level = 0; level < kNumLevels; level++) {
+    const std::vector<FileMetaData*>& files = files_[level];
+    if (files.empty()) continue;
+
+    if (IsOverlappingLevel(vset_->options_, level)) {
+      // Overlapping runs: gather files whose range covers user_key and
+      // search them newest-to-oldest.
+      tmp.clear();
+      tmp.reserve(files.size());
+      for (FileMetaData* f : files) {
+        if (ucmp->Compare(user_key, f->smallest.user_key()) >= 0 &&
+            ucmp->Compare(user_key, f->largest.user_key()) <= 0) {
+          tmp.push_back(f);
+        }
+      }
+      if (tmp.empty()) continue;
+      std::sort(tmp.begin(), tmp.end(), NewestFirst);
+      for (FileMetaData* f : tmp) {
+        Saver saver;
+        saver.state = kNotFound;
+        saver.ucmp = ucmp;
+        saver.user_key = user_key;
+        saver.value = value;
+        Status s = vset_->table_cache_->Get(options, f->number, f->file_size,
+                                            ikey, user_key, &saver, SaveValue);
+        if (!s.ok()) return s;
+        switch (saver.state) {
+          case kNotFound:
+            break;  // Keep searching
+          case kFound:
+            return Status::OK();
+          case kDeleted:
+            return Status::NotFound(Slice());
+          case kCorrupt:
+            return Status::Corruption("corrupted key for ", user_key);
+        }
+      }
+    } else {
+      // Binary search to find earliest file whose largest key >= ikey.
+      uint32_t index = FindFile(vset_->icmp_, files, ikey);
+      if (index >= files.size()) continue;
+      FileMetaData* f = files[index];
+      if (ucmp->Compare(user_key, f->smallest.user_key()) < 0) {
+        continue;  // key is before this file's range: not at this level
+      }
+      Saver saver;
+      saver.state = kNotFound;
+      saver.ucmp = ucmp;
+      saver.user_key = user_key;
+      saver.value = value;
+      Status s = vset_->table_cache_->Get(options, f->number, f->file_size,
+                                          ikey, user_key, &saver, SaveValue);
+      if (!s.ok()) return s;
+      switch (saver.state) {
+        case kNotFound:
+          break;  // Keep searching deeper levels
+        case kFound:
+          return Status::OK();
+        case kDeleted:
+          return Status::NotFound(Slice());
+        case kCorrupt:
+          return Status::Corruption("corrupted key for ", user_key);
+      }
+    }
+  }
+
+  return Status::NotFound(Slice());
+}
+
+bool Version::OverlapInLevel(int level, const Slice* smallest_user_key,
+                             const Slice* largest_user_key) {
+  return SomeFileOverlapsRange(vset_->icmp_,
+                               !IsOverlappingLevel(vset_->options_, level),
+                               files_[level], smallest_user_key,
+                               largest_user_key);
+}
+
+void Version::GetOverlappingInputs(int level, const InternalKey* begin,
+                                   const InternalKey* end,
+                                   std::vector<FileMetaData*>* inputs) {
+  assert(level >= 0);
+  assert(level < kNumLevels);
+  inputs->clear();
+  Slice user_begin, user_end;
+  if (begin != nullptr) {
+    user_begin = begin->user_key();
+  }
+  if (end != nullptr) {
+    user_end = end->user_key();
+  }
+  const Comparator* user_cmp = vset_->icmp_.user_comparator();
+  for (size_t i = 0; i < files_[level].size();) {
+    FileMetaData* f = files_[level][i++];
+    const Slice file_start = f->smallest.user_key();
+    const Slice file_limit = f->largest.user_key();
+    if (begin != nullptr && user_cmp->Compare(file_limit, user_begin) < 0) {
+      // "f" is completely before specified range; skip it
+    } else if (end != nullptr && user_cmp->Compare(file_start, user_end) > 0) {
+      // "f" is completely after specified range; skip it
+    } else {
+      inputs->push_back(f);
+      if (IsOverlappingLevel(vset_->options_, level)) {
+        // Overlapping files may still expand the covered range: restart the
+        // search with the widened range so every transitively-overlapping
+        // run is included.
+        if (begin != nullptr &&
+            user_cmp->Compare(file_start, user_begin) < 0) {
+          user_begin = file_start;
+          inputs->clear();
+          i = 0;
+        } else if (end != nullptr &&
+                   user_cmp->Compare(file_limit, user_end) > 0) {
+          user_end = file_limit;
+          inputs->clear();
+          i = 0;
+        }
+      }
+    }
+  }
+}
+
+int Version::DeepestNonEmptyLevel() const {
+  int deepest = 0;
+  for (int level = 0; level < kNumLevels; level++) {
+    if (!files_[level].empty()) deepest = level;
+  }
+  return deepest;
+}
+
+bool Version::IsBaseLevelForKey(int level, const Slice& user_key) const {
+  const Comparator* ucmp = vset_->icmp_.user_comparator();
+  for (int lvl = level + 1; lvl < kNumLevels; lvl++) {
+    for (FileMetaData* f : files_[lvl]) {
+      if (ucmp->Compare(user_key, f->smallest.user_key()) >= 0 &&
+          ucmp->Compare(user_key, f->largest.user_key()) <= 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+uint64_t Version::MaxTombstoneAge(SequenceNumber last_seq) const {
+  uint64_t max_age = 0;
+  for (int level = 0; level < kNumLevels; level++) {
+    for (FileMetaData* f : files_[level]) {
+      if (f->has_tombstones() && last_seq >= f->earliest_tombstone_seq) {
+        max_age = std::max(max_age, last_seq - f->earliest_tombstone_seq);
+      }
+    }
+  }
+  return max_age;
+}
+
+uint64_t Version::TotalTombstones() const {
+  uint64_t total = 0;
+  for (int level = 0; level < kNumLevels; level++) {
+    for (FileMetaData* f : files_[level]) {
+      total += f->num_tombstones;
+    }
+  }
+  return total;
+}
+
+int64_t Version::NumLevelBytes(int level) const {
+  int64_t sum = 0;
+  for (FileMetaData* f : files_[level]) {
+    sum += f->file_size;
+  }
+  return sum;
+}
+
+std::string Version::DebugString() const {
+  std::string r;
+  for (int level = 0; level < kNumLevels; level++) {
+    // E.g.,
+    //   --- level 1 ---
+    //   17:123['a' .. 'd']
+    //   20:43['e' .. 'g']
+    if (files_[level].empty()) continue;
+    r.append("--- level ");
+    r.append(std::to_string(level));
+    r.append(" ---\n");
+    for (const FileMetaData* f : files_[level]) {
+      r.push_back(' ');
+      r.append(std::to_string(f->number));
+      r.push_back(':');
+      r.append(std::to_string(f->file_size));
+      r.append("[");
+      r.append(f->smallest.DebugString());
+      r.append(" .. ");
+      r.append(f->largest.DebugString());
+      r.append("] ts=");
+      r.append(std::to_string(f->num_tombstones));
+      r.push_back('\n');
+    }
+  }
+  return r;
+}
+
+// A helper class so we can efficiently apply a whole sequence of edits to a
+// particular state without creating intermediate Versions that contain full
+// copies of the intermediate state.
+class VersionSet::Builder {
+ private:
+  // Helper to sort by v->files_[file_number].smallest
+  struct BySmallestKey {
+    const InternalKeyComparator* internal_comparator;
+
+    bool operator()(FileMetaData* f1, FileMetaData* f2) const {
+      int r = internal_comparator->Compare(f1->smallest, f2->smallest);
+      if (r != 0) {
+        return (r < 0);
+      } else {
+        // Break ties by file number
+        return (f1->number < f2->number);
+      }
+    }
+  };
+
+  typedef std::set<FileMetaData*, BySmallestKey> FileSet;
+  struct LevelState {
+    std::set<uint64_t> deleted_files;
+    FileSet* added_files;
+  };
+
+  VersionSet* vset_;
+  Version* base_;
+  LevelState levels_[kNumLevels];
+
+ public:
+  // Initialize a builder with the files from *base and other info from *vset
+  Builder(VersionSet* vset, Version* base) : vset_(vset), base_(base) {
+    base_->Ref();
+    BySmallestKey cmp;
+    cmp.internal_comparator = &vset_->icmp_;
+    for (int level = 0; level < kNumLevels; level++) {
+      levels_[level].added_files = new FileSet(cmp);
+    }
+  }
+
+  ~Builder() {
+    for (int level = 0; level < kNumLevels; level++) {
+      const FileSet* added = levels_[level].added_files;
+      std::vector<FileMetaData*> to_unref;
+      to_unref.reserve(added->size());
+      for (FileSet::const_iterator it = added->begin(); it != added->end();
+           ++it) {
+        to_unref.push_back(*it);
+      }
+      delete added;
+      for (uint32_t i = 0; i < to_unref.size(); i++) {
+        FileMetaData* f = to_unref[i];
+        f->refs--;
+        if (f->refs <= 0) {
+          delete f;
+        }
+      }
+    }
+    base_->Unref();
+  }
+
+  // Apply all of the edits in *edit to the current state.
+  void Apply(const VersionEdit* edit) {
+    // Update compaction pointers
+    for (size_t i = 0; i < edit->compact_pointers_.size(); i++) {
+      const int level = edit->compact_pointers_[i].first;
+      vset_->compact_pointer_[level] =
+          edit->compact_pointers_[i].second.Encode().ToString();
+    }
+
+    // Delete files
+    for (const auto& deleted_file_set_kvp : edit->deleted_files_) {
+      const int level = deleted_file_set_kvp.first;
+      const uint64_t number = deleted_file_set_kvp.second;
+      levels_[level].deleted_files.insert(number);
+    }
+
+    // Add new files
+    for (size_t i = 0; i < edit->new_files_.size(); i++) {
+      const int level = edit->new_files_[i].first;
+      FileMetaData* f = new FileMetaData(edit->new_files_[i].second);
+      f->refs = 1;
+      levels_[level].deleted_files.erase(f->number);
+      levels_[level].added_files->insert(f);
+    }
+  }
+
+  // Save the current state in *v.
+  void SaveTo(Version* v) {
+    BySmallestKey cmp;
+    cmp.internal_comparator = &vset_->icmp_;
+    for (int level = 0; level < kNumLevels; level++) {
+      // Merge the set of added files with the set of pre-existing files.
+      // Drop any deleted files.
+      const std::vector<FileMetaData*>& base_files = base_->files_[level];
+      std::vector<FileMetaData*>::const_iterator base_iter = base_files.begin();
+      std::vector<FileMetaData*>::const_iterator base_end = base_files.end();
+      const FileSet* added_files = levels_[level].added_files;
+      v->files_[level].reserve(base_files.size() + added_files->size());
+      for (const auto& added_file : *added_files) {
+        // Add all smaller files listed in base_
+        for (std::vector<FileMetaData*>::const_iterator bpos =
+                 std::upper_bound(base_iter, base_end, added_file, cmp);
+             base_iter != bpos; ++base_iter) {
+          MaybeAddFile(v, level, *base_iter);
+        }
+
+        MaybeAddFile(v, level, added_file);
+      }
+
+      // Add remaining base files
+      for (; base_iter != base_end; ++base_iter) {
+        MaybeAddFile(v, level, *base_iter);
+      }
+
+      // Overlapping levels (L0 / tiering) are kept ordered by file number
+      // (creation order) so "newest run" is simply the highest number.
+      if (IsOverlappingLevel(vset_->options_, level)) {
+        std::sort(v->files_[level].begin(), v->files_[level].end(),
+                  [](FileMetaData* a, FileMetaData* b) {
+                    return a->number < b->number;
+                  });
+      }
+
+#ifndef NDEBUG
+      // Make sure there is no overlap in sorted levels
+      if (!IsOverlappingLevel(vset_->options_, level)) {
+        for (uint32_t i = 1; i < v->files_[level].size(); i++) {
+          const InternalKey& prev_end = v->files_[level][i - 1]->largest;
+          const InternalKey& this_begin = v->files_[level][i]->smallest;
+          if (vset_->icmp_.Compare(prev_end, this_begin) >= 0) {
+            std::fprintf(stderr, "overlapping ranges in same level %s vs. %s\n",
+                         prev_end.DebugString().c_str(),
+                         this_begin.DebugString().c_str());
+            std::abort();
+          }
+        }
+      }
+#endif
+    }
+  }
+
+  void MaybeAddFile(Version* v, int level, FileMetaData* f) {
+    if (levels_[level].deleted_files.count(f->number) > 0) {
+      // File is deleted: do nothing
+    } else {
+      std::vector<FileMetaData*>* files = &v->files_[level];
+      if (level > 0 && !files->empty() &&
+          !IsOverlappingLevel(vset_->options_, level)) {
+        // Must not overlap
+        assert(vset_->icmp_.Compare((*files)[files->size() - 1]->largest,
+                                    f->smallest) < 0);
+      }
+      f->refs++;
+      files->push_back(f);
+    }
+  }
+};
+
+VersionSet::VersionSet(const std::string& dbname, const Options* options,
+                       TableCache* table_cache,
+                       const InternalKeyComparator* cmp)
+    : env_(options->env),
+      dbname_(dbname),
+      options_(options),
+      table_cache_(table_cache),
+      icmp_(*cmp),
+      next_file_number_(2),
+      manifest_file_number_(0),  // Filled by Recover()
+      last_sequence_(0),
+      log_number_(0),
+      descriptor_file_(nullptr),
+      descriptor_log_(nullptr),
+      dummy_versions_(this),
+      current_(nullptr) {
+  AppendVersion(new Version(this));
+}
+
+VersionSet::~VersionSet() {
+  current_->Unref();
+  assert(dummy_versions_.next_ == &dummy_versions_);  // List must be empty
+  delete descriptor_log_;
+  delete descriptor_file_;
+}
+
+void VersionSet::AppendVersion(Version* v) {
+  // Make "v" current
+  assert(v->refs_ == 0);
+  assert(v != current_);
+  if (current_ != nullptr) {
+    current_->Unref();
+  }
+  current_ = v;
+  v->Ref();
+
+  // Append to linked list
+  v->prev_ = dummy_versions_.prev_;
+  v->next_ = &dummy_versions_;
+  v->prev_->next_ = v;
+  v->next_->prev_ = v;
+}
+
+Status VersionSet::LogAndApply(VersionEdit* edit) {
+  if (edit->has_log_number_) {
+    assert(edit->log_number_ >= log_number_);
+    assert(edit->log_number_ < next_file_number_);
+  } else {
+    edit->SetLogNumber(log_number_);
+  }
+
+  edit->SetNextFile(next_file_number_);
+  edit->SetLastSequence(last_sequence_);
+
+  Version* v = new Version(this);
+  {
+    Builder builder(this, current_);
+    builder.Apply(edit);
+    builder.SaveTo(v);
+  }
+
+  // Initialize new descriptor log file if necessary by creating a temporary
+  // file that contains a snapshot of the current version.
+  std::string new_manifest_file;
+  Status s;
+  if (descriptor_log_ == nullptr) {
+    // No reason to unlock *mu here since we only hit this path in the first
+    // call to LogAndApply (when opening the database).
+    assert(descriptor_file_ == nullptr);
+    new_manifest_file = DescriptorFileName(dbname_, manifest_file_number_);
+    std::unique_ptr<WritableFile> file;
+    s = env_->NewWritableFile(new_manifest_file, &file);
+    if (s.ok()) {
+      descriptor_file_ = file.release();
+      descriptor_log_ = new wal::Writer(descriptor_file_);
+      s = WriteSnapshot(descriptor_log_);
+    }
+  }
+
+  // Write new record to MANIFEST log
+  if (s.ok()) {
+    std::string record;
+    edit->EncodeTo(&record);
+    s = descriptor_log_->AddRecord(record);
+    if (s.ok()) {
+      s = descriptor_file_->Sync();
+    }
+  }
+
+  // If we just created a new descriptor file, install it by writing a new
+  // CURRENT file that points to it.
+  if (s.ok() && !new_manifest_file.empty()) {
+    s = SetCurrentFile(env_, dbname_, manifest_file_number_);
+  }
+
+  // Install the new version
+  if (s.ok()) {
+    AppendVersion(v);
+    log_number_ = edit->log_number_;
+  } else {
+    delete v;
+    if (!new_manifest_file.empty()) {
+      delete descriptor_log_;
+      delete descriptor_file_;
+      descriptor_log_ = nullptr;
+      descriptor_file_ = nullptr;
+      env_->RemoveFile(new_manifest_file);
+    }
+  }
+
+  return s;
+}
+
+Status VersionSet::Recover(bool* save_manifest) {
+  struct LogReporter : public wal::Reader::Reporter {
+    Status* status;
+    void Corruption(size_t, const Status& s) override {
+      if (this->status->ok()) *this->status = s;
+    }
+  };
+
+  // Read "CURRENT" file, which contains a pointer to the current manifest
+  // file.
+  std::string current;
+  Status s = env_->ReadFileToString(CurrentFileName(dbname_), &current);
+  if (!s.ok()) {
+    return s;
+  }
+  if (current.empty() || current[current.size() - 1] != '\n') {
+    return Status::Corruption("CURRENT file does not end with newline");
+  }
+  current.resize(current.size() - 1);
+
+  std::string dscname = dbname_ + "/" + current;
+  std::unique_ptr<SequentialFile> file;
+  s = env_->NewSequentialFile(dscname, &file);
+  if (!s.ok()) {
+    if (s.IsNotFound()) {
+      return Status::Corruption("CURRENT points to a non-existent file",
+                                s.ToString());
+    }
+    return s;
+  }
+
+  bool have_log_number = false;
+  bool have_next_file = false;
+  bool have_last_sequence = false;
+  uint64_t next_file = 0;
+  uint64_t last_sequence = 0;
+  uint64_t log_number = 0;
+  Builder builder(this, current_);
+  int read_records = 0;
+
+  {
+    LogReporter reporter;
+    reporter.status = &s;
+    wal::Reader reader(file.get(), &reporter, true /*checksum*/);
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch) && s.ok()) {
+      ++read_records;
+      VersionEdit edit;
+      s = edit.DecodeFrom(record);
+      if (s.ok()) {
+        if (edit.has_comparator_ &&
+            edit.comparator_ != icmp_.user_comparator()->Name()) {
+          s = Status::InvalidArgument(
+              edit.comparator_ + " does not match existing comparator ",
+              icmp_.user_comparator()->Name());
+        }
+      }
+
+      if (s.ok()) {
+        builder.Apply(&edit);
+      }
+
+      if (edit.has_log_number_) {
+        log_number = edit.log_number_;
+        have_log_number = true;
+      }
+
+      if (edit.has_next_file_number_) {
+        next_file = edit.next_file_number_;
+        have_next_file = true;
+      }
+
+      if (edit.has_last_sequence_) {
+        last_sequence = edit.last_sequence_;
+        have_last_sequence = true;
+      }
+    }
+  }
+  file.reset();
+
+  if (s.ok()) {
+    if (!have_next_file) {
+      s = Status::Corruption("no meta-nextfile entry in descriptor");
+    } else if (!have_log_number) {
+      s = Status::Corruption("no meta-lognumber entry in descriptor");
+    } else if (!have_last_sequence) {
+      s = Status::Corruption("no last-sequence-number entry in descriptor");
+    }
+
+    MarkFileNumberUsed(log_number);
+  }
+
+  if (s.ok()) {
+    Version* v = new Version(this);
+    builder.SaveTo(v);
+    // Install recovered version
+    AppendVersion(v);
+    manifest_file_number_ = next_file;
+    next_file_number_ = next_file + 1;
+    last_sequence_ = last_sequence;
+    log_number_ = log_number;
+
+    // A new MANIFEST is always written on open (no manifest reuse).
+    *save_manifest = true;
+  }
+
+  return s;
+}
+
+void VersionSet::MarkFileNumberUsed(uint64_t number) {
+  if (next_file_number_ <= number) {
+    next_file_number_ = number + 1;
+  }
+}
+
+Status VersionSet::WriteSnapshot(wal::Writer* log) {
+  // Save metadata
+  VersionEdit edit;
+  edit.SetComparatorName(icmp_.user_comparator()->Name());
+
+  // Save compaction pointers
+  for (int level = 0; level < kNumLevels; level++) {
+    if (!compact_pointer_[level].empty()) {
+      InternalKey key;
+      key.DecodeFrom(compact_pointer_[level]);
+      edit.SetCompactPointer(level, key);
+    }
+  }
+
+  // Save files
+  for (int level = 0; level < kNumLevels; level++) {
+    for (FileMetaData* f : current_->files_[level]) {
+      edit.AddFile(level, *f);
+    }
+  }
+
+  std::string record;
+  edit.EncodeTo(&record);
+  return log->AddRecord(record);
+}
+
+int VersionSet::NumLevelFiles(int level) const {
+  assert(level >= 0);
+  assert(level < kNumLevels);
+  return static_cast<int>(current_->files_[level].size());
+}
+
+int64_t VersionSet::NumLevelBytes(int level) const {
+  assert(level >= 0);
+  assert(level < kNumLevels);
+  return current_->NumLevelBytes(level);
+}
+
+const char* VersionSet::LevelSummary(LevelSummaryStorage* scratch) const {
+  int pos = std::snprintf(scratch->buffer, sizeof(scratch->buffer), "files[ ");
+  for (int i = 0; i < kNumLevels; i++) {
+    int ret = std::snprintf(scratch->buffer + pos,
+                            sizeof(scratch->buffer) - pos, "%d ",
+                            int(current_->files_[i].size()));
+    if (ret < 0 || ret >= static_cast<int>(sizeof(scratch->buffer)) - pos)
+      break;
+    pos += ret;
+  }
+  std::snprintf(scratch->buffer + pos, sizeof(scratch->buffer) - pos, "]");
+  return scratch->buffer;
+}
+
+uint64_t VersionSet::MaxBytesForLevel(int level) const {
+  // Level capacities grow geometrically from the write buffer size:
+  // capacity(L_i) = write_buffer_size * T^i.
+  double result = static_cast<double>(options_->write_buffer_size);
+  for (int i = 0; i < level; i++) {
+    result *= std::max(2, options_->size_ratio);
+  }
+  return static_cast<uint64_t>(result);
+}
+
+void VersionSet::AddLiveFiles(std::set<uint64_t>* live) {
+  for (Version* v = dummy_versions_.next_; v != &dummy_versions_;
+       v = v->next_) {
+    for (int level = 0; level < kNumLevels; level++) {
+      const std::vector<FileMetaData*>& files = v->files_[level];
+      for (size_t i = 0; i < files.size(); i++) {
+        live->insert(files[i]->number);
+      }
+    }
+  }
+}
+
+// Stores the minimal range that covers all entries in inputs in *smallest,
+// *largest. REQUIRES: inputs is not empty
+void VersionSet::GetRange(const std::vector<FileMetaData*>& inputs,
+                          InternalKey* smallest, InternalKey* largest) {
+  assert(!inputs.empty());
+  smallest->Clear();
+  largest->Clear();
+  for (size_t i = 0; i < inputs.size(); i++) {
+    FileMetaData* f = inputs[i];
+    if (i == 0) {
+      *smallest = f->smallest;
+      *largest = f->largest;
+    } else {
+      if (icmp_.Compare(f->smallest, *smallest) < 0) {
+        *smallest = f->smallest;
+      }
+      if (icmp_.Compare(f->largest, *largest) > 0) {
+        *largest = f->largest;
+      }
+    }
+  }
+}
+
+// Stores the minimal range that covers all entries in inputs1 and inputs2
+// in *smallest, *largest. REQUIRES: inputs is not empty
+void VersionSet::GetRange2(const std::vector<FileMetaData*>& inputs1,
+                           const std::vector<FileMetaData*>& inputs2,
+                           InternalKey* smallest, InternalKey* largest) {
+  std::vector<FileMetaData*> all = inputs1;
+  all.insert(all.end(), inputs2.begin(), inputs2.end());
+  GetRange(all, smallest, largest);
+}
+
+Iterator* VersionSet::MakeInputIterator(Compaction* c) {
+  ReadOptions options;
+  options.verify_checksums = options_->paranoid_checks;
+  options.fill_cache = false;
+
+  // Level-0/tiering inputs have to be merged file-by-file; sorted level
+  // inputs can use a concatenating iterator.
+  const bool in0_overlapping = IsOverlappingLevel(options_, c->level());
+  const size_t space = (in0_overlapping ? c->num_input_files(0) + 1 : 2);
+  Iterator** list = new Iterator*[space];
+  size_t num = 0;
+  for (int which = 0; which < 2; which++) {
+    if (!c->inputs_[which].empty()) {
+      const int lvl = (which == 0) ? c->level() : c->output_level();
+      if (IsOverlappingLevel(options_, lvl)) {
+        const std::vector<FileMetaData*>& files = c->inputs_[which];
+        for (size_t i = 0; i < files.size(); i++) {
+          list[num++] = table_cache_->NewIterator(options, files[i]->number,
+                                                  files[i]->file_size);
+        }
+      } else {
+        // Create concatenating iterator for the files from this level
+        list[num++] = NewTwoLevelIterator(
+            new LevelFileNumIterator(icmp_, &c->inputs_[which]),
+            &GetFileIterator, table_cache_, options);
+      }
+    }
+  }
+  assert(num <= space);
+  Iterator* result = NewMergingIterator(&icmp_, list, static_cast<int>(num));
+  delete[] list;
+  return result;
+}
+
+Compaction* VersionSet::PickCompaction(const CompactionPlanner& planner,
+                                       SequenceNumber droppable_horizon) {
+  CompactionPick pick = planner.Pick(current_, last_sequence_,
+                                     droppable_horizon, compact_pointer_);
+  if (pick.inputs.empty()) {
+    return nullptr;
+  }
+
+  Compaction* c = new Compaction(options_, pick.level, pick.output_level,
+                                 static_cast<CompactionReason>(pick.reason_tag));
+  c->input_version_ = current_;
+  c->input_version_->Ref();
+  c->inputs_[0] = pick.inputs;
+
+  // Under leveling, also pull in transitively overlapping files from the
+  // input level when it is overlapping (L0), then the next-level overlaps.
+  if (options_->compaction_style == CompactionStyle::kLeveling &&
+      IsOverlappingLevel(options_, pick.level) &&
+      pick.output_level != pick.level) {
+    InternalKey smallest, largest;
+    GetRange(c->inputs_[0], &smallest, &largest);
+    current_->GetOverlappingInputs(pick.level, &smallest, &largest,
+                                   &c->inputs_[0]);
+    assert(!c->inputs_[0].empty());
+  }
+
+  SetupOtherInputs(c);
+  return c;
+}
+
+void VersionSet::SetupOtherInputs(Compaction* c) {
+  const int level = c->level();
+  if (c->output_level() == level) {
+    // In-place rewrite (bottom-level TTL expiry): no second input set.
+    return;
+  }
+
+  InternalKey smallest, largest;
+  GetRange(c->inputs_[0], &smallest, &largest);
+
+  if (options_->compaction_style == CompactionStyle::kLeveling) {
+    current_->GetOverlappingInputs(c->output_level(), &smallest, &largest,
+                                   &c->inputs_[1]);
+  }
+  // Tiering: runs simply stack at the output level; nothing is merged from
+  // there, so inputs_[1] stays empty.
+
+  // Update the place where we will do the next compaction for this level.
+  // We update this immediately instead of waiting for the VersionEdit to be
+  // applied so that if the compaction fails, we will try a different key
+  // range next time.
+  compact_pointer_[level] = largest.Encode().ToString();
+  c->edit_.SetCompactPointer(level, largest);
+}
+
+Compaction* VersionSet::CompactRange(int level, const InternalKey* begin,
+                                     const InternalKey* end) {
+  std::vector<FileMetaData*> inputs;
+  current_->GetOverlappingInputs(level, begin, end, &inputs);
+  if (inputs.empty()) {
+    return nullptr;
+  }
+
+  const int deepest = current_->DeepestNonEmptyLevel();
+  const int output_level = (level >= deepest) ? level : level + 1;
+  Compaction* c =
+      new Compaction(options_, level, output_level, CompactionReason::kManual);
+  c->input_version_ = current_;
+  c->input_version_->Ref();
+  c->inputs_[0] = inputs;
+  SetupOtherInputs(c);
+  return c;
+}
+
+const char* CompactionReasonName(CompactionReason reason) {
+  switch (reason) {
+    case CompactionReason::kNone:
+      return "none";
+    case CompactionReason::kL0FileCount:
+      return "l0-count";
+    case CompactionReason::kLevelSize:
+      return "level-size";
+    case CompactionReason::kTierFull:
+      return "tier-full";
+    case CompactionReason::kTtlExpiry:
+      return "ttl-expiry";
+    case CompactionReason::kManual:
+      return "manual";
+    case CompactionReason::kSecondaryPurge:
+      return "secondary-purge";
+  }
+  return "unknown";
+}
+
+Compaction::Compaction(const Options* options, int level, int output_level,
+                       CompactionReason reason)
+    : level_(level),
+      output_level_(output_level),
+      reason_(reason),
+      max_output_file_size_(
+          options->compaction_style == CompactionStyle::kTiering
+              ? UINT64_MAX  // a sorted run is one file under tiering
+              : options->max_file_size),
+      input_version_(nullptr) {
+  for (int i = 0; i < kNumLevels; i++) {
+    level_ptrs_[i] = 0;
+  }
+}
+
+Compaction::~Compaction() {
+  if (input_version_ != nullptr) {
+    input_version_->Unref();
+  }
+}
+
+uint64_t Compaction::TotalInputBytes() const {
+  uint64_t total = 0;
+  for (int which = 0; which < 2; which++) {
+    for (const FileMetaData* f : inputs_[which]) {
+      total += f->file_size;
+    }
+  }
+  return total;
+}
+
+bool Compaction::IsTrivialMove() const {
+  // A TTL rewrite exists to drop tombstones: never trivially move it.
+  // Otherwise, a single input file with nothing to merge below can simply
+  // be relinked into the next level.
+  if (reason_ == CompactionReason::kTtlExpiry &&
+      output_level_ == level_) {
+    return false;
+  }
+  return num_input_files(0) == 1 && num_input_files(1) == 0 &&
+         output_level_ != level_;
+}
+
+void Compaction::AddInputDeletions(VersionEdit* edit) {
+  for (int which = 0; which < 2; which++) {
+    const int lvl = (which == 0) ? level_ : output_level_;
+    for (size_t i = 0; i < inputs_[which].size(); i++) {
+      edit->RemoveFile(lvl, inputs_[which][i]->number);
+    }
+  }
+}
+
+bool Compaction::IsBaseLevelForKey(const Slice& user_key) {
+  const Comparator* user_cmp =
+      input_version_->vset_->icmp_.user_comparator();
+  const bool tiering = input_version_->vset_->options_->compaction_style ==
+                       CompactionStyle::kTiering;
+
+  // Levels strictly below the output never contain input files; scan them
+  // with the monotonic-pointer optimization (files are sorted there under
+  // leveling). Under tiering every level may overlap arbitrarily, so fall
+  // back to a plain range scan, skipping this compaction's own inputs.
+  const int start = tiering ? output_level_ : output_level_ + 1;
+  for (int lvl = start; lvl < kNumLevels; lvl++) {
+    const std::vector<FileMetaData*>& files = input_version_->files_[lvl];
+    if (!tiering && lvl > 0) {
+      while (level_ptrs_[lvl] < files.size()) {
+        FileMetaData* f = files[level_ptrs_[lvl]];
+        if (user_cmp->Compare(user_key, f->largest.user_key()) <= 0) {
+          // We've advanced far enough
+          if (user_cmp->Compare(user_key, f->smallest.user_key()) >= 0) {
+            // Key falls in this file's range, so definitely not base level
+            return false;
+          }
+          break;
+        }
+        level_ptrs_[lvl]++;
+      }
+    } else {
+      for (FileMetaData* f : files) {
+        bool is_input = false;
+        for (int which = 0; which < 2; which++) {
+          const int input_lvl = (which == 0) ? level_ : output_level_;
+          if (input_lvl != lvl) continue;
+          for (FileMetaData* in : inputs_[which]) {
+            if (in->number == f->number) {
+              is_input = true;
+              break;
+            }
+          }
+        }
+        if (is_input) continue;
+        if (user_cmp->Compare(user_key, f->smallest.user_key()) >= 0 &&
+            user_cmp->Compare(user_key, f->largest.user_key()) <= 0) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void Compaction::ReleaseInputs() {
+  if (input_version_ != nullptr) {
+    input_version_->Unref();
+    input_version_ = nullptr;
+  }
+}
+
+}  // namespace acheron

@@ -1,0 +1,353 @@
+// Version / VersionSet: the on-disk state of the LSM-tree.
+//
+// A Version is an immutable snapshot of the file set, organised per level.
+// Level 0 (and every level under tiering) may hold multiple overlapping
+// sorted runs; deeper levels under leveling hold one sorted, partitioned run.
+// VersionSet tracks the chain of versions, persists deltas to the MANIFEST,
+// and assembles Compaction objects from the picks made by the (Acheron)
+// compaction planner.
+#ifndef ACHERON_LSM_VERSION_SET_H_
+#define ACHERON_LSM_VERSION_SET_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/lsm/dbformat.h"
+#include "src/lsm/options.h"
+#include "src/lsm/version_edit.h"
+#include "src/table/iterator.h"
+
+namespace acheron {
+
+namespace wal {
+class Writer;
+}
+
+class Compaction;
+class CompactionPlanner;
+struct CompactionPick;
+class Env;
+class TableCache;
+class Version;
+class VersionSet;
+class WritableFile;
+
+// Return the smallest index i such that files[i]->largest >= key.
+// Return files.size() if there is no such file.
+// REQUIRES: "files" contains a sorted list of non-overlapping files.
+int FindFile(const InternalKeyComparator& icmp,
+             const std::vector<FileMetaData*>& files, const Slice& key);
+
+// Returns true iff some file in "files" overlaps the user key range
+// [*smallest,*largest]. smallest==nullptr represents a key smaller than all
+// keys in the DB. largest==nullptr represents a key largest than all keys.
+// REQUIRES: If disjoint_sorted_files, files[] contains disjoint ranges in
+// sorted order.
+bool SomeFileOverlapsRange(const InternalKeyComparator& icmp,
+                           bool disjoint_sorted_files,
+                           const std::vector<FileMetaData*>& files,
+                           const Slice* smallest_user_key,
+                           const Slice* largest_user_key);
+
+class Version {
+ public:
+  // Append to *iters a sequence of iterators that will yield the contents
+  // of this Version when merged together.
+  // REQUIRES: This version has been saved (see VersionSet::SaveTo)
+  void AddIterators(const ReadOptions&, std::vector<Iterator*>* iters);
+
+  // Lookup the value for key. If found, store it in *val and return OK.
+  // Else return a non-OK status.
+  Status Get(const ReadOptions&, const LookupKey& key, std::string* val);
+
+  // Reference count management (so Versions do not disappear out from
+  // under live iterators).
+  void Ref();
+  void Unref();
+
+  // Store in "*inputs" all files in "level" that overlap [begin,end].
+  void GetOverlappingInputs(int level, const InternalKey* begin,
+                            const InternalKey* end,
+                            std::vector<FileMetaData*>* inputs);
+
+  // Returns true iff some file in the specified level overlaps some part of
+  // [*smallest_user_key,*largest_user_key]. nullptr = unbounded.
+  bool OverlapInLevel(int level, const Slice* smallest_user_key,
+                      const Slice* largest_user_key);
+
+  int NumFiles(int level) const {
+    return static_cast<int>(files_[level].size());
+  }
+  const std::vector<FileMetaData*>& files(int level) const {
+    return files_[level];
+  }
+
+  // Deepest level that currently holds any file (0 if tree is empty).
+  int DeepestNonEmptyLevel() const;
+
+  // True iff no file below |level| overlaps |user_key| -- i.e. a tombstone
+  // compacted out of |level| into... (used when deciding whether a tombstone
+  // can be dropped).
+  bool IsBaseLevelForKey(int level, const Slice& user_key) const;
+
+  // Sum over all files of (last_seq - earliest tombstone seq); diagnostics
+  // for the delete-persistence invariant.
+  uint64_t MaxTombstoneAge(SequenceNumber last_seq) const;
+  // Total live tombstones across the tree.
+  uint64_t TotalTombstones() const;
+  // Total bytes at a level.
+  int64_t NumLevelBytes(int level) const;
+
+  std::string DebugString() const;
+
+ private:
+  friend class Compaction;
+  friend class VersionSet;
+
+  explicit Version(VersionSet* vset)
+      : vset_(vset),
+        next_(this),
+        prev_(this),
+        refs_(0) {}
+
+  Version(const Version&) = delete;
+  Version& operator=(const Version&) = delete;
+
+  ~Version();
+
+  // Iterator over the non-overlapping files at a sorted (leveling) level.
+  Iterator* NewConcatenatingIterator(const ReadOptions&, int level) const;
+
+  VersionSet* vset_;  // VersionSet to which this Version belongs
+  Version* next_;     // Next version in linked list
+  Version* prev_;     // Previous version in linked list
+  int refs_;          // Number of live refs to this version
+
+  // List of files per level.
+  std::vector<FileMetaData*> files_[kNumLevels];
+};
+
+class VersionSet {
+ public:
+  VersionSet(const std::string& dbname, const Options* options,
+             TableCache* table_cache, const InternalKeyComparator*);
+
+  VersionSet(const VersionSet&) = delete;
+  VersionSet& operator=(const VersionSet&) = delete;
+
+  ~VersionSet();
+
+  // Apply *edit to the current version to form a new descriptor that is
+  // both saved to persistent state and installed as the new current
+  // version.
+  Status LogAndApply(VersionEdit* edit);
+
+  // Recover the last saved descriptor from persistent storage.
+  Status Recover(bool* save_manifest);
+
+  // Return the current version.
+  Version* current() const { return current_; }
+
+  // Return the current manifest file number.
+  uint64_t ManifestFileNumber() const { return manifest_file_number_; }
+
+  // Allocate and return a new file number.
+  uint64_t NewFileNumber() { return next_file_number_++; }
+
+  // Arrange to reuse "file_number" unless a newer file number has already
+  // been allocated. REQUIRES: "file_number" was returned by a call to
+  // NewFileNumber().
+  void ReuseFileNumber(uint64_t file_number) {
+    if (next_file_number_ == file_number + 1) {
+      next_file_number_ = file_number;
+    }
+  }
+
+  // Return the number of Table files at the specified level.
+  int NumLevelFiles(int level) const;
+
+  // Return the combined file size of all files at the specified level.
+  int64_t NumLevelBytes(int level) const;
+
+  // Return the last sequence number.
+  SequenceNumber LastSequence() const { return last_sequence_; }
+
+  // Set the last sequence number to s.
+  void SetLastSequence(SequenceNumber s) {
+    assert(s >= last_sequence_);
+    last_sequence_ = s;
+  }
+
+  // Mark the specified file number as used.
+  void MarkFileNumberUsed(uint64_t number);
+
+  // Return the current log file number.
+  uint64_t LogNumber() const { return log_number_; }
+
+  // Ask |planner| for the most urgent compaction and package it as a
+  // Compaction object (adding next-level overlaps under leveling). Returns
+  // nullptr if no compaction is needed. |droppable_horizon| is the oldest
+  // sequence number any live reader may need (snapshot gating).
+  Compaction* PickCompaction(const CompactionPlanner& planner,
+                             SequenceNumber droppable_horizon);
+
+  // Return a compaction object for compacting the range [begin,end] in the
+  // specified level. Returns nullptr if there is nothing in that level that
+  // overlaps the specified range. Caller should delete the result.
+  Compaction* CompactRange(int level, const InternalKey* begin,
+                           const InternalKey* end);
+
+  // Create an iterator that reads over the compaction inputs for "*c".
+  // The caller should delete the iterator when no longer needed.
+  Iterator* MakeInputIterator(Compaction* c);
+
+  // Add all files listed in any live version to *live.
+  void AddLiveFiles(std::set<uint64_t>* live);
+
+  // Capacity of |level| in bytes under leveling.
+  uint64_t MaxBytesForLevel(int level) const;
+
+  // Per-level compaction debug counters.
+  struct LevelSummaryStorage {
+    char buffer[200];
+  };
+  const char* LevelSummary(LevelSummaryStorage* scratch) const;
+
+  const InternalKeyComparator& icmp() const { return icmp_; }
+  const Options* options() const { return options_; }
+  TableCache* table_cache() const { return table_cache_; }
+
+ private:
+  class Builder;
+
+  friend class Compaction;
+  friend class Version;
+
+  void Finalize(Version* v);
+
+  void GetRange(const std::vector<FileMetaData*>& inputs, InternalKey* smallest,
+                InternalKey* largest);
+
+  void GetRange2(const std::vector<FileMetaData*>& inputs1,
+                 const std::vector<FileMetaData*>& inputs2,
+                 InternalKey* smallest, InternalKey* largest);
+
+  void SetupOtherInputs(Compaction* c);
+
+  // Save current contents to *log.
+  Status WriteSnapshot(wal::Writer* log);
+
+  void AppendVersion(Version* v);
+
+  Env* const env_;
+  const std::string dbname_;
+  const Options* const options_;
+  TableCache* const table_cache_;
+  const InternalKeyComparator icmp_;
+  uint64_t next_file_number_;
+  uint64_t manifest_file_number_;
+  SequenceNumber last_sequence_;
+  uint64_t log_number_;
+
+  // Opened lazily.
+  WritableFile* descriptor_file_;
+  wal::Writer* descriptor_log_;
+  Version dummy_versions_;  // Head of circular doubly-linked list of versions
+  Version* current_;        // == dummy_versions_.prev_
+
+  // Per-level key at which the next round-robin compaction at that level
+  // should start. Either an empty string, or a valid InternalKey.
+  std::string compact_pointer_[kNumLevels];
+};
+
+// The reason a compaction was scheduled; drives the E7 trigger-breakdown
+// experiment and the delete-persistence accounting.
+enum class CompactionReason {
+  kNone = 0,
+  kL0FileCount,   // too many L0 runs (leveling)
+  kLevelSize,     // level over capacity (leveling)
+  kTierFull,      // T runs accumulated (tiering)
+  kTtlExpiry,     // FADE: a file's oldest tombstone outlived its level TTL
+  kManual,        // CompactRange / test hook
+  kSecondaryPurge,  // KiWi-lite retention purge rewrite
+};
+
+const char* CompactionReasonName(CompactionReason reason);
+
+// A Compaction encapsulates information about a compaction.
+class Compaction {
+ public:
+  ~Compaction();
+
+  // Return the level that is being compacted. Inputs from "level" and
+  // "level+1" will be merged to produce a set of "level+1" files.
+  int level() const { return level_; }
+  // Output level (level+1, or same level for bottom-level TTL rewrites).
+  int output_level() const { return output_level_; }
+
+  CompactionReason reason() const { return reason_; }
+
+  // Return the object that holds the edits to the descriptor done by this
+  // compaction.
+  VersionEdit* edit() { return &edit_; }
+
+  // "which" must be either 0 or 1
+  int num_input_files(int which) const {
+    return static_cast<int>(inputs_[which].size());
+  }
+
+  // Return the ith input file at "level()+which" ("which" must be 0 or 1).
+  FileMetaData* input(int which, int i) const { return inputs_[which][i]; }
+
+  // Maximum size of files to build during this compaction.
+  uint64_t MaxOutputFileSize() const { return max_output_file_size_; }
+
+  // Is this a trivial compaction that can be implemented by just moving a
+  // single input file to the next level (no merging or splitting)?
+  bool IsTrivialMove() const;
+
+  // Add all inputs to this compaction as delete operations to *edit.
+  void AddInputDeletions(VersionEdit* edit);
+
+  // Returns true if the information we have available guarantees that the
+  // compaction is producing data in "output_level" for which no data exists
+  // in levels greater than "output_level".
+  bool IsBaseLevelForKey(const Slice& user_key);
+
+  // Release the input version for the compaction, once the compaction is
+  // successful.
+  void ReleaseInputs();
+
+  Version* input_version() const { return input_version_; }
+
+  uint64_t TotalInputBytes() const;
+
+ private:
+  friend class Version;
+  friend class VersionSet;
+
+  Compaction(const Options* options, int level, int output_level,
+             CompactionReason reason);
+
+  int level_;
+  int output_level_;
+  CompactionReason reason_;
+  uint64_t max_output_file_size_;
+  Version* input_version_;
+  VersionEdit edit_;
+
+  // Each compaction reads inputs from "level_" and "output_level_".
+  std::vector<FileMetaData*> inputs_[2];  // The two sets of inputs
+
+  // State for implementing IsBaseLevelForKey.
+  // level_ptrs_ holds indices into input_version_->files_: our state is that
+  // we are positioned at one of the file ranges for each higher level than
+  // the ones involved in this compaction (i.e. for all L >=
+  // output_level_+1).
+  size_t level_ptrs_[kNumLevels];
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_LSM_VERSION_SET_H_

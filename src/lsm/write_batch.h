@@ -1,0 +1,64 @@
+// WriteBatch holds a collection of updates to apply atomically to a DB.
+//
+// The updates are applied in the order in which they are added. Multiple
+// threads can invoke const methods without external synchronization, but if
+// any thread may call a non-const method, all threads accessing the same
+// WriteBatch must use external synchronization.
+#ifndef ACHERON_LSM_WRITE_BATCH_H_
+#define ACHERON_LSM_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace acheron {
+
+class WriteBatch {
+ public:
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+
+  WriteBatch();
+
+  // Intentionally copyable.
+  WriteBatch(const WriteBatch&) = default;
+  WriteBatch& operator=(const WriteBatch&) = default;
+
+  ~WriteBatch() = default;
+
+  // Store the mapping "key->value" in the database.
+  void Put(const Slice& key, const Slice& value);
+
+  // If the database contains a mapping for "key", erase it. Else do nothing.
+  void Delete(const Slice& key);
+
+  // Clear all updates buffered in this batch.
+  void Clear();
+
+  // The size of the database changes caused by this batch.
+  size_t ApproximateSize() const;
+
+  // Copies the operations in "source" to this batch.
+  void Append(const WriteBatch& source);
+
+  // Support for iterating over the contents of a batch.
+  Status Iterate(Handler* handler) const;
+
+  // Number of operations in the batch.
+  int Count() const;
+
+ private:
+  friend class WriteBatchInternal;
+
+  std::string rep_;  // See comment in write_batch.cc for the format of rep_
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_LSM_WRITE_BATCH_H_

@@ -1,0 +1,101 @@
+// MemTable: in-memory write buffer over a skiplist, keyed by internal keys.
+// Tracks tombstone statistics (count + oldest tombstone sequence number) so
+// flushes can seed the SSTable's delete-persistence metadata.
+#ifndef ACHERON_MEMTABLE_MEMTABLE_H_
+#define ACHERON_MEMTABLE_MEMTABLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/lsm/dbformat.h"
+#include "src/memtable/skiplist.h"
+#include "src/table/iterator.h"
+#include "src/util/arena.h"
+
+namespace acheron {
+
+class MemTable {
+ public:
+  // MemTables are reference counted. The initial reference count is zero
+  // and the caller must call Ref() at least once.
+  explicit MemTable(const InternalKeyComparator& comparator);
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  // Increase reference count.
+  void Ref() { ++refs_; }
+
+  // Drop reference count. Delete if no more references exist.
+  void Unref() {
+    --refs_;
+    assert(refs_ >= 0);
+    if (refs_ <= 0) {
+      delete this;
+    }
+  }
+
+  // Returns an estimate of the number of bytes of data in use by this
+  // data structure. It is safe to call when MemTable is being modified.
+  size_t ApproximateMemoryUsage();
+
+  // Return an iterator that yields the contents of the memtable.
+  //
+  // The caller must ensure that the underlying MemTable remains live while
+  // the returned iterator is live. The keys returned by this iterator are
+  // internal keys encoded by AppendInternalKey in the db/format.{h,cc}
+  // module.
+  Iterator* NewIterator();
+
+  // Add an entry into memtable that maps key to value at the specified
+  // sequence number and with the specified type. Typically value will be
+  // empty if type==kTypeDeletion.
+  void Add(SequenceNumber seq, ValueType type, const Slice& key,
+           const Slice& value);
+
+  // If memtable contains a value for key, store it in *value and return
+  // true. If memtable contains a deletion for key, store a NotFound() error
+  // in *status and return true. Else, return false.
+  bool Get(const LookupKey& key, std::string* value, Status* s);
+
+  // ---- Tombstone statistics (Acheron delete-persistence metadata) ----
+
+  // Number of point tombstones added.
+  uint64_t num_tombstones() const { return num_tombstones_; }
+  // Sequence number of the oldest tombstone added; kMaxSequenceNumber when
+  // no tombstone is present.
+  SequenceNumber earliest_tombstone_seq() const {
+    return earliest_tombstone_seq_;
+  }
+  // Wall-clock microseconds when the oldest tombstone was added.
+  uint64_t earliest_tombstone_wall_micros() const {
+    return earliest_tombstone_wall_micros_;
+  }
+  uint64_t num_entries() const { return num_entries_; }
+
+ private:
+  friend class MemTableIterator;
+
+  struct KeyComparator {
+    const InternalKeyComparator comparator;
+    explicit KeyComparator(const InternalKeyComparator& c) : comparator(c) {}
+    int operator()(const char* a, const char* b) const;
+  };
+
+  typedef SkipList<const char*, KeyComparator> Table;
+
+  ~MemTable();  // Private since only Unref() should be used to delete it
+
+  KeyComparator comparator_;
+  int refs_;
+  Arena arena_;
+  Table table_;
+  uint64_t num_entries_;
+  uint64_t num_tombstones_;
+  SequenceNumber earliest_tombstone_seq_;
+  uint64_t earliest_tombstone_wall_micros_;
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_MEMTABLE_MEMTABLE_H_

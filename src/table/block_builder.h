@@ -1,0 +1,59 @@
+// BlockBuilder generates blocks where keys are prefix-compressed against the
+// previous key, with whole-key "restart points" every block_restart_interval
+// entries so readers can binary-search.
+//
+// Entry layout:
+//   shared_bytes:     varint32 (0 at restart points)
+//   unshared_bytes:   varint32
+//   value_length:     varint32
+//   key_delta:        char[unshared_bytes]
+//   value:            char[value_length]
+// Block trailer: restarts: uint32[num_restarts]; num_restarts: uint32.
+#ifndef ACHERON_TABLE_BLOCK_BUILDER_H_
+#define ACHERON_TABLE_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/slice.h"
+
+namespace acheron {
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int block_restart_interval);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  // Reset the contents as if the BlockBuilder was just constructed.
+  void Reset();
+
+  // REQUIRES: Finish() has not been called since the last call to Reset().
+  // REQUIRES: key is larger than any previously added key.
+  void Add(const Slice& key, const Slice& value);
+
+  // Finish building the block and return a slice that refers to the block
+  // contents. The returned slice remains valid until Reset() is called.
+  Slice Finish();
+
+  // Returns an estimate of the current (uncompressed) size of the block
+  // being built.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int block_restart_interval_;
+
+  std::string buffer_;              // Destination buffer
+  std::vector<uint32_t> restarts_;  // Restart points
+  int counter_;                     // Number of entries emitted since restart
+  bool finished_;                   // Has Finish() been called?
+  std::string last_key_;
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_TABLE_BLOCK_BUILDER_H_

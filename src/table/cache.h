@@ -1,0 +1,65 @@
+// Sharded LRU cache with reference counting, used as the block cache and the
+// table (file handle) cache. Entries are pinned by Lookup/Insert handles and
+// evicted strictly by LRU order of unpinned entries once the capacity
+// (measured in caller-supplied "charge" units) is exceeded.
+#ifndef ACHERON_TABLE_CACHE_LRU_H_
+#define ACHERON_TABLE_CACHE_LRU_H_
+
+#include <cstdint>
+
+#include "src/util/slice.h"
+
+namespace acheron {
+
+class Cache {
+ public:
+  Cache() = default;
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  // Destroys all existing entries by calling the "deleter" function that was
+  // passed to the constructor.
+  virtual ~Cache();
+
+  // Opaque handle to an entry stored in the cache.
+  struct Handle {};
+
+  // Insert a mapping from key->value into the cache and assign it the
+  // specified charge against the total cache capacity. Returns a handle that
+  // corresponds to the mapping; the caller must call Release(handle) when
+  // done. When the entry is no longer needed, key and value will be passed
+  // to "deleter".
+  virtual Handle* Insert(const Slice& key, void* value, size_t charge,
+                         void (*deleter)(const Slice& key, void* value)) = 0;
+
+  // Returns nullptr if the cache has no mapping for "key"; else a pinning
+  // handle the caller must Release().
+  virtual Handle* Lookup(const Slice& key) = 0;
+
+  // Release a mapping returned by a previous Lookup/Insert.
+  virtual void Release(Handle* handle) = 0;
+
+  // Return the value in a handle returned by a successful Lookup/Insert.
+  virtual void* Value(Handle* handle) = 0;
+
+  // If the cache contains entry for key, erase it (the entry is dropped once
+  // all existing handles are released).
+  virtual void Erase(const Slice& key) = 0;
+
+  // Return a new numeric id, used to partition the key space among multiple
+  // clients sharing the same cache.
+  virtual uint64_t NewId() = 0;
+
+  // Remove all cache entries that are not actively in use.
+  virtual void Prune() = 0;
+
+  // An estimate of the combined charges of the elements in the cache.
+  virtual size_t TotalCharge() const = 0;
+};
+
+// Create a new cache with a fixed size capacity, sharded 16 ways.
+Cache* NewLRUCache(size_t capacity);
+
+}  // namespace acheron
+
+#endif  // ACHERON_TABLE_CACHE_LRU_H_

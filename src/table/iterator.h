@@ -1,0 +1,67 @@
+// Iterator: the engine-wide iteration interface, used both internally (block
+// and merging iterators over internal keys) and by the public DB API (over
+// user keys). Modeled on LevelDB's iterator contract.
+#ifndef ACHERON_TABLE_ITERATOR_H_
+#define ACHERON_TABLE_ITERATOR_H_
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace acheron {
+
+class Iterator {
+ public:
+  Iterator();
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+  virtual ~Iterator();
+
+  // An iterator is either positioned at a key/value pair, or not valid.
+  virtual bool Valid() const = 0;
+
+  // Position at the first/last key in the source.
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+
+  // Position at the first key at or past |target|.
+  virtual void Seek(const Slice& target) = 0;
+
+  // REQUIRES: Valid()
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+
+  // The returned slices are valid until the next modification of the
+  // iterator. REQUIRES: Valid()
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  // Non-ok iff an error was encountered.
+  virtual Status status() const = 0;
+
+  // Register a function to run when this iterator is destroyed (used to
+  // release cache handles / owned blocks).
+  using CleanupFunction = void (*)(void* arg1, void* arg2);
+  void RegisterCleanup(CleanupFunction function, void* arg1, void* arg2);
+
+ private:
+  // Cleanup functions are stored in a singly-linked list; the head node is
+  // inlined in the iterator.
+  struct CleanupNode {
+    bool IsEmpty() const { return function == nullptr; }
+    void Run() { (*function)(arg1, arg2); }
+
+    CleanupFunction function;
+    void* arg1;
+    void* arg2;
+    CleanupNode* next;
+  };
+  CleanupNode cleanup_head_;
+};
+
+// An empty iterator with the specified status (OK by default).
+Iterator* NewEmptyIterator();
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace acheron
+
+#endif  // ACHERON_TABLE_ITERATOR_H_

@@ -1,0 +1,51 @@
+#include "src/table/properties.h"
+
+#include "src/util/coding.h"
+
+namespace acheron {
+
+// Properties are encoded as a fixed sequence of varints and length-prefixed
+// strings preceded by a format version byte, so fields can be appended in
+// future versions without breaking old readers.
+static const uint8_t kPropertiesFormatVersion = 1;
+
+void TableProperties::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(kPropertiesFormatVersion));
+  PutVarint64(dst, num_entries);
+  PutVarint64(dst, num_tombstones);
+  PutVarint64(dst, earliest_tombstone_time);
+  PutVarint64(dst, earliest_tombstone_wall_micros);
+  PutVarint64(dst, raw_key_bytes);
+  PutVarint64(dst, raw_value_bytes);
+  PutVarint64(dst, num_data_blocks);
+  PutLengthPrefixedSlice(dst, min_secondary_key);
+  PutLengthPrefixedSlice(dst, max_secondary_key);
+}
+
+Status TableProperties::DecodeFrom(Slice input) {
+  if (input.empty()) {
+    return Status::Corruption("empty properties block");
+  }
+  uint8_t version = static_cast<uint8_t>(input[0]);
+  if (version != kPropertiesFormatVersion) {
+    return Status::Corruption("unknown properties version");
+  }
+  input.remove_prefix(1);
+  Slice min_sec, max_sec;
+  if (!GetVarint64(&input, &num_entries) ||
+      !GetVarint64(&input, &num_tombstones) ||
+      !GetVarint64(&input, &earliest_tombstone_time) ||
+      !GetVarint64(&input, &earliest_tombstone_wall_micros) ||
+      !GetVarint64(&input, &raw_key_bytes) ||
+      !GetVarint64(&input, &raw_value_bytes) ||
+      !GetVarint64(&input, &num_data_blocks) ||
+      !GetLengthPrefixedSlice(&input, &min_sec) ||
+      !GetLengthPrefixedSlice(&input, &max_sec)) {
+    return Status::Corruption("truncated properties block");
+  }
+  min_secondary_key = min_sec.ToString();
+  max_secondary_key = max_sec.ToString();
+  return Status::OK();
+}
+
+}  // namespace acheron

@@ -1,0 +1,43 @@
+// TableProperties: per-SSTable statistics persisted in the properties block.
+// The tombstone fields are the metadata Acheron's delete-aware machinery
+// relies on: how many tombstones a file holds and when the oldest of them
+// was ingested (logical clock), from which the per-level TTL expiry is
+// computed.
+#ifndef ACHERON_TABLE_PROPERTIES_H_
+#define ACHERON_TABLE_PROPERTIES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace acheron {
+
+struct TableProperties {
+  uint64_t num_entries = 0;
+  // Point-delete tombstones contained in the file.
+  uint64_t num_tombstones = 0;
+  // Logical-clock timestamp of the *oldest* tombstone in the file;
+  // UINT64_MAX when the file holds no tombstones.
+  uint64_t earliest_tombstone_time = UINT64_MAX;
+  // Wall-clock (microseconds) counterpart, for reporting.
+  uint64_t earliest_tombstone_wall_micros = UINT64_MAX;
+  uint64_t raw_key_bytes = 0;
+  uint64_t raw_value_bytes = 0;
+  uint64_t num_data_blocks = 0;
+  // Range of the secondary delete key (e.g. a timestamp embedded in values)
+  // covered by this file; empty when no secondary-key extractor is
+  // configured. Enables retention purges to drop files/blocks wholesale.
+  std::string min_secondary_key;
+  std::string max_secondary_key;
+
+  bool has_tombstones() const { return num_tombstones > 0; }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice input);
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_TABLE_PROPERTIES_H_

@@ -1,0 +1,258 @@
+#include "src/table/table.h"
+
+#include <atomic>
+
+#include "src/env/env.h"
+#include "src/table/block.h"
+#include "src/table/cache.h"
+#include "src/table/format.h"
+#include "src/table/two_level_iterator.h"
+#include "src/util/bloom.h"
+#include "src/util/coding.h"
+#include "src/util/comparator.h"
+
+namespace acheron {
+
+struct Table::Rep {
+  ~Rep() {
+    delete filter_policy;
+    delete[] filter_data;
+    delete index_block;
+  }
+
+  Options options;
+  Status status;
+  RandomAccessFile* file;
+  uint64_t cache_id;
+  const FilterPolicy* filter_policy;  // owned
+  const char* filter_data;            // owned; filter block contents
+  Slice filter;                       // view into filter_data
+  TableProperties properties;
+  Block* index_block;
+  std::atomic<uint64_t> filter_negatives{0};
+};
+
+Status Table::Open(const Options& options, RandomAccessFile* file,
+                   uint64_t size, Table** table) {
+  *table = nullptr;
+  if (size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  Status s = file->Read(size - Footer::kEncodedLength, Footer::kEncodedLength,
+                        &footer_input, footer_space);
+  if (!s.ok()) return s;
+  if (footer_input.size() < Footer::kEncodedLength) {
+    return Status::Corruption("truncated sstable footer");
+  }
+
+  Footer footer;
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) return s;
+
+  // Read the index block.
+  BlockContents index_block_contents;
+  s = ReadBlock(file, footer.index_handle(), &index_block_contents);
+  if (!s.ok()) return s;
+
+  Rep* rep = new Table::Rep;
+  rep->options = options;
+  rep->file = file;
+  rep->index_block = new Block(index_block_contents);
+  rep->cache_id =
+      (options.block_cache ? options.block_cache->NewId() : 0);
+  rep->filter_policy = options.filter_bits_per_key > 0
+                           ? NewBloomFilterPolicy(options.filter_bits_per_key)
+                           : nullptr;
+  rep->filter_data = nullptr;
+
+  // Read the filter block.
+  if (rep->filter_policy != nullptr && footer.filter_handle().size() > 0) {
+    BlockContents filter_contents;
+    if (ReadBlock(file, footer.filter_handle(), &filter_contents).ok()) {
+      if (filter_contents.heap_allocated) {
+        rep->filter_data = filter_contents.data.data();
+      }
+      rep->filter = filter_contents.data;
+    }
+  }
+
+  // Read the properties block.
+  {
+    BlockContents props_contents;
+    Status ps = ReadBlock(file, footer.properties_handle(), &props_contents);
+    if (ps.ok()) {
+      ps = rep->properties.DecodeFrom(props_contents.data);
+      if (props_contents.heap_allocated) {
+        delete[] props_contents.data.data();
+      }
+    }
+    if (!ps.ok() && options.paranoid_checks) {
+      delete rep;
+      return ps;
+    }
+  }
+
+  *table = new Table(rep);
+  return Status::OK();
+}
+
+Table::~Table() { delete rep_; }
+
+static void DeleteBlock(void* arg, void*) {
+  delete reinterpret_cast<Block*>(arg);
+}
+
+static void DeleteCachedBlock(const Slice&, void* value) {
+  Block* block = reinterpret_cast<Block*>(value);
+  delete block;
+}
+
+static void ReleaseBlock(void* arg, void* h) {
+  Cache* cache = reinterpret_cast<Cache*>(arg);
+  Cache::Handle* handle = reinterpret_cast<Cache::Handle*>(h);
+  cache->Release(handle);
+}
+
+// Convert an index iterator value (an encoded BlockHandle) into an iterator
+// over the contents of the corresponding block.
+Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
+                             const Slice& index_value) {
+  Table* table = reinterpret_cast<Table*>(arg);
+  Cache* block_cache = table->rep_->options.block_cache;
+  Block* block = nullptr;
+  Cache::Handle* cache_handle = nullptr;
+
+  BlockHandle handle;
+  Slice input = index_value;
+  Status s = handle.DecodeFrom(&input);
+  // We intentionally allow extra stuff in index_value so that we can add
+  // more features in the future.
+
+  if (s.ok()) {
+    BlockContents contents;
+    if (block_cache != nullptr) {
+      char cache_key_buffer[16];
+      EncodeFixed64(cache_key_buffer, table->rep_->cache_id);
+      EncodeFixed64(cache_key_buffer + 8, handle.offset());
+      Slice key(cache_key_buffer, sizeof(cache_key_buffer));
+      cache_handle = block_cache->Lookup(key);
+      if (cache_handle != nullptr) {
+        block = reinterpret_cast<Block*>(block_cache->Value(cache_handle));
+      } else {
+        s = ReadBlock(table->rep_->file, handle, &contents);
+        if (s.ok()) {
+          block = new Block(contents);
+          if (contents.cachable && options.fill_cache) {
+            cache_handle = block_cache->Insert(key, block, block->size(),
+                                               &DeleteCachedBlock);
+          }
+        }
+      }
+    } else {
+      s = ReadBlock(table->rep_->file, handle, &contents);
+      if (s.ok()) {
+        block = new Block(contents);
+      }
+    }
+  }
+
+  Iterator* iter;
+  if (block != nullptr) {
+    const Comparator* cmp = table->rep_->options.comparator
+                                ? table->rep_->options.comparator
+                                : BytewiseComparator();
+    iter = block->NewIterator(cmp);
+    if (cache_handle == nullptr) {
+      iter->RegisterCleanup(&DeleteBlock, block, nullptr);
+    } else {
+      iter->RegisterCleanup(&ReleaseBlock, block_cache, cache_handle);
+    }
+  } else {
+    iter = NewErrorIterator(s);
+  }
+  return iter;
+}
+
+Iterator* Table::NewIterator(const ReadOptions& options) const {
+  const Comparator* cmp = rep_->options.comparator ? rep_->options.comparator
+                                                   : BytewiseComparator();
+  return NewTwoLevelIterator(rep_->index_block->NewIterator(cmp),
+                             &Table::BlockReader, const_cast<Table*>(this),
+                             options);
+}
+
+Status Table::InternalGet(const ReadOptions& options, const Slice& k,
+                          const Slice& filter_key, void* arg,
+                          void (*handle_result)(void*, const Slice&,
+                                                const Slice&)) {
+  Status s;
+  // Consult the full-file Bloom filter first.
+  if (rep_->filter_policy != nullptr && !rep_->filter.empty() &&
+      !rep_->filter_policy->KeyMayMatch(filter_key, rep_->filter)) {
+    rep_->filter_negatives.fetch_add(1, std::memory_order_relaxed);
+    return s;  // Definitely not present.
+  }
+
+  const Comparator* cmp = rep_->options.comparator ? rep_->options.comparator
+                                                   : BytewiseComparator();
+  Iterator* iiter = rep_->index_block->NewIterator(cmp);
+  iiter->Seek(k);
+  if (iiter->Valid()) {
+    Iterator* block_iter = BlockReader(const_cast<Table*>(this), options,
+                                       iiter->value());
+    block_iter->Seek(k);
+    if (block_iter->Valid()) {
+      (*handle_result)(arg, block_iter->key(), block_iter->value());
+    }
+    s = block_iter->status();
+    delete block_iter;
+  }
+  if (s.ok()) {
+    s = iiter->status();
+  }
+  delete iiter;
+  return s;
+}
+
+uint64_t Table::ApproximateOffsetOf(const Slice& key) const {
+  const Comparator* cmp = rep_->options.comparator ? rep_->options.comparator
+                                                   : BytewiseComparator();
+  Iterator* index_iter = rep_->index_block->NewIterator(cmp);
+  index_iter->Seek(key);
+  uint64_t result;
+  if (index_iter->Valid()) {
+    BlockHandle handle;
+    Slice input = index_iter->value();
+    Status s = handle.DecodeFrom(&input);
+    if (s.ok()) {
+      result = handle.offset();
+    } else {
+      // Strange: we can't decode the block handle in the index block.
+      // We'll just return the offset of the properties block, which is
+      // close to the whole file size for this case.
+      result = 0;
+    }
+  } else {
+    // key is past the last key in the file. Approximate the offset by
+    // returning the offset of the properties block (which is right near the
+    // end of the file).
+    result = 0;
+  }
+  if (result == 0) {
+    // Fallback: unknown; report "near end of data".
+    result = rep_->properties.raw_key_bytes + rep_->properties.raw_value_bytes;
+  }
+  delete index_iter;
+  return result;
+}
+
+const TableProperties& Table::properties() const { return rep_->properties; }
+
+uint64_t Table::filter_negatives() const {
+  return rep_->filter_negatives.load(std::memory_order_relaxed);
+}
+
+}  // namespace acheron

@@ -1,0 +1,221 @@
+#include "src/table/table_builder.h"
+
+#include <cassert>
+#include <vector>
+
+#include "src/env/env.h"
+#include "src/table/block_builder.h"
+#include "src/table/format.h"
+#include "src/util/bloom.h"
+#include "src/util/coding.h"
+#include "src/util/comparator.h"
+#include "src/util/crc32c.h"
+
+namespace acheron {
+
+struct TableBuilder::Rep {
+  Rep(const Options& opt, WritableFile* f)
+      : options(opt),
+        file(f),
+        offset(0),
+        data_block(opt.block_restart_interval),
+        index_block(1),
+        num_entries(0),
+        closed(false),
+        filter_policy(opt.filter_bits_per_key > 0
+                          ? NewBloomFilterPolicy(opt.filter_bits_per_key)
+                          : nullptr),
+        pending_index_entry(false) {}
+
+  ~Rep() { delete filter_policy; }
+
+  Options options;
+  WritableFile* file;
+  uint64_t offset;
+  Status status;
+  BlockBuilder data_block;
+  BlockBuilder index_block;
+  std::string last_key;
+  int64_t num_entries;
+  bool closed;  // Either Finish() or Abandon() has been called.
+  const FilterPolicy* filter_policy;
+  // Keys accumulated for the full-file Bloom filter.
+  std::vector<std::string> filter_keys;
+  TableProperties properties;
+
+  // We do not emit the index entry for a block until we have seen the first
+  // key for the next data block. This allows us to use shorter keys in the
+  // index block.
+  bool pending_index_entry;
+  BlockHandle pending_handle;  // Handle to add to index block
+
+  std::string compressed_output;
+};
+
+TableBuilder::TableBuilder(const Options& options, WritableFile* file)
+    : rep_(new Rep(options, file)) {}
+
+TableBuilder::~TableBuilder() {
+  assert(rep_->closed);  // Catch errors where caller forgot to call Finish()
+  delete rep_;
+}
+
+void TableBuilder::Add(const Slice& key, const Slice& value,
+                       const Slice& filter_key) {
+  Rep* r = rep_;
+  assert(!r->closed);
+  if (!ok()) return;
+  const Comparator* cmp =
+      r->options.comparator ? r->options.comparator : BytewiseComparator();
+  if (r->num_entries > 0) {
+    assert(cmp->Compare(key, Slice(r->last_key)) > 0);
+  }
+
+  if (r->pending_index_entry) {
+    assert(r->data_block.empty());
+    cmp->FindShortestSeparator(&r->last_key, key);
+    std::string handle_encoding;
+    r->pending_handle.EncodeTo(&handle_encoding);
+    r->index_block.Add(r->last_key, Slice(handle_encoding));
+    r->pending_index_entry = false;
+  }
+
+  if (r->filter_policy != nullptr) {
+    r->filter_keys.push_back(filter_key.ToString());
+  }
+
+  r->last_key.assign(key.data(), key.size());
+  r->num_entries++;
+  r->properties.num_entries++;
+  r->properties.raw_key_bytes += key.size();
+  r->properties.raw_value_bytes += value.size();
+  r->data_block.Add(key, value);
+
+  const size_t estimated_block_size = r->data_block.CurrentSizeEstimate();
+  if (estimated_block_size >= r->options.block_size) {
+    Flush();
+  }
+}
+
+void TableBuilder::Flush() {
+  Rep* r = rep_;
+  assert(!r->closed);
+  if (!ok()) return;
+  if (r->data_block.empty()) return;
+  assert(!r->pending_index_entry);
+  WriteBlock(&r->data_block, &r->pending_handle);
+  if (ok()) {
+    r->pending_index_entry = true;
+    r->properties.num_data_blocks++;
+    r->status = r->file->Flush();
+  }
+}
+
+void TableBuilder::WriteBlock(BlockBuilder* block, BlockHandle* handle) {
+  // File format contains a sequence of blocks where each block has:
+  //    block_data: uint8[n]
+  //    type: uint8 (0 = uncompressed)
+  //    crc: uint32
+  assert(ok());
+  Slice raw = block->Finish();
+  WriteRawBlock(raw, handle);
+  block->Reset();
+}
+
+void TableBuilder::WriteRawBlock(const Slice& block_contents,
+                                 BlockHandle* handle) {
+  Rep* r = rep_;
+  handle->set_offset(r->offset);
+  handle->set_size(block_contents.size());
+  r->status = r->file->Append(block_contents);
+  if (r->status.ok()) {
+    char trailer[kBlockTrailerSize];
+    trailer[0] = 0;  // uncompressed
+    uint32_t crc = crc32c::Value(block_contents.data(), block_contents.size());
+    crc = crc32c::Extend(crc, trailer, 1);  // Extend crc to cover block type
+    EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+    r->status = r->file->Append(Slice(trailer, kBlockTrailerSize));
+    if (r->status.ok()) {
+      r->offset += block_contents.size() + kBlockTrailerSize;
+    }
+  }
+}
+
+Status TableBuilder::status() const { return rep_->status; }
+
+Status TableBuilder::Finish() {
+  Rep* r = rep_;
+  Flush();
+  assert(!r->closed);
+  r->closed = true;
+
+  BlockHandle filter_block_handle, properties_block_handle, index_block_handle;
+
+  // Write filter block (full-file Bloom over all filter keys).
+  if (ok()) {
+    std::string filter_contents;
+    if (r->filter_policy != nullptr && !r->filter_keys.empty()) {
+      std::vector<Slice> key_slices;
+      key_slices.reserve(r->filter_keys.size());
+      for (const auto& k : r->filter_keys) {
+        key_slices.emplace_back(k);
+      }
+      r->filter_policy->CreateFilter(key_slices.data(),
+                                     static_cast<int>(key_slices.size()),
+                                     &filter_contents);
+    }
+    WriteRawBlock(Slice(filter_contents), &filter_block_handle);
+  }
+
+  // Write properties block.
+  if (ok()) {
+    std::string props_contents;
+    r->properties.EncodeTo(&props_contents);
+    WriteRawBlock(Slice(props_contents), &properties_block_handle);
+  }
+
+  // Write index block.
+  if (ok()) {
+    if (r->pending_index_entry) {
+      const Comparator* cmp =
+          r->options.comparator ? r->options.comparator : BytewiseComparator();
+      cmp->FindShortSuccessor(&r->last_key);
+      std::string handle_encoding;
+      r->pending_handle.EncodeTo(&handle_encoding);
+      r->index_block.Add(r->last_key, Slice(handle_encoding));
+      r->pending_index_entry = false;
+    }
+    WriteBlock(&r->index_block, &index_block_handle);
+  }
+
+  // Write footer.
+  if (ok()) {
+    Footer footer;
+    footer.set_filter_handle(filter_block_handle);
+    footer.set_properties_handle(properties_block_handle);
+    footer.set_index_handle(index_block_handle);
+    std::string footer_encoding;
+    footer.EncodeTo(&footer_encoding);
+    r->status = r->file->Append(footer_encoding);
+    if (r->status.ok()) {
+      r->offset += footer_encoding.size();
+    }
+  }
+  return r->status;
+}
+
+void TableBuilder::Abandon() {
+  Rep* r = rep_;
+  assert(!r->closed);
+  r->closed = true;
+}
+
+uint64_t TableBuilder::NumEntries() const { return rep_->num_entries; }
+
+uint64_t TableBuilder::FileSize() const { return rep_->offset; }
+
+TableProperties* TableBuilder::mutable_properties() {
+  return &rep_->properties;
+}
+
+}  // namespace acheron

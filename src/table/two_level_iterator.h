@@ -1,0 +1,29 @@
+// TwoLevelIterator: iterates over entries reachable through an index
+// iterator whose values are decoded into data iterators by a caller-supplied
+// block function. Used for table iteration (index block -> data blocks) and
+// level iteration (file list -> table iterators).
+#ifndef ACHERON_TABLE_TWO_LEVEL_ITERATOR_H_
+#define ACHERON_TABLE_TWO_LEVEL_ITERATOR_H_
+
+#include "src/lsm/options.h"
+#include "src/table/iterator.h"
+
+namespace acheron {
+
+// Return a new two level iterator. A two-level iterator contains an index
+// iterator whose values point to a sequence of blocks where each block is
+// itself a sequence of key,value pairs. The returned two-level iterator
+// yields the concatenation of all key/value pairs in the sequence of blocks.
+// Takes ownership of "index_iter" and will delete it when no longer needed.
+//
+// Uses a supplied function to convert an index_iter value into an iterator
+// over the contents of the corresponding block.
+Iterator* NewTwoLevelIterator(
+    Iterator* index_iter,
+    Iterator* (*block_function)(void* arg, const ReadOptions& options,
+                                const Slice& index_value),
+    void* arg, const ReadOptions& options);
+
+}  // namespace acheron
+
+#endif  // ACHERON_TABLE_TWO_LEVEL_ITERATOR_H_

@@ -1,0 +1,59 @@
+// Arena: bump-pointer allocator backing the memtable skiplist. Allocation is
+// O(1); all memory is released when the arena is destroyed. Memory usage is
+// tracked so the memtable can decide when to flush.
+#ifndef ACHERON_UTIL_ARENA_H_
+#define ACHERON_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace acheron {
+
+class Arena {
+ public:
+  Arena();
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Return a pointer to a newly allocated memory block of |bytes| bytes.
+  char* Allocate(size_t bytes);
+
+  // Allocate with the alignment guarantees of malloc (8-byte aligned).
+  char* AllocateAligned(size_t bytes);
+
+  // Estimate of total memory reserved by the arena, readable concurrently
+  // with allocation.
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+inline char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+}  // namespace acheron
+
+#endif  // ACHERON_UTIL_ARENA_H_

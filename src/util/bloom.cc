@@ -1,0 +1,83 @@
+#include "src/util/bloom.h"
+
+#include <cmath>
+
+#include "src/util/hash.h"
+
+namespace acheron {
+namespace {
+
+class BloomFilterPolicy : public FilterPolicy {
+ public:
+  explicit BloomFilterPolicy(int bits_per_key) : bits_per_key_(bits_per_key) {
+    // Round down k = bits_per_key * ln(2) to reduce probing cost a little.
+    k_ = static_cast<int>(bits_per_key * 0.69);
+    if (k_ < 1) k_ = 1;
+    if (k_ > 30) k_ = 30;
+  }
+
+  const char* Name() const override { return "acheron.BuiltinBloomFilter"; }
+
+  void CreateFilter(const Slice* keys, int n, std::string* dst) const override {
+    // Compute bloom filter size (in both bits and bytes).
+    size_t bits = static_cast<size_t>(n) * bits_per_key_;
+    // A tiny filter has a high false positive rate; enforce a floor.
+    if (bits < 64) bits = 64;
+    size_t bytes = (bits + 7) / 8;
+    bits = bytes * 8;
+
+    const size_t init_size = dst->size();
+    dst->resize(init_size + bytes, 0);
+    dst->push_back(static_cast<char>(k_));  // remember # probes
+    char* array = dst->data() + init_size;
+    for (int i = 0; i < n; i++) {
+      // Enhanced double hashing: h += delta; delta += j. Avoids the short
+      // probe cycles plain double hashing can produce on small filters.
+      uint64_t h = Hash64(keys[i].data(), keys[i].size(), 0xac1e705);
+      uint64_t delta = (h >> 33) | (h << 31);
+      for (int j = 0; j < k_; j++) {
+        const size_t bitpos = h % bits;
+        array[bitpos / 8] |= (1 << (bitpos % 8));
+        h += delta;
+        delta += static_cast<uint64_t>(j);
+      }
+    }
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& bloom_filter) const override {
+    const size_t len = bloom_filter.size();
+    if (len < 2) return false;
+
+    const char* array = bloom_filter.data();
+    const size_t bits = (len - 1) * 8;
+
+    const int k = array[len - 1];
+    if (k > 30) {
+      // Reserved for potentially new encodings; treat as a match so we never
+      // produce a false negative.
+      return true;
+    }
+
+    uint64_t h = Hash64(key.data(), key.size(), 0xac1e705);
+    uint64_t delta = (h >> 33) | (h << 31);
+    for (int j = 0; j < k; j++) {
+      const size_t bitpos = h % bits;
+      if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+      h += delta;
+      delta += static_cast<uint64_t>(j);
+    }
+    return true;
+  }
+
+ private:
+  int bits_per_key_;
+  int k_;
+};
+
+}  // namespace
+
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key) {
+  return new BloomFilterPolicy(bits_per_key);
+}
+
+}  // namespace acheron

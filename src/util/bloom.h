@@ -1,0 +1,37 @@
+// Bloom filter policy for SSTable filter blocks. Double-hashing variant
+// (Kirsch-Mitzenmacher) over a 64-bit base hash; bits-per-key is tunable and
+// the number of probes is derived as k = bits_per_key * ln(2).
+#ifndef ACHERON_UTIL_BLOOM_H_
+#define ACHERON_UTIL_BLOOM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/slice.h"
+
+namespace acheron {
+
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+
+  // Name persisted in SSTable footers; a reader refuses filters built by a
+  // differently named policy.
+  virtual const char* Name() const = 0;
+
+  // Append a filter summarizing keys[0..n-1] to *dst.
+  virtual void CreateFilter(const Slice* keys, int n,
+                            std::string* dst) const = 0;
+
+  // May return true/false if the key was in the filtered set; must return
+  // true if it was (no false negatives).
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+};
+
+// Returns a new Bloom filter policy with ~bits_per_key bits per stored key.
+// ~10 bits/key gives a ~1% false positive rate. Caller owns the result.
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key);
+
+}  // namespace acheron
+
+#endif  // ACHERON_UTIL_BLOOM_H_

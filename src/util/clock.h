@@ -1,0 +1,47 @@
+// Clocks. The delete-persistence machinery (FADE) ages tombstones on a
+// *logical* clock -- the count of operations ingested -- which makes TTL
+// expiry deterministic and testable; wall-clock time is tracked alongside for
+// reporting. SystemClock wraps the real clock for timing benchmarks.
+#ifndef ACHERON_UTIL_CLOCK_H_
+#define ACHERON_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace acheron {
+
+// Monotonically increasing operation counter shared by a DB instance.
+class LogicalClock {
+ public:
+  LogicalClock() : now_(0) {}
+
+  uint64_t Now() const { return now_.load(std::memory_order_acquire); }
+  uint64_t Tick(uint64_t n = 1) {
+    return now_.fetch_add(n, std::memory_order_acq_rel) + n;
+  }
+  // Recovery fast-forwards the clock to at least |t|.
+  void AdvanceTo(uint64_t t) {
+    uint64_t cur = now_.load(std::memory_order_acquire);
+    while (cur < t &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> now_;
+};
+
+// Wall clock in microseconds.
+class SystemClock {
+ public:
+  static uint64_t NowMicros() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_UTIL_CLOCK_H_

@@ -1,0 +1,75 @@
+// Binary encoding primitives: little-endian fixed-width integers and LEB128
+// varints, used throughout the WAL, SSTable, and MANIFEST formats.
+#ifndef ACHERON_UTIL_CODING_H_
+#define ACHERON_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace acheron {
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+// Varint length prefix followed by the bytes of |value|.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+// Parse a varint from [*input]; on success advances *input past it and
+// stores the value. Returns false on malformed input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+// Consume a fixed-width integer from the front of *input. Returns false if
+// the slice is too short.
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+// Pointer-based varint decoders: decode from [p, limit) and return a pointer
+// just past the parsed value, or nullptr on error.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* v);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* v);
+
+// Number of bytes VarintLength-encoding |v| takes.
+int VarintLength(uint64_t v);
+
+// Raw buffer encoders; caller guarantees space.
+void EncodeFixed32(char* dst, uint32_t value);
+void EncodeFixed64(char* dst, uint64_t value);
+char* EncodeVarint32(char* dst, uint32_t value);
+char* EncodeVarint64(char* dst, uint64_t value);
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t result;
+  memcpy(&result, ptr, sizeof(result));  // little-endian hosts only
+  return result;
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+// Internal fallback for multi-byte varint32 decode.
+const char* GetVarint32PtrFallback(const char* p, const char* limit,
+                                   uint32_t* value);
+
+inline const char* GetVarint32Ptr(const char* p, const char* limit,
+                                  uint32_t* value) {
+  if (p < limit) {
+    uint32_t result = static_cast<unsigned char>(*p);
+    if ((result & 128) == 0) {
+      *value = result;
+      return p + 1;
+    }
+  }
+  return GetVarint32PtrFallback(p, limit, value);
+}
+
+}  // namespace acheron
+
+#endif  // ACHERON_UTIL_CODING_H_

@@ -1,0 +1,37 @@
+// Comparator: user-key ordering abstraction. The engine orders all keys by a
+// Comparator; the default is bytewise (memcmp) order.
+#ifndef ACHERON_UTIL_COMPARATOR_H_
+#define ACHERON_UTIL_COMPARATOR_H_
+
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace acheron {
+
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  // Three-way comparison: <0 iff a < b, 0 iff a == b, >0 iff a > b.
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+
+  // Name of this comparator, persisted to the MANIFEST to catch mismatched
+  // re-opens.
+  virtual const char* Name() const = 0;
+
+  // Advanced: shorten index-block keys. If *start < limit, change *start to
+  // a short string in [start, limit). A no-op implementation is correct.
+  virtual void FindShortestSeparator(std::string* start,
+                                     const Slice& limit) const = 0;
+
+  // Change *key to a short string >= *key. A no-op is correct.
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+// Builtin memcmp-order comparator; singleton, never destroyed.
+const Comparator* BytewiseComparator();
+
+}  // namespace acheron
+
+#endif  // ACHERON_UTIL_COMPARATOR_H_

@@ -1,0 +1,62 @@
+#include "src/util/hash.h"
+
+#include <cstring>
+
+#include "src/util/coding.h"
+
+namespace acheron {
+
+uint32_t Hash(const char* data, size_t n, uint32_t seed) {
+  // Similar to murmur hash.
+  const uint32_t m = 0xc6a4a793;
+  const uint32_t r = 24;
+  const char* limit = data + n;
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+
+  while (data + 4 <= limit) {
+    uint32_t w = DecodeFixed32(data);
+    data += 4;
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+
+  switch (limit - data) {
+    case 3:
+      h += static_cast<uint8_t>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<uint8_t>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<uint8_t>(data[0]);
+      h *= m;
+      h ^= (h >> r);
+      break;
+  }
+  return h;
+}
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) {
+  // FNV-1a over 8-byte words followed by an xxhash-style avalanche.
+  const uint64_t kPrime = 0x100000001b3ull;
+  uint64_t h = seed ^ 0xcbf29ce484222325ull;
+  const char* limit = data + n;
+  while (data + 8 <= limit) {
+    h ^= DecodeFixed64(data);
+    h *= kPrime;
+    data += 8;
+  }
+  while (data < limit) {
+    h ^= static_cast<uint8_t>(*data++);
+    h *= kPrime;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace acheron

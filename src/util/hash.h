@@ -1,0 +1,18 @@
+// Non-cryptographic hashing used by the Bloom filter and cache sharding.
+#ifndef ACHERON_UTIL_HASH_H_
+#define ACHERON_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace acheron {
+
+// Murmur-flavoured 32-bit hash (LevelDB's Hash).
+uint32_t Hash(const char* data, size_t n, uint32_t seed);
+
+// 64-bit mixer (xxhash-style avalanche) for double-hashing schemes.
+uint64_t Hash64(const char* data, size_t n, uint64_t seed);
+
+}  // namespace acheron
+
+#endif  // ACHERON_UTIL_HASH_H_

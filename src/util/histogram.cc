@@ -1,0 +1,110 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace acheron {
+
+const std::vector<double>& Histogram::Buckets() {
+  // Exponentially spaced bucket limits: 1, 2, 3, 4, 5, 6, 8, 10, ... roughly
+  // 1.25x growth, covering up to ~1e18.
+  static const std::vector<double> limits = [] {
+    std::vector<double> v;
+    double value = 1.0;
+    while (value < 1e18) {
+      v.push_back(value);
+      double next = value * 1.25;
+      // Keep limits integral once they are large enough to matter.
+      next = std::max(next, value + 1.0);
+      value = std::floor(next);
+    }
+    v.push_back(1e18);
+    return v;
+  }();
+  return limits;
+}
+
+void Histogram::Clear() {
+  min_ = Buckets().back();
+  max_ = 0;
+  num_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  buckets_.assign(Buckets().size(), 0);
+}
+
+void Histogram::Add(double value) {
+  const auto& limits = Buckets();
+  // First bucket whose limit is > value.
+  size_t b =
+      std::upper_bound(limits.begin(), limits.end(), value) - limits.begin();
+  if (b >= buckets_.size()) {
+    b = buckets_.size() - 1;
+  }
+  buckets_[b]++;
+  if (min_ > value) min_ = value;
+  if (max_ < value) max_ = value;
+  num_++;
+  sum_ += value;
+  sum_squares_ += value * value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  num_ += other.num_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    buckets_[b] += other.buckets_[b];
+  }
+}
+
+double Histogram::Average() const {
+  if (num_ == 0) return 0;
+  return sum_ / static_cast<double>(num_);
+}
+
+double Histogram::StandardDeviation() const {
+  if (num_ == 0) return 0;
+  double n = static_cast<double>(num_);
+  double variance = (sum_squares_ * n - sum_ * sum_) / (n * n);
+  return variance > 0 ? std::sqrt(variance) : 0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (num_ == 0) return 0;
+  const auto& limits = Buckets();
+  double threshold = static_cast<double>(num_) * (p / 100.0);
+  double cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    cumulative += static_cast<double>(buckets_[b]);
+    if (cumulative >= threshold) {
+      // Interpolate within bucket b: [left_limit, right_limit).
+      double left_point = (b == 0) ? 0 : limits[b - 1];
+      double right_point = limits[b];
+      double left_sum = cumulative - static_cast<double>(buckets_[b]);
+      double pos = 0;
+      if (buckets_[b] > 0) {
+        pos = (threshold - left_sum) / static_cast<double>(buckets_[b]);
+      }
+      double r = left_point + (right_point - left_point) * pos;
+      return std::clamp(r, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu avg=%.1f std=%.1f min=%.0f p50=%.0f p90=%.0f "
+                "p99=%.0f max=%.0f",
+                static_cast<unsigned long long>(num_), Average(),
+                StandardDeviation(), Min(), Percentile(50), Percentile(90),
+                Percentile(99), Max());
+  return buf;
+}
+
+}  // namespace acheron

@@ -1,0 +1,44 @@
+// Histogram with exponential bucket boundaries for latency/age statistics,
+// used by the delete-persistence monitor and benchmark reporting.
+#ifndef ACHERON_UTIL_HISTOGRAM_H_
+#define ACHERON_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace acheron {
+
+class Histogram {
+ public:
+  Histogram() { Clear(); }
+
+  void Clear();
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  uint64_t Count() const { return num_; }
+  double Min() const { return num_ ? min_ : 0; }
+  double Max() const { return max_; }
+  double Average() const;
+  double StandardDeviation() const;
+  // Percentile via linear interpolation inside the containing bucket.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  std::string ToString() const;
+
+ private:
+  static const std::vector<double>& Buckets();
+
+  double min_;
+  double max_;
+  uint64_t num_;
+  double sum_;
+  double sum_squares_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_UTIL_HISTOGRAM_H_

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random generator (xorshift128+) used by tests,
+// skiplist height selection, and workload generation. Not for security.
+#ifndef ACHERON_UTIL_RANDOM_H_
+#define ACHERON_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace acheron {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s_[0] = seed ? seed : 0x9e3779b97f4a7c15ull;
+    s_[1] = SplitMix(&s_[0]);
+    s_[0] = SplitMix(&s_[1]);
+  }
+
+  uint64_t Next64() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  uint32_t Next() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  // Returns true with probability 1/n.
+  bool OneIn(uint32_t n) { return Uniform(n) == 0; }
+
+  // Skewed: pick base uniformly from [0, max_log] and return uniform in
+  // [0, 2^base). Favors small numbers exponentially.
+  uint64_t Skewed(int max_log) {
+    return Uniform(uint64_t{1} << Uniform(max_log + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_UTIL_RANDOM_H_

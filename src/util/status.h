@@ -1,0 +1,68 @@
+// Status: result of an operation, either success or an error with a code and
+// message. Mirrors the LevelDB/RocksDB convention of returning Status from
+// every fallible call instead of throwing.
+#ifndef ACHERON_UTIL_STATUS_H_
+#define ACHERON_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "src/util/slice.h"
+
+namespace acheron {
+
+class Status {
+ public:
+  Status() noexcept : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kIOError, msg, msg2);
+  }
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kBusy, msg, msg2);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+
+  // Human-readable description, e.g. "IO error: <msg>".
+  std::string ToString() const;
+
+ private:
+  enum class Code {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2);
+
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_UTIL_STATUS_H_

@@ -1,0 +1,95 @@
+#include "src/workload/trace.h"
+
+#include "src/util/coding.h"
+#include "src/wal/log_reader.h"
+#include "src/wal/log_writer.h"
+
+namespace acheron {
+namespace workload {
+
+Status TraceWriter::Open(Env* env, const std::string& path,
+                         std::unique_ptr<TraceWriter>* writer) {
+  writer->reset(new TraceWriter());
+  Status s = env->NewWritableFile(path, &(*writer)->file_);
+  if (!s.ok()) {
+    writer->reset();
+    return s;
+  }
+  (*writer)->log_ = std::make_unique<wal::Writer>((*writer)->file_.get());
+  return Status::OK();
+}
+
+TraceWriter::~TraceWriter() = default;
+
+Status TraceWriter::Append(const Op& op) {
+  std::string record;
+  record.push_back(static_cast<char>(op.type));
+  PutLengthPrefixedSlice(&record, op.key);
+  PutLengthPrefixedSlice(&record, op.value);
+  PutVarint32(&record, static_cast<uint32_t>(op.scan_length));
+  Status s = log_->AddRecord(record);
+  if (s.ok()) ops_written_++;
+  return s;
+}
+
+Status TraceWriter::Finish() {
+  Status s = file_->Flush();
+  if (s.ok()) s = file_->Sync();
+  if (s.ok()) s = file_->Close();
+  return s;
+}
+
+Status TraceReader::Open(Env* env, const std::string& path,
+                         std::unique_ptr<TraceReader>* reader) {
+  reader->reset(new TraceReader());
+  Status s = env->NewSequentialFile(path, &(*reader)->file_);
+  if (!s.ok()) {
+    reader->reset();
+    return s;
+  }
+  (*reader)->log_ = std::make_unique<wal::Reader>((*reader)->file_.get(),
+                                                  nullptr, true);
+  return Status::OK();
+}
+
+TraceReader::~TraceReader() = default;
+
+bool TraceReader::Next(Op* op) {
+  Slice record;
+  if (!log_->ReadRecord(&record, &scratch_)) {
+    return false;
+  }
+  if (record.size() < 1) {
+    status_ = Status::Corruption("trace record too small");
+    return false;
+  }
+  op->type = static_cast<OpType>(record[0]);
+  record.remove_prefix(1);
+  Slice key, value;
+  uint32_t scan_length;
+  if (!GetLengthPrefixedSlice(&record, &key) ||
+      !GetLengthPrefixedSlice(&record, &value) ||
+      !GetVarint32(&record, &scan_length)) {
+    status_ = Status::Corruption("malformed trace record");
+    return false;
+  }
+  op->key = key.ToString();
+  op->value = value.ToString();
+  op->scan_length = static_cast<int>(scan_length);
+  return true;
+}
+
+Status RecordTrace(Env* env, const std::string& path, Generator* gen,
+                   uint64_t n) {
+  std::unique_ptr<TraceWriter> writer;
+  Status s = TraceWriter::Open(env, path, &writer);
+  if (!s.ok()) return s;
+  for (uint64_t i = 0; i < n && s.ok(); i++) {
+    s = writer->Append(gen->Next());
+  }
+  if (s.ok()) s = writer->Finish();
+  return s;
+}
+
+}  // namespace workload
+}  // namespace acheron

@@ -1,0 +1,78 @@
+// Workload trace files: persist a generated operation stream so experiments
+// can be replayed bit-identically across engines and configurations (and
+// real traces can be imported by writing this format).
+//
+// Format: little-endian records, one per op:
+//   type: uint8 | key: varint-len bytes | value: varint-len bytes |
+//   scan_length: varint32
+// framed through the WAL record layer (checksummed, corruption-detecting).
+#ifndef ACHERON_WORKLOAD_TRACE_H_
+#define ACHERON_WORKLOAD_TRACE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/env/env.h"
+#include "src/util/status.h"
+#include "src/workload/workload.h"
+
+namespace acheron {
+
+namespace wal {
+class Reader;
+class Writer;
+}
+
+namespace workload {
+
+// Streams ops into a trace file.
+class TraceWriter {
+ public:
+  // Creates/truncates |path| on |env|.
+  static Status Open(Env* env, const std::string& path,
+                     std::unique_ptr<TraceWriter>* writer);
+  ~TraceWriter();
+
+  Status Append(const Op& op);
+  Status Finish();
+
+  uint64_t ops_written() const { return ops_written_; }
+
+ private:
+  TraceWriter() = default;
+
+  std::unique_ptr<WritableFile> file_;
+  std::unique_ptr<wal::Writer> log_;
+  uint64_t ops_written_ = 0;
+};
+
+// Reads ops back from a trace file.
+class TraceReader {
+ public:
+  static Status Open(Env* env, const std::string& path,
+                     std::unique_ptr<TraceReader>* reader);
+  ~TraceReader();
+
+  // Returns false at end of trace (or unrecoverable corruption; check
+  // status()).
+  bool Next(Op* op);
+
+  Status status() const { return status_; }
+
+ private:
+  TraceReader() = default;
+
+  std::unique_ptr<SequentialFile> file_;
+  std::unique_ptr<wal::Reader> log_;
+  std::string scratch_;
+  Status status_;
+};
+
+// Convenience: generate |n| ops from |gen| into |path|.
+Status RecordTrace(Env* env, const std::string& path, Generator* gen,
+                   uint64_t n);
+
+}  // namespace workload
+}  // namespace acheron
+
+#endif  // ACHERON_WORKLOAD_TRACE_H_

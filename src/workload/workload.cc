@@ -1,0 +1,121 @@
+#include "src/workload/workload.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace acheron {
+namespace workload {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rnd_(seed) {
+  assert(n > 0);
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) const {
+  // O(n) once at construction; specs keep key spaces modest. For very large
+  // n this could use the incremental approximation from YCSB.
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  const double u = rnd_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+Generator::Generator(const WorkloadSpec& spec)
+    : spec_(spec),
+      rnd_(spec.seed),
+      zipf_(spec.key_space, spec.zipfian_theta, spec.seed ^ 0x5eedf00d),
+      ops_emitted_(0),
+      fifo_delete_cursor_(0),
+      insert_cursor_(0) {
+  assert(spec.update_percent + spec.delete_percent +
+             spec.point_query_percent + spec.range_query_percent <=
+         100);
+}
+
+std::string Generator::KeyAt(uint64_t i) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(i));
+  std::string key = "key";
+  key.append(buf);
+  if (key.size() > spec_.key_size) {
+    // Keep the distinguishing suffix.
+    return key.substr(key.size() - spec_.key_size);
+  }
+  key.resize(spec_.key_size, '0');
+  return key;
+}
+
+std::string Generator::ValueAt(uint64_t op_index) const {
+  std::string value = "v" + std::to_string(op_index) + "_";
+  if (value.size() < spec_.value_size) {
+    value.resize(spec_.value_size, 'x');
+  }
+  return value;
+}
+
+uint64_t Generator::NextKeyIndex() {
+  if (spec_.distribution == KeyDistribution::kZipfian) {
+    uint64_t v = zipf_.Next();
+    return v >= spec_.key_space ? spec_.key_space - 1 : v;
+  }
+  return rnd_.Uniform(spec_.key_space);
+}
+
+Op Generator::Next() {
+  Op op;
+  const uint64_t op_index = ops_emitted_++;
+  const int dice = static_cast<int>(rnd_.Uniform(100));
+
+  const int update_hi = spec_.update_percent;
+  const int delete_hi = update_hi + spec_.delete_percent;
+  const int point_hi = delete_hi + spec_.point_query_percent;
+  const int range_hi = point_hi + spec_.range_query_percent;
+
+  if (dice < update_hi) {
+    op.type = OpType::kUpdate;
+    op.key = KeyAt(NextKeyIndex());
+    op.value = ValueAt(op_index);
+  } else if (dice < delete_hi) {
+    op.type = OpType::kDelete;
+    if (spec_.delete_model == DeleteModel::kFifo) {
+      op.key = KeyAt(fifo_delete_cursor_ % spec_.key_space);
+      fifo_delete_cursor_++;
+    } else {
+      op.key = KeyAt(NextKeyIndex());
+    }
+  } else if (dice < point_hi) {
+    op.type = OpType::kPointQuery;
+    op.key = KeyAt(NextKeyIndex());
+  } else if (dice < range_hi) {
+    op.type = OpType::kRangeQuery;
+    op.key = KeyAt(NextKeyIndex());
+    op.scan_length = spec_.range_scan_length;
+  } else {
+    op.type = OpType::kInsert;
+    // Inserts walk fresh keys round-robin so the live set stays ~key_space.
+    op.key = KeyAt(insert_cursor_ % spec_.key_space);
+    insert_cursor_++;
+    op.value = ValueAt(op_index);
+  }
+  return op;
+}
+
+}  // namespace workload
+}  // namespace acheron

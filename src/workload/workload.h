@@ -1,0 +1,114 @@
+// Workload generation for experiments: key distributions (uniform, Zipfian),
+// op mixes (insert/update/point delete/point query/range query), and
+// delete-arrival models, mirroring the knobs the delete-aware LSM line of
+// work sweeps in its evaluations.
+#ifndef ACHERON_WORKLOAD_WORKLOAD_H_
+#define ACHERON_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace acheron {
+namespace workload {
+
+// Zipfian generator over [0, n) with parameter theta (0 = uniform-ish,
+// 0.99 = heavily skewed), using the Gray et al. computation as in YCSB.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Random rnd_;
+};
+
+enum class OpType : uint8_t {
+  kInsert,      // Put of a (possibly) new key
+  kUpdate,      // Put of an existing key
+  kDelete,      // point delete
+  kPointQuery,  // Get
+  kRangeQuery,  // short scan
+};
+
+struct Op {
+  OpType type;
+  std::string key;
+  std::string value;   // for puts
+  int scan_length = 0;  // for range queries
+};
+
+enum class KeyDistribution { kUniform, kZipfian };
+
+// How deletes pick their victim.
+enum class DeleteModel {
+  // Delete a uniformly random previously-inserted key.
+  kUniform,
+  // Delete keys in insertion order (oldest first) -- the retention /
+  // sliding-window pattern of streaming systems.
+  kFifo,
+};
+
+struct WorkloadSpec {
+  uint64_t num_ops = 100000;
+  uint64_t key_space = 10000;  // distinct keys
+  size_t key_size = 16;        // bytes (zero-padded numeric keys)
+  size_t value_size = 64;      // bytes
+
+  // Op mix; must sum to <= 100. The remainder goes to inserts.
+  int update_percent = 20;
+  int delete_percent = 10;
+  int point_query_percent = 10;
+  int range_query_percent = 0;
+  int range_scan_length = 32;
+
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  double zipfian_theta = 0.99;
+  DeleteModel delete_model = DeleteModel::kUniform;
+
+  uint64_t seed = 42;
+};
+
+// Streams operations for a spec. Values embed the op index so experiments
+// can verify freshness; an optional timestamp prefix supports secondary
+// (retention) delete experiments.
+class Generator {
+ public:
+  explicit Generator(const WorkloadSpec& spec);
+
+  // The i-th operation (deterministic for a given spec).
+  Op Next();
+
+  uint64_t ops_emitted() const { return ops_emitted_; }
+
+  // Key for index |i| under this spec (zero-padded, prefixed).
+  std::string KeyAt(uint64_t i) const;
+  // Deterministic value body of spec.value_size bytes for op |op_index|.
+  std::string ValueAt(uint64_t op_index) const;
+
+ private:
+  uint64_t NextKeyIndex();
+
+  WorkloadSpec spec_;
+  Random rnd_;
+  ZipfianGenerator zipf_;
+  uint64_t ops_emitted_;
+  uint64_t fifo_delete_cursor_;  // next victim under kFifo
+  uint64_t insert_cursor_;       // next fresh key for inserts
+};
+
+}  // namespace workload
+}  // namespace acheron
+
+#endif  // ACHERON_WORKLOAD_WORKLOAD_H_

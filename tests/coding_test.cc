@@ -1,0 +1,197 @@
+#include "src/util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace acheron {
+
+TEST(Coding, Fixed32) {
+  std::string s;
+  for (uint32_t v = 0; v < 100000; v++) {
+    PutFixed32(&s, v);
+  }
+  const char* p = s.data();
+  for (uint32_t v = 0; v < 100000; v++) {
+    uint32_t actual = DecodeFixed32(p);
+    EXPECT_EQ(v, actual);
+    p += sizeof(uint32_t);
+  }
+}
+
+TEST(Coding, Fixed64) {
+  std::string s;
+  for (int power = 0; power <= 63; power++) {
+    uint64_t v = static_cast<uint64_t>(1) << power;
+    PutFixed64(&s, v - 1);
+    PutFixed64(&s, v + 0);
+    PutFixed64(&s, v + 1);
+  }
+  const char* p = s.data();
+  for (int power = 0; power <= 63; power++) {
+    uint64_t v = static_cast<uint64_t>(1) << power;
+    EXPECT_EQ(v - 1, DecodeFixed64(p));
+    p += sizeof(uint64_t);
+    EXPECT_EQ(v + 0, DecodeFixed64(p));
+    p += sizeof(uint64_t);
+    EXPECT_EQ(v + 1, DecodeFixed64(p));
+    p += sizeof(uint64_t);
+  }
+}
+
+TEST(Coding, EncodingOutputIsLittleEndian) {
+  std::string dst;
+  PutFixed32(&dst, 0x04030201);
+  ASSERT_EQ(4u, dst.size());
+  EXPECT_EQ(0x01, static_cast<int>(dst[0]));
+  EXPECT_EQ(0x02, static_cast<int>(dst[1]));
+  EXPECT_EQ(0x03, static_cast<int>(dst[2]));
+  EXPECT_EQ(0x04, static_cast<int>(dst[3]));
+}
+
+TEST(Coding, Varint32) {
+  std::string s;
+  for (uint32_t i = 0; i < (32 * 32); i++) {
+    uint32_t v = (i / 32) << (i % 32);
+    PutVarint32(&s, v);
+  }
+
+  const char* p = s.data();
+  const char* limit = p + s.size();
+  for (uint32_t i = 0; i < (32 * 32); i++) {
+    uint32_t expected = (i / 32) << (i % 32);
+    uint32_t actual;
+    const char* start = p;
+    p = GetVarint32Ptr(p, limit, &actual);
+    ASSERT_TRUE(p != nullptr);
+    EXPECT_EQ(expected, actual);
+    EXPECT_EQ(VarintLength(actual), p - start);
+  }
+  EXPECT_EQ(p, s.data() + s.size());
+}
+
+TEST(Coding, Varint64) {
+  // Construct the list of values to check.
+  std::vector<uint64_t> values;
+  values.push_back(0);
+  values.push_back(100);
+  values.push_back(~static_cast<uint64_t>(0));
+  values.push_back(~static_cast<uint64_t>(0) - 1);
+  for (uint32_t k = 0; k < 64; k++) {
+    // Test values near powers of two.
+    const uint64_t power = 1ull << k;
+    values.push_back(power);
+    values.push_back(power - 1);
+    values.push_back(power + 1);
+  }
+
+  std::string s;
+  for (size_t i = 0; i < values.size(); i++) {
+    PutVarint64(&s, values[i]);
+  }
+
+  const char* p = s.data();
+  const char* limit = p + s.size();
+  for (size_t i = 0; i < values.size(); i++) {
+    ASSERT_TRUE(p < limit);
+    uint64_t actual;
+    const char* start = p;
+    p = GetVarint64Ptr(p, limit, &actual);
+    ASSERT_TRUE(p != nullptr);
+    EXPECT_EQ(values[i], actual);
+    EXPECT_EQ(VarintLength(actual), p - start);
+  }
+  EXPECT_EQ(p, limit);
+}
+
+TEST(Coding, Varint32Overflow) {
+  uint32_t result;
+  std::string input("\x81\x82\x83\x84\x85\x11");
+  EXPECT_TRUE(GetVarint32Ptr(input.data(), input.data() + input.size(),
+                             &result) == nullptr);
+}
+
+TEST(Coding, Varint32Truncation) {
+  uint32_t large_value = (1u << 31) + 100;
+  std::string s;
+  PutVarint32(&s, large_value);
+  uint32_t result;
+  for (size_t len = 0; len < s.size() - 1; len++) {
+    EXPECT_TRUE(GetVarint32Ptr(s.data(), s.data() + len, &result) == nullptr);
+  }
+  EXPECT_TRUE(GetVarint32Ptr(s.data(), s.data() + s.size(), &result) !=
+              nullptr);
+  EXPECT_EQ(large_value, result);
+}
+
+TEST(Coding, Varint64Overflow) {
+  uint64_t result;
+  std::string input("\x81\x82\x83\x84\x85\x81\x82\x83\x84\x85\x11");
+  EXPECT_TRUE(GetVarint64Ptr(input.data(), input.data() + input.size(),
+                             &result) == nullptr);
+}
+
+TEST(Coding, Strings) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice(""));
+  PutLengthPrefixedSlice(&s, Slice("foo"));
+  PutLengthPrefixedSlice(&s, Slice("bar"));
+  PutLengthPrefixedSlice(&s, Slice(std::string(200, 'x')));
+
+  Slice input(s);
+  Slice v;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ("", v.ToString());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ("foo", v.ToString());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ("bar", v.ToString());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ(std::string(200, 'x'), v.ToString());
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(Coding, GetFixedConsumesInput) {
+  std::string s;
+  PutFixed32(&s, 0xdeadbeef);
+  PutFixed64(&s, 0x0123456789abcdefull);
+  Slice in(s);
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(GetFixed32(&in, &v32));
+  EXPECT_EQ(0xdeadbeefu, v32);
+  ASSERT_TRUE(GetFixed64(&in, &v64));
+  EXPECT_EQ(0x0123456789abcdefull, v64);
+  EXPECT_TRUE(in.empty());
+  EXPECT_FALSE(GetFixed32(&in, &v32));
+  EXPECT_FALSE(GetFixed64(&in, &v64));
+}
+
+// Property: random round-trips through varint64 always reproduce the value.
+class CodingRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodingRoundTrip, Varint64RandomRoundTrip) {
+  Random rnd(GetParam());
+  std::string s;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; i++) {
+    uint64_t v = rnd.Skewed(63);
+    values.push_back(v);
+    PutVarint64(&s, v);
+  }
+  Slice in(s);
+  for (uint64_t expected : values) {
+    uint64_t got;
+    ASSERT_TRUE(GetVarint64(&in, &got));
+    EXPECT_EQ(expected, got);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodingRoundTrip,
+                         ::testing::Values(1, 7, 42, 12345, 987654321));
+
+}  // namespace acheron

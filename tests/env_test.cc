@@ -1,0 +1,247 @@
+// Tests for the Env abstraction: MemEnv, PosixEnv, and fault injection.
+#include "src/env/env.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+
+#include "src/env/fault_env.h"
+
+namespace acheron {
+
+class MemEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_.reset(NewMemEnv()); }
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(MemEnvTest, Basics) {
+  uint64_t file_size;
+  std::unique_ptr<WritableFile> writable_file;
+  std::vector<std::string> children;
+
+  ASSERT_TRUE(env_->CreateDir("/dir").ok());
+
+  // Check that the directory is empty.
+  EXPECT_FALSE(env_->FileExists("/dir/non_existent"));
+  EXPECT_FALSE(env_->GetFileSize("/dir/non_existent", &file_size).ok());
+  ASSERT_TRUE(env_->GetChildren("/dir", &children).ok());
+  EXPECT_EQ(0u, children.size());
+
+  // Create a file.
+  ASSERT_TRUE(env_->NewWritableFile("/dir/f", &writable_file).ok());
+  ASSERT_TRUE(env_->GetFileSize("/dir/f", &file_size).ok());
+  EXPECT_EQ(0u, file_size);
+  writable_file.reset();
+
+  // Check that the file exists.
+  EXPECT_TRUE(env_->FileExists("/dir/f"));
+  ASSERT_TRUE(env_->GetFileSize("/dir/f", &file_size).ok());
+  EXPECT_EQ(0u, file_size);
+  ASSERT_TRUE(env_->GetChildren("/dir", &children).ok());
+  EXPECT_EQ(1u, children.size());
+  EXPECT_EQ("f", children[0]);
+
+  // Write to the file.
+  ASSERT_TRUE(env_->NewWritableFile("/dir/f", &writable_file).ok());
+  ASSERT_TRUE(writable_file->Append("abc").ok());
+  writable_file.reset();
+
+  // Check that append works.
+  ASSERT_TRUE(env_->GetFileSize("/dir/f", &file_size).ok());
+  EXPECT_EQ(3u, file_size);
+
+  // Check that renaming works.
+  EXPECT_FALSE(env_->RenameFile("/dir/non_existent", "/dir/g").ok());
+  ASSERT_TRUE(env_->RenameFile("/dir/f", "/dir/g").ok());
+  EXPECT_FALSE(env_->FileExists("/dir/f"));
+  EXPECT_TRUE(env_->FileExists("/dir/g"));
+  ASSERT_TRUE(env_->GetFileSize("/dir/g", &file_size).ok());
+  EXPECT_EQ(3u, file_size);
+
+  // Check that opening non-existent file fails.
+  std::unique_ptr<SequentialFile> seq_file;
+  std::unique_ptr<RandomAccessFile> rand_file;
+  EXPECT_FALSE(env_->NewSequentialFile("/dir/non_existent", &seq_file).ok());
+  EXPECT_FALSE(
+      env_->NewRandomAccessFile("/dir/non_existent", &rand_file).ok());
+
+  // Check that deleting works.
+  EXPECT_FALSE(env_->RemoveFile("/dir/non_existent").ok());
+  ASSERT_TRUE(env_->RemoveFile("/dir/g").ok());
+  EXPECT_FALSE(env_->FileExists("/dir/g"));
+  ASSERT_TRUE(env_->GetChildren("/dir", &children).ok());
+  EXPECT_EQ(0u, children.size());
+}
+
+TEST_F(MemEnvTest, ReadWrite) {
+  std::unique_ptr<WritableFile> writable_file;
+  std::unique_ptr<SequentialFile> seq_file;
+  std::unique_ptr<RandomAccessFile> rand_file;
+  Slice result;
+  char scratch[100];
+
+  ASSERT_TRUE(env_->NewWritableFile("/dir/f", &writable_file).ok());
+  ASSERT_TRUE(writable_file->Append("hello ").ok());
+  ASSERT_TRUE(writable_file->Append("world").ok());
+  writable_file.reset();
+
+  // Read sequentially.
+  ASSERT_TRUE(env_->NewSequentialFile("/dir/f", &seq_file).ok());
+  ASSERT_TRUE(seq_file->Read(5, &result, scratch).ok());
+  EXPECT_EQ(0, result.compare("hello"));
+  ASSERT_TRUE(seq_file->Skip(1).ok());
+  ASSERT_TRUE(seq_file->Read(1000, &result, scratch).ok());
+  EXPECT_EQ(0, result.compare("world"));
+  ASSERT_TRUE(seq_file->Read(1000, &result, scratch).ok());  // Try reading past EOF.
+  EXPECT_EQ(0u, result.size());
+  ASSERT_TRUE(seq_file->Skip(100).ok());  // Skip past end of file.
+  ASSERT_TRUE(seq_file->Read(1000, &result, scratch).ok());
+  EXPECT_EQ(0u, result.size());
+
+  // Random reads.
+  ASSERT_TRUE(env_->NewRandomAccessFile("/dir/f", &rand_file).ok());
+  ASSERT_TRUE(rand_file->Read(6, 5, &result, scratch).ok());
+  EXPECT_EQ(0, result.compare("world"));
+  ASSERT_TRUE(rand_file->Read(0, 5, &result, scratch).ok());
+  EXPECT_EQ(0, result.compare("hello"));
+  ASSERT_TRUE(rand_file->Read(10, 100, &result, scratch).ok());
+  EXPECT_EQ(0, result.compare("d"));
+}
+
+TEST_F(MemEnvTest, OverwriteTruncates) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile("/a", &f).ok());
+  ASSERT_TRUE(f->Append("long content here").ok());
+  f.reset();
+  ASSERT_TRUE(env_->NewWritableFile("/a", &f).ok());
+  ASSERT_TRUE(f->Append("x").ok());
+  f.reset();
+  uint64_t size;
+  ASSERT_TRUE(env_->GetFileSize("/a", &size).ok());
+  EXPECT_EQ(1u, size);
+}
+
+TEST_F(MemEnvTest, WholeFileHelpers) {
+  ASSERT_TRUE(env_->WriteStringToFile("contents", "/whole").ok());
+  std::string read_back;
+  ASSERT_TRUE(env_->ReadFileToString("/whole", &read_back).ok());
+  EXPECT_EQ("contents", read_back);
+}
+
+class PosixEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = DefaultEnv();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("acheron_env_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(env_->CreateDir(dir_.string()).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  Env* env_;
+  std::filesystem::path dir_;
+};
+
+TEST_F(PosixEnvTest, WriteReadRoundTrip) {
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env_->NewWritableFile(Path("f"), &w).ok());
+  ASSERT_TRUE(w->Append("hello world").ok());
+  ASSERT_TRUE(w->Sync().ok());
+  ASSERT_TRUE(w->Close().ok());
+  w.reset();
+
+  uint64_t size;
+  ASSERT_TRUE(env_->GetFileSize(Path("f"), &size).ok());
+  EXPECT_EQ(11u, size);
+
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env_->NewRandomAccessFile(Path("f"), &r).ok());
+  char scratch[32];
+  Slice result;
+  ASSERT_TRUE(r->Read(6, 5, &result, scratch).ok());
+  EXPECT_EQ("world", result.ToString());
+}
+
+TEST_F(PosixEnvTest, LargeBufferedWrite) {
+  // Exceed the 64KiB internal buffer to exercise the unbuffered path.
+  std::string big(300 * 1024, 'q');
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env_->NewWritableFile(Path("big"), &w).ok());
+  ASSERT_TRUE(w->Append("head:").ok());
+  ASSERT_TRUE(w->Append(big).ok());
+  ASSERT_TRUE(w->Close().ok());
+  w.reset();
+
+  std::string contents;
+  ASSERT_TRUE(env_->ReadFileToString(Path("big"), &contents).ok());
+  EXPECT_EQ(5 + big.size(), contents.size());
+  EXPECT_EQ("head:", contents.substr(0, 5));
+  EXPECT_EQ(big, contents.substr(5));
+}
+
+TEST_F(PosixEnvTest, GetChildrenAndRemove) {
+  ASSERT_TRUE(env_->WriteStringToFile("1", Path("a")).ok());
+  ASSERT_TRUE(env_->WriteStringToFile("2", Path("b")).ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren(dir_.string(), &children).ok());
+  std::sort(children.begin(), children.end());
+  ASSERT_EQ(2u, children.size());
+  EXPECT_EQ("a", children[0]);
+  EXPECT_EQ("b", children[1]);
+  ASSERT_TRUE(env_->RemoveFile(Path("a")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("a")));
+}
+
+TEST_F(PosixEnvTest, RenameReplacesTarget) {
+  ASSERT_TRUE(env_->WriteStringToFile("src", Path("src")).ok());
+  ASSERT_TRUE(env_->WriteStringToFile("dst", Path("dst")).ok());
+  ASSERT_TRUE(env_->RenameFile(Path("src"), Path("dst")).ok());
+  std::string contents;
+  ASSERT_TRUE(env_->ReadFileToString(Path("dst"), &contents).ok());
+  EXPECT_EQ("src", contents);
+  EXPECT_FALSE(env_->FileExists(Path("src")));
+}
+
+TEST(FaultEnvTest, WriteFaultCountdown) {
+  std::unique_ptr<Env> base(NewMemEnv());
+  FaultInjectionEnv fenv(base.get());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fenv.NewWritableFile("/f", &f).ok());
+  fenv.SetWriteFaultCountdown(2);
+  EXPECT_TRUE(f->Append("one").ok());
+  EXPECT_TRUE(f->Append("two").ok());
+  EXPECT_TRUE(f->Append("three").IsIOError());
+  EXPECT_TRUE(f->Append("four").IsIOError());
+  EXPECT_GE(fenv.FaultsInjected(), 2u);
+  fenv.SetWriteFaultCountdown(-1);
+  EXPECT_TRUE(f->Append("five").ok());
+}
+
+TEST(FaultEnvTest, ReadFaultBySubstring) {
+  std::unique_ptr<Env> base(NewMemEnv());
+  FaultInjectionEnv fenv(base.get());
+  ASSERT_TRUE(fenv.WriteStringToFile("payload", "/data/curse.sst").ok());
+  ASSERT_TRUE(fenv.WriteStringToFile("payload", "/data/fine.sst").ok());
+
+  fenv.SetReadFaultSubstring("curse");
+  std::unique_ptr<RandomAccessFile> r;
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(fenv.NewRandomAccessFile("/data/curse.sst", &r).ok());
+  EXPECT_TRUE(r->Read(0, 7, &result, scratch).IsIOError());
+  ASSERT_TRUE(fenv.NewRandomAccessFile("/data/fine.sst", &r).ok());
+  EXPECT_TRUE(r->Read(0, 7, &result, scratch).ok());
+  EXPECT_EQ("payload", result.ToString());
+
+  fenv.SetReadFaultSubstring("");
+  ASSERT_TRUE(fenv.NewRandomAccessFile("/data/curse.sst", &r).ok());
+  EXPECT_TRUE(r->Read(0, 7, &result, scratch).ok());
+}
+
+}  // namespace acheron

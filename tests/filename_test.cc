@@ -1,0 +1,101 @@
+#include "src/lsm/filename.h"
+
+#include <gtest/gtest.h>
+
+namespace acheron {
+
+TEST(FileNameTest, Parse) {
+  Slice db;
+  FileType type;
+  uint64_t number;
+
+  // Successful parses
+  static struct {
+    const char* fname;
+    uint64_t number;
+    FileType type;
+  } cases[] = {
+      {"100.log", 100, kLogFile},
+      {"0.log", 0, kLogFile},
+      {"0.sst", 0, kTableFile},
+      {"CURRENT", 0, kCurrentFile},
+      {"LOCK", 0, kDBLockFile},
+      {"MANIFEST-2", 2, kDescriptorFile},
+      {"MANIFEST-7", 7, kDescriptorFile},
+      {"18446744073709551615.log", 18446744073709551615ull, kLogFile},
+  };
+  for (const auto& c : cases) {
+    std::string f = c.fname;
+    ASSERT_TRUE(ParseFileName(f, &number, &type)) << f;
+    EXPECT_EQ(c.type, type) << f;
+    EXPECT_EQ(c.number, number) << f;
+  }
+
+  // Errors
+  static const char* errors[] = {"",
+                                 "foo",
+                                 "foo-dx-100.log",
+                                 ".log",
+                                 "",
+                                 "manifest",
+                                 "CURREN",
+                                 "CURRENTX",
+                                 "MANIFES",
+                                 "MANIFEST",
+                                 "MANIFEST-",
+                                 "XMANIFEST-3",
+                                 "MANIFEST-3x",
+                                 "LOC",
+                                 "LOCKx",
+                                 "100",
+                                 "100.",
+                                 "100.lop"};
+  for (const char* fname : errors) {
+    std::string f = fname;
+    EXPECT_TRUE(!ParseFileName(f, &number, &type)) << f;
+  }
+}
+
+TEST(FileNameTest, Construction) {
+  uint64_t number;
+  FileType type;
+  std::string fname;
+
+  fname = CurrentFileName("foo");
+  EXPECT_EQ("foo/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  EXPECT_EQ(0u, number);
+  EXPECT_EQ(kCurrentFile, type);
+
+  fname = LockFileName("foo");
+  EXPECT_EQ("foo/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  EXPECT_EQ(0u, number);
+  EXPECT_EQ(kDBLockFile, type);
+
+  fname = LogFileName("foo", 192);
+  EXPECT_EQ("foo/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  EXPECT_EQ(192u, number);
+  EXPECT_EQ(kLogFile, type);
+
+  fname = TableFileName("bar", 200);
+  EXPECT_EQ("bar/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  EXPECT_EQ(200u, number);
+  EXPECT_EQ(kTableFile, type);
+
+  fname = DescriptorFileName("bar", 100);
+  EXPECT_EQ("bar/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  EXPECT_EQ(100u, number);
+  EXPECT_EQ(kDescriptorFile, type);
+
+  fname = TempFileName("tmp", 999);
+  EXPECT_EQ("tmp/", std::string(fname.data(), 4));
+  ASSERT_TRUE(ParseFileName(fname.c_str() + 4, &number, &type));
+  EXPECT_EQ(999u, number);
+  EXPECT_EQ(kTempFile, type);
+}
+
+}  // namespace acheron

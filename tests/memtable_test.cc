@@ -1,0 +1,138 @@
+#include "src/memtable/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace acheron {
+
+class MemTableTest : public ::testing::Test {
+ protected:
+  MemTableTest() : icmp_(BytewiseComparator()), mem_(new MemTable(icmp_)) {
+    mem_->Ref();
+  }
+  ~MemTableTest() override { mem_->Unref(); }
+
+  bool Get(const Slice& key, SequenceNumber seq, std::string* value,
+           Status* s) {
+    LookupKey lkey(key, seq);
+    return mem_->Get(lkey, value, s);
+  }
+
+  InternalKeyComparator icmp_;
+  MemTable* mem_;
+};
+
+TEST_F(MemTableTest, AddAndGet) {
+  mem_->Add(1, kTypeValue, "key1", "value1");
+  mem_->Add(2, kTypeValue, "key2", "value2");
+
+  std::string value;
+  Status s;
+  ASSERT_TRUE(Get("key1", 10, &value, &s));
+  EXPECT_EQ("value1", value);
+  ASSERT_TRUE(Get("key2", 10, &value, &s));
+  EXPECT_EQ("value2", value);
+  EXPECT_FALSE(Get("key3", 10, &value, &s));
+}
+
+TEST_F(MemTableTest, DeleteHidesValue) {
+  mem_->Add(1, kTypeValue, "k", "v");
+  mem_->Add(2, kTypeDeletion, "k", "");
+
+  std::string value;
+  Status s;
+  ASSERT_TRUE(Get("k", 10, &value, &s));
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST_F(MemTableTest, SnapshotReads) {
+  mem_->Add(1, kTypeValue, "k", "v1");
+  mem_->Add(5, kTypeValue, "k", "v2");
+
+  std::string value;
+  Status s = Status::OK();
+  // Read as of seq 3: sees v1.
+  ASSERT_TRUE(Get("k", 3, &value, &s));
+  EXPECT_EQ("v1", value);
+  // Read as of seq 10: sees v2.
+  ASSERT_TRUE(Get("k", 10, &value, &s));
+  EXPECT_EQ("v2", value);
+  // Read as of seq 0: sees nothing.
+  EXPECT_FALSE(Get("k", 0, &value, &s));
+}
+
+TEST_F(MemTableTest, TombstoneStats) {
+  EXPECT_EQ(0u, mem_->num_tombstones());
+  EXPECT_EQ(kMaxSequenceNumber, mem_->earliest_tombstone_seq());
+
+  mem_->Add(1, kTypeValue, "a", "x");
+  mem_->Add(7, kTypeDeletion, "a", "");
+  mem_->Add(9, kTypeDeletion, "b", "");
+
+  EXPECT_EQ(2u, mem_->num_tombstones());
+  EXPECT_EQ(7u, mem_->earliest_tombstone_seq());
+  EXPECT_EQ(3u, mem_->num_entries());
+}
+
+TEST_F(MemTableTest, IteratorYieldsSortedInternalKeys) {
+  mem_->Add(3, kTypeValue, "b", "vb");
+  mem_->Add(1, kTypeValue, "a", "va");
+  mem_->Add(2, kTypeValue, "c", "vc");
+  mem_->Add(4, kTypeValue, "a", "va2");  // newer version of "a"
+
+  std::unique_ptr<Iterator> it(mem_->NewIterator());
+  it->SeekToFirst();
+  // "a" seq 4 comes before "a" seq 1 (desc seq within same user key).
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("a", ExtractUserKey(it->key()).ToString());
+  EXPECT_EQ(4u, ExtractSequence(it->key()));
+  EXPECT_EQ("va2", it->value().ToString());
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("a", ExtractUserKey(it->key()).ToString());
+  EXPECT_EQ(1u, ExtractSequence(it->key()));
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("b", ExtractUserKey(it->key()).ToString());
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("c", ExtractUserKey(it->key()).ToString());
+  it->Next();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(MemTableTest, IteratorSeek) {
+  for (int i = 0; i < 100; i++) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key%03d", i);
+    mem_->Add(i + 1, kTypeValue, buf, "v");
+  }
+  std::unique_ptr<Iterator> it(mem_->NewIterator());
+  std::string target;
+  AppendInternalKey(&target, ParsedInternalKey("key050", kMaxSequenceNumber,
+                                               kValueTypeForSeek));
+  it->Seek(target);
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("key050", ExtractUserKey(it->key()).ToString());
+}
+
+TEST_F(MemTableTest, MemoryUsageGrows) {
+  size_t before = mem_->ApproximateMemoryUsage();
+  for (int i = 0; i < 1000; i++) {
+    mem_->Add(i + 1, kTypeValue, "key" + std::to_string(i),
+              std::string(100, 'v'));
+  }
+  EXPECT_GT(mem_->ApproximateMemoryUsage(), before + 100 * 1000);
+}
+
+TEST_F(MemTableTest, EmptyValueAndBinaryKeys) {
+  std::string key_with_nul("k\0x", 3);
+  mem_->Add(1, kTypeValue, key_with_nul, "");
+  std::string value = "sentinel";
+  Status s;
+  ASSERT_TRUE(Get(key_with_nul, 5, &value, &s));
+  EXPECT_EQ("", value);
+}
+
+}  // namespace acheron

@@ -1,0 +1,191 @@
+// Unit tests of the merging iterator and the two-level iterator, including
+// direction switches, duplicate keys across children, and error channels.
+#include "src/lsm/merger.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/table/iterator.h"
+#include "src/table/two_level_iterator.h"
+#include "src/util/comparator.h"
+
+namespace acheron {
+
+namespace {
+
+// Simple in-memory iterator over a sorted vector of (key, value) pairs.
+class VectorIterator : public Iterator {
+ public:
+  explicit VectorIterator(std::vector<std::pair<std::string, std::string>> kv)
+      : kv_(std::move(kv)), index_(kv_.size()) {}
+
+  bool Valid() const override { return index_ < kv_.size(); }
+  void SeekToFirst() override { index_ = 0; }
+  void SeekToLast() override { index_ = kv_.empty() ? 0 : kv_.size() - 1; }
+  void Seek(const Slice& target) override {
+    index_ = 0;
+    while (index_ < kv_.size() && Slice(kv_[index_].first).compare(target) < 0) {
+      index_++;
+    }
+  }
+  void Next() override { index_++; }
+  void Prev() override {
+    if (index_ == 0) {
+      index_ = kv_.size();
+    } else {
+      index_--;
+    }
+  }
+  Slice key() const override { return kv_[index_].first; }
+  Slice value() const override { return kv_[index_].second; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+  size_t index_;
+};
+
+Iterator* MakeVec(std::vector<std::pair<std::string, std::string>> kv) {
+  return new VectorIterator(std::move(kv));
+}
+
+std::string Drain(Iterator* it) {
+  std::string out;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    out += it->key().ToString() + "=" + it->value().ToString() + ",";
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(MergerTest, ZeroChildren) {
+  std::unique_ptr<Iterator> it(
+      NewMergingIterator(BytewiseComparator(), nullptr, 0));
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST(MergerTest, SingleChildPassThrough) {
+  Iterator* children[] = {MakeVec({{"a", "1"}, {"b", "2"}})};
+  std::unique_ptr<Iterator> it(
+      NewMergingIterator(BytewiseComparator(), children, 1));
+  EXPECT_EQ("a=1,b=2,", Drain(it.get()));
+}
+
+TEST(MergerTest, InterleavedMerge) {
+  Iterator* children[] = {
+      MakeVec({{"a", "1"}, {"d", "4"}, {"g", "7"}}),
+      MakeVec({{"b", "2"}, {"e", "5"}}),
+      MakeVec({{"c", "3"}, {"f", "6"}, {"h", "8"}}),
+  };
+  std::unique_ptr<Iterator> it(
+      NewMergingIterator(BytewiseComparator(), children, 3));
+  EXPECT_EQ("a=1,b=2,c=3,d=4,e=5,f=6,g=7,h=8,", Drain(it.get()));
+}
+
+TEST(MergerTest, DuplicatesYieldedFromEveryChild) {
+  Iterator* children[] = {
+      MakeVec({{"k", "first"}}),
+      MakeVec({{"k", "second"}}),
+  };
+  std::unique_ptr<Iterator> it(
+      NewMergingIterator(BytewiseComparator(), children, 2));
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("k", it->key().ToString());
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("k", it->key().ToString());
+  it->Next();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(MergerTest, SeekLandsOnLowerBound) {
+  Iterator* children[] = {
+      MakeVec({{"a", "1"}, {"e", "5"}}),
+      MakeVec({{"c", "3"}, {"g", "7"}}),
+  };
+  std::unique_ptr<Iterator> it(
+      NewMergingIterator(BytewiseComparator(), children, 2));
+  it->Seek("b");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("c", it->key().ToString());
+  it->Seek("z");
+  EXPECT_FALSE(it->Valid());
+  it->Seek("");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("a", it->key().ToString());
+}
+
+TEST(MergerTest, ReverseIteration) {
+  Iterator* children[] = {
+      MakeVec({{"a", "1"}, {"d", "4"}}),
+      MakeVec({{"b", "2"}, {"c", "3"}}),
+  };
+  std::unique_ptr<Iterator> it(
+      NewMergingIterator(BytewiseComparator(), children, 2));
+  it->SeekToLast();
+  std::string out;
+  while (it->Valid()) {
+    out += it->key().ToString();
+    it->Prev();
+  }
+  EXPECT_EQ("dcba", out);
+}
+
+TEST(MergerTest, DirectionSwitches) {
+  Iterator* children[] = {
+      MakeVec({{"a", "1"}, {"c", "3"}, {"e", "5"}}),
+      MakeVec({{"b", "2"}, {"d", "4"}}),
+  };
+  std::unique_ptr<Iterator> it(
+      NewMergingIterator(BytewiseComparator(), children, 2));
+  it->Seek("c");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("c", it->key().ToString());
+  it->Prev();  // forward -> reverse
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("b", it->key().ToString());
+  it->Next();  // reverse -> forward
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("c", it->key().ToString());
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("d", it->key().ToString());
+  it->Prev();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("c", it->key().ToString());
+}
+
+TEST(IteratorTest, EmptyAndErrorIterators) {
+  std::unique_ptr<Iterator> empty(NewEmptyIterator());
+  empty->SeekToFirst();
+  EXPECT_FALSE(empty->Valid());
+  EXPECT_TRUE(empty->status().ok());
+
+  std::unique_ptr<Iterator> err(
+      NewErrorIterator(Status::Corruption("boom")));
+  err->SeekToFirst();
+  EXPECT_FALSE(err->Valid());
+  EXPECT_TRUE(err->status().IsCorruption());
+}
+
+TEST(IteratorTest, CleanupFunctionsRunOnDestroy) {
+  static int cleanups = 0;
+  cleanups = 0;
+  {
+    std::unique_ptr<Iterator> it(NewEmptyIterator());
+    auto fn = [](void*, void*) { cleanups++; };
+    it->RegisterCleanup(fn, nullptr, nullptr);
+    it->RegisterCleanup(fn, nullptr, nullptr);
+    it->RegisterCleanup(fn, nullptr, nullptr);
+    EXPECT_EQ(0, cleanups);
+  }
+  EXPECT_EQ(3, cleanups);
+}
+
+}  // namespace acheron

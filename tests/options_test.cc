@@ -1,0 +1,122 @@
+// Options sanitization and miscellaneous DB-surface behaviours.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/env/env.h"
+#include "src/lsm/db.h"
+#include "src/lsm/db_impl.h"
+
+namespace acheron {
+
+TEST(OptionsTest, SanitizeClampsExtremes) {
+  Options wild;
+  wild.write_buffer_size = 1;            // absurdly small
+  wild.max_file_size = 1;
+  wild.block_size = 1;
+  wild.size_ratio = 1000;
+  wild.num_levels = 99;
+  wild.level0_compaction_trigger = 0;
+  Options clean = SanitizeOptions("/db", wild);
+  EXPECT_GE(clean.write_buffer_size, size_t{4} << 10);
+  EXPECT_GE(clean.max_file_size, size_t{16} << 10);
+  EXPECT_GE(clean.block_size, size_t{512});
+  EXPECT_LE(clean.size_ratio, 64);
+  EXPECT_LE(clean.num_levels, kNumLevels);
+  EXPECT_GE(clean.level0_compaction_trigger, 1);
+  EXPECT_NE(nullptr, clean.comparator);
+  EXPECT_NE(nullptr, clean.env);
+}
+
+TEST(OptionsTest, DbWorksWithClampedOptions) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  Options wild;
+  wild.env = env.get();
+  wild.write_buffer_size = 1;
+  wild.size_ratio = 1;
+  wild.delete_persistence_threshold = 100;
+  DB* db;
+  ASSERT_TRUE(DB::Open(wild, "/db", &db).ok());
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), "k" + std::to_string(i % 50),
+                        "v" + std::to_string(i))
+                    .ok());
+    if (i % 3 == 0) {
+      ASSERT_TRUE(db->Delete(WriteOptions(), "k" + std::to_string(i % 50)).ok());
+    }
+  }
+  std::string v;
+  Status s = db->Get(ReadOptions(), "k1", &v);
+  EXPECT_TRUE(s.ok() || s.IsNotFound());
+  delete db;
+}
+
+TEST(OptionsTest, LevelSummaryProperty) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  Options options;
+  options.env = env.get();
+  options.write_buffer_size = 8 << 10;
+  DB* db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(
+        db->Put(WriteOptions(), "k" + std::to_string(i), std::string(100, 'x'))
+            .ok());
+  }
+  ASSERT_TRUE(db->FlushMemTable().ok());
+  std::string summary;
+  ASSERT_TRUE(db->GetProperty("acheron.level-summary", &summary));
+  // At least one populated level line of "level files bytes tombstones".
+  int level, files;
+  long long bytes;
+  unsigned long long tombstones;
+  ASSERT_EQ(4, std::sscanf(summary.c_str(), "%d %d %lld %llu", &level, &files,
+                           &bytes, &tombstones));
+  EXPECT_GE(files, 1);
+  EXPECT_GT(bytes, 0);
+  delete db;
+}
+
+TEST(OptionsTest, CustomComparatorOrdersIteration) {
+  // Reverse-bytewise comparator: iteration comes out descending.
+  class ReverseComparator : public Comparator {
+   public:
+    int Compare(const Slice& a, const Slice& b) const override {
+      return -a.compare(b);
+    }
+    const char* Name() const override { return "test.ReverseComparator"; }
+    void FindShortestSeparator(std::string*, const Slice&) const override {}
+    void FindShortSuccessor(std::string*) const override {}
+  };
+  static ReverseComparator reverse_cmp;
+
+  std::unique_ptr<Env> env(NewMemEnv());
+  Options options;
+  options.env = env.get();
+  options.comparator = &reverse_cmp;
+  DB* db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), "a", "1").ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), "b", "2").ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), "c", "3").ok());
+  ASSERT_TRUE(db->FlushMemTable().ok());
+
+  {
+    std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+    std::string order;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      order += it->key().ToString();
+    }
+    EXPECT_EQ("cba", order);
+  }  // iterators must be released before the DB
+
+  // Reopening with a different comparator is refused.
+  delete db;
+  options.comparator = nullptr;  // BytewiseComparator
+  Status s = DB::Open(options, "/db", &db);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(std::string::npos,
+            s.ToString().find("does not match existing comparator"));
+}
+
+}  // namespace acheron

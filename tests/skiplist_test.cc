@@ -1,0 +1,160 @@
+#include "src/memtable/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/arena.h"
+#include "src/util/random.h"
+
+namespace acheron {
+
+typedef uint64_t Key;
+
+struct TestComparator {
+  int operator()(const Key& a, const Key& b) const {
+    if (a < b) {
+      return -1;
+    } else if (a > b) {
+      return +1;
+    } else {
+      return 0;
+    }
+  }
+};
+
+TEST(SkipList, Empty) {
+  Arena arena;
+  TestComparator cmp;
+  SkipList<Key, TestComparator> list(cmp, &arena);
+  EXPECT_TRUE(!list.Contains(10));
+
+  SkipList<Key, TestComparator>::Iterator iter(&list);
+  EXPECT_TRUE(!iter.Valid());
+  iter.SeekToFirst();
+  EXPECT_TRUE(!iter.Valid());
+  iter.Seek(100);
+  EXPECT_TRUE(!iter.Valid());
+  iter.SeekToLast();
+  EXPECT_TRUE(!iter.Valid());
+}
+
+TEST(SkipList, InsertAndLookup) {
+  const int N = 2000;
+  const int R = 5000;
+  Random rnd(1000);
+  std::set<Key> keys;
+  Arena arena;
+  TestComparator cmp;
+  SkipList<Key, TestComparator> list(cmp, &arena);
+  for (int i = 0; i < N; i++) {
+    Key key = rnd.Uniform(R);
+    if (keys.insert(key).second) {
+      list.Insert(key);
+    }
+  }
+
+  for (int i = 0; i < R; i++) {
+    if (list.Contains(i)) {
+      EXPECT_EQ(keys.count(i), 1u);
+    } else {
+      EXPECT_EQ(keys.count(i), 0u);
+    }
+  }
+
+  // Simple iterator tests
+  {
+    SkipList<Key, TestComparator>::Iterator iter(&list);
+    EXPECT_TRUE(!iter.Valid());
+
+    iter.Seek(0);
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(*(keys.begin()), iter.key());
+
+    iter.SeekToFirst();
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(*(keys.begin()), iter.key());
+
+    iter.SeekToLast();
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(*(keys.rbegin()), iter.key());
+  }
+
+  // Forward iteration test
+  for (int i = 0; i < R; i++) {
+    SkipList<Key, TestComparator>::Iterator iter(&list);
+    iter.Seek(i);
+
+    // Compare against model iterator
+    std::set<Key>::iterator model_iter = keys.lower_bound(i);
+    for (int j = 0; j < 3; j++) {
+      if (model_iter == keys.end()) {
+        EXPECT_TRUE(!iter.Valid());
+        break;
+      } else {
+        ASSERT_TRUE(iter.Valid());
+        EXPECT_EQ(*model_iter, iter.key());
+        ++model_iter;
+        iter.Next();
+      }
+    }
+  }
+
+  // Backward iteration test
+  {
+    SkipList<Key, TestComparator>::Iterator iter(&list);
+    iter.SeekToLast();
+
+    // Compare against model iterator
+    for (std::set<Key>::reverse_iterator model_iter = keys.rbegin();
+         model_iter != keys.rend(); ++model_iter) {
+      ASSERT_TRUE(iter.Valid());
+      EXPECT_EQ(*model_iter, iter.key());
+      iter.Prev();
+    }
+    EXPECT_TRUE(!iter.Valid());
+  }
+}
+
+// Property sweep across seeds: skiplist behaves exactly like std::set.
+class SkipListModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkipListModel, MatchesStdSet) {
+  Random rnd(GetParam());
+  std::set<Key> model;
+  Arena arena;
+  TestComparator cmp;
+  SkipList<Key, TestComparator> list(cmp, &arena);
+  for (int i = 0; i < 5000; i++) {
+    Key k = rnd.Uniform(100000);
+    if (model.insert(k).second) {
+      list.Insert(k);
+    }
+  }
+  // Every model key is present, in identical iteration order.
+  SkipList<Key, TestComparator>::Iterator iter(&list);
+  iter.SeekToFirst();
+  for (Key k : model) {
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(k, iter.key());
+    iter.Next();
+  }
+  EXPECT_FALSE(iter.Valid());
+  // Seek lands on lower_bound.
+  for (int i = 0; i < 1000; i++) {
+    Key probe = rnd.Uniform(100000);
+    iter.Seek(probe);
+    auto lb = model.lower_bound(probe);
+    if (lb == model.end()) {
+      EXPECT_FALSE(iter.Valid());
+    } else {
+      ASSERT_TRUE(iter.Valid());
+      EXPECT_EQ(*lb, iter.key());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListModel,
+                         ::testing::Values(1, 17, 33, 4242));
+
+}  // namespace acheron

@@ -1,0 +1,100 @@
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace acheron {
+namespace workload {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : env_(NewMemEnv()) {}
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(TraceTest, RoundTrip) {
+  WorkloadSpec spec;
+  spec.seed = 77;
+  spec.update_percent = 25;
+  spec.delete_percent = 25;
+  spec.point_query_percent = 20;
+  spec.range_query_percent = 10;
+
+  Generator gen(spec);
+  ASSERT_TRUE(RecordTrace(env_.get(), "/trace", &gen, 5000).ok());
+
+  // Replay must be bit-identical to a fresh generator with the same spec.
+  Generator expected(spec);
+  std::unique_ptr<TraceReader> reader;
+  ASSERT_TRUE(TraceReader::Open(env_.get(), "/trace", &reader).ok());
+  Op got;
+  for (int i = 0; i < 5000; i++) {
+    Op want = expected.Next();
+    ASSERT_TRUE(reader->Next(&got)) << "op " << i;
+    EXPECT_EQ(static_cast<int>(want.type), static_cast<int>(got.type));
+    EXPECT_EQ(want.key, got.key);
+    EXPECT_EQ(want.value, got.value);
+    EXPECT_EQ(want.scan_length, got.scan_length);
+  }
+  EXPECT_FALSE(reader->Next(&got));
+  EXPECT_TRUE(reader->status().ok());
+}
+
+TEST_F(TraceTest, EmptyTrace) {
+  WorkloadSpec spec;
+  Generator gen(spec);
+  ASSERT_TRUE(RecordTrace(env_.get(), "/empty", &gen, 0).ok());
+  std::unique_ptr<TraceReader> reader;
+  ASSERT_TRUE(TraceReader::Open(env_.get(), "/empty", &reader).ok());
+  Op op;
+  EXPECT_FALSE(reader->Next(&op));
+  EXPECT_TRUE(reader->status().ok());
+}
+
+TEST_F(TraceTest, OpenMissingFileFails) {
+  std::unique_ptr<TraceReader> reader;
+  EXPECT_FALSE(TraceReader::Open(env_.get(), "/nope", &reader).ok());
+}
+
+TEST_F(TraceTest, BinaryKeysAndValuesSurvive) {
+  std::unique_ptr<TraceWriter> writer;
+  ASSERT_TRUE(TraceWriter::Open(env_.get(), "/bin", &writer).ok());
+  Op op;
+  op.type = OpType::kInsert;
+  op.key = std::string("k\0\xff\x01", 4);
+  op.value = std::string(1000, '\0');
+  op.scan_length = 12345;
+  ASSERT_TRUE(writer->Append(op).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+
+  std::unique_ptr<TraceReader> reader;
+  ASSERT_TRUE(TraceReader::Open(env_.get(), "/bin", &reader).ok());
+  Op got;
+  ASSERT_TRUE(reader->Next(&got));
+  EXPECT_EQ(op.key, got.key);
+  EXPECT_EQ(op.value, got.value);
+  EXPECT_EQ(12345, got.scan_length);
+}
+
+TEST_F(TraceTest, CorruptionDetected) {
+  WorkloadSpec spec;
+  Generator gen(spec);
+  ASSERT_TRUE(RecordTrace(env_.get(), "/c", &gen, 100).ok());
+  std::string contents;
+  ASSERT_TRUE(env_->ReadFileToString("/c", &contents).ok());
+  contents[contents.size() / 2] ^= 0x5a;
+  ASSERT_TRUE(env_->WriteStringToFile(contents, "/c").ok());
+
+  std::unique_ptr<TraceReader> reader;
+  ASSERT_TRUE(TraceReader::Open(env_.get(), "/c", &reader).ok());
+  Op op;
+  int read = 0;
+  while (reader->Next(&op)) read++;
+  // Some prefix replays; the corrupted region does not (the WAL layer drops
+  // it), and no garbage op is surfaced.
+  EXPECT_LT(read, 100);
+}
+
+}  // namespace workload
+}  // namespace acheron

@@ -1,0 +1,282 @@
+// Tests for Slice, Status, Arena, Random, Comparator, Histogram, Clock.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/util/arena.h"
+#include "src/util/clock.h"
+#include "src/util/comparator.h"
+#include "src/util/histogram.h"
+#include "src/util/random.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace acheron {
+
+TEST(Slice, Basics) {
+  Slice empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(0u, empty.size());
+
+  Slice s("hello");
+  EXPECT_EQ(5u, s.size());
+  EXPECT_EQ('h', s[0]);
+  EXPECT_EQ("hello", s.ToString());
+  EXPECT_TRUE(s.starts_with("hel"));
+  EXPECT_FALSE(s.starts_with("help"));
+
+  s.remove_prefix(2);
+  EXPECT_EQ("llo", s.ToString());
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Slice, Compare) {
+  EXPECT_LT(Slice("a").compare(Slice("b")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("a")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("abc").compare(Slice("abcd")), 0);
+  EXPECT_GT(Slice("abcd").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+}
+
+TEST(Slice, EmbeddedNul) {
+  std::string with_nul("a\0b", 3);
+  Slice s(with_nul);
+  EXPECT_EQ(3u, s.size());
+  EXPECT_EQ(with_nul, s.ToString());
+}
+
+TEST(Status, OkAndErrors) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ("OK", ok.ToString());
+
+  Status nf = Status::NotFound("key", "missing");
+  EXPECT_FALSE(nf.ok());
+  EXPECT_TRUE(nf.IsNotFound());
+  EXPECT_EQ("NotFound: key: missing", nf.ToString());
+
+  Status corruption = Status::Corruption("bad block");
+  EXPECT_TRUE(corruption.IsCorruption());
+  Status io = Status::IOError("disk");
+  EXPECT_TRUE(io.IsIOError());
+  Status ia = Status::InvalidArgument("arg");
+  EXPECT_TRUE(ia.IsInvalidArgument());
+  Status ns = Status::NotSupported("feature");
+  EXPECT_TRUE(ns.IsNotSupported());
+  Status busy = Status::Busy("compacting");
+  EXPECT_TRUE(busy.IsBusy());
+}
+
+TEST(Status, CopySemantics) {
+  Status a = Status::IOError("original");
+  Status b = a;
+  EXPECT_EQ(a.ToString(), b.ToString());
+  Status c;
+  c = a;
+  EXPECT_EQ(a.ToString(), c.ToString());
+}
+
+TEST(Arena, Empty) { Arena arena; }
+
+TEST(Arena, Simple) {
+  std::vector<std::pair<size_t, char*>> allocated;
+  Arena arena;
+  const int N = 100000;
+  size_t bytes = 0;
+  Random rnd(301);
+  for (int i = 0; i < N; i++) {
+    size_t s;
+    if (i % (N / 10) == 0) {
+      s = i;
+    } else {
+      s = rnd.OneIn(4000)
+              ? rnd.Uniform(6000)
+              : (rnd.OneIn(10) ? rnd.Uniform(100) : rnd.Uniform(20));
+    }
+    if (s == 0) {
+      // Our arena disallows size 0 allocations.
+      s = 1;
+    }
+    char* r;
+    if (rnd.OneIn(10)) {
+      r = arena.AllocateAligned(s);
+    } else {
+      r = arena.Allocate(s);
+    }
+
+    for (size_t b = 0; b < s; b++) {
+      // Fill the "i"th allocation with a known bit pattern.
+      r[b] = i % 256;
+    }
+    bytes += s;
+    allocated.push_back(std::make_pair(s, r));
+    EXPECT_GE(arena.MemoryUsage(), bytes);
+    if (i > N / 10) {
+      EXPECT_LE(arena.MemoryUsage(), bytes * 1.10);
+    }
+  }
+  for (size_t i = 0; i < allocated.size(); i++) {
+    size_t num_bytes = allocated[i].first;
+    const char* p = allocated[i].second;
+    for (size_t b = 0; b < num_bytes; b++) {
+      // Check the "i"th allocation for the known bit pattern.
+      EXPECT_EQ(static_cast<int>(i % 256), p[b] & 0xff);
+    }
+  }
+}
+
+TEST(Arena, AlignedAllocationsAreAligned) {
+  Arena arena;
+  for (int i = 1; i < 200; i++) {
+    char* p = arena.AllocateAligned(i);
+    EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(p) % 8);
+    // Interleave unaligned allocations to perturb the pointer.
+    arena.Allocate(1 + (i % 3));
+  }
+}
+
+TEST(Random, Determinism) {
+  Random a(42), b(42);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(Random, UniformInRange) {
+  Random rnd(7);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rnd.Uniform(17), 17u);
+  }
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Random rnd(99);
+  for (int i = 0; i < 10000; i++) {
+    double d = rnd.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random, RoughUniformity) {
+  Random rnd(1234);
+  int buckets[10] = {0};
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; i++) {
+    buckets[rnd.Uniform(10)]++;
+  }
+  for (int b = 0; b < 10; b++) {
+    EXPECT_NEAR(buckets[b], kTrials / 10, kTrials / 100);
+  }
+}
+
+TEST(Comparator, Bytewise) {
+  const Comparator* cmp = BytewiseComparator();
+  EXPECT_STREQ("acheron.BytewiseComparator", cmp->Name());
+  EXPECT_LT(cmp->Compare("abc", "abd"), 0);
+  EXPECT_EQ(cmp->Compare("abc", "abc"), 0);
+  EXPECT_GT(cmp->Compare("abd", "abc"), 0);
+}
+
+TEST(Comparator, FindShortestSeparator) {
+  const Comparator* cmp = BytewiseComparator();
+  std::string start = "abcdefghij";
+  cmp->FindShortestSeparator(&start, "abzzzz");
+  EXPECT_LT(cmp->Compare(start, "abzzzz"), 0);
+  EXPECT_LE(cmp->Compare("abcdefghij", start), 0);
+  EXPECT_LE(start.size(), 10u);
+
+  // Prefix case: must not shorten.
+  start = "abc";
+  cmp->FindShortestSeparator(&start, "abcdef");
+  EXPECT_EQ("abc", start);
+}
+
+TEST(Comparator, FindShortSuccessor) {
+  const Comparator* cmp = BytewiseComparator();
+  std::string key = "abc";
+  cmp->FindShortSuccessor(&key);
+  EXPECT_GE(cmp->Compare(key, "abc"), 0);
+  EXPECT_EQ(1u, key.size());
+
+  key = std::string(3, '\xff');
+  cmp->FindShortSuccessor(&key);
+  EXPECT_EQ(std::string(3, '\xff'), key);  // all-0xff left unchanged
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(0u, h.Count());
+  EXPECT_EQ(0, h.Average());
+  EXPECT_EQ(0, h.Percentile(99));
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(1u, h.Count());
+  EXPECT_DOUBLE_EQ(42.0, h.Average());
+  EXPECT_EQ(42, h.Min());
+  EXPECT_EQ(42, h.Max());
+  EXPECT_NEAR(42, h.Median(), 1.0);
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  Histogram h;
+  Random rnd(5);
+  for (int i = 0; i < 10000; i++) {
+    h.Add(rnd.Uniform(100000));
+  }
+  double p50 = h.Percentile(50);
+  double p90 = h.Percentile(90);
+  double p99 = h.Percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.Max());
+  EXPECT_GE(p50, h.Min());
+  // Uniform distribution: p50 near 50000 with generous slack for bucketing.
+  EXPECT_NEAR(50000, p50, 10000);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; i++) a.Add(i);
+  for (int i = 100; i < 200; i++) b.Add(i);
+  a.Merge(b);
+  EXPECT_EQ(200u, a.Count());
+  EXPECT_EQ(0, a.Min());
+  EXPECT_EQ(199, a.Max());
+  EXPECT_NEAR(99.5, a.Average(), 0.01);
+}
+
+TEST(LogicalClock, TickAndAdvance) {
+  LogicalClock clock;
+  EXPECT_EQ(0u, clock.Now());
+  EXPECT_EQ(1u, clock.Tick());
+  EXPECT_EQ(6u, clock.Tick(5));
+  clock.AdvanceTo(3);  // no-op, already past
+  EXPECT_EQ(6u, clock.Now());
+  clock.AdvanceTo(100);
+  EXPECT_EQ(100u, clock.Now());
+}
+
+TEST(LogicalClock, ConcurrentTicks) {
+  LogicalClock clock;
+  const int kThreads = 8, kTicksPer = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < kTicksPer; i++) clock.Tick();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * kTicksPer, clock.Now());
+}
+
+}  // namespace acheron

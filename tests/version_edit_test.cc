@@ -1,0 +1,94 @@
+#include "src/lsm/version_edit.h"
+
+#include <gtest/gtest.h>
+
+namespace acheron {
+
+static void TestEncodeDecode(const VersionEdit& edit) {
+  std::string encoded, encoded2;
+  edit.EncodeTo(&encoded);
+  VersionEdit parsed;
+  Status s = parsed.DecodeFrom(encoded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  parsed.EncodeTo(&encoded2);
+  EXPECT_EQ(encoded, encoded2);
+}
+
+TEST(VersionEditTest, EncodeDecode) {
+  static const uint64_t kBig = 1ull << 50;
+
+  VersionEdit edit;
+  for (int i = 0; i < 4; i++) {
+    TestEncodeDecode(edit);
+    FileMetaData f;
+    f.number = kBig + 300 + i;
+    f.file_size = kBig + 400 + i;
+    f.smallest = InternalKey("foo", kBig + 500 + i, kTypeValue);
+    f.largest = InternalKey("zoo", kBig + 600 + i, kTypeDeletion);
+    f.num_entries = 1000 + i;
+    f.num_tombstones = 17 + i;
+    f.earliest_tombstone_seq = kBig + 700 + i;
+    f.earliest_tombstone_wall_micros = kBig + 800 + i;
+    f.min_secondary_key = "sec_min";
+    f.max_secondary_key = "sec_max";
+    f.run_id = kBig + 300 + i;
+    edit.AddFile(3, f);
+    edit.RemoveFile(4, kBig + 700 + i);
+    edit.SetCompactPointer(i, InternalKey("x", kBig + 900 + i, kTypeValue));
+  }
+
+  edit.SetComparatorName("foo");
+  edit.SetLogNumber(kBig + 100);
+  edit.SetNextFile(kBig + 200);
+  edit.SetLastSequence(kBig + 1000);
+  TestEncodeDecode(edit);
+}
+
+TEST(VersionEditTest, TombstoneMetadataRoundTrips) {
+  VersionEdit edit;
+  FileMetaData f;
+  f.number = 9;
+  f.file_size = 1234;
+  f.smallest = InternalKey("a", 5, kTypeValue);
+  f.largest = InternalKey("z", 6, kTypeValue);
+  f.num_entries = 77;
+  f.num_tombstones = 13;
+  f.earliest_tombstone_seq = 42;
+  edit.AddFile(1, f);
+
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  VersionEdit parsed;
+  ASSERT_TRUE(parsed.DecodeFrom(encoded).ok());
+  std::string debug = parsed.DebugString();
+  EXPECT_NE(std::string::npos, debug.find("tombstones=13"));
+}
+
+TEST(VersionEditTest, RejectsGarbage) {
+  VersionEdit edit;
+  EXPECT_TRUE(edit.DecodeFrom(Slice("\x42\x99 garbage")).IsCorruption());
+  // Truncated new-file record.
+  VersionEdit good;
+  FileMetaData f;
+  f.number = 1;
+  f.file_size = 2;
+  f.smallest = InternalKey("a", 1, kTypeValue);
+  f.largest = InternalKey("b", 2, kTypeValue);
+  good.AddFile(0, f);
+  std::string enc;
+  good.EncodeTo(&enc);
+  EXPECT_TRUE(
+      edit.DecodeFrom(Slice(enc.data(), enc.size() / 2)).IsCorruption());
+}
+
+TEST(VersionEditTest, FileMetaDataHelpers) {
+  FileMetaData f;
+  EXPECT_FALSE(f.has_tombstones());
+  EXPECT_EQ(0.0, f.tombstone_density());
+  f.num_entries = 100;
+  f.num_tombstones = 25;
+  EXPECT_TRUE(f.has_tombstones());
+  EXPECT_DOUBLE_EQ(0.25, f.tombstone_density());
+}
+
+}  // namespace acheron

@@ -1,0 +1,287 @@
+// WAL writer/reader round-trip and corruption-handling tests, adapted to
+// exercise block boundaries, fragmentation, and checksum failures.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/env/env.h"
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+#include "src/util/random.h"
+#include "src/wal/log_reader.h"
+#include "src/wal/log_writer.h"
+
+namespace acheron {
+namespace wal {
+
+// Construct a string of the specified length made out of the supplied
+// partial string.
+static std::string BigString(const std::string& partial_string, size_t n) {
+  std::string result;
+  while (result.size() < n) {
+    result.append(partial_string);
+  }
+  result.resize(n);
+  return result;
+}
+
+// Construct a string from a number.
+static std::string NumberString(int n) {
+  char buf[50];
+  std::snprintf(buf, sizeof(buf), "%d.", n);
+  return std::string(buf);
+}
+
+// Return a skewed potentially long string.
+static std::string RandomSkewedString(int i, Random* rnd) {
+  return BigString(NumberString(i), rnd->Skewed(17));
+}
+
+class LogTest : public ::testing::Test {
+ public:
+  LogTest()
+      : env_(NewMemEnv()),
+        reading_(false),
+        dest_(nullptr),
+        reader_(nullptr),
+        writer_(nullptr) {
+    env_->NewWritableFile("/log", &dest_holder_);
+    writer_ = std::make_unique<Writer>(dest_holder_.get());
+  }
+
+  void Write(const std::string& msg) {
+    ASSERT_TRUE(!reading_) << "Write() after starting to read";
+    writer_->AddRecord(Slice(msg));
+  }
+
+  size_t WrittenBytes() {
+    uint64_t size = 0;
+    env_->GetFileSize("/log", &size);
+    return size;
+  }
+
+  std::string Read() {
+    if (!reading_) {
+      StartReading();
+    }
+    std::string scratch;
+    Slice record;
+    if (reader_->ReadRecord(&record, &scratch)) {
+      return record.ToString();
+    }
+    return "EOF";
+  }
+
+  void StartReading() {
+    reading_ = true;
+    // Flush pending writes by destroying the writer (MemEnv keeps data).
+    writer_.reset();
+    dest_holder_.reset();
+    env_->NewSequentialFile("/log", &src_holder_);
+    reader_ = std::make_unique<Reader>(src_holder_.get(), &report_, true);
+  }
+
+  // Corruption helpers: rewrite the backing file with a mutation.
+  void SetByte(size_t offset, char new_byte) {
+    std::string contents = FileContents();
+    contents[offset] = new_byte;
+    RewriteFile(contents);
+  }
+
+  void ShrinkSize(size_t bytes) {
+    std::string contents = FileContents();
+    contents.resize(contents.size() - bytes);
+    RewriteFile(contents);
+  }
+
+  void FixChecksum(int header_offset, int len) {
+    std::string contents = FileContents();
+    uint32_t crc =
+        crc32c::Value(contents.data() + header_offset + 6, 1 + len);
+    crc = crc32c::Mask(crc);
+    EncodeFixed32(contents.data() + header_offset, crc);
+    RewriteFile(contents);
+  }
+
+  std::string FileContents() {
+    writer_.reset();
+    dest_holder_.reset();
+    std::string contents;
+    env_->ReadFileToString("/log", &contents);
+    return contents;
+  }
+
+  void RewriteFile(const std::string& contents) {
+    env_->WriteStringToFile(contents, "/log");
+  }
+
+  size_t DroppedBytes() const { return report_.dropped_bytes_; }
+  std::string ReportMessage() const { return report_.message_; }
+
+ protected:
+  class ReportCollector : public Reader::Reporter {
+   public:
+    ReportCollector() : dropped_bytes_(0) {}
+    void Corruption(size_t bytes, const Status& status) override {
+      dropped_bytes_ += bytes;
+      message_.append(status.ToString());
+    }
+
+    size_t dropped_bytes_;
+    std::string message_;
+  };
+
+  std::unique_ptr<Env> env_;
+  ReportCollector report_;
+  bool reading_;
+  std::unique_ptr<WritableFile> dest_holder_;
+  std::unique_ptr<SequentialFile> src_holder_;
+  WritableFile* dest_;
+  std::unique_ptr<Reader> reader_;
+  std::unique_ptr<Writer> writer_;
+};
+
+TEST_F(LogTest, Empty) { EXPECT_EQ("EOF", Read()); }
+
+TEST_F(LogTest, ReadWrite) {
+  Write("foo");
+  Write("bar");
+  Write("");
+  Write("xxxx");
+  EXPECT_EQ("foo", Read());
+  EXPECT_EQ("bar", Read());
+  EXPECT_EQ("", Read());
+  EXPECT_EQ("xxxx", Read());
+  EXPECT_EQ("EOF", Read());
+  EXPECT_EQ("EOF", Read());  // Make sure reads at eof work
+}
+
+TEST_F(LogTest, ManyBlocks) {
+  for (int i = 0; i < 100000; i++) {
+    Write(NumberString(i));
+  }
+  for (int i = 0; i < 100000; i++) {
+    EXPECT_EQ(NumberString(i), Read());
+  }
+  EXPECT_EQ("EOF", Read());
+}
+
+TEST_F(LogTest, Fragmentation) {
+  Write("small");
+  Write(BigString("medium", 50000));
+  Write(BigString("large", 100000));
+  EXPECT_EQ("small", Read());
+  EXPECT_EQ(BigString("medium", 50000), Read());
+  EXPECT_EQ(BigString("large", 100000), Read());
+  EXPECT_EQ("EOF", Read());
+}
+
+TEST_F(LogTest, MarginalTrailer) {
+  // Make a trailer that is exactly the same length as an empty record.
+  const int n = kBlockSize - 2 * kHeaderSize;
+  Write(BigString("foo", n));
+  EXPECT_EQ(static_cast<size_t>(kBlockSize - kHeaderSize), WrittenBytes());
+  Write("");
+  Write("bar");
+  EXPECT_EQ(BigString("foo", n), Read());
+  EXPECT_EQ("", Read());
+  EXPECT_EQ("bar", Read());
+  EXPECT_EQ("EOF", Read());
+}
+
+TEST_F(LogTest, ShortTrailer) {
+  const int n = kBlockSize - 2 * kHeaderSize + 4;
+  Write(BigString("foo", n));
+  EXPECT_EQ(static_cast<size_t>(kBlockSize - kHeaderSize + 4), WrittenBytes());
+  Write("");
+  Write("bar");
+  EXPECT_EQ(BigString("foo", n), Read());
+  EXPECT_EQ("", Read());
+  EXPECT_EQ("bar", Read());
+  EXPECT_EQ("EOF", Read());
+}
+
+TEST_F(LogTest, AlignedEof) {
+  const int n = kBlockSize - 2 * kHeaderSize + 4;
+  Write(BigString("foo", n));
+  EXPECT_EQ(static_cast<size_t>(kBlockSize - kHeaderSize + 4), WrittenBytes());
+  EXPECT_EQ(BigString("foo", n), Read());
+  EXPECT_EQ("EOF", Read());
+}
+
+TEST_F(LogTest, RandomRead) {
+  const int N = 500;
+  Random write_rnd(301);
+  for (int i = 0; i < N; i++) {
+    Write(RandomSkewedString(i, &write_rnd));
+  }
+  Random read_rnd(301);
+  for (int i = 0; i < N; i++) {
+    EXPECT_EQ(RandomSkewedString(i, &read_rnd), Read());
+  }
+  EXPECT_EQ("EOF", Read());
+}
+
+// Tests of all the error paths in log_reader.cc follow:
+
+TEST_F(LogTest, ReadError) {
+  Write("foo");
+  ShrinkSize(4);  // Corrupt the record by truncation: header is incomplete.
+  EXPECT_EQ("EOF", Read());
+}
+
+TEST_F(LogTest, BadRecordType) {
+  Write("foo");
+  // Type is stored in header[6]; also fix the checksum so only the type is
+  // "valid" but unknown.
+  SetByte(6, 100);
+  FixChecksum(0, 3);
+  EXPECT_EQ("EOF", Read());
+  EXPECT_GT(DroppedBytes(), 0u);
+  EXPECT_NE(std::string::npos, ReportMessage().find("unknown record type"));
+}
+
+TEST_F(LogTest, TruncatedTrailingRecordIsIgnored) {
+  Write("foo");
+  ShrinkSize(4);  // Drop all payload as well as a header byte
+  EXPECT_EQ("EOF", Read());
+  // Truncated last record is ignored, not treated as an error.
+  EXPECT_EQ(0u, DroppedBytes());
+  EXPECT_EQ("", ReportMessage());
+}
+
+TEST_F(LogTest, ChecksumMismatch) {
+  Write("foo");
+  SetByte(0, 'a');  // corrupt the stored checksum
+  EXPECT_EQ("EOF", Read());
+  EXPECT_GE(DroppedBytes(), 10u);
+  EXPECT_NE(std::string::npos, ReportMessage().find("checksum mismatch"));
+}
+
+TEST_F(LogTest, CorruptedMiddleRecordDropsRestOfBlock) {
+  Write("first");
+  Write("second");
+  Write("third");
+  // Corrupt one payload byte of "second" (record 2 header starts after
+  // record 1's header+payload: 7 + 5 = 12; its payload begins at 19).
+  SetByte(19 + 2, 'X');
+  EXPECT_EQ("first", Read());
+  // A checksum mismatch drops the remainder of the block (the length field
+  // itself cannot be trusted), so "third" is sacrificed too.
+  EXPECT_EQ("EOF", Read());
+  EXPECT_GT(DroppedBytes(), 0u);
+  EXPECT_NE(std::string::npos, ReportMessage().find("checksum mismatch"));
+}
+
+TEST_F(LogTest, CorruptionInFirstBlockDoesNotAffectLaterBlocks) {
+  // Fill block 0 and put more records in block 1; corrupt block 0.
+  Write(BigString("a", kBlockSize - kHeaderSize));  // exactly block 0
+  Write("block1_record");
+  SetByte(10, 'Z');  // corrupt payload of the first record
+  EXPECT_EQ("block1_record", Read());
+  EXPECT_EQ("EOF", Read());
+  EXPECT_GT(DroppedBytes(), 0u);
+}
+
+}  // namespace wal
+}  // namespace acheron

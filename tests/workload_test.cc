@@ -1,0 +1,129 @@
+#include "src/workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace acheron {
+namespace workload {
+
+TEST(ZipfianTest, StaysInRange) {
+  ZipfianGenerator gen(1000, 0.99, 7);
+  for (int i = 0; i < 100000; i++) {
+    EXPECT_LT(gen.Next(), 1000u);
+  }
+}
+
+TEST(ZipfianTest, IsSkewed) {
+  ZipfianGenerator gen(10000, 0.99, 7);
+  std::map<uint64_t, int> counts;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; i++) counts[gen.Next()]++;
+  // Rank 0 should receive a disproportionate share (~10% for theta=.99).
+  EXPECT_GT(counts[0], kDraws / 25);
+  // And far more than a mid-rank element.
+  EXPECT_GT(counts[0], counts[5000] * 20);
+}
+
+TEST(ZipfianTest, LowThetaIsFlatter) {
+  ZipfianGenerator skewed(1000, 0.99, 7);
+  ZipfianGenerator flat(1000, 0.2, 7);
+  int skewed_zero = 0, flat_zero = 0;
+  for (int i = 0; i < 100000; i++) {
+    if (skewed.Next() == 0) skewed_zero++;
+    if (flat.Next() == 0) flat_zero++;
+  }
+  EXPECT_GT(skewed_zero, flat_zero * 3);
+}
+
+TEST(GeneratorTest, Determinism) {
+  WorkloadSpec spec;
+  spec.seed = 123;
+  Generator a(spec), b(spec);
+  for (int i = 0; i < 1000; i++) {
+    Op oa = a.Next(), ob = b.Next();
+    EXPECT_EQ(static_cast<int>(oa.type), static_cast<int>(ob.type));
+    EXPECT_EQ(oa.key, ob.key);
+    EXPECT_EQ(oa.value, ob.value);
+  }
+}
+
+TEST(GeneratorTest, MixRatiosRoughlyHold) {
+  WorkloadSpec spec;
+  spec.update_percent = 30;
+  spec.delete_percent = 20;
+  spec.point_query_percent = 15;
+  spec.range_query_percent = 5;
+  Generator gen(spec);
+  std::map<OpType, int> counts;
+  const int kOps = 100000;
+  for (int i = 0; i < kOps; i++) counts[gen.Next().type]++;
+  EXPECT_NEAR(counts[OpType::kUpdate], kOps * 30 / 100, kOps / 50);
+  EXPECT_NEAR(counts[OpType::kDelete], kOps * 20 / 100, kOps / 50);
+  EXPECT_NEAR(counts[OpType::kPointQuery], kOps * 15 / 100, kOps / 50);
+  EXPECT_NEAR(counts[OpType::kRangeQuery], kOps * 5 / 100, kOps / 50);
+  EXPECT_NEAR(counts[OpType::kInsert], kOps * 30 / 100, kOps / 50);
+}
+
+TEST(GeneratorTest, KeysHaveFixedSizeAndOrder) {
+  WorkloadSpec spec;
+  spec.key_size = 16;
+  Generator gen(spec);
+  EXPECT_EQ(16u, gen.KeyAt(0).size());
+  EXPECT_EQ(16u, gen.KeyAt(999999).size());
+  // Numeric order matches lexicographic order (zero padding).
+  EXPECT_LT(gen.KeyAt(5), gen.KeyAt(10));
+  EXPECT_LT(gen.KeyAt(99), gen.KeyAt(100));
+}
+
+TEST(GeneratorTest, ValuesSizedAndDistinct) {
+  WorkloadSpec spec;
+  spec.value_size = 100;
+  Generator gen(spec);
+  EXPECT_EQ(100u, gen.ValueAt(1).size());
+  EXPECT_NE(gen.ValueAt(1), gen.ValueAt(2));
+}
+
+TEST(GeneratorTest, FifoDeletesAreOrdered) {
+  WorkloadSpec spec;
+  spec.delete_percent = 100;
+  spec.update_percent = 0;
+  spec.point_query_percent = 0;
+  spec.delete_model = DeleteModel::kFifo;
+  Generator gen(spec);
+  std::string prev;
+  for (int i = 0; i < 100; i++) {
+    Op op = gen.Next();
+    ASSERT_EQ(OpType::kDelete, static_cast<OpType>(op.type));
+    if (!prev.empty()) {
+      EXPECT_LT(prev, op.key);
+    }
+    prev = op.key;
+  }
+}
+
+class GeneratorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorSweep, AllKeysWithinKeySpace) {
+  WorkloadSpec spec;
+  spec.key_space = 500;
+  spec.seed = GetParam();
+  spec.update_percent = 25;
+  spec.delete_percent = 25;
+  spec.point_query_percent = 25;
+  spec.distribution = (GetParam() % 2) ? KeyDistribution::kZipfian
+                                       : KeyDistribution::kUniform;
+  Generator gen(spec);
+  std::set<std::string> valid;
+  for (uint64_t i = 0; i < spec.key_space; i++) valid.insert(gen.KeyAt(i));
+  for (int i = 0; i < 10000; i++) {
+    Op op = gen.Next();
+    EXPECT_TRUE(valid.count(op.key)) << op.key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace workload
+}  // namespace acheron
