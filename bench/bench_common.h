@@ -22,6 +22,15 @@
 namespace acheron {
 namespace bench {
 
+// Aborts the benchmark if an engine operation fails: throughput numbers for
+// a database that is silently erroring would be meaningless.
+inline void CheckOk(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench: operation failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
 inline uint64_t Scale() {
   const char* s = std::getenv("ACHERON_BENCH_SCALE");
   if (s == nullptr) return 1;
@@ -95,13 +104,14 @@ inline double RunWorkload(DB* db, const workload::WorkloadSpec& spec) {
     switch (op.type) {
       case workload::OpType::kInsert:
       case workload::OpType::kUpdate:
-        db->Put(wo, op.key, op.value);
+        CheckOk(db->Put(wo, op.key, op.value));
         break;
       case workload::OpType::kDelete:
-        db->Delete(wo, op.key);
+        CheckOk(db->Delete(wo, op.key));
         break;
       case workload::OpType::kPointQuery:
-        db->Get(ro, op.key, &value);
+        // NotFound is an expected outcome for point lookups.
+        (void)db->Get(ro, op.key, &value);
         break;
       case workload::OpType::kRangeQuery: {
         std::unique_ptr<Iterator> it(db->NewIterator(ro));

@@ -27,9 +27,9 @@ static void Run(TtlAllocation alloc, bool picking, const char* label) {
   for (uint64_t i = 0; i < spec.num_ops; i++) {
     workload::Op op = gen.Next();
     if (op.type == workload::OpType::kDelete) {
-      db->Delete(wo, op.key);
+      CheckOk(db->Delete(wo, op.key));
     } else {
-      db->Put(wo, op.key, op.value);
+      CheckOk(db->Put(wo, op.key, op.value));
     }
   }
   InternalStats stats = db->GetStats();

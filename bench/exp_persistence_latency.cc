@@ -23,9 +23,9 @@ static void Run(uint64_t dth) {
   for (uint64_t i = 0; i < spec.num_ops; i++) {
     workload::Op op = gen.Next();
     if (op.type == workload::OpType::kDelete) {
-      db->Delete(wo, op.key);
+      CheckOk(db->Delete(wo, op.key));
     } else {
-      db->Put(wo, op.key, op.value);
+      CheckOk(db->Put(wo, op.key, op.value));
     }
   }
   DeleteStats ds = db->GetDeleteStats();

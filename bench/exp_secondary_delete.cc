@@ -36,9 +36,9 @@ static Result Run(bool use_secondary_purge) {
   key_spec.key_space = kEntries;
   workload::Generator gen(key_spec);
   for (uint64_t i = 0; i < kEntries; i++) {
-    db->Put(wo, gen.KeyAt(i), MakeValue(i, 64));
+    CheckOk(db->Put(wo, gen.KeyAt(i), MakeValue(i, 64)));
   }
-  db->WaitForCompactions();
+  CheckOk(db->WaitForCompactions());
 
   uint64_t written_before = db->GetStats().flush_bytes_written +
                             db->GetStats().compaction_bytes_written;
@@ -55,7 +55,7 @@ static Result Run(bool use_secondary_purge) {
     // Naive alternative: delete each dead key, then rewrite the full tree
     // to make the deletion physical.
     for (uint64_t i = 0; i < kEntries / 2; i++) {
-      db->Delete(wo, gen.KeyAt(i));
+      CheckOk(db->Delete(wo, gen.KeyAt(i)));
     }
     db.db()->CompactRange(nullptr, nullptr);
   }

@@ -24,9 +24,9 @@ static double Run(uint64_t dth, int delete_percent) {
   for (uint64_t i = 0; i < spec.num_ops; i++) {
     workload::Op op = gen.Next();
     if (op.type == workload::OpType::kDelete) {
-      db->Delete(wo, op.key);
+      CheckOk(db->Delete(wo, op.key));
     } else {
-      db->Put(wo, op.key, op.value);
+      CheckOk(db->Put(wo, op.key, op.value));
     }
   }
   return db.SpaceAmplification();

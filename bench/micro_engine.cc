@@ -15,7 +15,7 @@ static void BM_DbPut(benchmark::State& state) {
   std::string value(64, 'v');
   WriteOptions wo;
   for (auto _ : state) {
-    db->Put(wo, "key" + std::to_string(rnd.Uniform(100000)), value);
+    CheckOk(db->Put(wo, "key" + std::to_string(rnd.Uniform(100000)), value));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -26,9 +26,9 @@ static void BM_DbGet(benchmark::State& state) {
   WriteOptions wo;
   const int n = 50000;
   for (int i = 0; i < n; i++) {
-    db->Put(wo, "key" + std::to_string(i), std::string(64, 'v'));
+    CheckOk(db->Put(wo, "key" + std::to_string(i), std::string(64, 'v')));
   }
-  db->WaitForCompactions();
+  CheckOk(db->WaitForCompactions());
   Random rnd(2);
   ReadOptions ro;
   std::string value;
@@ -44,9 +44,9 @@ static void BM_DbGetMissing(benchmark::State& state) {
   BenchDB db(BenchOptions());
   WriteOptions wo;
   for (int i = 0; i < 50000; i++) {
-    db->Put(wo, "key" + std::to_string(i), std::string(64, 'v'));
+    CheckOk(db->Put(wo, "key" + std::to_string(i), std::string(64, 'v')));
   }
-  db->WaitForCompactions();
+  CheckOk(db->WaitForCompactions());
   Random rnd(2);
   ReadOptions ro;
   std::string value;
@@ -65,9 +65,9 @@ static void BM_DbScan100(benchmark::State& state) {
   workload::Generator gen(spec);
   const int n = 50000;
   for (int i = 0; i < n; i++) {
-    db->Put(wo, gen.KeyAt(i), std::string(64, 'v'));
+    CheckOk(db->Put(wo, gen.KeyAt(i), std::string(64, 'v')));
   }
-  db->WaitForCompactions();
+  CheckOk(db->WaitForCompactions());
   Random rnd(3);
   ReadOptions ro;
   for (auto _ : state) {
@@ -92,10 +92,10 @@ static void BM_DbDelete(benchmark::State& state) {
   uint64_t i = 0;
   for (auto _ : state) {
     if ((i & 1) == 0) {
-      db->Put(wo, "key" + std::to_string(rnd.Uniform(50000)),
-              std::string(64, 'v'));
+      CheckOk(db->Put(wo, "key" + std::to_string(rnd.Uniform(50000)),
+              std::string(64, 'v')));
     } else {
-      db->Delete(wo, "key" + std::to_string(rnd.Uniform(50000)));
+      CheckOk(db->Delete(wo, "key" + std::to_string(rnd.Uniform(50000))));
     }
     i++;
   }

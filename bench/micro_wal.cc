@@ -1,6 +1,7 @@
 // M4 -- WAL microbenchmarks: record append and replay throughput.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
 
 #include "src/env/env.h"
@@ -13,7 +14,7 @@ static void BM_WalAppend(benchmark::State& state) {
   const size_t record_size = static_cast<size_t>(state.range(0));
   std::unique_ptr<Env> env(NewMemEnv());
   std::unique_ptr<WritableFile> file;
-  env->NewWritableFile("/wal", &file);
+  if (!env->NewWritableFile("/wal", &file).ok()) std::abort();
   wal::Writer writer(file.get());
   std::string record(record_size, 'r');
   for (auto _ : state) {
@@ -28,16 +29,16 @@ static void BM_WalReplay(benchmark::State& state) {
   std::unique_ptr<Env> env(NewMemEnv());
   {
     std::unique_ptr<WritableFile> file;
-    env->NewWritableFile("/wal", &file);
+    if (!env->NewWritableFile("/wal", &file).ok()) std::abort();
     wal::Writer writer(file.get());
     std::string record(128, 'r');
     for (int i = 0; i < kRecords; i++) {
-      writer.AddRecord(record);
+      if (!writer.AddRecord(record).ok()) std::abort();
     }
   }
   for (auto _ : state) {
     std::unique_ptr<SequentialFile> file;
-    env->NewSequentialFile("/wal", &file);
+    if (!env->NewSequentialFile("/wal", &file).ok()) std::abort();
     wal::Reader reader(file.get(), nullptr, true);
     Slice record;
     std::string scratch;

@@ -100,10 +100,13 @@ int main(int argc, char** argv) {
   const uint64_t checkpoint = ops / 5 ? ops / 5 : 1;
   for (uint64_t i = 0; i < ops; i++) {
     acheron::workload::Op op = gen.Next();
-    if (op.type == acheron::workload::OpType::kDelete) {
-      db->Delete(acheron::WriteOptions(), op.key);
-    } else {
-      db->Put(acheron::WriteOptions(), op.key, op.value);
+    acheron::Status s =
+        op.type == acheron::workload::OpType::kDelete
+            ? db->Delete(acheron::WriteOptions(), op.key)
+            : db->Put(acheron::WriteOptions(), op.key, op.value);
+    if (!s.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+      return 1;
     }
     if ((i + 1) % checkpoint == 0) {
       RenderTree(db.get(), i + 1, dth);

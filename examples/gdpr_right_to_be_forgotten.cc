@@ -6,6 +6,7 @@
 // then audits the raw LSM tree (internal iterator) to show that no trace of
 // the user remains -- values or tombstones -- within the configured bound.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "src/lsm/db.h"
@@ -14,6 +15,13 @@
 #include "src/util/random.h"
 
 namespace {
+
+void OrDie(const acheron::Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
 
 std::string UserKey(int user, int record) {
   char buf[64];
@@ -58,8 +66,8 @@ int main() {
   std::printf("ingesting 200 users x 50 records...\n");
   for (int user = 0; user < 200; user++) {
     for (int rec = 0; rec < 50; rec++) {
-      db->Put(acheron::WriteOptions(), UserKey(user, rec),
-              "personal-data-" + std::to_string(user));
+      OrDie(db->Put(acheron::WriteOptions(), UserKey(user, rec),
+                    "personal-data-" + std::to_string(user)));
     }
   }
 
@@ -70,7 +78,7 @@ int main() {
   for (int rec = 0; rec < 50; rec++) {
     erase.Delete(UserKey(kUser, rec));
   }
-  db->Write(acheron::WriteOptions(), &erase);
+  OrDie(db->Write(acheron::WriteOptions(), &erase));
 
   // Logically deleted immediately...
   std::string v;
@@ -88,8 +96,8 @@ int main() {
   acheron::Random rnd(1);
   for (uint64_t i = 0; i < kDth + 100; i++) {
     int user = 200 + static_cast<int>(rnd.Uniform(100));
-    db->Put(acheron::WriteOptions(),
-            UserKey(user, static_cast<int>(rnd.Uniform(50))), "fresh");
+    OrDie(db->Put(acheron::WriteOptions(),
+                  UserKey(user, static_cast<int>(rnd.Uniform(50))), "fresh"));
   }
 
   const int traces = CountInternalTraces(db.get(), kUser);

@@ -3,9 +3,20 @@
 //
 //   ./example_quickstart [db_path]
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "src/lsm/db.h"
+
+namespace {
+// Examples model production usage: every Status is checked.
+void OrDie(const acheron::Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::string path = argc > 1 ? argv[1] : "/tmp/acheron_quickstart";
@@ -25,20 +36,21 @@ int main(int argc, char** argv) {
   std::unique_ptr<acheron::DB> db(raw);
 
   // Writes.
-  db->Put(acheron::WriteOptions(), "user:1001:name", "ada");
-  db->Put(acheron::WriteOptions(), "user:1001:email", "ada@example.com");
-  db->Put(acheron::WriteOptions(), "user:1002:name", "grace");
+  OrDie(db->Put(acheron::WriteOptions(), "user:1001:name", "ada"));
+  OrDie(db->Put(acheron::WriteOptions(), "user:1001:email",
+                "ada@example.com"));
+  OrDie(db->Put(acheron::WriteOptions(), "user:1002:name", "grace"));
 
   // Point read.
   std::string value;
-  s = db->Get(acheron::ReadOptions(), "user:1001:name", &value);
+  OrDie(db->Get(acheron::ReadOptions(), "user:1001:name", &value));
   std::printf("user:1001:name = %s\n", value.c_str());
 
   // Atomic batch.
   acheron::WriteBatch batch;
   batch.Put("user:1003:name", "edsger");
   batch.Delete("user:1002:name");
-  db->Write(acheron::WriteOptions(), &batch);
+  OrDie(db->Write(acheron::WriteOptions(), &batch));
 
   // Deleted keys are NotFound.
   s = db->Get(acheron::ReadOptions(), "user:1002:name", &value);

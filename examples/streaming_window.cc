@@ -32,7 +32,7 @@ void RunWindowed(uint64_t dth, const char* label) {
   options.write_buffer_size = 64 << 10;
   options.disable_wal = true;
   std::string path = std::string("/tmp/acheron_stream_") + label;
-  acheron::DestroyDB(path, options);
+  (void)acheron::DestroyDB(path, options);  // a stale dir may not exist
 
   acheron::DB* raw = nullptr;
   auto s = acheron::DB::Open(options, path, &raw);
@@ -47,9 +47,14 @@ void RunWindowed(uint64_t dth, const char* label) {
   const std::string payload(100, 'e');
 
   for (uint64_t i = 0; i < kEvents; i++) {
-    db->Put(acheron::WriteOptions(), EventKey(i), payload);
-    if (i >= kWindow) {
-      db->Delete(acheron::WriteOptions(), EventKey(i - kWindow));
+    if (!db->Put(acheron::WriteOptions(), EventKey(i), payload).ok()) {
+      std::fprintf(stderr, "put failed\n");
+      return;
+    }
+    if (i >= kWindow &&
+        !db->Delete(acheron::WriteOptions(), EventKey(i - kWindow)).ok()) {
+      std::fprintf(stderr, "delete failed\n");
+      return;
     }
   }
 
@@ -62,7 +67,7 @@ void RunWindowed(uint64_t dth, const char* label) {
   std::string ts;
   db->GetProperty("acheron.total-tombstones", &ts);
   std::printf("%s\n", ts.c_str());
-  acheron::DestroyDB(path, options);
+  (void)acheron::DestroyDB(path, options);  // best-effort cleanup
 }
 
 }  // namespace

@@ -38,6 +38,9 @@ struct CompactionPick {
   int reason_tag = 0;
 };
 
+// Immutable after construction (the TTL schedule is precomputed), so it is
+// safe to call concurrently; in practice Pick() runs under DBImpl::mutex_
+// because it inspects the mutex-guarded current Version.
 class CompactionPlanner {
  public:
   CompactionPlanner(const Options& options, const InternalKeyComparator* icmp);

@@ -23,27 +23,27 @@ std::string DeleteStats::ToString() const {
 }
 
 void DeletePersistenceMonitor::OnTombstoneWritten(uint64_t n) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   written_ += n;
 }
 
 void DeletePersistenceMonitor::OnTombstonePersisted(SequenceNumber created_seq,
                                                     SequenceNumber now_seq) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   persisted_++;
   const uint64_t latency = now_seq >= created_seq ? now_seq - created_seq : 0;
   latency_.Add(static_cast<double>(latency));
 }
 
 void DeletePersistenceMonitor::OnTombstoneSuperseded(uint64_t n) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   superseded_ += n;
 }
 
 void DeletePersistenceMonitor::Snapshot(DeleteStats* stats,
                                         uint64_t tombstones_live,
                                         uint64_t oldest_live_age) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   stats->tombstones_written = written_;
   stats->tombstones_persisted = persisted_;
   stats->tombstones_superseded = superseded_;
@@ -57,7 +57,7 @@ void DeletePersistenceMonitor::Snapshot(DeleteStats* stats,
 }
 
 Histogram DeletePersistenceMonitor::LatencyHistogram() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   return latency_;
 }
 

@@ -13,11 +13,12 @@
 #define ACHERON_CORE_PERSISTENCE_MONITOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "src/lsm/dbformat.h"
 #include "src/util/histogram.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace acheron {
 
@@ -76,11 +77,14 @@ class DeletePersistenceMonitor {
   Histogram LatencyHistogram() const;
 
  private:
-  mutable std::mutex mu_;
-  uint64_t written_ = 0;
-  uint64_t persisted_ = 0;
-  uint64_t superseded_ = 0;
-  Histogram latency_;
+  // mu_ is the innermost lock of the engine (see DESIGN.md "Locking
+  // discipline"): it is taken with DBImpl::mutex_ held and never the other
+  // way around, and no lock is acquired while holding it.
+  mutable Mutex mu_;
+  uint64_t written_ GUARDED_BY(mu_) = 0;
+  uint64_t persisted_ GUARDED_BY(mu_) = 0;
+  uint64_t superseded_ GUARDED_BY(mu_) = 0;
+  Histogram latency_ GUARDED_BY(mu_);
 };
 
 }  // namespace acheron

@@ -9,7 +9,7 @@ Status Env::WriteStringToFile(const Slice& data, const std::string& fname) {
   s = file->Append(data);
   if (s.ok()) s = file->Sync();
   if (s.ok()) s = file->Close();
-  if (!s.ok()) RemoveFile(fname);
+  if (!s.ok()) (void)RemoveFile(fname);  // best-effort cleanup
   return s;
 }
 

@@ -64,7 +64,7 @@ bool FaultInjectionEnv::ShouldFailWrite() {
 }
 
 bool FaultInjectionEnv::ShouldFailRead(const std::string& fname) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   if (read_fault_substr_.empty()) return false;
   if (fname.find(read_fault_substr_) == std::string::npos) return false;
   faults_injected_.fetch_add(1, std::memory_order_relaxed);

@@ -6,10 +6,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/env/env.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace acheron {
 
@@ -27,7 +28,7 @@ class FaultInjectionEnv : public Env {
   // Reads from any file whose name contains |substr| fail with IOError.
   // Empty string disables the fault.
   void SetReadFaultSubstring(const std::string& substr) {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     read_fault_substr_ = substr;
   }
 
@@ -73,10 +74,9 @@ class FaultInjectionEnv : public Env {
   bool ShouldFailRead(const std::string& fname);
 
  private:
-
   Env* const base_;
-  std::mutex mu_;
-  std::string read_fault_substr_;
+  Mutex mu_;
+  std::string read_fault_substr_ GUARDED_BY(mu_);
   std::atomic<int64_t> write_countdown_{-1};
   std::atomic<uint64_t> faults_injected_{0};
 };

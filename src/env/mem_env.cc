@@ -1,10 +1,11 @@
 // In-memory Env for tests and RAM-resident benchmarks. Files are reference
 // counted strings; paths are flat (directories exist implicitly).
 #include <map>
-#include <mutex>
 #include <set>
 
 #include "src/env/env.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace acheron {
 namespace {
@@ -17,14 +18,14 @@ class FileState {
   FileState& operator=(const FileState&) = delete;
 
   void Ref() {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     refs_++;
   }
 
   void Unref() {
     bool do_delete = false;
     {
-      std::lock_guard<std::mutex> l(mu_);
+      MutexLock l(&mu_);
       refs_--;
       do_delete = (refs_ <= 0);
     }
@@ -32,17 +33,17 @@ class FileState {
   }
 
   uint64_t Size() const {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     return data_.size();
   }
 
   void Truncate() {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     data_.clear();
   }
 
   Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     if (offset >= data_.size()) {
       *result = Slice();
       return Status::OK();
@@ -55,7 +56,7 @@ class FileState {
   }
 
   Status Append(const Slice& data) {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     data_.append(data.data(), data.size());
     return Status::OK();
   }
@@ -63,9 +64,9 @@ class FileState {
  private:
   ~FileState() = default;
 
-  mutable std::mutex mu_;
-  int refs_;
-  std::string data_;
+  mutable Mutex mu_;
+  int refs_ GUARDED_BY(mu_);
+  std::string data_ GUARDED_BY(mu_);
 };
 
 class MemSequentialFile : public SequentialFile {
@@ -136,7 +137,7 @@ class MemEnv : public Env {
 
   Status NewSequentialFile(const std::string& fname,
                            std::unique_ptr<SequentialFile>* result) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       result->reset();
@@ -149,7 +150,7 @@ class MemEnv : public Env {
   Status NewRandomAccessFile(
       const std::string& fname,
       std::unique_ptr<RandomAccessFile>* result) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       result->reset();
@@ -161,7 +162,7 @@ class MemEnv : public Env {
 
   Status NewWritableFile(const std::string& fname,
                          std::unique_ptr<WritableFile>* result) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = files_.find(fname);
     FileState* file;
     if (it == files_.end()) {
@@ -177,13 +178,13 @@ class MemEnv : public Env {
   }
 
   bool FileExists(const std::string& fname) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     return files_.count(fname) > 0;
   }
 
   Status GetChildren(const std::string& dir,
                      std::vector<std::string>* result) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     result->clear();
     for (const auto& [name, file] : files_) {
       if (name.size() >= dir.size() + 1 && name[dir.size()] == '/' &&
@@ -195,7 +196,7 @@ class MemEnv : public Env {
   }
 
   Status RemoveFile(const std::string& fname) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       return Status::NotFound(fname, "file not found");
@@ -209,7 +210,7 @@ class MemEnv : public Env {
   Status RemoveDir(const std::string&) override { return Status::OK(); }
 
   Status GetFileSize(const std::string& fname, uint64_t* size) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       return Status::NotFound(fname, "file not found");
@@ -219,7 +220,7 @@ class MemEnv : public Env {
   }
 
   Status RenameFile(const std::string& src, const std::string& target) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = files_.find(src);
     if (it == files_.end()) {
       return Status::NotFound(src, "file not found");
@@ -236,8 +237,8 @@ class MemEnv : public Env {
   }
 
  private:
-  std::mutex mu_;
-  std::map<std::string, FileState*> files_;
+  Mutex mu_;
+  std::map<std::string, FileState*> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace

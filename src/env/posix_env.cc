@@ -79,7 +79,7 @@ class PosixWritableFile final : public WritableFile {
 
   ~PosixWritableFile() override {
     if (fd_ >= 0) {
-      Close();
+      (void)Close();  // errors in a destructor have nowhere to go
     }
   }
 

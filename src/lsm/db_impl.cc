@@ -97,7 +97,7 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
 }
 
 DBImpl::~DBImpl() {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   if (mem_ != nullptr) mem_->Unref();
   versions_.reset();
   table_cache_.reset();
@@ -135,13 +135,12 @@ Status DBImpl::NewDB() {
     // Make "CURRENT" file that points to the new manifest file.
     s = SetCurrentFile(env_, dbname_, 1);
   } else {
-    env_->RemoveFile(manifest);
+    (void)env_->RemoveFile(manifest);  // best-effort cleanup
   }
   return s;
 }
 
 void DBImpl::RemoveObsoleteFiles() {
-  // mutex_ must be held.
   if (!bg_error_.ok()) {
     // After a background error, we don't know whether a new version may
     // or may not have been committed, so we cannot safely garbage collect.
@@ -153,7 +152,7 @@ void DBImpl::RemoveObsoleteFiles() {
   versions_->AddLiveFiles(&live);
 
   std::vector<std::string> filenames;
-  env_->GetChildren(dbname_, &filenames);  // Ignoring errors on purpose
+  (void)env_->GetChildren(dbname_, &filenames);  // errors ignored on purpose
   uint64_t number;
   FileType type;
   std::vector<std::string> files_to_delete;
@@ -192,13 +191,12 @@ void DBImpl::RemoveObsoleteFiles() {
   }
 
   for (const std::string& filename : files_to_delete) {
-    env_->RemoveFile(dbname_ + "/" + filename);
+    (void)env_->RemoveFile(dbname_ + "/" + filename);  // retried next pass
   }
 }
 
 Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
-  // mutex_ held by Open.
-  env_->CreateDir(dbname_);
+  (void)env_->CreateDir(dbname_);  // may already exist; Open fails later if not
 
   if (!env_->FileExists(CurrentFileName(dbname_))) {
     if (options_.create_if_missing) {
@@ -349,7 +347,6 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, bool, bool* save_manifest,
 }
 
 Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
-  // mutex_ held.
   const uint64_t start_micros = SystemClock::NowMicros();
   FileMetaData meta;
   meta.number = versions_->NewFileNumber();
@@ -434,14 +431,13 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
     stats_.flush_count++;
     stats_.flush_bytes_written += meta.file_size;
   } else {
-    env_->RemoveFile(TableFileName(dbname_, meta.number));
+    (void)env_->RemoveFile(TableFileName(dbname_, meta.number));
   }
   (void)start_micros;
   return s;
 }
 
 Status DBImpl::CompactMemTable() {
-  // mutex_ held.
   assert(mem_ != nullptr);
   if (mem_->num_entries() == 0) return Status::OK();
 
@@ -457,7 +453,7 @@ Status DBImpl::CompactMemTable() {
     }
     if (s.ok()) {
       edit.SetLogNumber(new_log_number);
-      s = versions_->LogAndApply(&edit);
+      s = versions_->LogAndApply(&edit, &mutex_);
     }
     if (s.ok()) {
       if (!options_.disable_wal) {
@@ -484,7 +480,6 @@ SequenceNumber DBImpl::SmallestSnapshot() const {
 }
 
 Status DBImpl::MakeRoomForWrite() {
-  // mutex_ held.
   if (!bg_error_.ok()) return bg_error_;
 
   bool flush = mem_->ApproximateMemoryUsage() >= options_.write_buffer_size;
@@ -525,7 +520,7 @@ void DBImpl::ComputeNextTtlDeadline() {
 }
 
 Status DBImpl::MaybeCompact() {
-  // mutex_ held. Run compactions until the planner is satisfied. The loop
+  // Run compactions until the planner is satisfied. The loop
   // terminates because every compaction either reduces the trigger that
   // caused it (run counts, level sizes) or eliminates expired tombstones.
   Status s = bg_error_;
@@ -554,7 +549,7 @@ Status DBImpl::MaybeCompact() {
       FileMetaData moved = *f;
       moved.refs = 0;
       c->edit()->AddFile(c->output_level(), moved);
-      s = versions_->LogAndApply(c->edit());
+      s = versions_->LogAndApply(c->edit(), &mutex_);
       if (!s.ok()) {
         RecordBackgroundError(s);
       }
@@ -643,7 +638,7 @@ Status DBImpl::FinishCompactionOutputFile(CompactionState* compact,
 
   if (s.ok() && current_entries == 0) {
     // An empty output: delete it and forget it.
-    env_->RemoveFile(TableFileName(dbname_, output_number));
+    (void)env_->RemoveFile(TableFileName(dbname_, output_number));
     pending_outputs_.erase(output_number);
     compact->outputs.pop_back();
   }
@@ -670,7 +665,7 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
     meta.run_id = out.number;
     compact->compaction->edit()->AddFile(output_level, meta);
   }
-  return versions_->LogAndApply(compact->compaction->edit());
+  return versions_->LogAndApply(compact->compaction->edit(), &mutex_);
 }
 
 Status DBImpl::DoCompactionWork(CompactionState* compact) {
@@ -834,7 +829,7 @@ void DBImpl::RecordBackgroundError(const Status& s) {
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
   Status s;
-  std::unique_lock<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   SequenceNumber snapshot;
   if (options.snapshot != nullptr) {
     snapshot =
@@ -851,7 +846,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 
   // Unlock while reading from files and memtables
   {
-    l.unlock();
+    mutex_.Unlock();
     // First look in the memtable, then in the SSTables.
     LookupKey lkey(key, snapshot);
     if (mem->Get(lkey, value, &s)) {
@@ -859,7 +854,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     } else {
       s = current->Get(options, lkey, value);
     }
-    l.lock();
+    mutex_.Lock();
   }
 
   if (s.ok()) stats_.gets_found++;
@@ -868,16 +863,32 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   return s;
 }
 
-static void CleanupIteratorState(void* arg1, void* arg2) {
-  MemTable* mem = reinterpret_cast<MemTable*>(arg1);
-  Version* version = reinterpret_cast<Version*>(arg2);
-  mem->Unref();
-  version->Unref();
+namespace {
+// Pinned state for a live internal iterator. Ref counts (and the version
+// list) are protected by the DB mutex, and an iterator can be destroyed by
+// any thread at any time, so the cleanup must re-acquire the mutex.
+struct IterState {
+  Mutex* const mu;
+  MemTable* const mem GUARDED_BY(mu);
+  Version* const version GUARDED_BY(mu);
+
+  IterState(Mutex* mutex, MemTable* m, Version* v)
+      : mu(mutex), mem(m), version(v) {}
+};
+
+void CleanupIteratorState(void* arg1, void* /*arg2*/) {
+  IterState* state = reinterpret_cast<IterState*>(arg1);
+  state->mu->Lock();
+  state->mem->Unref();
+  state->version->Unref();
+  state->mu->Unlock();
+  delete state;
 }
+}  // anonymous namespace
 
 Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
                                       SequenceNumber* latest_snapshot) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   *latest_snapshot = versions_->LastSequence();
 
   // Collect together all needed child iterators
@@ -890,7 +901,8 @@ Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
   Version* current = versions_->current();
   current->Ref();
 
-  internal_iter->RegisterCleanup(CleanupIteratorState, mem_, current);
+  IterState* cleanup = new IterState(&mutex_, mem_, current);
+  internal_iter->RegisterCleanup(CleanupIteratorState, cleanup, nullptr);
   return internal_iter;
 }
 
@@ -908,16 +920,16 @@ Iterator* DBImpl::NewIterator(const ReadOptions& options) {
                  ->sequence_number()
            : latest_snapshot);
   return NewDBIterator(internal_comparator_.user_comparator(), iter, seq,
-                       &stats_);
+                       &iter_tombstones_skipped_);
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   return snapshots_.New(versions_->LastSequence());
 }
 
 void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
 }
 
@@ -953,7 +965,7 @@ class DeleteCounter : public WriteBatch::Handler {
 }  // namespace
 
 Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   Status status = MakeRoomForWrite();
   if (!status.ok()) return status;
 
@@ -976,7 +988,8 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   if (status.ok()) {
     versions_->SetLastSequence(last_sequence + count);
     DeleteCounter counter;
-    updates->Iterate(&counter);
+    // The batch was just applied, so re-iterating it cannot fail.
+    (void)updates->Iterate(&counter);
     stats_.user_bytes_written += counter.bytes;
     if (counter.deletes > 0) {
       monitor_.OnTombstoneWritten(counter.deletes);
@@ -993,21 +1006,21 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
 }
 
 Status DBImpl::FlushMemTable() {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   Status s = CompactMemTable();
   if (s.ok()) s = MaybeCompact();
   return s;
 }
 
 Status DBImpl::WaitForCompactions() {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   return MaybeCompact();
 }
 
 void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
   int max_level_with_files = 1;
   {
-    std::lock_guard<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     Version* base = versions_->current();
     for (int level = 1; level < kNumLevels; level++) {
       if (base->OverlapInLevel(level, begin, end)) {
@@ -1015,7 +1028,9 @@ void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
       }
     }
   }
-  FlushMemTable();
+  // Best-effort: a failed flush is recorded as the sticky background error
+  // and surfaces on the next write; CompactRange itself is void by API.
+  (void)FlushMemTable();
   for (int level = 0; level <= max_level_with_files; level++) {
     TEST_CompactRange(level, begin, end);
   }
@@ -1038,7 +1053,7 @@ void DBImpl::TEST_CompactRange(int level, const Slice* begin,
     end_key = &end_storage;
   }
 
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   std::unique_ptr<Compaction> c(
       versions_->CompactRange(level, begin_key, end_key));
   if (c == nullptr) return;
@@ -1061,7 +1076,7 @@ void DBImpl::TEST_CompactRange(int level, const Slice* begin,
 
 bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   value->clear();
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   Slice in = property;
   Slice prefix("acheron.");
   if (!in.starts_with(prefix)) return false;
@@ -1084,7 +1099,10 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     *value = std::to_string(versions_->NumLevelFiles(static_cast<int>(level)));
     return true;
   } else if (in == "stats") {
-    *value = stats_.ToString();
+    InternalStats merged = stats_;
+    merged.iter_tombstones_skipped =
+        iter_tombstones_skipped_.load(std::memory_order_relaxed);
+    *value = merged.ToString();
     return true;
   } else if (in == "sstables") {
     *value = versions_->current()->DebugString();
@@ -1138,7 +1156,7 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
 }
 
 DeleteStats DBImpl::GetDeleteStats() {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   DeleteStats ds;
   uint64_t live =
       versions_->current()->TotalTombstones() + mem_->num_tombstones();
@@ -1153,8 +1171,11 @@ DeleteStats DBImpl::GetDeleteStats() {
 }
 
 InternalStats DBImpl::GetStats() {
-  std::lock_guard<std::mutex> l(mutex_);
-  return stats_;
+  MutexLock l(&mutex_);
+  InternalStats merged = stats_;
+  merged.iter_tombstones_skipped =
+      iter_tombstones_skipped_.load(std::memory_order_relaxed);
+  return merged;
 }
 
 // ---------------- Secondary (retention) purge, KiWi-lite ----------------
@@ -1162,7 +1183,7 @@ InternalStats DBImpl::GetStats() {
 Status DBImpl::RewriteFileForPurge(FileMetaData* f, int level,
                                    const Slice& threshold,
                                    VersionEdit* edit) {
-  // mutex_ held. Rewrites |f| skipping every value entry whose secondary
+  // Rewrites |f| skipping every value entry whose secondary
   // key sorts below |threshold|. Tombstones are preserved.
   ReadOptions ropts;
   ropts.fill_cache = false;
@@ -1242,7 +1263,7 @@ Status DBImpl::RewriteFileForPurge(FileMetaData* f, int level,
     builder.Abandon();
     if (s.ok()) {
       // Everything in the file was purged.
-      env_->RemoveFile(TableFileName(dbname_, new_number));
+      (void)env_->RemoveFile(TableFileName(dbname_, new_number));
       edit->RemoveFile(level, f->number);
       stats_.blocks_purged_secondary += dropped;
     }
@@ -1260,7 +1281,7 @@ Status DBImpl::PurgeSecondaryRange(const Slice& threshold) {
   Status s = FlushMemTable();
   if (!s.ok()) return s;
 
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   VersionEdit edit;
   Version* base = versions_->current();
   base->Ref();
@@ -1285,7 +1306,7 @@ Status DBImpl::PurgeSecondaryRange(const Slice& threshold) {
   }
   base->Unref();
   if (s.ok()) {
-    s = versions_->LogAndApply(&edit);
+    s = versions_->LogAndApply(&edit, &mutex_);
   }
   if (s.ok()) {
     RemoveObsoleteFiles();
@@ -1299,7 +1320,7 @@ Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
   *dbptr = nullptr;
 
   DBImpl* impl = new DBImpl(options, dbname);
-  impl->mutex_.lock();
+  impl->mutex_.Lock();
   VersionEdit edit;
   // Recover handles create_if_missing, error_if_exists
   bool save_manifest = false;
@@ -1325,13 +1346,13 @@ Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
   }
   if (s.ok() && save_manifest) {
     edit.SetLogNumber(impl->logfile_number_);
-    s = impl->versions_->LogAndApply(&edit);
+    s = impl->versions_->LogAndApply(&edit, &impl->mutex_);
   }
   if (s.ok()) {
     impl->RemoveObsoleteFiles();
     s = impl->MaybeCompact();
   }
-  impl->mutex_.unlock();
+  impl->mutex_.Unlock();
   if (s.ok()) {
     assert(impl->mem_ != nullptr);
     *dbptr = impl;
@@ -1360,7 +1381,8 @@ Status DestroyDB(const std::string& dbname, const Options& options) {
       }
     }
   }
-  env->RemoveDir(dbname);  // Ignore error in case dir contains other files
+  // Ignore error in case dir contains other files.
+  (void)env->RemoveDir(dbname);
   return result;
 }
 

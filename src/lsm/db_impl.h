@@ -10,7 +10,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
@@ -21,6 +20,8 @@
 #include "src/lsm/snapshot.h"
 #include "src/lsm/stats.h"
 #include "src/lsm/version_set.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/wal/log_writer.h"
 
 namespace acheron {
@@ -69,57 +70,66 @@ class DBImpl : public DB {
   struct CompactionState;
 
   Iterator* NewInternalIterator(const ReadOptions&,
-                                SequenceNumber* latest_snapshot);
+                                SequenceNumber* latest_snapshot)
+      LOCKS_EXCLUDED(mutex_);
 
   Status NewDB();
 
   // Recover the descriptor from persistent storage. May do a significant
   // amount of work to recover recently logged updates.
-  Status Recover(VersionEdit* edit, bool* save_manifest);
+  Status Recover(VersionEdit* edit, bool* save_manifest)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   Status RecoverLogFile(uint64_t log_number, bool last_log,
                         bool* save_manifest, VersionEdit* edit,
-                        SequenceNumber* max_sequence);
+                        SequenceNumber* max_sequence)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Delete any unneeded files and stale in-memory entries.
-  void RemoveObsoleteFiles();
+  void RemoveObsoleteFiles() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Flush the current memtable to an L0 table and swap in a fresh one.
-  // REQUIRES: mutex_ held.
-  Status CompactMemTable();
+  Status CompactMemTable() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  // Build an SSTable from |mem| and register it in |edit| at level 0.
-  // REQUIRES: mutex_ held (dropped during the IO).
-  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit);
+  // Build an SSTable from |mem| and register it in |edit| at level 0. The
+  // mutex stays held across the IO: the *active* memtable is being flushed,
+  // so concurrent writers must stall behind it (see DESIGN.md).
+  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Flush / stall logic ahead of a write of |bytes| user bytes.
-  // REQUIRES: mutex_ held.
-  Status MakeRoomForWrite();
+  Status MakeRoomForWrite() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Run compactions until the planner reports nothing to do.
-  // REQUIRES: mutex_ held.
-  Status MaybeCompact();
+  Status MaybeCompact() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  Status DoCompactionWork(CompactionState* compact);
-  Status OpenCompactionOutputFile(CompactionState* compact);
-  Status FinishCompactionOutputFile(CompactionState* compact, Iterator* input);
-  Status InstallCompactionResults(CompactionState* compact);
-  void CleanupCompaction(CompactionState* compact);
+  Status DoCompactionWork(CompactionState* compact)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  Status OpenCompactionOutputFile(CompactionState* compact)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  Status FinishCompactionOutputFile(CompactionState* compact, Iterator* input)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  Status InstallCompactionResults(CompactionState* compact)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  void CleanupCompaction(CompactionState* compact)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  void RecordBackgroundError(const Status& s);
+  void RecordBackgroundError(const Status& s)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // The oldest sequence number any reader may still need.
-  SequenceNumber SmallestSnapshot() const;
+  SequenceNumber SmallestSnapshot() const EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Recompute next_ttl_deadline_ from the current version: the earliest
   // logical time at which some file's oldest tombstone will exceed its
-  // level's cumulative TTL. REQUIRES: mutex_ held.
-  void ComputeNextTtlDeadline();
+  // level's cumulative TTL.
+  void ComputeNextTtlDeadline() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Rewrite one table file, dropping entries whose secondary key is below
   // |threshold|; emits the replacement (if non-empty) into |edit|.
   Status RewriteFileForPurge(FileMetaData* f, int level, const Slice& threshold,
-                             VersionEdit* edit);
+                             VersionEdit* edit)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Constant after construction.
   Env* const env_;
@@ -131,32 +141,39 @@ class DBImpl : public DB {
   // table_cache_ provides its own synchronization.
   std::unique_ptr<TableCache> table_cache_;
 
-  // State below is protected by mutex_.
-  mutable std::mutex mutex_;
-  MemTable* mem_;
-  std::unique_ptr<WritableFile> logfile_;
-  uint64_t logfile_number_;
-  std::unique_ptr<wal::Writer> log_;
+  // State below is protected by mutex_ (enforced by the thread-safety
+  // analysis under Clang; see src/util/thread_annotations.h).
+  mutable Mutex mutex_;
+  MemTable* mem_ GUARDED_BY(mutex_);
+  std::unique_ptr<WritableFile> logfile_ GUARDED_BY(mutex_);
+  uint64_t logfile_number_ GUARDED_BY(mutex_);
+  std::unique_ptr<wal::Writer> log_ GUARDED_BY(mutex_);
 
-  SnapshotList snapshots_;
+  SnapshotList snapshots_ GUARDED_BY(mutex_);
 
   // Set of table files to protect from deletion because they are part of
   // ongoing work.
-  std::set<uint64_t> pending_outputs_;
+  std::set<uint64_t> pending_outputs_ GUARDED_BY(mutex_);
 
-  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<VersionSet> versions_ GUARDED_BY(mutex_);
 
-  CompactionPlanner planner_;
-  DeletePersistenceMonitor monitor_;
-  InternalStats stats_;
+  CompactionPlanner planner_;  // immutable after construction
+  DeletePersistenceMonitor monitor_;  // provides its own synchronization
+  InternalStats stats_ GUARDED_BY(mutex_);
+
+  // Tombstones stepped over by live DBIter instances. Iterators outlive any
+  // mutex_ critical section and run concurrently with writers, so this
+  // counter is atomic rather than folded under mutex_; it is merged into
+  // InternalStats snapshots on read.
+  std::atomic<uint64_t> iter_tombstones_skipped_{0};
 
   // Logical time at which the next file-TTL expiry fires; writes past this
   // point invoke the compaction loop even without a flush. UINT64_MAX when
   // no live tombstone is on the clock.
-  uint64_t next_ttl_deadline_ = UINT64_MAX;
+  uint64_t next_ttl_deadline_ GUARDED_BY(mutex_) = UINT64_MAX;
 
   // Sticky error: once set, all writes fail with it.
-  Status bg_error_;
+  Status bg_error_ GUARDED_BY(mutex_);
 };
 
 // Sanitize db options: clamp user-supplied values to reasonable ranges and

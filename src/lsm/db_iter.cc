@@ -1,6 +1,5 @@
 #include "src/lsm/db_iter.h"
 
-#include "src/lsm/stats.h"
 #include "src/util/comparator.h"
 
 namespace acheron {
@@ -20,11 +19,11 @@ class DBIter : public Iterator {
   enum Direction { kForward, kReverse };
 
   DBIter(const Comparator* cmp, Iterator* iter, SequenceNumber s,
-         InternalStats* stats)
+         std::atomic<uint64_t>* tombstone_skips)
       : user_comparator_(cmp),
         iter_(iter),
         sequence_(s),
-        stats_(stats),
+        tombstone_skips_(tombstone_skips),
         direction_(kForward),
         valid_(false) {}
 
@@ -75,13 +74,15 @@ class DBIter : public Iterator {
   }
 
   void CountTombstoneSkip() {
-    if (stats_ != nullptr) stats_->iter_tombstones_skipped++;
+    if (tombstone_skips_ != nullptr) {
+      tombstone_skips_->fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   const Comparator* const user_comparator_;
   Iterator* const iter_;
   SequenceNumber const sequence_;
-  InternalStats* const stats_;
+  std::atomic<uint64_t>* const tombstone_skips_;
   Status status_;
   std::string saved_key_;    // == current key when direction_==kReverse
   std::string saved_value_;  // == current raw value when direction_==kReverse
@@ -272,8 +273,9 @@ void DBIter::SeekToLast() {
 
 Iterator* NewDBIterator(const Comparator* user_key_comparator,
                         Iterator* internal_iter, SequenceNumber sequence,
-                        InternalStats* stats) {
-  return new DBIter(user_key_comparator, internal_iter, sequence, stats);
+                        std::atomic<uint64_t>* tombstone_skips) {
+  return new DBIter(user_key_comparator, internal_iter, sequence,
+                    tombstone_skips);
 }
 
 }  // namespace acheron

@@ -3,6 +3,7 @@
 #ifndef ACHERON_LSM_DB_ITER_H_
 #define ACHERON_LSM_DB_ITER_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/lsm/dbformat.h"
@@ -10,15 +11,15 @@
 
 namespace acheron {
 
-struct InternalStats;
-
 // Return a new iterator that converts internal keys (yielded by
 // "*internal_iter") that were live at the specified "sequence" number into
-// appropriate user keys. Takes ownership of internal_iter. |stats| may be
-// null; when set, tombstones skipped during iteration are counted into it.
+// appropriate user keys. Takes ownership of internal_iter.
+// |tombstone_skips| may be null; when set, tombstones skipped during
+// iteration are counted into it. It must be an atomic: iterators run outside
+// the DB mutex, concurrently with writers and with each other.
 Iterator* NewDBIterator(const Comparator* user_key_comparator,
                         Iterator* internal_iter, SequenceNumber sequence,
-                        InternalStats* stats);
+                        std::atomic<uint64_t>* tombstone_skips);
 
 }  // namespace acheron
 

@@ -105,7 +105,7 @@ Status SetCurrentFile(Env* env, const std::string& dbname,
     s = env->RenameFile(tmp, CurrentFileName(dbname));
   }
   if (!s.ok()) {
-    env->RemoveFile(tmp);
+    (void)env->RemoveFile(tmp);  // best-effort cleanup; s already reports
   }
   return s;
 }

@@ -93,7 +93,7 @@ class Repairer {
 
   void ConvertLogFilesToTables() {
     for (uint64_t log_number : logs_) {
-      ConvertLogToTable(log_number);
+      (void)ConvertLogToTable(log_number);
       // The log is fully captured in a table now (or it was unreadable);
       // either way it is not consulted again. Leave it on disk -- the next
       // DB::Open garbage-collects files below the recovered log number.
@@ -159,7 +159,7 @@ class Repairer {
     s = builder.Finish();
     if (s.ok()) s = file->Sync();
     if (s.ok()) s = file->Close();
-    if (!s.ok()) env_->RemoveFile(fname);
+    if (!s.ok()) (void)env_->RemoveFile(fname);  // best-effort cleanup
     return s;
   }
 
@@ -263,12 +263,12 @@ class Repairer {
     if (status.ok()) status = manifest_file->Sync();
     if (status.ok()) status = manifest_file->Close();
     if (!status.ok()) {
-      env_->RemoveFile(manifest_name);
+      (void)env_->RemoveFile(manifest_name);  // best-effort cleanup
       return status;
     }
     // Discard older manifests: the repaired one supersedes them.
     for (const std::string& old_manifest : manifests_) {
-      env_->RemoveFile(dbname_ + "/" + old_manifest);
+      (void)env_->RemoveFile(dbname_ + "/" + old_manifest);
     }
     return SetCurrentFile(env_, dbname_, manifest_number);
   }

@@ -1,4 +1,9 @@
 // TableCache: LRU cache of open Table readers keyed by file number.
+//
+// Thread-safe without external locking: every member is either immutable
+// after construction or the internally sharded+locked Cache (see
+// src/table/cache.cc); callers (reads that dropped DBImpl::mutex_,
+// compactions that hold it) may use it concurrently.
 #ifndef ACHERON_LSM_TABLE_CACHE_H_
 #define ACHERON_LSM_TABLE_CACHE_H_
 

@@ -660,7 +660,8 @@ void VersionSet::AppendVersion(Version* v) {
   v->next_->prev_ = v;
 }
 
-Status VersionSet::LogAndApply(VersionEdit* edit) {
+Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
+  mu->AssertHeld();
   if (edit->has_log_number_) {
     assert(edit->log_number_ >= log_number_);
     assert(edit->log_number_ < next_file_number_);
@@ -723,7 +724,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
       delete descriptor_file_;
       descriptor_log_ = nullptr;
       descriptor_file_ = nullptr;
-      env_->RemoveFile(new_manifest_file);
+      (void)env_->RemoveFile(new_manifest_file);  // best-effort cleanup
     }
   }
 

@@ -17,6 +17,8 @@
 #include "src/lsm/options.h"
 #include "src/lsm/version_edit.h"
 #include "src/table/iterator.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace acheron {
 
@@ -128,6 +130,12 @@ class Version {
   std::vector<FileMetaData*> files_[kNumLevels];
 };
 
+// VersionSet is externally synchronized: it is owned by DBImpl and every
+// method that touches mutable state expects the DB mutex to be held.
+// LogAndApply takes that mutex explicitly so the requirement is enforced by
+// the thread-safety analysis at its call sites; the remaining methods are
+// only reachable from DBImpl code paths that are themselves annotated
+// EXCLUSIVE_LOCKS_REQUIRED(mutex_).
 class VersionSet {
  public:
   VersionSet(const std::string& dbname, const Options* options,
@@ -140,8 +148,10 @@ class VersionSet {
 
   // Apply *edit to the current version to form a new descriptor that is
   // both saved to persistent state and installed as the new current
-  // version.
-  Status LogAndApply(VersionEdit* edit);
+  // version. |mu| is the DB mutex, held for the duration: the manifest IO
+  // happens under it by design (see DESIGN.md "Locking discipline").
+  Status LogAndApply(VersionEdit* edit, Mutex* mu)
+      EXCLUSIVE_LOCKS_REQUIRED(mu);
 
   // Recover the last saved descriptor from persistent storage.
   Status Recover(bool* save_manifest);

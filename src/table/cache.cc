@@ -3,9 +3,10 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 #include "src/util/hash.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace acheron {
 
@@ -140,32 +141,36 @@ class LRUCache {
   void Erase(const Slice& key, uint32_t hash);
   void Prune();
   size_t TotalCharge() const {
-    std::lock_guard<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     return usage_;
   }
 
  private:
   void LRU_Remove(LRUHandle* e);
   void LRU_Append(LRUHandle* list, LRUHandle* e);
+  // Ref/Unref/LRU_* touch only LRUHandle link fields, which stay coherent
+  // under the shard lock of their owning list; the destructor also walks
+  // them single-threaded. Only FinishErase mutates guarded shard state.
   void Ref(LRUHandle* e);
   void Unref(LRUHandle* e);
-  bool FinishErase(LRUHandle* e);
+  bool FinishErase(LRUHandle* e) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Initialized before use.
   size_t capacity_;
 
-  mutable std::mutex mutex_;
-  size_t usage_;
+  // mutex_ protects the shard state below.
+  mutable Mutex mutex_;
+  size_t usage_ GUARDED_BY(mutex_);
 
   // Dummy head of LRU list. lru.prev is newest entry, lru.next is oldest.
   // Entries have refs==1 and in_cache==true.
-  LRUHandle lru_;
+  LRUHandle lru_ GUARDED_BY(mutex_);
 
   // Dummy head of in-use list. Entries are in use by clients and have
   // refs >= 2 and in_cache==true.
-  LRUHandle in_use_;
+  LRUHandle in_use_ GUARDED_BY(mutex_);
 
-  HandleTable table_;
+  HandleTable table_ GUARDED_BY(mutex_);
 };
 
 LRUCache::LRUCache() : capacity_(0), usage_(0) {
@@ -224,7 +229,7 @@ void LRUCache::LRU_Append(LRUHandle* list, LRUHandle* e) {
 }
 
 Cache::Handle* LRUCache::Lookup(const Slice& key, uint32_t hash) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   LRUHandle* e = table_.Lookup(key, hash);
   if (e != nullptr) {
     Ref(e);
@@ -233,7 +238,7 @@ Cache::Handle* LRUCache::Lookup(const Slice& key, uint32_t hash) {
 }
 
 void LRUCache::Release(Cache::Handle* handle) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   Unref(reinterpret_cast<LRUHandle*>(handle));
 }
 
@@ -241,7 +246,7 @@ Cache::Handle* LRUCache::Insert(const Slice& key, uint32_t hash, void* value,
                                 size_t charge,
                                 void (*deleter)(const Slice& key,
                                                 void* value)) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
 
   LRUHandle* e =
       reinterpret_cast<LRUHandle*>(malloc(sizeof(LRUHandle) - 1 + key.size()));
@@ -290,12 +295,12 @@ bool LRUCache::FinishErase(LRUHandle* e) {
 }
 
 void LRUCache::Erase(const Slice& key, uint32_t hash) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   FinishErase(table_.Remove(key, hash));
 }
 
 void LRUCache::Prune() {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   while (lru_.next != &lru_) {
     LRUHandle* e = lru_.next;
     assert(e->refs == 1);
@@ -312,8 +317,8 @@ static const int kNumShards = 1 << kNumShardBits;
 class ShardedLRUCache : public Cache {
  private:
   LRUCache shard_[kNumShards];
-  std::mutex id_mutex_;
-  uint64_t last_id_;
+  Mutex id_mutex_;
+  uint64_t last_id_ GUARDED_BY(id_mutex_);
 
   static inline uint32_t HashSlice(const Slice& s) {
     return Hash(s.data(), s.size(), 0);
@@ -351,7 +356,7 @@ class ShardedLRUCache : public Cache {
     return reinterpret_cast<LRUHandle*>(handle)->value;
   }
   uint64_t NewId() override {
-    std::lock_guard<std::mutex> l(id_mutex_);
+    MutexLock l(&id_mutex_);
     return ++(last_id_);
   }
   void Prune() override {

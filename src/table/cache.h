@@ -2,8 +2,8 @@
 // table (file handle) cache. Entries are pinned by Lookup/Insert handles and
 // evicted strictly by LRU order of unpinned entries once the capacity
 // (measured in caller-supplied "charge" units) is exceeded.
-#ifndef ACHERON_TABLE_CACHE_LRU_H_
-#define ACHERON_TABLE_CACHE_LRU_H_
+#ifndef ACHERON_TABLE_CACHE_H_
+#define ACHERON_TABLE_CACHE_H_
 
 #include <cstdint>
 
@@ -62,4 +62,4 @@ Cache* NewLRUCache(size_t capacity);
 
 }  // namespace acheron
 
-#endif  // ACHERON_TABLE_CACHE_LRU_H_
+#endif  // ACHERON_TABLE_CACHE_H_

@@ -1,0 +1,59 @@
+// Mutex / MutexLock: thin annotated wrappers over std::mutex.
+//
+// std::mutex itself carries no thread-safety attributes, so Clang's analysis
+// cannot see through std::lock_guard / std::unique_lock. Acheron therefore
+// locks exclusively through these wrappers: Mutex is a LOCKABLE capability
+// and MutexLock a SCOPED_LOCKABLE guard, which lets GUARDED_BY /
+// EXCLUSIVE_LOCKS_REQUIRED annotations across the engine be verified at
+// compile time under `-Wthread-safety`.
+#ifndef ACHERON_UTIL_MUTEX_H_
+#define ACHERON_UTIL_MUTEX_H_
+
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace acheron {
+
+class LOCKABLE Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() EXCLUSIVE_LOCK_FUNCTION() { mu_.lock(); }
+  void Unlock() UNLOCK_FUNCTION() { mu_.unlock(); }
+  bool TryLock() EXCLUSIVE_TRYLOCK_FUNCTION(true) { return mu_.try_lock(); }
+
+  // No-op placeholder for "the caller must hold this mutex" runtime checks;
+  // the compile-time counterpart is EXCLUSIVE_LOCKS_REQUIRED on the caller.
+  void AssertHeld() ASSERT_EXCLUSIVE_LOCK() {}
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII: acquires |mu| for its scope.
+//
+//   void Example() {
+//     MutexLock l(&mu_);      // mu_ held until end of scope
+//     ...
+//   }
+class SCOPED_LOCKABLE MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) EXCLUSIVE_LOCK_FUNCTION(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~MutexLock() UNLOCK_FUNCTION() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace acheron
+
+#endif  // ACHERON_UTIL_MUTEX_H_

@@ -11,7 +11,12 @@
 
 namespace acheron {
 
-class Status {
+// [[nodiscard]]: silently dropping a Status is almost always a bug (a lost
+// IO error, a swallowed corruption). Call sites that genuinely do not care
+// must say so with an explicit `(void)` cast and a comment; tools/lint.sh
+// verifies the attribute stays in place so the compiler keeps enforcing
+// this everywhere (src/, tests/, bench/, examples/).
+class [[nodiscard]] Status {
  public:
   Status() noexcept : code_(Code::kOk) {}
 

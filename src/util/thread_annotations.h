@@ -1,0 +1,72 @@
+// Clang thread-safety analysis macros (the leveldb/abseil convention).
+//
+// These expand to Clang `thread_safety` attributes when the compiler supports
+// them and to nothing otherwise (GCC, MSVC), so annotated code compiles
+// everywhere while `-Wthread-safety -Werror=thread-safety` turns the
+// `// REQUIRES: mutex_ held` comments of old into compiler-enforced
+// invariants under Clang. See DESIGN.md ("Locking discipline") for the lock
+// hierarchy these annotations encode.
+#ifndef ACHERON_UTIL_THREAD_ANNOTATIONS_H_
+#define ACHERON_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ACHERON_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ACHERON_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+// Documents that a field or global is protected by the given capability
+// (mutex). Reads require the capability shared, writes exclusive.
+#define GUARDED_BY(x) ACHERON_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Like GUARDED_BY, but for the data pointed to by a pointer member.
+#define PT_GUARDED_BY(x) ACHERON_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Declares a class to be a capability (e.g. a mutex wrapper).
+#define LOCKABLE ACHERON_THREAD_ANNOTATION_ATTRIBUTE(lockable)
+
+// Declares an RAII class that acquires a capability in its constructor and
+// releases it in its destructor.
+#define SCOPED_LOCKABLE ACHERON_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// The annotated function acquires / releases the given capability.
+#define EXCLUSIVE_LOCK_FUNCTION(...) \
+  ACHERON_THREAD_ANNOTATION_ATTRIBUTE(exclusive_lock_function(__VA_ARGS__))
+#define SHARED_LOCK_FUNCTION(...) \
+  ACHERON_THREAD_ANNOTATION_ATTRIBUTE(shared_lock_function(__VA_ARGS__))
+#define UNLOCK_FUNCTION(...) \
+  ACHERON_THREAD_ANNOTATION_ATTRIBUTE(unlock_function(__VA_ARGS__))
+#define EXCLUSIVE_TRYLOCK_FUNCTION(...) \
+  ACHERON_THREAD_ANNOTATION_ATTRIBUTE(exclusive_trylock_function(__VA_ARGS__))
+#define SHARED_TRYLOCK_FUNCTION(...) \
+  ACHERON_THREAD_ANNOTATION_ATTRIBUTE(shared_trylock_function(__VA_ARGS__))
+
+// The annotated function must be called with the given capabilities held
+// (the machine-checked form of "// REQUIRES: mutex_ held").
+#define EXCLUSIVE_LOCKS_REQUIRED(...) \
+  ACHERON_THREAD_ANNOTATION_ATTRIBUTE(exclusive_locks_required(__VA_ARGS__))
+#define SHARED_LOCKS_REQUIRED(...) \
+  ACHERON_THREAD_ANNOTATION_ATTRIBUTE(shared_locks_required(__VA_ARGS__))
+
+// The annotated function must NOT be called with the given capabilities held
+// (guards against self-deadlock on non-reentrant mutexes).
+#define LOCKS_EXCLUDED(...) \
+  ACHERON_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Documents the lock that must be held when calling the annotated function
+// is returned by it.
+#define LOCK_RETURNED(x) ACHERON_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// The annotated function dynamically asserts (rather than acquires) that the
+// capability is held; the analysis treats it as held afterwards.
+#define ASSERT_EXCLUSIVE_LOCK(...) \
+  ACHERON_THREAD_ANNOTATION_ATTRIBUTE(assert_exclusive_lock(__VA_ARGS__))
+#define ASSERT_SHARED_LOCK(...) \
+  ACHERON_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_lock(__VA_ARGS__))
+
+// Escape hatch: turns the analysis off for one function. Every use must
+// carry a comment justifying why the analysis cannot express the invariant.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  ACHERON_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // ACHERON_UTIL_THREAD_ANNOTATIONS_H_

@@ -41,7 +41,9 @@ Status Writer::AddRecord(const Slice& slice) {
       if (leftover > 0) {
         // Fill the trailer with zeros.
         static_assert(kHeaderSize == 7, "");
-        dest_->Append(Slice("\x00\x00\x00\x00\x00\x00", leftover));
+        // A failed trailer write is deliberately ignored: the next
+        // AddRecord surfaces the error, and readers resync past torn tails.
+        (void)dest_->Append(Slice("\x00\x00\x00\x00\x00\x00", leftover));
       }
       block_offset_ = 0;
     }

@@ -137,9 +137,9 @@ TEST_F(ConcurrencyTest, SnapshotsUnderConcurrentChurn) {
     for (int i = 0; i < 20000; i++) {
       uint64_t k = rnd.Uniform(500);
       if (rnd.OneIn(2)) {
-        db_->Put(WriteOptions(), Key(k), "mutated");
+        EXPECT_TRUE(db_->Put(WriteOptions(), Key(k), "mutated").ok());
       } else {
-        db_->Delete(WriteOptions(), Key(k));
+        EXPECT_TRUE(db_->Delete(WriteOptions(), Key(k)).ok());
       }
     }
     done.store(true);

@@ -85,7 +85,7 @@ TEST_P(DecodeFuzz, VersionEditSurvivesMutations) {
     }
     VersionEdit edit;
     // Must not crash; status is either ok or corruption.
-    edit.DecodeFrom(mutated);
+    (void)edit.DecodeFrom(mutated);
   }
 }
 
@@ -103,7 +103,7 @@ TEST_P(DecodeFuzz, PropertiesSurviveMutations) {
           static_cast<char>(1 + rnd.Uniform(255));
     }
     TableProperties props;
-    props.DecodeFrom(mutated);
+    (void)props.DecodeFrom(mutated);  // ok or corruption; must not crash
   }
 }
 
@@ -126,7 +126,7 @@ TEST_P(DecodeFuzz, WriteBatchIterateSurvivesMutations) {
     WriteBatchInternal::SetContents(&batch, mutated);
     MemTable* mem = new MemTable(icmp);
     mem->Ref();
-    WriteBatchInternal::InsertInto(&batch, mem);  // ok or corruption
+    (void)WriteBatchInternal::InsertInto(&batch, mem);  // ok or corruption
     mem->Unref();
   }
 }

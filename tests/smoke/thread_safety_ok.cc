@@ -1,0 +1,30 @@
+// POSITIVE compile-time smoke test: the well-locked twin of
+// thread_safety_violation.cc. Must compile cleanly under
+//
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+//
+// Paired with the negative test so a broken harness (wrong flags, wrong
+// include path) cannot masquerade as "the violation was caught".
+//
+// NOT part of any build target -- compiled standalone by the smoke test.
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void MustHoldLock() EXCLUSIVE_LOCKS_REQUIRED(mu_) { value_++; }
+
+  acheron::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int UseWithLockHeld() {
+  Guarded g;
+  acheron::MutexLock l(&g.mu_);
+  g.MustHoldLock();
+  return g.value_;
+}

@@ -1,0 +1,30 @@
+// NEGATIVE compile-time smoke test: this translation unit deliberately
+// violates a thread-safety annotation and must FAIL to compile under
+//
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+//
+// CTest runs it with WILL_FAIL (Clang builds only; GCC has no
+// -Wthread-safety, so the target is skipped there). If this file ever
+// compiles under the flags above, the annotation enforcement is broken.
+//
+// NOT part of any build target -- compiled standalone by the smoke test.
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void MustHoldLock() EXCLUSIVE_LOCKS_REQUIRED(mu_) { value_++; }
+
+  acheron::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int ViolateThreadSafety() {
+  Guarded g;
+  g.MustHoldLock();     // ERROR: mu_ not held
+  return g.value_;      // ERROR: reading value_ without mu_
+}

@@ -17,7 +17,7 @@ class TableCacheTest : public ::testing::Test {
     options_.env = env_.get();
     options_.comparator = &icmp_;
     cache_ = std::make_unique<TableCache>("/db", options_, /*entries=*/4);
-    env_->CreateDir("/db");
+    EXPECT_TRUE(env_->CreateDir("/db").ok());
   }
 
   // Builds table |number| holding keys k<base>..k<base+count-1> (internal

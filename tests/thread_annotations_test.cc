@@ -1,0 +1,106 @@
+// Runtime coverage for src/util/mutex.h (Mutex, MutexLock) and a sanity
+// check that the thread-safety annotation macros expand cleanly on every
+// compiler. The compile-time half of the story -- that Clang actually
+// REJECTS code violating the annotations -- is exercised by the
+// thread_safety_negative smoke target (see smoke/ and tests/CMakeLists.txt),
+// which feeds a deliberately broken translation unit to the compiler and
+// asserts it fails.
+#include "src/util/thread_annotations.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/mutex.h"
+
+namespace acheron {
+namespace {
+
+TEST(MutexTest, LockUnlock) {
+  Mutex mu;
+  mu.Lock();
+  mu.AssertHeld();
+  mu.Unlock();
+}
+
+TEST(MutexTest, TryLock) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  // Non-reentrant: a second TryLock from another thread must fail while the
+  // mutex is held. (Same-thread retry would be UB on std::mutex.)
+  bool second = true;
+  std::thread t([&] { second = mu.TryLock(); });
+  t.join();
+  EXPECT_FALSE(second);
+  mu.Unlock();
+  std::thread t2([&] {
+    second = mu.TryLock();
+    if (second) mu.Unlock();
+  });
+  t2.join();
+  EXPECT_TRUE(second);
+}
+
+TEST(MutexLockTest, ReleasesOnScopeExit) {
+  Mutex mu;
+  {
+    MutexLock l(&mu);
+    bool acquired = true;
+    std::thread t([&] { acquired = mu.TryLock(); });
+    t.join();
+    EXPECT_FALSE(acquired) << "MutexLock must hold the mutex in scope";
+  }
+  // Out of scope: the lock must be free again.
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexLockTest, MutualExclusionUnderContention) {
+  Mutex mu;
+  int counter = 0;  // deliberately unsynchronized except via mu
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; i++) {
+        MutexLock l(&mu);
+        counter++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(kThreads * kIters, counter);
+}
+
+// The macros must expand to nothing (or to attributes) such that annotated
+// declarations parse on every supported compiler. This block is a
+// compile-time canary: if a macro definition rots, this file stops
+// building everywhere, not just under Clang.
+class AnnotatedExample {
+ public:
+  void LockedOp() EXCLUSIVE_LOCKS_REQUIRED(mu_) { guarded_++; }
+  void FreeOp() LOCKS_EXCLUDED(mu_) {
+    MutexLock l(&mu_);
+    guarded_++;
+  }
+  int Value() NO_THREAD_SAFETY_ANALYSIS { return guarded_; }
+
+  Mutex mu_;
+  int guarded_ GUARDED_BY(mu_) = 0;
+};
+
+TEST(ThreadAnnotationsTest, AnnotatedCodeRuns) {
+  AnnotatedExample ex;
+  ex.FreeOp();
+  {
+    MutexLock l(&ex.mu_);
+    ex.LockedOp();
+  }
+  EXPECT_EQ(2, ex.Value());
+}
+
+}  // namespace
+}  // namespace acheron

@@ -45,18 +45,18 @@ class LogTest : public ::testing::Test {
         dest_(nullptr),
         reader_(nullptr),
         writer_(nullptr) {
-    env_->NewWritableFile("/log", &dest_holder_);
+    EXPECT_TRUE(env_->NewWritableFile("/log", &dest_holder_).ok());
     writer_ = std::make_unique<Writer>(dest_holder_.get());
   }
 
   void Write(const std::string& msg) {
     ASSERT_TRUE(!reading_) << "Write() after starting to read";
-    writer_->AddRecord(Slice(msg));
+    ASSERT_TRUE(writer_->AddRecord(Slice(msg)).ok());
   }
 
   size_t WrittenBytes() {
     uint64_t size = 0;
-    env_->GetFileSize("/log", &size);
+    EXPECT_TRUE(env_->GetFileSize("/log", &size).ok());
     return size;
   }
 
@@ -77,7 +77,7 @@ class LogTest : public ::testing::Test {
     // Flush pending writes by destroying the writer (MemEnv keeps data).
     writer_.reset();
     dest_holder_.reset();
-    env_->NewSequentialFile("/log", &src_holder_);
+    ASSERT_TRUE(env_->NewSequentialFile("/log", &src_holder_).ok());
     reader_ = std::make_unique<Reader>(src_holder_.get(), &report_, true);
   }
 
@@ -107,12 +107,12 @@ class LogTest : public ::testing::Test {
     writer_.reset();
     dest_holder_.reset();
     std::string contents;
-    env_->ReadFileToString("/log", &contents);
+    EXPECT_TRUE(env_->ReadFileToString("/log", &contents).ok());
     return contents;
   }
 
   void RewriteFile(const std::string& contents) {
-    env_->WriteStringToFile(contents, "/log");
+    ASSERT_TRUE(env_->WriteStringToFile(contents, "/log").ok());
   }
 
   size_t DroppedBytes() const { return report_.dropped_bytes_; }

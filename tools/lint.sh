@@ -1,0 +1,169 @@
+#!/usr/bin/env bash
+# acheron-lint: the repo's static-analysis driver.
+#
+# Checks, in order:
+#   1. header guards  -- every .h uses the path-derived ACHERON_..._H_ name
+#   2. naked new/delete -- banned in src/ outside an explicit allowlist of
+#      files whose design is manual lifetime management (arena, LRU cache,
+#      refcounted handles, iterator internals)
+#   3. [[nodiscard]] Status -- the attribute must stay on class Status
+#   4. clang-tidy over src/ (skipped with a notice if clang-tidy or the
+#      compile_commands.json it needs is unavailable)
+#   5. --format-check: clang-format --dry-run over tracked sources (skipped
+#      with a notice if clang-format is unavailable)
+#
+# Usage:
+#   tools/lint.sh                 # checks 1-4
+#   tools/lint.sh --format-check  # checks 1-5
+#   tools/lint.sh --build-dir <dir>   # where compile_commands.json lives
+#                                     # (default: build/)
+set -u
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+FORMAT_CHECK=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --format-check) FORMAT_CHECK=1 ;;
+    --build-dir) shift; BUILD_DIR="${1:?--build-dir needs an argument}" ;;
+    *) echo "usage: tools/lint.sh [--format-check] [--build-dir <dir>]" >&2
+       exit 2 ;;
+  esac
+  shift
+done
+
+FAILURES=0
+fail() {
+  echo "lint: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# ---------------------------------------------------------------------------
+# 1. Header guards: ACHERON_<PATH>_H_ where <PATH> is the file path relative
+#    to the repo root with a leading "src/" stripped, uppercased, and
+#    non-alphanumerics mapped to '_'. E.g. src/lsm/db_impl.h ->
+#    ACHERON_LSM_DB_IMPL_H_, bench/bench_common.h ->
+#    ACHERON_BENCH_BENCH_COMMON_H_.
+# ---------------------------------------------------------------------------
+echo "lint: checking header guards..."
+while IFS= read -r header; do
+  rel="${header#./}"
+  stem="${rel#src/}"
+  guard="ACHERON_$(echo "${stem%.h}" | tr 'a-z/.-' 'A-Z___')_H_"
+  if ! grep -q "^#ifndef ${guard}\$" "$rel" ||
+     ! grep -q "^#define ${guard}\$" "$rel"; then
+    fail "$rel: expected header guard ${guard}"
+  fi
+done < <(find src tests bench examples -name '*.h' 2>/dev/null)
+
+# ---------------------------------------------------------------------------
+# 2. Naked new/delete ban in src/.
+#
+# The engine is leveldb-lineage: refcounted handles (MemTable, Version,
+# LRUHandle, FileState), caller-owned iterators, and arena-backed nodes all
+# manage raw lifetime by design. Those files are allowlisted below; any
+# OTHER src/ file acquiring a naked new/delete fails lint, so the list only
+# ever shrinks (a ratchet). `ptr.reset(new X)` / make_unique are always
+# fine: ownership is taken on the same line.
+# ---------------------------------------------------------------------------
+echo "lint: checking for naked new/delete outside lifetime-managing files..."
+NEW_DELETE_ALLOWLIST='
+src/lsm/db_impl.cc
+src/lsm/db_iter.cc
+src/lsm/db_iter.h
+src/lsm/dbformat.cc
+src/lsm/dbformat.h
+src/lsm/merger.cc
+src/lsm/repair.cc
+src/lsm/snapshot.h
+src/lsm/table_cache.cc
+src/lsm/version_set.cc
+src/lsm/version_set.h
+src/memtable/memtable.cc
+src/memtable/memtable.h
+src/memtable/skiplist.h
+src/table/block.cc
+src/table/cache.cc
+src/table/cache.h
+src/table/format.cc
+src/table/iterator.cc
+src/table/table.cc
+src/table/table.h
+src/table/table_builder.cc
+src/table/two_level_iterator.cc
+src/table/two_level_iterator.h
+src/util/arena.cc
+src/util/arena.h
+src/util/bloom.cc
+src/wal/log_reader.cc
+src/env/mem_env.cc
+'
+allowed() {
+  case "$NEW_DELETE_ALLOWLIST" in
+    *"
+$1
+"*) return 0 ;;
+    *) return 1 ;;
+  esac
+}
+while IFS= read -r f; do
+  rel="${f#./}"
+  allowed "$rel" && continue
+  # Strip // comments, then match allocation-style `new X` (not
+  # reset(new ...)/make_unique) and the delete keyword (not `= delete`).
+  hits=$(sed 's@//.*$@@' "$rel" |
+    grep -nE '\bnew [A-Za-z_(]|\bnew\[|\bdelete\b' |
+    grep -vE 'reset\(new |make_unique|= *delete|^[0-9]+: *delete;$' || true)
+  if [ -n "$hits" ]; then
+    fail "$rel: naked new/delete outside the lifetime-management allowlist:"
+    echo "$hits" | sed 's/^/    /' >&2
+  fi
+done < <(find src -name '*.h' -o -name '*.cc')
+
+# ---------------------------------------------------------------------------
+# 3. Status must stay [[nodiscard]].
+# ---------------------------------------------------------------------------
+echo "lint: checking [[nodiscard]] on Status..."
+if ! grep -q 'class \[\[nodiscard\]\] Status' src/util/status.h; then
+  fail "src/util/status.h: class Status must be declared [[nodiscard]]"
+fi
+
+# ---------------------------------------------------------------------------
+# 4. clang-tidy over src/ (uses .clang-tidy at the repo root).
+# ---------------------------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "lint: running clang-tidy over src/..."
+    if ! find src -name '*.cc' -print0 |
+         xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "$BUILD_DIR" --quiet; then
+      fail "clang-tidy reported problems"
+    fi
+  else
+    echo "lint: NOTE: no $BUILD_DIR/compile_commands.json (configure with" \
+         "cmake first); skipping clang-tidy"
+  fi
+else
+  echo "lint: NOTE: clang-tidy not installed; skipping clang-tidy"
+fi
+
+# ---------------------------------------------------------------------------
+# 5. Format check (opt-in): no reformatting, just verification.
+# ---------------------------------------------------------------------------
+if [ "$FORMAT_CHECK" -eq 1 ]; then
+  if command -v clang-format >/dev/null 2>&1; then
+    echo "lint: running clang-format --dry-run..."
+    if ! git ls-files '*.h' '*.cc' |
+         xargs clang-format --dry-run -Werror; then
+      fail "clang-format found formatting violations"
+    fi
+  else
+    echo "lint: NOTE: clang-format not installed; skipping format check"
+  fi
+fi
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "lint: FAILED with $FAILURES problem(s)" >&2
+  exit 1
+fi
+echo "lint: OK"
