@@ -16,7 +16,9 @@
 
 #include "src/env/env.h"
 #include "src/lsm/db.h"
+#include "src/lsm/stats.h"
 #include "src/lsm/version_set.h"
+#include "src/util/histogram.h"
 #include "src/workload/workload.h"
 
 namespace acheron {
@@ -131,6 +133,58 @@ inline double RunWorkload(DB* db, const workload::WorkloadSpec& spec) {
 inline void PrintHeader(const char* title, const char* legend) {
   std::printf("=== %s ===\n", title);
   if (legend && legend[0]) std::printf("%s\n", legend);
+}
+
+// Dumps the engine's internal counters (compactions, stalls, group commit,
+// write amplification) so every harness can report what the engine did, not
+// just how fast the loop ran.
+inline void PrintEngineStats(DB* db) {
+  std::string stats;
+  if (db->GetProperty("acheron.stats", &stats)) {
+    std::printf("engine: %s\n", stats.c_str());
+  }
+}
+
+// Machine-readable result sink: one JSON object per run, written to |path|
+// (appended, one object per line, so a sweep can share a file). Latency
+// percentiles come from |latency| (microseconds); stall/commit counters
+// from the engine's InternalStats.
+inline void WriteJsonResult(const std::string& path, const std::string& name,
+                            int threads, uint64_t ops, double ops_per_sec,
+                            const Histogram& latency,
+                            const InternalStats& stats) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(
+      f,
+      "{\"bench\":\"%s\",\"threads\":%d,\"ops\":%llu,"
+      "\"ops_per_sec\":%.1f,"
+      "\"latency_micros\":{\"p50\":%.2f,\"p99\":%.2f,\"max\":%.2f},"
+      "\"stalls\":{\"slowdown_writes\":%llu,\"stop_writes\":%llu,"
+      "\"memtable_waits\":%llu,\"ttl_waits\":%llu,\"stall_micros\":%llu},"
+      "\"commit\":{\"wal_syncs\":%llu,\"group_commits\":%llu,"
+      "\"writes_grouped\":%llu},"
+      "\"background\":{\"jobs_scheduled\":%llu,\"memtable_swaps\":%llu},"
+      "\"compactions\":%llu,\"write_amplification\":%.2f}\n",
+      name.c_str(), threads, static_cast<unsigned long long>(ops),
+      ops_per_sec, latency.Percentile(50.0), latency.Percentile(99.0),
+      latency.Max(),
+      static_cast<unsigned long long>(stats.stall_slowdown_writes),
+      static_cast<unsigned long long>(stats.stall_stop_writes),
+      static_cast<unsigned long long>(stats.stall_memtable_waits),
+      static_cast<unsigned long long>(stats.stall_ttl_waits),
+      static_cast<unsigned long long>(stats.stall_micros),
+      static_cast<unsigned long long>(stats.wal_syncs),
+      static_cast<unsigned long long>(stats.group_commits),
+      static_cast<unsigned long long>(stats.writes_grouped),
+      static_cast<unsigned long long>(stats.background_jobs_scheduled),
+      static_cast<unsigned long long>(stats.memtable_swaps),
+      static_cast<unsigned long long>(stats.compaction_count),
+      stats.WriteAmplification());
+  std::fclose(f);
 }
 
 }  // namespace bench

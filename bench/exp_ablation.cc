@@ -32,6 +32,7 @@ static void Run(TtlAllocation alloc, bool picking, const char* label) {
       CheckOk(db->Put(wo, op.key, op.value));
     }
   }
+  CheckOk(db->WaitForCompactions());
   InternalStats stats = db->GetStats();
   DeleteStats ds = db->GetDeleteStats();
   std::printf("%-24s %8.2f %10llu %12llu %12.0f\n", label,

@@ -34,6 +34,7 @@ static void Run(size_t buffer_size) {
   double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  CheckOk(db->WaitForCompactions());
   InternalStats stats = db->GetStats();
   DeleteStats ds = db->GetDeleteStats();
   std::printf("%8zuK %12.0f %8.2f %8llu %12.0f\n", buffer_size >> 10,

@@ -28,6 +28,7 @@ static void Run(uint64_t dth, const char* label) {
       CheckOk(db->Put(wo, op.key, op.value));
     }
   }
+  CheckOk(db->WaitForCompactions());
   InternalStats stats = db->GetStats();
   auto by = [&](CompactionReason r) {
     return static_cast<unsigned long long>(

@@ -21,6 +21,7 @@ static void Run(CompactionStyle style, uint64_t dth, const char* label) {
   spec.seed = 47;
 
   double ingest_ops = RunWorkload(db.db(), spec);
+  CheckOk(db->WaitForCompactions());
   InternalStats stats = db->GetStats();
 
   // Read phase.

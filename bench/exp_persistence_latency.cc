@@ -28,6 +28,7 @@ static void Run(uint64_t dth) {
       CheckOk(db->Put(wo, op.key, op.value));
     }
   }
+  CheckOk(db->WaitForCompactions());
   DeleteStats ds = db->GetDeleteStats();
   char label[32];
   if (dth == 0) {

@@ -34,6 +34,7 @@ static Result Run(uint64_t dth, int delete_percent) {
       CheckOk(db->Put(wo, op.key, op.value));
     }
   }
+  CheckOk(db->WaitForCompactions());
 
   // Measurement phase: uniform point lookups over the key space (mix of
   // live, deleted, and never-written keys).

@@ -33,6 +33,7 @@ static Result Run(uint64_t dth, int delete_percent) {
       CheckOk(db->Put(wo, op.key, op.value));
     }
   }
+  CheckOk(db->WaitForCompactions());
 
   const uint64_t kScans = 3000 * Scale();
   const int kScanLength = 64;

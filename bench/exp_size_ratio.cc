@@ -29,6 +29,7 @@ static void Run(int size_ratio, uint64_t dth) {
       CheckOk(db->Put(wo, op.key, op.value));
     }
   }
+  CheckOk(db->WaitForCompactions());
   InternalStats stats = db->GetStats();
   DeleteStats ds = db->GetDeleteStats();
   std::printf("%6d %8.2f %12.0f %12.0f %12llu\n", size_ratio,

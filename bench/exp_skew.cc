@@ -32,6 +32,7 @@ static void Run(double theta, uint64_t dth, const char* label) {
       CheckOk(db->Put(wo, op.key, op.value));
     }
   }
+  CheckOk(db->WaitForCompactions());
   DeleteStats ds = db->GetDeleteStats();
   InternalStats stats = db->GetStats();
   std::printf("%-22s %10llu %12llu %12.0f %8.2f\n", label,

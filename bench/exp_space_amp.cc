@@ -29,6 +29,7 @@ static double Run(uint64_t dth, int delete_percent) {
       CheckOk(db->Put(wo, op.key, op.value));
     }
   }
+  CheckOk(db->WaitForCompactions());
   return db.SpaceAmplification();
 }
 

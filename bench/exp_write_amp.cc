@@ -35,6 +35,7 @@ static Result Run(uint64_t dth) {
       CheckOk(db->Put(wo, op.key, op.value));
     }
   }
+  CheckOk(db->WaitForCompactions());
   InternalStats stats = db->GetStats();
   return {stats.WriteAmplification(),
           stats.compactions_by_reason[static_cast<size_t>(

@@ -1,6 +1,22 @@
 // M5 -- Whole-engine microbenchmarks: Put/Get/scan through the public API
 // (in-memory env; measures CPU cost of the full write/read paths).
+//
+// Two modes:
+//   * default: the registered google-benchmark suite below
+//       ./micro_engine [--benchmark_filter=...]
+//   * fillrandom: N concurrent writer threads into one DB, reporting
+//     throughput, latency percentiles, and engine stall/commit counters
+//       ./micro_engine --threads=4 [--ops=N] [--value-size=N]
+//                      [--background=0|1] [--sync=0|1] [--db=DIR]
+//                      [--json=PATH]
+//     --db=DIR uses the real filesystem (fsync costs included) instead of
+//     the in-memory env; with --sync=1 each *write group* costs one fsync,
+//     which is the configuration where group commit pays off.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 
@@ -103,7 +119,139 @@ static void BM_DbDelete(benchmark::State& state) {
 }
 BENCHMARK(BM_DbDelete)->Arg(0)->Arg(100000);
 
+// --------------------------------------------------------------------------
+// fillrandom --threads mode (bypasses google-benchmark: it measures one
+// multi-threaded run end to end rather than iterating a single op).
+// --------------------------------------------------------------------------
+
+struct FillRandomConfig {
+  int threads = 0;           // 0 = mode not requested
+  uint64_t ops = 200000;     // total across all threads
+  int value_size = 100;
+  bool background = true;    // Options::background_compactions
+  bool sync = false;         // WriteOptions::sync (one fsync per group)
+  std::string db_dir;        // empty = in-memory env
+  std::string json_path;     // empty = stdout only
+};
+
+static int RunFillRandom(const FillRandomConfig& cfg) {
+  Options options = BenchOptions();
+  options.background_compactions = cfg.background;
+  options.disable_wal = false;  // group commit batches WAL appends/fsyncs
+  std::unique_ptr<Env> mem_env;
+  std::string db_path = "/bench";
+  if (cfg.db_dir.empty()) {
+    mem_env.reset(NewMemEnv());
+    options.env = mem_env.get();
+  } else {
+    options.env = DefaultEnv();
+    db_path = cfg.db_dir;
+    CheckOk(DestroyDB(db_path, options));  // fresh tree, comparable runs
+  }
+
+  DB* raw = nullptr;
+  CheckOk(DB::Open(options, db_path, &raw));
+  std::unique_ptr<DB> db(raw);
+
+  const uint64_t per_thread = cfg.ops / cfg.threads;
+  const uint64_t total_ops = per_thread * cfg.threads;
+  std::vector<Histogram> latencies(cfg.threads);
+  std::vector<std::thread> writers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < cfg.threads; t++) {
+    writers.emplace_back([&, t] {
+      Random rnd(1000 + t);
+      std::string value(cfg.value_size, 'v');
+      WriteOptions wo;
+      wo.sync = cfg.sync;
+      char key[32];
+      for (uint64_t i = 0; i < per_thread; i++) {
+        std::snprintf(key, sizeof(key), "key%010llu",
+                      static_cast<unsigned long long>(rnd.Uniform(1000000)));
+        const auto op_start = std::chrono::steady_clock::now();
+        CheckOk(db->Put(wo, key, value));
+        latencies[t].Add(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - op_start)
+                             .count());
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  CheckOk(db->WaitForCompactions());
+
+  Histogram latency;
+  for (const auto& h : latencies) latency.Merge(h);
+  const double ops_per_sec = secs > 0 ? total_ops / secs : 0;
+  const InternalStats stats = db->GetStats();
+
+  std::printf(
+      "fillrandom: threads=%d ops=%llu background=%d sync=%d env=%s\n"
+      "  %.0f ops/s   p50=%.1fus p99=%.1fus max=%.1fus\n"
+      "  wal_syncs=%llu group_commits=%llu writes_grouped=%llu "
+      "memtable_swaps=%llu bg_jobs=%llu stall_micros=%llu\n",
+      cfg.threads, static_cast<unsigned long long>(total_ops),
+      cfg.background ? 1 : 0, cfg.sync ? 1 : 0,
+      cfg.db_dir.empty() ? "mem" : cfg.db_dir.c_str(), ops_per_sec,
+      latency.Percentile(50.0), latency.Percentile(99.0), latency.Max(),
+      static_cast<unsigned long long>(stats.wal_syncs),
+      static_cast<unsigned long long>(stats.group_commits),
+      static_cast<unsigned long long>(stats.writes_grouped),
+      static_cast<unsigned long long>(stats.memtable_swaps),
+      static_cast<unsigned long long>(stats.background_jobs_scheduled),
+      static_cast<unsigned long long>(stats.stall_micros));
+  PrintEngineStats(db.get());
+  if (!cfg.json_path.empty()) {
+    WriteJsonResult(cfg.json_path, "fillrandom", cfg.threads, total_ops,
+                    ops_per_sec, latency, stats);
+  }
+
+  db.reset();
+  if (!cfg.db_dir.empty()) CheckOk(DestroyDB(db_path, options));
+  return 0;
+}
+
+static bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace bench
 }  // namespace acheron
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  acheron::bench::FillRandomConfig cfg;
+  const char* v;
+  for (int i = 1; i < argc; i++) {
+    if (acheron::bench::ParseFlag(argv[i], "--threads", &v)) {
+      cfg.threads = std::atoi(v);
+    } else if (acheron::bench::ParseFlag(argv[i], "--ops", &v)) {
+      cfg.ops = std::strtoull(v, nullptr, 10);
+    } else if (acheron::bench::ParseFlag(argv[i], "--value-size", &v)) {
+      cfg.value_size = std::atoi(v);
+    } else if (acheron::bench::ParseFlag(argv[i], "--background", &v)) {
+      cfg.background = std::atoi(v) != 0;
+    } else if (acheron::bench::ParseFlag(argv[i], "--sync", &v)) {
+      cfg.sync = std::atoi(v) != 0;
+    } else if (acheron::bench::ParseFlag(argv[i], "--db", &v)) {
+      cfg.db_dir = v;
+    } else if (acheron::bench::ParseFlag(argv[i], "--json", &v)) {
+      cfg.json_path = v;
+    }
+  }
+  if (cfg.threads > 0) {
+    if (cfg.ops < static_cast<uint64_t>(cfg.threads)) cfg.ops = cfg.threads;
+    return acheron::bench::RunFillRandom(cfg);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -78,8 +78,12 @@ class DeletePersistenceMonitor {
 
  private:
   // mu_ is the innermost lock of the engine (see DESIGN.md "Locking
-  // discipline"): it is taken with DBImpl::mutex_ held and never the other
-  // way around, and no lock is acquired while holding it.
+  // discipline"): no lock is acquired while holding it, and it is never
+  // held while acquiring DBImpl::mutex_. Since the background pipeline,
+  // callers are on both sides of that mutex: the write path records
+  // OnTombstoneWritten under DBImpl::mutex_, while compaction's merge loop
+  // reports OnTombstonePersisted/OnTombstoneSuperseded with the mutex
+  // *released* -- mu_ alone is what makes those updates safe.
   mutable Mutex mu_;
   uint64_t written_ GUARDED_BY(mu_) = 0;
   uint64_t persisted_ GUARDED_BY(mu_) = 0;

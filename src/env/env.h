@@ -5,12 +5,16 @@
 #define ACHERON_ENV_ENV_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/util/mutex.h"
 #include "src/util/slice.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace acheron {
 
@@ -52,6 +56,23 @@ class Env {
  public:
   virtual ~Env() = default;
 
+  // --- Threading -----------------------------------------------------------
+  //
+  // Schedule runs (*function)(arg) once on a background thread owned by this
+  // Env. Calls are serviced FIFO by a single worker (leveldb-style), so two
+  // scheduled jobs never run concurrently with each other — but they DO run
+  // concurrently with foreground threads. The worker is started lazily on
+  // first use and joined (after draining the queue) when the Env dies.
+  virtual void Schedule(void (*function)(void*), void* arg) = 0;
+
+  // Start a dedicated thread running (*function)(arg). The thread is
+  // detached; the caller is responsible for any join/exit handshake.
+  virtual void StartThread(void (*function)(void*), void* arg) = 0;
+
+  // Sleep the calling thread for at least |micros| microseconds. Used for
+  // write-throttling backoff; virtual so a simulated Env could fast-forward.
+  virtual void SleepForMicroseconds(int micros);
+
   virtual Status NewSequentialFile(const std::string& fname,
                                    std::unique_ptr<SequentialFile>* result) = 0;
   virtual Status NewRandomAccessFile(
@@ -72,6 +93,38 @@ class Env {
   // Read/write an entire small file; used for CURRENT.
   Status WriteStringToFile(const Slice& data, const std::string& fname);
   Status ReadFileToString(const std::string& fname, std::string* data);
+};
+
+// Shared implementation of Env::Schedule's single-worker FIFO queue, used by
+// both PosixEnv and MemEnv (fault_env forwards to its wrapped base instead).
+// The worker thread starts lazily on the first Schedule() call; the
+// destructor lets already-queued work drain, then joins the worker, so an
+// Env owner never leaks a running background job.
+class BackgroundScheduler {
+ public:
+  BackgroundScheduler();
+  ~BackgroundScheduler();
+
+  BackgroundScheduler(const BackgroundScheduler&) = delete;
+  BackgroundScheduler& operator=(const BackgroundScheduler&) = delete;
+
+  void Schedule(void (*function)(void*), void* arg);
+
+ private:
+  struct Item {
+    void (*function)(void*);
+    void* arg;
+  };
+
+  void WorkerLoop();
+  static void WorkerEntry(void* self);
+
+  Mutex mu_;
+  CondVar work_available_;  // paired with mu_
+  bool started_ GUARDED_BY(mu_);
+  bool shutting_down_ GUARDED_BY(mu_);
+  std::deque<Item> queue_ GUARDED_BY(mu_);
+  std::thread worker_;
 };
 
 // The default POSIX environment; singleton, never destroyed.

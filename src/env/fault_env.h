@@ -67,6 +67,17 @@ class FaultInjectionEnv : public Env {
   Status RenameFile(const std::string& src, const std::string& target) override {
     return base_->RenameFile(src, target);
   }
+  // Threading passes straight through: faults are injected at the file layer,
+  // and the wrapped Env's scheduler already serializes background work.
+  void Schedule(void (*function)(void*), void* arg) override {
+    base_->Schedule(function, arg);
+  }
+  void StartThread(void (*function)(void*), void* arg) override {
+    base_->StartThread(function, arg);
+  }
+  void SleepForMicroseconds(int micros) override {
+    base_->SleepForMicroseconds(micros);
+  }
 
   // Fault hooks used by the wrapped file objects; also callable from tests.
   // Returns true if this write should fail (and counts the fault).

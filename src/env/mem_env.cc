@@ -135,6 +135,15 @@ class MemEnv : public Env {
     }
   }
 
+  void Schedule(void (*function)(void*), void* arg) override {
+    scheduler_.Schedule(function, arg);
+  }
+
+  void StartThread(void (*function)(void*), void* arg) override {
+    std::thread t(function, arg);
+    t.detach();
+  }
+
   Status NewSequentialFile(const std::string& fname,
                            std::unique_ptr<SequentialFile>* result) override {
     MutexLock l(&mu_);
@@ -237,6 +246,7 @@ class MemEnv : public Env {
   }
 
  private:
+  BackgroundScheduler scheduler_;
   Mutex mu_;
   std::map<std::string, FileState*> files_ GUARDED_BY(mu_);
 };

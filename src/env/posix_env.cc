@@ -259,6 +259,18 @@ class PosixEnv : public Env {
     }
     return Status::OK();
   }
+
+  void Schedule(void (*function)(void*), void* arg) override {
+    scheduler_.Schedule(function, arg);
+  }
+
+  void StartThread(void (*function)(void*), void* arg) override {
+    std::thread t(function, arg);
+    t.detach();
+  }
+
+ private:
+  BackgroundScheduler scheduler_;
 };
 
 }  // namespace

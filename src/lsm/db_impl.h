@@ -1,14 +1,40 @@
 // DBImpl: the concrete Acheron engine.
 //
-// Concurrency model: a single DB mutex protects all mutable state. Flushes
-// and compactions run synchronously inside the write path when a trigger
-// fires (deterministic write stalls instead of background threads), which
-// makes delete-persistence behaviour exactly reproducible. Reads share the
-// mutex only to pin the memtable/version and then proceed lock-free.
+// Concurrency model (see DESIGN.md for the full protocol): one DB mutex
+// protects the metadata -- memtable pointers, the version set, the writer
+// queue, stats -- but the expensive work happens with the mutex *released*:
+//
+//  * Writers funnel through a leveldb-style queue in Write(). The front
+//    writer becomes the leader, absorbs the batches queued behind it
+//    (group commit, one WAL append + at most one fsync per group), and
+//    applies the merged batch to the WAL and memtable with the mutex
+//    dropped; followers sleep on per-writer condition variables.
+//  * When the memtable fills, MakeRoomForWrite rotates the WAL and moves
+//    mem_ to the immutable imm_ slot. With background_compactions=true the
+//    flush (and any planner-driven compactions) run on the Env's background
+//    thread via Env::Schedule; with background_compactions=false they run
+//    synchronously in the writer, exactly like the original engine.
+//  * The pipeline *replays the synchronous compaction schedule*: work is
+//    organized into rounds (flush imm_, then compact until the planner is
+//    satisfied), each round picks and drops against the sequence horizon
+//    captured when its memtable was swapped out (pending_flush_horizon_),
+//    and imm_ is only flushed at round boundaries. Tombstone-TTL expiry is
+//    enforced inline in the write path in both modes (see
+//    pending_ttl_floor_). Concurrency therefore changes *when* work
+//    executes, not *what* it does: a single-threaded writer produces the
+//    same LSM shape in both modes, which delete_persistence_test and the
+//    EXPERIMENTS.md E-series rely on.
+//  * All flush/compaction/purge work holds the exclusive "compaction slot"
+//    (compaction_active_), because compaction I/O runs unlocked and two
+//    jobs could otherwise pick overlapping inputs.
+//
+// Reads share the mutex only to pin mem_/imm_/version and then proceed
+// lock-free.
 #ifndef ACHERON_LSM_DB_IMPL_H_
 #define ACHERON_LSM_DB_IMPL_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <set>
 #include <string>
@@ -20,6 +46,7 @@
 #include "src/lsm/snapshot.h"
 #include "src/lsm/stats.h"
 #include "src/lsm/version_set.h"
+#include "src/lsm/write_batch.h"
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
 #include "src/wal/log_writer.h"
@@ -68,6 +95,7 @@ class DBImpl : public DB {
  private:
   friend class DB;
   struct CompactionState;
+  struct Writer;
 
   Iterator* NewInternalIterator(const ReadOptions&,
                                 SequenceNumber* latest_snapshot)
@@ -85,30 +113,62 @@ class DBImpl : public DB {
                         SequenceNumber* max_sequence)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  // Delete any unneeded files and stale in-memory entries.
+  // Delete any unneeded files and stale in-memory entries. Classifies the
+  // directory listing under the mutex, then releases it for the unlink loop.
   void RemoveObsoleteFiles() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  // Flush the current memtable to an L0 table and swap in a fresh one.
+  // Flush imm_ to an L0 table and clear it. Requires the compaction slot.
   Status CompactMemTable() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Build an SSTable from |mem| and register it in |edit| at level 0. The
-  // mutex stays held across the IO: the *active* memtable is being flushed,
-  // so concurrent writers must stall behind it (see DESIGN.md).
+  // mutex is released for the table build (|mem| is frozen: either imm_ or
+  // a recovery-only memtable no writer can touch).
   Status WriteLevel0Table(MemTable* mem, VersionEdit* edit)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  // Flush / stall logic ahead of a write of |bytes| user bytes.
-  Status MakeRoomForWrite() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Ensure mem_ has room for the next batch: apply L0 slowdown/stop
+  // throttles, wait out a busy imm_, and rotate mem_ -> imm_ (plus the WAL)
+  // when the write buffer is full or the FADE memtable-tombstone-age
+  // trigger fires. |force| (a Write(nullptr) from FlushMemTable) swaps even
+  // a non-full memtable. Called by the write-group leader.
+  Status MakeRoomForWrite(bool force) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  // Run compactions until the planner reports nothing to do.
-  Status MaybeCompact() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Merge the batches of the writers queued behind the leader into one
+  // batch (group commit). Sets *last_writer to the last writer absorbed.
+  WriteBatch* BuildBatchGroup(Writer** last_writer)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  Status DoCompactionWork(CompactionState* compact)
+  // Hand a round to the Env's background thread if a flush is pending
+  // (imm_ != nullptr) and none is in flight. Rounds are flush-driven:
+  // planner work runs inside the round that flushed, and TTL expiry is
+  // enforced inline by the write path, so there is nothing to schedule
+  // without a pending flush. No-op when background_compactions=false.
+  void MaybeScheduleCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  static void BGWork(void* db);
+  void BackgroundCall() LOCKS_EXCLUDED(mutex_);
+
+  // Acquire/release the exclusive compaction slot. All flush/compaction/
+  // purge work runs inside the slot because its I/O drops the mutex.
+  void AcquireCompactionSlot() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  void ReleaseCompactionSlot() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // One round: flush imm_ (if any), then run compactions until the planner
+  // is satisfied, all against the horizon captured when the memtable was
+  // swapped (or the current sequence if there is no pending flush). Takes
+  // the compaction slot for the duration.
+  Status RunCompactions() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Run planner-picked compactions until nothing is left to do at
+  // |horizon| (both the planner's TTL clock and the drop horizon). Caller
+  // must hold the compaction slot.
+  Status MaybeCompact(SequenceNumber horizon) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  Status DoCompactionWork(CompactionState* compact, SequenceNumber horizon)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   Status OpenCompactionOutputFile(CompactionState* compact)
-      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+      LOCKS_EXCLUDED(mutex_);
   Status FinishCompactionOutputFile(CompactionState* compact, Iterator* input)
-      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+      LOCKS_EXCLUDED(mutex_);
   Status InstallCompactionResults(CompactionState* compact)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   void CleanupCompaction(CompactionState* compact)
@@ -126,7 +186,9 @@ class DBImpl : public DB {
   void ComputeNextTtlDeadline() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Rewrite one table file, dropping entries whose secondary key is below
-  // |threshold|; emits the replacement (if non-empty) into |edit|.
+  // |threshold|; emits the replacement (if non-empty) into |edit|. The
+  // rewrite I/O runs with the mutex released (caller holds the compaction
+  // slot, which keeps |f| alive and unrivaled).
   Status RewriteFileForPurge(FileMetaData* f, int level, const Slice& threshold,
                              VersionEdit* edit)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
@@ -144,10 +206,42 @@ class DBImpl : public DB {
   // State below is protected by mutex_ (enforced by the thread-safety
   // analysis under Clang; see src/util/thread_annotations.h).
   mutable Mutex mutex_;
+  std::atomic<bool> shutting_down_{false};
   MemTable* mem_ GUARDED_BY(mutex_);
+  MemTable* imm_ GUARDED_BY(mutex_);  // memtable being flushed; may be null
+  // The sequence horizon captured when mem_ was swapped into imm_: the
+  // round that flushes imm_ picks and drops against this value, so the
+  // compaction schedule matches what synchronous mode would have done at
+  // the swap point regardless of how far writers have raced ahead.
+  SequenceNumber pending_flush_horizon_ GUARDED_BY(mutex_) = 0;
+  // Conservative lower bound on the TTL deadline the pending imm_ flush
+  // will introduce (its earliest tombstone + level-0's cumulative TTL).
+  // next_ttl_deadline_ only learns about a file once its flush installs;
+  // without this floor a writer could race past the deadline while the
+  // flush is still queued behind it. UINT64_MAX when imm_ is null or
+  // tombstone-free. Installs never lower existing deadlines (moving a
+  // file down adds TTL budget), so the floor only needs to track the
+  // pending flush.
+  uint64_t pending_ttl_floor_ GUARDED_BY(mutex_) = UINT64_MAX;
   std::unique_ptr<WritableFile> logfile_ GUARDED_BY(mutex_);
   uint64_t logfile_number_ GUARDED_BY(mutex_);
   std::unique_ptr<wal::Writer> log_ GUARDED_BY(mutex_);
+
+  // Writer queue: the front writer is the group leader and the only thread
+  // that touches the WAL/memtable; it does so with the mutex released (the
+  // pointers are captured under the lock first).
+  std::deque<Writer*> writers_ GUARDED_BY(mutex_);
+  WriteBatch tmp_batch_ GUARDED_BY(mutex_);  // scratch for group commit
+
+  // True while a flush/compaction/purge owns the (single) compaction slot.
+  bool compaction_active_ GUARDED_BY(mutex_);
+  // True while a background round is queued on or running in the Env's
+  // worker thread.
+  bool bg_compaction_scheduled_ GUARDED_BY(mutex_);
+  // Signaled when background work (or a slot holder) finishes or the imm_
+  // flush completes; waited on by throttled writers, WaitForCompactions,
+  // the destructor, and slot acquisition.
+  CondVar background_work_finished_signal_;  // paired with mutex_
 
   SnapshotList snapshots_ GUARDED_BY(mutex_);
 
@@ -168,8 +262,8 @@ class DBImpl : public DB {
   std::atomic<uint64_t> iter_tombstones_skipped_{0};
 
   // Logical time at which the next file-TTL expiry fires; writes past this
-  // point invoke the compaction loop even without a flush. UINT64_MAX when
-  // no live tombstone is on the clock.
+  // point invoke the compaction machinery even without a flush. UINT64_MAX
+  // when no live tombstone is on the clock.
   uint64_t next_ttl_deadline_ GUARDED_BY(mutex_) = UINT64_MAX;
 
   // Sticky error: once set, all writes fail with it.

@@ -109,6 +109,46 @@ struct Options {
   // Compaction layout policy.
   CompactionStyle compaction_style = CompactionStyle::kLeveling;
 
+  // -------- Compaction scheduling --------
+
+  // If true, memtable flushes and compactions run on a background thread
+  // (obtained via Env::Schedule): MakeRoomForWrite swaps the full memtable
+  // into an immutable `imm_`, hands the flush to the worker, and the writer
+  // continues into a fresh memtable; writers are throttled only by the
+  // L0 slowdown/stop triggers below.
+  //
+  // If false (the default), every flush and compaction runs synchronously
+  // inside the writing thread before Write() returns, exactly as before
+  // this knob existed. This mode is deterministic -- the LSM shape after N
+  // writes is a pure function of the write sequence -- and the delete
+  // persistence tests and EXPERIMENTS.md E-series measurements rely on that
+  // reproducibility.
+  //
+  // The background pipeline *replays* the synchronous schedule (picks and
+  // TTL decisions use the sequence horizon captured at memtable swap, and
+  // flushes land only at round boundaries), so a single-threaded writer
+  // produces the identical tree in both modes and the D_th bound holds
+  // unchanged either way. Overridable per-process with the
+  // ACHERON_BACKGROUND_COMPACTIONS=0|1 environment variable.
+  bool background_compactions = false;
+
+  // Upper bound on concurrently scheduled background jobs per DB. The
+  // current pipeline uses a single compaction/flush worker (leveldb-style),
+  // so values > 1 are accepted but clamped to 1; the knob exists so the
+  // option struct is stable when multi-job scheduling lands.
+  int max_background_jobs = 1;
+
+  // Soft backpressure: when L0 holds at least this many files, each writer
+  // group is delayed ~1ms (once) to let the background worker catch up,
+  // smearing the write cost instead of stalling for whole compactions.
+  // Only consulted when background_compactions is true.
+  int level0_slowdown_writes_trigger = 8;
+
+  // Hard backpressure: when L0 holds at least this many files, writers block
+  // until the background worker reduces the L0 file count.
+  // Only consulted when background_compactions is true.
+  int level0_stop_writes_trigger = 12;
+
   // -------- Acheron: delete persistence (FADE) --------
 
   // Delete persistence threshold D_th in *logical operations* (entries

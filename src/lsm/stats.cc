@@ -5,13 +5,16 @@
 namespace acheron {
 
 std::string InternalStats::ToString() const {
-  char buf[768];
+  char buf[1280];
   std::snprintf(
       buf, sizeof(buf),
       "writes: user=%llu wal=%llu | flush: n=%llu bytes=%llu | "
       "compaction: n=%llu read=%llu written=%llu trivial=%llu | "
       "dropped: shadowed=%llu tombstones_bottom=%llu | "
       "reads: gets=%llu found=%llu bloom_useful=%llu iter_ts_skip=%llu | "
+      "stalls: slowdown=%llu stop=%llu imm_wait=%llu ttl_wait=%llu "
+      "micros=%llu | bg: jobs=%llu swaps=%llu | "
+      "commit: wal_syncs=%llu groups=%llu grouped_writes=%llu | "
       "WA=%.2f",
       static_cast<unsigned long long>(user_bytes_written),
       static_cast<unsigned long long>(wal_bytes_written),
@@ -27,6 +30,16 @@ std::string InternalStats::ToString() const {
       static_cast<unsigned long long>(gets_found),
       static_cast<unsigned long long>(bloom_useful),
       static_cast<unsigned long long>(iter_tombstones_skipped),
+      static_cast<unsigned long long>(stall_slowdown_writes),
+      static_cast<unsigned long long>(stall_stop_writes),
+      static_cast<unsigned long long>(stall_memtable_waits),
+      static_cast<unsigned long long>(stall_ttl_waits),
+      static_cast<unsigned long long>(stall_micros),
+      static_cast<unsigned long long>(background_jobs_scheduled),
+      static_cast<unsigned long long>(memtable_swaps),
+      static_cast<unsigned long long>(wal_syncs),
+      static_cast<unsigned long long>(group_commits),
+      static_cast<unsigned long long>(writes_grouped),
       WriteAmplification());
   return buf;
 }

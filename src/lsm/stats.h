@@ -34,6 +34,20 @@ struct InternalStats {
   uint64_t tombstones_dropped_bottom = 0;   // persisted deletes
   uint64_t blocks_purged_secondary = 0;     // KiWi-lite block drops
 
+  // --- write stalls / background scheduling ---
+  uint64_t stall_slowdown_writes = 0;  // writes delayed by the L0 soft trigger
+  uint64_t stall_stop_writes = 0;      // writes blocked by the L0 hard trigger
+  uint64_t stall_memtable_waits = 0;   // writes that waited on imm_ flush
+  uint64_t stall_ttl_waits = 0;        // writes that waited for a TTL-deadline
+                                       // compaction to finish (FADE bound)
+  uint64_t stall_micros = 0;           // total wall time writers spent stalled
+  uint64_t background_jobs_scheduled = 0;  // Env::Schedule handoffs
+  uint64_t memtable_swaps = 0;             // mem_ -> imm_ rotations
+  uint64_t wal_syncs = 0;                  // physical WAL fsyncs
+  uint64_t group_commits = 0;          // write groups with > 1 logical batch
+  uint64_t writes_grouped = 0;         // logical batches riding a leader's
+                                       // group (0 when every write is alone)
+
   // --- reads ---
   uint64_t gets = 0;
   uint64_t gets_found = 0;

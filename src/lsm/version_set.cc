@@ -988,6 +988,13 @@ Iterator* VersionSet::MakeInputIterator(Compaction* c) {
   return result;
 }
 
+bool VersionSet::NeedsCompaction(const CompactionPlanner& planner,
+                                 SequenceNumber droppable_horizon) const {
+  CompactionPick pick = planner.Pick(current_, last_sequence_,
+                                     droppable_horizon, compact_pointer_);
+  return !pick.inputs.empty();
+}
+
 Compaction* VersionSet::PickCompaction(const CompactionPlanner& planner,
                                        SequenceNumber droppable_horizon) {
   CompactionPick pick = planner.Pick(current_, last_sequence_,

@@ -202,6 +202,13 @@ class VersionSet {
   Compaction* PickCompaction(const CompactionPlanner& planner,
                              SequenceNumber droppable_horizon);
 
+  // True if |planner| would pick some compaction right now. Side-effect-free
+  // (planner.Pick is const and compact_pointer_ is only advanced by
+  // PickCompaction), so the background scheduler can poll it cheaply before
+  // committing to an Env::Schedule round-trip.
+  bool NeedsCompaction(const CompactionPlanner& planner,
+                       SequenceNumber droppable_horizon) const;
+
   // Return a compaction object for compacting the range [begin,end] in the
   // specified level. Returns nullptr if there is nothing in that level that
   // overlaps the specified range. Caller should delete the result.

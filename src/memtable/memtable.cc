@@ -98,12 +98,15 @@ void MemTable::Add(SequenceNumber s, ValueType type, const Slice& key,
   assert(p + val_size == buf + encoded_len);
   table_.Insert(buf);
 
-  num_entries_++;
+  // Relaxed stores: only one thread (the write-group leader) mutates the
+  // memtable at a time; other threads read these counters concurrently.
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
   if (type == kTypeDeletion) {
-    num_tombstones_++;
-    if (s < earliest_tombstone_seq_) {
-      earliest_tombstone_seq_ = s;
-      earliest_tombstone_wall_micros_ = SystemClock::NowMicros();
+    num_tombstones_.fetch_add(1, std::memory_order_relaxed);
+    if (s < earliest_tombstone_seq_.load(std::memory_order_relaxed)) {
+      earliest_tombstone_seq_.store(s, std::memory_order_relaxed);
+      earliest_tombstone_wall_micros_.store(SystemClock::NowMicros(),
+                                            std::memory_order_relaxed);
     }
   }
 }

@@ -4,6 +4,7 @@
 #ifndef ACHERON_MEMTABLE_MEMTABLE_H_
 #define ACHERON_MEMTABLE_MEMTABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -59,19 +60,28 @@ class MemTable {
   bool Get(const LookupKey& key, std::string* value, Status* s);
 
   // ---- Tombstone statistics (Acheron delete-persistence metadata) ----
+  //
+  // Atomic (relaxed) because under the background pipeline a write-group
+  // leader calls Add() with DBImpl::mutex_ released while other threads read
+  // these counters under the mutex (GetProperty, MakeRoomForWrite's FADE
+  // trigger). The skiplist itself is already safe for concurrent readers.
 
   // Number of point tombstones added.
-  uint64_t num_tombstones() const { return num_tombstones_; }
+  uint64_t num_tombstones() const {
+    return num_tombstones_.load(std::memory_order_relaxed);
+  }
   // Sequence number of the oldest tombstone added; kMaxSequenceNumber when
   // no tombstone is present.
   SequenceNumber earliest_tombstone_seq() const {
-    return earliest_tombstone_seq_;
+    return earliest_tombstone_seq_.load(std::memory_order_relaxed);
   }
   // Wall-clock microseconds when the oldest tombstone was added.
   uint64_t earliest_tombstone_wall_micros() const {
-    return earliest_tombstone_wall_micros_;
+    return earliest_tombstone_wall_micros_.load(std::memory_order_relaxed);
   }
-  uint64_t num_entries() const { return num_entries_; }
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class MemTableIterator;
@@ -90,10 +100,10 @@ class MemTable {
   int refs_;
   Arena arena_;
   Table table_;
-  uint64_t num_entries_;
-  uint64_t num_tombstones_;
-  SequenceNumber earliest_tombstone_seq_;
-  uint64_t earliest_tombstone_wall_micros_;
+  std::atomic<uint64_t> num_entries_;
+  std::atomic<uint64_t> num_tombstones_;
+  std::atomic<SequenceNumber> earliest_tombstone_seq_;
+  std::atomic<uint64_t> earliest_tombstone_wall_micros_;
 };
 
 }  // namespace acheron

@@ -9,11 +9,14 @@
 #ifndef ACHERON_UTIL_MUTEX_H_
 #define ACHERON_UTIL_MUTEX_H_
 
+#include <condition_variable>
 #include <mutex>
 
 #include "src/util/thread_annotations.h"
 
 namespace acheron {
+
+class CondVar;
 
 class LOCKABLE Mutex {
  public:
@@ -31,7 +34,40 @@ class LOCKABLE Mutex {
   void AssertHeld() ASSERT_EXCLUSIVE_LOCK() {}
 
  private:
+  friend class CondVar;
   std::mutex mu_;
+};
+
+// Condition variable bound to a single Mutex (leveldb's port::CondVar shape).
+// Wait() must be called with the mutex held; it atomically releases the lock
+// while blocked and reacquires it before returning, so GUARDED_BY state is
+// accessible again afterwards (though it may have changed — callers loop).
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) {}
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Deliberately NOT annotated EXCLUSIVE_LOCKS_REQUIRED(mu_): the analysis
+  // cannot link a CondVar member's mu_ back to the caller's mutex variable,
+  // and from the caller's perspective the lock is held across the call
+  // (Wait restores it before returning), which is what the caller's own
+  // annotations should continue to reflect.
+  void Wait() NO_THREAD_SAFETY_ANALYSIS {
+    // Adopt the already-held lock so std::condition_variable can release and
+    // reacquire it; release() hands ownership back without unlocking.
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  Mutex* const mu_;
+  std::condition_variable cv_;
 };
 
 // RAII: acquires |mu| for its scope.

@@ -4,8 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "src/env/fault_env.h"
 
@@ -242,6 +247,97 @@ TEST(FaultEnvTest, ReadFaultBySubstring) {
   fenv.SetReadFaultSubstring("");
   ASSERT_TRUE(fenv.NewRandomAccessFile("/data/curse.sst", &r).ok());
   EXPECT_TRUE(r->Read(0, 7, &result, scratch).ok());
+}
+
+// --------------------------------------------------------------------------
+// Env::Schedule / Env::StartThread (the background-compaction plumbing).
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Polls |pred| for up to ~10 seconds; Schedule/StartThread give no
+// completion handle, so tests wait on state the closures publish.
+template <typename Pred>
+bool WaitFor(Pred pred) {
+  for (int i = 0; i < 10000; i++) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+struct OrderRecorder {
+  std::mutex mu;
+  std::vector<int> order;
+  std::atomic<int> done{0};
+};
+
+struct OrderTask {
+  OrderRecorder* recorder;
+  int index;
+};
+
+void RecordOrder(void* arg) {
+  auto* task = static_cast<OrderTask*>(arg);
+  {
+    std::lock_guard<std::mutex> l(task->recorder->mu);
+    task->recorder->order.push_back(task->index);
+  }
+  task->recorder->done.fetch_add(1);
+}
+
+void BumpCounter(void* arg) {
+  static_cast<std::atomic<int>*>(arg)->fetch_add(1);
+}
+
+}  // namespace
+
+TEST_F(MemEnvTest, ScheduleRunsAllInFifoOrder) {
+  constexpr int kTasks = 64;
+  OrderRecorder recorder;
+  std::vector<OrderTask> tasks(kTasks);
+  for (int i = 0; i < kTasks; i++) {
+    tasks[i] = {&recorder, i};
+    env_->Schedule(&RecordOrder, &tasks[i]);
+  }
+  ASSERT_TRUE(WaitFor([&] { return recorder.done.load() == kTasks; }));
+  // One worker drains the queue in submission order.
+  std::lock_guard<std::mutex> l(recorder.mu);
+  ASSERT_EQ(static_cast<size_t>(kTasks), recorder.order.size());
+  for (int i = 0; i < kTasks; i++) EXPECT_EQ(i, recorder.order[i]);
+}
+
+TEST_F(MemEnvTest, ScheduleDrainsOnEnvDestruction) {
+  // The Env destructor must let queued work finish before returning --
+  // DBImpl relies on this when closing with a flush still queued.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 32; i++) env_->Schedule(&BumpCounter, &counter);
+  env_.reset();
+  EXPECT_EQ(32, counter.load());
+}
+
+TEST_F(MemEnvTest, StartThreadRunsDetached) {
+  constexpr int kThreads = 8;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < kThreads; i++) env_->StartThread(&BumpCounter, &counter);
+  EXPECT_TRUE(WaitFor([&] { return counter.load() == kThreads; }));
+}
+
+TEST(PosixEnvScheduleTest, ScheduleAndStartThread) {
+  Env* env = DefaultEnv();
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; i++) env->Schedule(&BumpCounter, &counter);
+  env->StartThread(&BumpCounter, &counter);
+  EXPECT_TRUE(WaitFor([&] { return counter.load() == 9; }));
+}
+
+TEST(FaultEnvScheduleTest, ForwardsToBase) {
+  std::unique_ptr<Env> base(NewMemEnv());
+  FaultInjectionEnv fenv(base.get());
+  std::atomic<int> counter{0};
+  fenv.Schedule(&BumpCounter, &counter);
+  fenv.StartThread(&BumpCounter, &counter);
+  EXPECT_TRUE(WaitFor([&] { return counter.load() == 2; }));
 }
 
 }  // namespace acheron

@@ -7,14 +7,17 @@
 #      files whose design is manual lifetime management (arena, LRU cache,
 #      refcounted handles, iterator internals)
 #   3. [[nodiscard]] Status -- the attribute must stay on class Status
-#   4. clang-tidy over src/ (skipped with a notice if clang-tidy or the
+#   4. annotated Env I/O in db_impl.cc -- every env_-> call site must carry
+#      an `// io:` marker stating whether it runs with mutex_ held
+#      (I/O under the DB mutex stalls every writer and reader)
+#   5. clang-tidy over src/ (skipped with a notice if clang-tidy or the
 #      compile_commands.json it needs is unavailable)
-#   5. --format-check: clang-format --dry-run over tracked sources (skipped
+#   6. --format-check: clang-format --dry-run over tracked sources (skipped
 #      with a notice if clang-format is unavailable)
 #
 # Usage:
-#   tools/lint.sh                 # checks 1-4
-#   tools/lint.sh --format-check  # checks 1-5
+#   tools/lint.sh                 # checks 1-5
+#   tools/lint.sh --format-check  # checks 1-6
 #   tools/lint.sh --build-dir <dir>   # where compile_commands.json lives
 #                                     # (default: build/)
 set -u
@@ -130,7 +133,38 @@ if ! grep -q 'class \[\[nodiscard\]\] Status' src/util/status.h; then
 fi
 
 # ---------------------------------------------------------------------------
-# 4. clang-tidy over src/ (uses .clang-tidy at the repo root).
+# 4. Env I/O call sites in db_impl.cc must be annotated.
+#
+# The background pipeline's whole point is that file I/O happens with
+# mutex_ released. Every `env_->` call in db_impl.cc must carry an `// io:`
+# marker on the same or previous line saying which side it is on
+# (`io: unlocked`, `io: mutex-held -- <reason>`, `io: open/recovery`), so a
+# new unlocked-I/O-under-the-mutex regression cannot land silently. The
+# writer's WAL handoff and recovery paths are the deliberate exceptions,
+# and say so in their markers.
+# ---------------------------------------------------------------------------
+echo "lint: checking // io: markers on Env calls in db_impl.cc..."
+unmarked=$(awk '
+  # A marker covers env_-> calls within two lines either side, so it may
+  # sit on the statement itself, a continuation line, or a comment above.
+  { line[NR] = $0 }
+  /\/\/ io:/ { marker[NR] = 1 }
+  /env_->/  { call[NR] = 1 }
+  END {
+    for (n in call) {
+      covered = 0
+      for (d = -2; d <= 2; d++) if (marker[n + d]) covered = 1
+      if (!covered) print FILENAME ":" n ": " line[n]
+    }
+  }
+' src/lsm/db_impl.cc)
+if [ -n "$unmarked" ]; then
+  fail "src/lsm/db_impl.cc: env_-> call without an // io: marker:"
+  echo "$unmarked" | sed 's/^/    /' >&2
+fi
+
+# ---------------------------------------------------------------------------
+# 5. clang-tidy over src/ (uses .clang-tidy at the repo root).
 # ---------------------------------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   if [ -f "$BUILD_DIR/compile_commands.json" ]; then
@@ -148,7 +182,7 @@ else
 fi
 
 # ---------------------------------------------------------------------------
-# 5. Format check (opt-in): no reformatting, just verification.
+# 6. Format check (opt-in): no reformatting, just verification.
 # ---------------------------------------------------------------------------
 if [ "$FORMAT_CHECK" -eq 1 ]; then
   if command -v clang-format >/dev/null 2>&1; then
