@@ -1,27 +1,47 @@
 #include "src/env/fault_env.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace acheron {
 
 namespace {
 
+constexpr const char* kCrashMsg = "simulated crash";
+
 class FaultWritableFile : public WritableFile {
  public:
-  FaultWritableFile(FaultInjectionEnv* env,
+  FaultWritableFile(FaultInjectionEnv* env, std::string fname,
                     std::unique_ptr<WritableFile> base)
-      : env_(env), base_(std::move(base)) {}
+      : env_(env), fname_(std::move(fname)), base_(std::move(base)) {}
 
   Status Append(const Slice& data) override {
+    Status s = env_->RegisterFileOp("append", fname_, data.size());
+    if (!s.ok()) return s;
     if (env_->ShouldFailWrite()) {
       return Status::IOError("injected write fault");
     }
-    return base_->Append(data);
+    s = base_->Append(data);
+    if (s.ok()) env_->OnAppendDone(fname_, data.size());
+    return s;
   }
-  Status Close() override { return base_->Close(); }
+  Status Close() override {
+    Status s = env_->RegisterFileOp("close", fname_);
+    if (!s.ok()) return s;
+    return base_->Close();
+  }
   Status Flush() override { return base_->Flush(); }
-  Status Sync() override { return base_->Sync(); }
+  Status Sync() override {
+    Status s = env_->RegisterFileOp("sync", fname_);
+    if (!s.ok()) return s;
+    s = base_->Sync();
+    if (s.ok()) env_->OnSyncDone(fname_);
+    return s;
+  }
 
  private:
   FaultInjectionEnv* const env_;
+  const std::string fname_;
   std::unique_ptr<WritableFile> base_;
 };
 
@@ -43,6 +63,26 @@ class FaultRandomAccessFile : public RandomAccessFile {
   FaultInjectionEnv* const env_;
   const std::string fname_;
   std::unique_ptr<RandomAccessFile> base_;
+};
+
+class FaultSequentialFile : public SequentialFile {
+ public:
+  FaultSequentialFile(FaultInjectionEnv* env, std::string fname,
+                      std::unique_ptr<SequentialFile> base)
+      : env_(env), fname_(std::move(fname)), base_(std::move(base)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    if (env_->ShouldFailRead(fname_)) {
+      return Status::IOError("injected read fault", fname_);
+    }
+    return base_->Read(n, result, scratch);
+  }
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  FaultInjectionEnv* const env_;
+  const std::string fname_;
+  std::unique_ptr<SequentialFile> base_;
 };
 
 }  // namespace
@@ -71,9 +111,42 @@ bool FaultInjectionEnv::ShouldFailRead(const std::string& fname) {
   return true;
 }
 
+Status FaultInjectionEnv::RegisterFileOp(const char* kind,
+                                         const std::string& fname,
+                                         uint64_t append_size) {
+  MutexLock l(&mu_);
+  const uint64_t index = op_counter_++;
+  if (crashed_ ||
+      (crash_at_op_ >= 0 && index >= static_cast<uint64_t>(crash_at_op_))) {
+    if (!crashed_) {
+      crashed_ = true;
+      crashed_op_ = CrashedOpInfo{kind, fname, append_size};
+    }
+    return Status::IOError(kCrashMsg, fname);
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::OnAppendDone(const std::string& fname, uint64_t n) {
+  MutexLock l(&mu_);
+  FileCrashInfo& info = files_[fname];
+  info.written_bytes += n;
+  info.last_append_bytes = n;
+}
+
+void FaultInjectionEnv::OnSyncDone(const std::string& fname) {
+  MutexLock l(&mu_);
+  FileCrashInfo& info = files_[fname];
+  info.synced_bytes = info.written_bytes;
+}
+
 Status FaultInjectionEnv::NewSequentialFile(
     const std::string& fname, std::unique_ptr<SequentialFile>* result) {
-  return base_->NewSequentialFile(fname, result);
+  std::unique_ptr<SequentialFile> base;
+  Status s = base_->NewSequentialFile(fname, &base);
+  if (!s.ok()) return s;
+  result->reset(new FaultSequentialFile(this, fname, std::move(base)));
+  return Status::OK();
 }
 
 Status FaultInjectionEnv::NewRandomAccessFile(
@@ -87,10 +160,114 @@ Status FaultInjectionEnv::NewRandomAccessFile(
 
 Status FaultInjectionEnv::NewWritableFile(
     const std::string& fname, std::unique_ptr<WritableFile>* result) {
-  std::unique_ptr<WritableFile> base;
-  Status s = base_->NewWritableFile(fname, &base);
+  Status s = RegisterFileOp("create", fname);
   if (!s.ok()) return s;
-  result->reset(new FaultWritableFile(this, std::move(base)));
+  std::unique_ptr<WritableFile> base;
+  s = base_->NewWritableFile(fname, &base);
+  if (!s.ok()) return s;
+  {
+    // NewWritableFile truncates, so tracking restarts from zero.
+    MutexLock l(&mu_);
+    files_[fname] = FileCrashInfo{};
+  }
+  result->reset(new FaultWritableFile(this, fname, std::move(base)));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
+  Status s = RegisterFileOp("remove", fname);
+  if (!s.ok()) return s;
+  s = base_->RemoveFile(fname);
+  if (s.ok()) {
+    MutexLock l(&mu_);
+    files_.erase(fname);
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& src,
+                                     const std::string& target) {
+  Status s = RegisterFileOp("rename", src);
+  if (!s.ok()) return s;
+  s = base_->RenameFile(src, target);
+  if (s.ok()) {
+    MutexLock l(&mu_);
+    auto it = files_.find(src);
+    if (it != files_.end()) {
+      files_[target] = it->second;
+      files_.erase(it);
+    } else {
+      // Renaming an untracked (pre-existing, fully durable) file over a
+      // tracked one still replaces the target's contents.
+      files_.erase(target);
+    }
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::TruncateBaseFile(const std::string& fname,
+                                           uint64_t persisted) {
+  // The base env has no truncate primitive, so rebuild the file from its
+  // persisted prefix: read |persisted| bytes, then rewrite them through a
+  // fresh (truncating) writable file. All I/O goes straight to base_ and is
+  // therefore neither counted nor failed by the crash machinery.
+  std::string prefix;
+  if (persisted > 0) {
+    std::unique_ptr<RandomAccessFile> src;
+    Status s = base_->NewRandomAccessFile(fname, &src);
+    if (!s.ok()) return s;
+    prefix.resize(persisted);
+    std::vector<char> scratch(64 * 1024);
+    uint64_t off = 0;
+    while (off < persisted) {
+      const size_t n = static_cast<size_t>(
+          std::min<uint64_t>(scratch.size(), persisted - off));
+      Slice chunk;
+      s = src->Read(off, n, &chunk, scratch.data());
+      if (!s.ok()) return s;
+      if (chunk.empty()) {
+        return Status::Corruption("crash restore: short read", fname);
+      }
+      prefix.replace(static_cast<size_t>(off), chunk.size(), chunk.data(),
+                     chunk.size());
+      off += chunk.size();
+    }
+  }
+  std::unique_ptr<WritableFile> dst;
+  Status s = base_->NewWritableFile(fname, &dst);
+  if (!s.ok()) return s;
+  if (!prefix.empty()) s = dst->Append(prefix);
+  if (s.ok()) s = dst->Sync();
+  if (s.ok()) s = dst->Close();
+  return s;
+}
+
+Status FaultInjectionEnv::CrashAndRestart(
+    CrashDataPolicy policy,
+    const std::map<std::string, uint64_t>& persisted_bytes) {
+  MutexLock l(&mu_);
+  for (auto& entry : files_) {
+    const std::string& fname = entry.first;
+    FileCrashInfo& info = entry.second;
+    uint64_t target = policy == CrashDataPolicy::kKeepWritten
+                          ? info.written_bytes
+                          : info.synced_bytes;
+    auto it = persisted_bytes.find(fname);
+    if (it != persisted_bytes.end()) {
+      target = std::max(info.synced_bytes,
+                        std::min(info.written_bytes, it->second));
+    }
+    if (target < info.written_bytes) {
+      Status s = TruncateBaseFile(fname, target);
+      if (!s.ok()) return s;
+    }
+    // What survived the reboot is the new durable baseline.
+    info.synced_bytes = info.written_bytes = target;
+    info.last_append_bytes = 0;
+  }
+  crashed_ = false;
+  crash_at_op_ = -1;
+  crashed_op_ = CrashedOpInfo{};
   return Status::OK();
 }
 

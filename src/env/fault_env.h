@@ -1,10 +1,26 @@
-// FaultInjectionEnv: wraps another Env and injects IO failures for tests --
-// write errors after a countdown, read errors by filename substring, and
-// "crash" semantics that drop data appended after the last Sync().
+// FaultInjectionEnv: wraps another Env and injects IO failures for tests.
+// Three fault families:
+//   - write errors after a countdown, read errors by filename substring;
+//   - deterministic crash simulation: every mutating file operation
+//     (create/append/sync/close/remove/rename) is numbered in arrival
+//     order; CrashAfterOp(k) makes op k and everything after it fail with
+//     IOError, and CrashAndRestart() rolls every tracked file back to its
+//     durable (synced) prefix -- optionally keeping a caller-chosen torn
+//     tail -- modelling a machine crash followed by a reboot.
+//
+// Crash-simulation assumptions (documented, relied on by the crash matrix):
+//   - the base Env applies Append() immediately (true for MemEnv; PosixEnv
+//     buffers 64KiB internally, so crash simulation there would under-count
+//     what reached the OS -- use MemEnv as the base);
+//   - metadata operations (create, remove, rename) are atomic and durable
+//     the moment they succeed (journaled-metadata filesystem model);
+//   - Close() does NOT imply durability (matches POSIX close(2)).
 #ifndef ACHERON_ENV_FAULT_ENV_H_
 #define ACHERON_ENV_FAULT_ENV_H_
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -26,16 +42,92 @@ class FaultInjectionEnv : public Env {
   }
 
   // Reads from any file whose name contains |substr| fail with IOError.
-  // Empty string disables the fault.
+  // Empty string disables the fault. Applies to both random-access and
+  // sequential reads.
   void SetReadFaultSubstring(const std::string& substr) {
     MutexLock l(&mu_);
     read_fault_substr_ = substr;
   }
 
-  // Number of injected faults fired so far.
+  // Number of injected faults fired so far (write-countdown and read-
+  // substring faults; simulated-crash failures are counted separately by
+  // FileOpCount()/crashed()).
   uint64_t FaultsInjected() const {
     return faults_injected_.load(std::memory_order_acquire);
   }
+
+  // ---- Crash simulation --------------------------------------------------
+
+  // What survives CrashAndRestart().
+  enum class CrashDataPolicy {
+    // Machine crash: every file rolls back to its last-synced prefix
+    // (plus any per-file override passed to CrashAndRestart).
+    kDropUnsynced,
+    // Process crash: everything written survives, synced or not.
+    kKeepWritten,
+  };
+
+  // Durability bookkeeping for one tracked file.
+  struct FileCrashInfo {
+    uint64_t synced_bytes = 0;   // durable prefix length
+    uint64_t written_bytes = 0;  // total bytes appended
+    uint64_t last_append_bytes = 0;  // size of the most recent Append
+  };
+
+  // The mutating file op a crash landed on (valid once crashed()).
+  struct CrashedOpInfo {
+    std::string kind;  // "create"|"append"|"sync"|"close"|"remove"|"rename"
+    std::string fname;
+    uint64_t append_size = 0;  // payload size when kind == "append"
+  };
+
+  // Number of mutating file operations attempted so far. Ops are numbered
+  // 0,1,2,... in arrival order; reads and directory listings do not count.
+  uint64_t FileOpCount() const {
+    MutexLock l(&mu_);
+    return op_counter_;
+  }
+
+  // Arm a crash at op index |k|: the first k mutating ops proceed, the op
+  // with index k and every mutating op after it fails with IOError
+  // ("simulated crash") and has no effect. k < 0 disarms. Arming does not
+  // reset the op counter; pass an absolute index.
+  void CrashAfterOp(int64_t k) {
+    MutexLock l(&mu_);
+    crash_at_op_ = k;
+  }
+
+  // True once an armed crash point has fired.
+  bool crashed() const {
+    MutexLock l(&mu_);
+    return crashed_;
+  }
+
+  CrashedOpInfo crashed_op() const {
+    MutexLock l(&mu_);
+    return crashed_op_;
+  }
+
+  // Snapshot of the per-file durability bookkeeping.
+  std::map<std::string, FileCrashInfo> TrackedFiles() const {
+    MutexLock l(&mu_);
+    return files_;
+  }
+
+  // Simulate the reboot after a crash: every tracked file is truncated to
+  // its persisted length and the env becomes usable again (the crash point
+  // is disarmed). The persisted length of a file is
+  //   - its synced prefix under kDropUnsynced,
+  //   - everything written under kKeepWritten,
+  //   - the override in |persisted_bytes| if one is given for that file
+  //     (clamped to [synced_bytes, written_bytes]) -- this is how a torn
+  //     tail at an arbitrary byte offset within the unsynced region is
+  //     expressed.
+  // Callable whether or not a crash fired (it then just drops unsynced
+  // data). Requires that no file handles from this env are still in use.
+  Status CrashAndRestart(
+      CrashDataPolicy policy = CrashDataPolicy::kDropUnsynced,
+      const std::map<std::string, uint64_t>& persisted_bytes = {});
 
   // Env interface: forwards to base with fault hooks.
   Status NewSequentialFile(const std::string& fname,
@@ -52,9 +144,7 @@ class FaultInjectionEnv : public Env {
                      std::vector<std::string>* result) override {
     return base_->GetChildren(dir, result);
   }
-  Status RemoveFile(const std::string& fname) override {
-    return base_->RemoveFile(fname);
-  }
+  Status RemoveFile(const std::string& fname) override;
   Status CreateDir(const std::string& dirname) override {
     return base_->CreateDir(dirname);
   }
@@ -64,9 +154,7 @@ class FaultInjectionEnv : public Env {
   Status GetFileSize(const std::string& fname, uint64_t* size) override {
     return base_->GetFileSize(fname, size);
   }
-  Status RenameFile(const std::string& src, const std::string& target) override {
-    return base_->RenameFile(src, target);
-  }
+  Status RenameFile(const std::string& src, const std::string& target) override;
   // Threading passes straight through: faults are injected at the file layer,
   // and the wrapped Env's scheduler already serializes background work.
   void Schedule(void (*function)(void*), void* arg) override {
@@ -84,12 +172,33 @@ class FaultInjectionEnv : public Env {
   bool ShouldFailWrite();
   bool ShouldFailRead(const std::string& fname);
 
+  // Crash hooks used by the wrapped file objects. RegisterFileOp assigns
+  // the next op index and returns the simulated-crash failure when the
+  // armed crash point is reached (the op must then have no effect).
+  Status RegisterFileOp(const char* kind, const std::string& fname,
+                        uint64_t append_size = 0);
+  void OnAppendDone(const std::string& fname, uint64_t n);
+  void OnSyncDone(const std::string& fname);
+
  private:
+  // REQUIRES: mu_ held. Rolls |fname| in the base env back to |persisted|
+  // bytes by rewriting its prefix. Drops and reacquires no locks; the
+  // base-env I/O runs inline (test-only path, quiescent by contract).
+  Status TruncateBaseFile(const std::string& fname, uint64_t persisted)
+      EXCLUSIVE_LOCKS_REQUIRED(mu_);
+
   Env* const base_;
-  Mutex mu_;
+  mutable Mutex mu_;
   std::string read_fault_substr_ GUARDED_BY(mu_);
   std::atomic<int64_t> write_countdown_{-1};
   std::atomic<uint64_t> faults_injected_{0};
+
+  // Crash simulation state.
+  uint64_t op_counter_ GUARDED_BY(mu_) = 0;
+  int64_t crash_at_op_ GUARDED_BY(mu_) = -1;
+  bool crashed_ GUARDED_BY(mu_) = false;
+  CrashedOpInfo crashed_op_ GUARDED_BY(mu_);
+  std::map<std::string, FileCrashInfo> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace acheron

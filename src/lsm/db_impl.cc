@@ -197,7 +197,13 @@ void DBImpl::RemoveObsoleteFiles() {
   (void)env_->GetChildren(dbname_, &filenames);  // errors ignored on purpose
   uint64_t number;
   FileType type;
-  std::vector<std::string> files_to_delete;
+  struct Doomed {
+    std::string filename;
+    bool is_table;
+    int level;  // former level if recorded, else -1
+    uint64_t number;
+  };
+  std::vector<Doomed> files_to_delete;
   for (std::string& filename : filenames) {
     if (ParseFileName(filename, &number, &type)) {
       bool keep = true;
@@ -224,22 +230,58 @@ void DBImpl::RemoveObsoleteFiles() {
       }
 
       if (!keep) {
-        files_to_delete.push_back(std::move(filename));
+        int dead_level = -1;
         if (type == kTableFile) {
+          auto it = dead_table_levels_.find(number);
+          if (it != dead_table_levels_.end()) dead_level = it->second;
           table_cache_->Evict(number);
         }
+        files_to_delete.push_back(
+            Doomed{std::move(filename), type == kTableFile, dead_level, number});
       }
     }
   }
+
+  // Unlink order is part of the crash-safety contract: if we die mid-loop,
+  // RepairDB rebuilds the DB from whatever files remain, and an entry is
+  // only ever shadowed by an entry in a *shallower* file (or a newer run of
+  // the same level). Removing non-table files first, then tables deepest
+  // level first and oldest run (smallest number) first within a level,
+  // keeps every prefix of the removals resurrection-free: a tombstone file
+  // is never unlinked while a value it masks is still on disk. Tables with
+  // no recorded level (orphans from a previous incarnation, seen only
+  // during Open) were never live and go last.
+  std::stable_sort(files_to_delete.begin(), files_to_delete.end(),
+                   [](const Doomed& a, const Doomed& b) {
+                     if (a.is_table != b.is_table) return !a.is_table;
+                     if (a.level != b.level) return a.level > b.level;
+                     return a.number < b.number;
+                   });
 
   // Unlink outside the lock: only dead files are in the list, and files
   // created concurrently (by the writer rotating the WAL) carry numbers
   // this pass never classified, so they cannot be removed by mistake.
   mutex_.Unlock();
-  for (const std::string& filename : files_to_delete) {
-    (void)env_->RemoveFile(dbname_ + "/" + filename);  // io: unlocked
+  for (const Doomed& doomed : files_to_delete) {
+    (void)env_->RemoveFile(dbname_ + "/" + doomed.filename);  // io: unlocked
   }
   mutex_.Lock();
+  for (const Doomed& doomed : files_to_delete) {
+    if (doomed.is_table) dead_table_levels_.erase(doomed.number);
+  }
+}
+
+void DBImpl::RecordDeadTableLevels(const VersionEdit& edit) {
+  for (const auto& dead : edit.deleted_files()) {
+    bool readded = false;
+    for (const auto& added : edit.new_files()) {
+      if (added.second.number == dead.second) {  // trivial move: still live
+        readded = true;
+        break;
+      }
+    }
+    if (!readded) dead_table_levels_[dead.second] = dead.first;
+  }
 }
 
 Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
@@ -456,7 +498,11 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
         s = builder.Finish();
         if (s.ok()) {
           meta.file_size = builder.FileSize();
-          if (options_.sync_writes) s = file->Sync();
+          // Always sync, independent of Options::sync_writes: the manifest
+          // record that makes this table live is synced at install, so the
+          // table data must be durable first or a crash could leave a live
+          // version pointing at a torn file.
+          s = file->Sync();
           if (s.ok()) s = file->Close();
         }
       } else {
@@ -697,6 +743,17 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     const uint64_t new_log_number = versions_->NewFileNumber();
     std::unique_ptr<WritableFile> lfile;
     if (!options_.disable_wal) {
+      if (logfile_ != nullptr) {
+        // Sync the outgoing WAL before any write can land in its
+        // successor: a Sync() ack in the new log must not outlive unsynced
+        // records of the old one across a machine crash, or recovery would
+        // replay a sequence with a hole in it (the classic rotation gap).
+        s = logfile_->Sync();
+        if (!s.ok()) {
+          RecordBackgroundError(s);
+          break;
+        }
+      }
       s = env_->NewWritableFile(LogFileName(dbname_, new_log_number),
                                 &lfile);  // io: mutex-held -- WAL rotation
       if (!s.ok()) {
@@ -867,8 +924,10 @@ Status DBImpl::FinishCompactionOutputFile(CompactionState* compact,
   compact->total_bytes += current_bytes;
   compact->builder.reset();
 
-  // Finish and check for file errors
-  if (s.ok() && options_.sync_writes) {
+  // Finish and check for file errors. Always sync: like flushed L0 tables,
+  // compaction outputs become live via a synced manifest record and must
+  // not be torn behind it after a crash.
+  if (s.ok()) {
     s = compact->outfile->Sync();
   }
   if (s.ok()) {
@@ -907,7 +966,11 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
     meta.run_id = out.number;
     compact->compaction->edit()->AddFile(output_level, meta);
   }
-  return versions_->LogAndApply(compact->compaction->edit(), &mutex_);
+  Status s = versions_->LogAndApply(compact->compaction->edit(), &mutex_);
+  if (s.ok()) {
+    RecordDeadTableLevels(*compact->compaction->edit());
+  }
+  return s;
 }
 
 Status DBImpl::DoCompactionWork(CompactionState* compact,
@@ -1708,7 +1771,9 @@ Status DBImpl::RewriteFileForPurge(FileMetaData* f, int level,
     if (s.ok()) {
       meta.file_size = builder.FileSize();
       meta.run_id = f->run_id;  // preserve recency ordering within the level
-      s = file->Close();
+      // Durable before the (synced) manifest record references it.
+      s = file->Sync();
+      if (s.ok()) s = file->Close();
     }
     emit_replacement = s.ok();
   } else {
@@ -1772,6 +1837,7 @@ Status DBImpl::PurgeSecondaryRange(const Slice& threshold) {
     s = versions_->LogAndApply(&edit, &mutex_);
   }
   if (s.ok()) {
+    RecordDeadTableLevels(edit);
     RemoveObsoleteFiles();
   }
   ReleaseCompactionSlot();

@@ -35,6 +35,7 @@
 
 #include <atomic>
 #include <deque>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -116,6 +117,12 @@ class DBImpl : public DB {
   // Delete any unneeded files and stale in-memory entries. Classifies the
   // directory listing under the mutex, then releases it for the unlink loop.
   void RemoveObsoleteFiles() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Record the former level of every table file |edit| retired (skipping
+  // numbers it re-adds, i.e. trivial moves) into dead_table_levels_. Called
+  // after the edit installs.
+  void RecordDeadTableLevels(const VersionEdit& edit)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Flush imm_ to an L0 table and clear it. Requires the compaction slot.
   Status CompactMemTable() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
@@ -248,6 +255,16 @@ class DBImpl : public DB {
   // Set of table files to protect from deletion because they are part of
   // ongoing work.
   std::set<uint64_t> pending_outputs_ GUARDED_BY(mutex_);
+
+  // Former level of each dead table file awaiting unlink, recorded when the
+  // VersionEdit that retired it installed. RemoveObsoleteFiles unlinks dead
+  // tables deepest-level-first (oldest run first within a level): entries
+  // that shadow other entries always sit in a *shallower* file, so at every
+  // prefix of the unlink order the files still on disk form a
+  // resurrection-free set — a crash mid-cleanup followed by RepairDB (which
+  // salvages whatever remains) can never expose a value whose tombstone
+  // file was already unlinked.
+  std::map<uint64_t, int> dead_table_levels_ GUARDED_BY(mutex_);
 
   std::unique_ptr<VersionSet> versions_ GUARDED_BY(mutex_);
 

@@ -266,11 +266,18 @@ class Repairer {
       (void)env_->RemoveFile(manifest_name);  // best-effort cleanup
       return status;
     }
-    // Discard older manifests: the repaired one supersedes them.
-    for (const std::string& old_manifest : manifests_) {
-      (void)env_->RemoveFile(dbname_ + "/" + old_manifest);
+    // Point CURRENT at the repaired manifest *before* discarding the old
+    // ones: if we crash between the two steps the DB still opens from a
+    // manifest CURRENT actually names. (The reverse order left a window
+    // where CURRENT referenced an already-unlinked file.)
+    status = SetCurrentFile(env_, dbname_, manifest_number);
+    if (status.ok()) {
+      // Discard older manifests: the repaired one supersedes them.
+      for (const std::string& old_manifest : manifests_) {
+        (void)env_->RemoveFile(dbname_ + "/" + old_manifest);
+      }
     }
-    return SetCurrentFile(env_, dbname_, manifest_number);
+    return status;
   }
 
   const std::string dbname_;

@@ -91,6 +91,15 @@ class VersionEdit {
     deleted_files_.insert(std::make_pair(level, file));
   }
 
+  typedef std::set<std::pair<int, uint64_t>> DeletedFileSet;
+
+  // Read-only views, used by DBImpl to order obsolete-file unlinks by the
+  // level each dead table formerly occupied.
+  const DeletedFileSet& deleted_files() const { return deleted_files_; }
+  const std::vector<std::pair<int, FileMetaData>>& new_files() const {
+    return new_files_;
+  }
+
   void EncodeTo(std::string* dst) const;
   Status DecodeFrom(const Slice& src);
 
@@ -98,8 +107,6 @@ class VersionEdit {
 
  private:
   friend class VersionSet;
-
-  typedef std::set<std::pair<int, uint64_t>> DeletedFileSet;
 
   std::string comparator_;
   uint64_t log_number_;

@@ -1,0 +1,345 @@
+// Shared helpers for the crash-recovery matrix (crash_recovery_test.cc):
+// a fixed scripted workload, a per-run wrapper around MemEnv +
+// FaultInjectionEnv, an in-memory model of the workload's visible state,
+// and the recovery-invariant checks. The five invariants the matrix
+// enforces are documented in DESIGN.md ("Recovery invariants"); how to run
+// the matrix and read a repro line is in TESTING.md.
+#ifndef ACHERON_TESTS_CRASH_HARNESS_H_
+#define ACHERON_TESTS_CRASH_HARNESS_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/env/env.h"
+#include "src/env/fault_env.h"
+#include "src/lsm/db.h"
+#include "src/lsm/write_batch.h"
+
+namespace acheron {
+namespace crash {
+
+// Delete-persistence threshold the harness runs with, in logical ops.
+constexpr uint64_t kDth = 600;
+// Slack on the D_th bound: the deadline check runs at write granularity and
+// the triggering write plus the tombstone's own entry land after it.
+constexpr uint64_t kDthSlack = 2;
+
+struct Entry {
+  bool is_delete = false;
+  std::string key;
+  std::string value;  // empty for deletes
+};
+
+// One scripted logical operation. A kWrite with several entries is issued
+// as a single WriteBatch, i.e. one WAL record (the atomicity unit that
+// invariant 2 is checked against).
+struct LogicalOp {
+  enum Kind { kWrite, kFlush, kCompact };
+  Kind kind = kWrite;
+  std::vector<Entry> entries;
+  bool sync = false;   // WriteOptions::sync for kWrite
+  bool acked = false;  // filled in by RunWorkload
+};
+
+inline LogicalOp Put(const std::string& k, const std::string& v,
+                     bool sync = false) {
+  LogicalOp op;
+  op.entries.push_back(Entry{false, k, v});
+  op.sync = sync;
+  return op;
+}
+
+inline LogicalOp Del(const std::string& k, bool sync = false) {
+  LogicalOp op;
+  op.entries.push_back(Entry{true, k, std::string()});
+  op.sync = sync;
+  return op;
+}
+
+inline LogicalOp Flush() {
+  LogicalOp op;
+  op.kind = LogicalOp::kFlush;
+  return op;
+}
+
+inline LogicalOp Compact() {
+  LogicalOp op;
+  op.kind = LogicalOp::kCompact;
+  return op;
+}
+
+// The fixed workload. It is deterministic by construction (no randomness,
+// no wall-clock dependence), which is what makes "crash at file-op k"
+// reproducible: the repro line needs only the mode and k. The script walks
+// the engine through every structure a crash can tear: WAL-only data,
+// synced and unsynced writes, multi-entry batches, flushed L0 tables,
+// tombstones shadowing deeper data, re-puts over tombstones, a compaction
+// that persists deletes at the bottom level, and an unsynced tail.
+inline std::vector<LogicalOp> ScriptedWorkload() {
+  std::vector<LogicalOp> ops;
+  auto key = [](int i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key%03d", i);
+    return std::string(buf);
+  };
+
+  // Phase 1: base data, ending on a synced write (ack barrier).
+  for (int i = 0; i < 18; i++) ops.push_back(Put(key(i), "v1-" + key(i)));
+  ops.push_back(Put(key(18), "v1-sync", /*sync=*/true));
+  // Phase 2: into L0, then to the bottom of the tree.
+  ops.push_back(Flush());
+  ops.push_back(Compact());
+  // Phase 3: tombstones over the deep data, one batch mixing both kinds.
+  for (int i = 0; i < 8; i++) ops.push_back(Del(key(i)));
+  {
+    LogicalOp batch;  // one WAL record: all-or-nothing after a crash
+    batch.entries.push_back(Entry{true, key(8), std::string()});
+    batch.entries.push_back(Entry{false, key(19), "v1-batch"});
+    batch.entries.push_back(Entry{true, key(9), std::string()});
+    ops.push_back(batch);
+  }
+  ops.push_back(Del(key(10), /*sync=*/true));
+  // Phase 4: tombstones become L0 tables, then meet their values at the
+  // bottom level, where FADE drops them as persisted.
+  ops.push_back(Flush());
+  for (int i = 5; i < 12; i++) ops.push_back(Put(key(i), "v2-" + key(i)));
+  ops.push_back(Put(key(20), "v2-sync", /*sync=*/true));
+  ops.push_back(Flush());
+  ops.push_back(Compact());
+  // Phase 5: an unsynced tail straddling one last ack barrier.
+  for (int i = 30; i < 34; i++) ops.push_back(Put(key(i), "tail-" + key(i)));
+  ops.push_back(Del(key(11)));
+  ops.push_back(Put(key(34), "tail-sync", /*sync=*/true));
+  ops.push_back(Put(key(35), "tail-unsynced"));
+  ops.push_back(Del(key(12)));
+  return ops;
+}
+
+// The result of one workload execution against a (possibly crashing) env.
+struct RunResult {
+  std::vector<LogicalOp> ops;  // acked flags filled in
+  // ops[0..durable_lb) are guaranteed durable: every index below the last
+  // acked sync-write, and every write issued before an acked flush.
+  size_t durable_lb = 0;
+  Status open_status;  // initial DB::Open of the workload run
+};
+
+// Owns the MemEnv + FaultInjectionEnv pair for one deterministic execution
+// of the scripted workload.
+class CrashRun {
+ public:
+  explicit CrashRun(bool background)
+      : background_(background),
+        base_(NewMemEnv()),
+        fault_(new FaultInjectionEnv(base_.get())) {}
+
+  FaultInjectionEnv* env() { return fault_.get(); }
+  const std::string& dbname() const { return dbname_; }
+
+  Options DbOptions() const {
+    Options o;
+    o.env = fault_.get();
+    o.create_if_missing = true;
+    // Large enough that the script never swaps the memtable on its own:
+    // flush points are explicit, so the file-op schedule is a pure
+    // function of the script in both compaction modes.
+    o.write_buffer_size = 256 << 10;
+    o.background_compactions = background_;
+    o.delete_persistence_threshold = kDth;
+    return o;
+  }
+
+  // Executes the scripted workload, arming a crash at absolute file-op
+  // index |crash_at| first (crash_at < 0: never crash). Always returns with
+  // the DB closed; per-op statuses land in result().
+  void RunWorkload(int64_t crash_at) {
+    if (crash_at >= 0) fault_->CrashAfterOp(crash_at);
+    result_ = RunResult();
+    result_.ops = ScriptedWorkload();
+    DB* db = nullptr;
+    result_.open_status = DB::Open(DbOptions(), dbname_, &db);
+    if (result_.open_status.ok()) {
+      for (size_t i = 0; i < result_.ops.size(); i++) {
+        LogicalOp& op = result_.ops[i];
+        switch (op.kind) {
+          case LogicalOp::kWrite: {
+            WriteBatch batch;
+            for (const Entry& e : op.entries) {
+              if (e.is_delete) {
+                batch.Delete(e.key);
+              } else {
+                batch.Put(e.key, e.value);
+              }
+            }
+            WriteOptions w;
+            w.sync = op.sync;
+            op.acked = db->Write(w, &batch).ok();
+            // A synced ack covers the whole WAL prefix, not just this op.
+            if (op.acked && op.sync) result_.durable_lb = i + 1;
+            break;
+          }
+          case LogicalOp::kFlush:
+            op.acked = db->FlushMemTable().ok();
+            // Every write issued before the flush is durable once it acks.
+            if (op.acked) {
+              result_.durable_lb = std::max(result_.durable_lb, i);
+            }
+            break;
+          case LogicalOp::kCompact:
+            // CompactRange is void; it contributes no durability promise.
+            db->CompactRange(nullptr, nullptr);
+            op.acked = true;
+            break;
+        }
+      }
+    }
+    // Closing a crashed DB exercises the poisoned-write teardown path; the
+    // ops it attempts past the crash point fail and are not part of the
+    // enumerated space (FileOpCount is sampled before this in the driver).
+    delete db;
+  }
+
+  const RunResult& result() const { return result_; }
+
+ private:
+  const bool background_;
+  const std::string dbname_ = "/crashdb";
+  std::unique_ptr<Env> base_;
+  std::unique_ptr<FaultInjectionEnv> fault_;
+  RunResult result_;
+};
+
+// Visible state after applying the first |n| logical ops.
+inline std::map<std::string, std::string> ApplyPrefix(
+    const std::vector<LogicalOp>& ops, size_t n) {
+  std::map<std::string, std::string> m;
+  for (size_t i = 0; i < n && i < ops.size(); i++) {
+    if (ops[i].kind != LogicalOp::kWrite) continue;
+    for (const Entry& e : ops[i].entries) {
+      if (e.is_delete) {
+        m.erase(e.key);
+      } else {
+        m[e.key] = e.value;
+      }
+    }
+  }
+  return m;
+}
+
+// Full forward scan of |db| into a map. Iterator errors surface as gtest
+// failures tagged with |repro|.
+inline std::map<std::string, std::string> ScanAll(
+    DB* db, const std::string& repro) {
+  std::map<std::string, std::string> m;
+  std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    m[it->key().ToString()] = it->value().ToString();
+  }
+  EXPECT_TRUE(it->status().ok())
+      << repro << " iterator error: " << it->status().ToString();
+  return m;
+}
+
+inline std::string DescribeState(const std::map<std::string, std::string>& m) {
+  std::ostringstream out;
+  out << m.size() << " keys {";
+  for (const auto& kv : m) out << " " << kv.first;
+  out << " }";
+  return out.str();
+}
+
+// Invariants 1-3: the recovered visible state must equal the model replayed
+// to some prefix N with durable_lb <= N <= ops issued (1: nothing acked
+// durable is missing; 2: unacked writes are all-or-nothing per WAL record);
+// Get must agree with the iterator for every key the workload touched; and
+// the state must survive a forced full compaction unchanged (3: persisted
+// tombstones never resurrect their values). Reports via gtest, prefixed
+// with |repro|.
+inline void CheckRecoveredState(DB* db, const RunResult& run,
+                                const std::string& repro) {
+  const std::map<std::string, std::string> scan = ScanAll(db, repro);
+
+  bool prefix_found = false;
+  size_t matched_n = 0;
+  for (size_t n = run.durable_lb; n <= run.ops.size(); n++) {
+    if (ApplyPrefix(run.ops, n) == scan) {
+      prefix_found = true;
+      matched_n = n;
+      break;
+    }
+  }
+  EXPECT_TRUE(prefix_found)
+      << repro << " recovered state is not a workload prefix >= durable_lb="
+      << run.durable_lb << "; got " << DescribeState(scan)
+      << " want-at-least " << DescribeState(ApplyPrefix(run.ops, run.durable_lb));
+  if (!prefix_found) return;
+
+  // Get/iterator agreement over every key the workload ever touched.
+  for (const LogicalOp& op : run.ops) {
+    for (const Entry& e : op.entries) {
+      std::string v;
+      Status s = db->Get(ReadOptions(), e.key, &v);
+      auto it = scan.find(e.key);
+      if (it == scan.end()) {
+        EXPECT_TRUE(s.IsNotFound())
+            << repro << " Get(" << e.key << ") disagrees with scan: expected "
+            << "NotFound, got " << (s.ok() ? "value " + v : s.ToString());
+      } else {
+        EXPECT_TRUE(s.ok() && v == it->second)
+            << repro << " Get(" << e.key << ") disagrees with scan: expected "
+            << it->second << ", got " << (s.ok() ? v : s.ToString());
+      }
+    }
+  }
+
+  // Invariant 3, stated directly: a key whose delete is inside the durable
+  // prefix and never re-put afterwards in the matched prefix must be gone.
+  const std::map<std::string, std::string> durable_state =
+      ApplyPrefix(run.ops, matched_n);
+  for (size_t i = 0; i < run.durable_lb; i++) {
+    for (const Entry& e : run.ops[i].entries) {
+      if (!e.is_delete) continue;
+      if (durable_state.count(e.key)) continue;  // re-put later
+      std::string v;
+      EXPECT_TRUE(db->Get(ReadOptions(), e.key, &v).IsNotFound())
+          << repro << " acked-durable delete of " << e.key
+          << " resurrected after recovery";
+    }
+  }
+
+  // ...and after forcing every tombstone through the tree: a full
+  // compaction must not change the visible state.
+  db->CompactRange(nullptr, nullptr);
+  const std::map<std::string, std::string> after = ScanAll(db, repro);
+  EXPECT_EQ(scan, after)
+      << repro << " visible state changed across a full compaction: before "
+      << DescribeState(scan) << " after " << DescribeState(after);
+}
+
+// Invariant 4: the FADE bound survives the restart. Churns 2.5 * D_th
+// fresh inserts through the recovered DB and asserts no live tombstone's
+// age exceeds D_th (+slack) -- i.e. the tombstone-age clock reconstructed
+// from table metadata still drives timely persistence.
+inline void CheckDeletePersistenceBound(DB* db, const std::string& repro) {
+  for (uint64_t i = 0; i < kDth * 5 / 2; i++) {
+    ASSERT_TRUE(
+        db->Put(WriteOptions(), "churn" + std::to_string(i % 400), "x").ok())
+        << repro << " churn write " << i << " failed";
+  }
+  ASSERT_TRUE(db->WaitForCompactions().ok()) << repro;
+  std::string v;
+  ASSERT_TRUE(db->GetProperty("acheron.max-tombstone-age", &v)) << repro;
+  EXPECT_LE(std::stoull(v), kDth + kDthSlack)
+      << repro << " FADE D_th bound violated after restart";
+}
+
+}  // namespace crash
+}  // namespace acheron
+
+#endif  // ACHERON_TESTS_CRASH_HARNESS_H_

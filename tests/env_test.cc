@@ -249,6 +249,49 @@ TEST(FaultEnvTest, ReadFaultBySubstring) {
   EXPECT_TRUE(r->Read(0, 7, &result, scratch).ok());
 }
 
+TEST(FaultEnvTest, SequentialReadFaultBySubstring) {
+  std::unique_ptr<Env> base(NewMemEnv());
+  FaultInjectionEnv fenv(base.get());
+  ASSERT_TRUE(fenv.WriteStringToFile("abcdef", "/wal/000007.log").ok());
+
+  fenv.SetReadFaultSubstring("000007");
+  std::unique_ptr<SequentialFile> s;
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(fenv.NewSequentialFile("/wal/000007.log", &s).ok());
+  EXPECT_TRUE(s->Read(3, &result, scratch).IsIOError());
+  // Skip is not a read; it must pass through even while reads fail.
+  EXPECT_TRUE(s->Skip(2).ok());
+
+  fenv.SetReadFaultSubstring("");
+  ASSERT_TRUE(s->Read(3, &result, scratch).ok());
+  EXPECT_EQ("cde", result.ToString());
+}
+
+TEST(FaultEnvTest, ReadFaultsCountAsInjected) {
+  std::unique_ptr<Env> base(NewMemEnv());
+  FaultInjectionEnv fenv(base.get());
+  ASSERT_TRUE(fenv.WriteStringToFile("abcdef", "/cursed").ok());
+  ASSERT_EQ(0u, fenv.FaultsInjected());
+
+  fenv.SetReadFaultSubstring("cursed");
+  char scratch[16];
+  Slice result;
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(fenv.NewRandomAccessFile("/cursed", &r).ok());
+  EXPECT_TRUE(r->Read(0, 3, &result, scratch).IsIOError());
+  EXPECT_EQ(1u, fenv.FaultsInjected());
+  std::unique_ptr<SequentialFile> s;
+  ASSERT_TRUE(fenv.NewSequentialFile("/cursed", &s).ok());
+  EXPECT_TRUE(s->Read(3, &result, scratch).IsIOError());
+  EXPECT_EQ(2u, fenv.FaultsInjected());
+
+  // Disabled faults stop counting; successful reads never count.
+  fenv.SetReadFaultSubstring("");
+  EXPECT_TRUE(s->Read(3, &result, scratch).ok());
+  EXPECT_EQ(2u, fenv.FaultsInjected());
+}
+
 // --------------------------------------------------------------------------
 // Env::Schedule / Env::StartThread (the background-compaction plumbing).
 // --------------------------------------------------------------------------
