@@ -1,0 +1,168 @@
+// micro_recovery -- open-time (bounded replay) microbenchmark: how long
+// DB::Open takes as a function of the MANIFEST edit-log length, with and
+// without periodic snapshot records. The guard for the bounded-replay
+// tentpole: with snapshots enabled, open time must stay flat as the edit
+// history grows; without them it scales with the full history.
+//
+// Two modes:
+//   * default: the registered google-benchmark suite
+//       ./micro_recovery [--benchmark_filter=...]
+//   * sweep: one open-time measurement per (interval, edits) cell, with
+//     the engine's edit-replay counter, in bench_common.h JSON
+//       ./micro_recovery --sweep [--json=PATH]
+//
+// The database is built on a MemEnv behind a FaultInjectionEnv and "killed"
+// (every subsequent file op fails, synced data kept) before each measured
+// open: a clean close would append a close-time snapshot and make the
+// no-snapshot baseline replay nothing.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/env/fault_env.h"
+
+namespace acheron {
+namespace bench {
+namespace {
+
+Options RecoveryOptions(uint32_t snapshot_interval) {
+  Options options;
+  options.create_if_missing = true;
+  options.write_buffer_size = 256 << 10;  // flushes are explicit
+  options.manifest_snapshot_interval = snapshot_interval;
+  return options;
+}
+
+// Build a DB whose MANIFEST holds |edits| flush edits, then simulate
+// kill -9. Returns the env pair ready for a measured DB::Open.
+struct KilledDb {
+  std::unique_ptr<Env> base;
+  std::unique_ptr<FaultInjectionEnv> fault;
+};
+
+KilledDb BuildKilledDb(uint32_t snapshot_interval, int edits) {
+  KilledDb k;
+  k.base.reset(NewMemEnv());
+  k.fault.reset(new FaultInjectionEnv(k.base.get()));
+  Options options = RecoveryOptions(snapshot_interval);
+  options.env = k.fault.get();
+  DB* db = nullptr;
+  CheckOk(DB::Open(options, "/recoverydb", &db));
+  WriteOptions wo;
+  for (int i = 0; i < edits; i++) {
+    // One tiny write per flush: each flush appends one edit to the
+    // MANIFEST, so |edits| controls the replayed history length directly.
+    CheckOk(db->Put(wo, "k" + std::to_string(i % 64), "v"));
+    CheckOk(db->FlushMemTable());
+  }
+  k.fault->CrashAfterOp(static_cast<int64_t>(k.fault->FileOpCount()));
+  delete db;
+  CheckOk(k.fault->CrashAndRestart(
+      FaultInjectionEnv::CrashDataPolicy::kKeepWritten));
+  return k;
+}
+
+// Open the killed DB once; returns the wall time in microseconds and, via
+// |edits_replayed|, the engine's own replay counter.
+double MeasureOpen(KilledDb* k, uint32_t snapshot_interval,
+                   uint64_t* edits_replayed, InternalStats* stats) {
+  Options options = RecoveryOptions(snapshot_interval);
+  options.env = k->fault.get();
+  DB* db = nullptr;
+  auto start = std::chrono::steady_clock::now();
+  CheckOk(DB::Open(options, "/recoverydb", &db));
+  auto end = std::chrono::steady_clock::now();
+  std::string v;
+  if (db->GetProperty("acheron.manifest-edits-replayed", &v)) {
+    *edits_replayed = std::stoull(v);
+  }
+  if (stats != nullptr) *stats = db->GetStats();
+  delete db;
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+static void BM_OpenAfterKill(benchmark::State& state) {
+  const uint32_t interval = static_cast<uint32_t>(state.range(0));
+  const int edits = static_cast<int>(state.range(1));
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    KilledDb k = BuildKilledDb(interval, edits);
+    state.ResumeTiming();
+    double micros = MeasureOpen(&k, interval, &replayed, nullptr);
+    benchmark::DoNotOptimize(micros);
+  }
+  state.counters["edits"] = edits;
+  state.counters["edits_replayed"] = static_cast<double>(replayed);
+}
+// {snapshot interval, manifest edits}: interval 0 disables snapshots (the
+// whole history replays); 64 is the default rotation cadence.
+BENCHMARK(BM_OpenAfterKill)
+    ->Args({0, 64})
+    ->Args({0, 512})
+    ->Args({64, 64})
+    ->Args({64, 512})
+    ->Unit(benchmark::kMicrosecond);
+
+int RunSweep(const std::string& json_path) {
+  PrintHeader("micro_recovery sweep: open time vs MANIFEST edit-log length",
+              "interval=0 -> no snapshots (full replay); interval=64 -> "
+              "bounded replay");
+  std::printf("%-10s %-8s %-14s %-14s\n", "interval", "edits", "open_micros",
+              "edits_replayed");
+  const uint64_t scale = Scale();
+  for (uint32_t interval : {0u, 64u}) {
+    for (int edits : {64, 256, 1024}) {
+      const int scaled_edits = static_cast<int>(edits * scale);
+      // Median-of-3 open times for one built DB state per cell.
+      Histogram open_micros;
+      uint64_t replayed = 0;
+      InternalStats stats;
+      for (int rep = 0; rep < 3; rep++) {
+        KilledDb k = BuildKilledDb(interval, scaled_edits);
+        open_micros.Add(MeasureOpen(&k, interval, &replayed, &stats));
+      }
+      std::printf("%-10u %-8d %-14.0f %-14llu\n", interval, scaled_edits,
+                  open_micros.Percentile(50.0),
+                  static_cast<unsigned long long>(replayed));
+      if (!json_path.empty()) {
+        const std::string name =
+            "micro_recovery/interval=" + std::to_string(interval) +
+            "/edits=" + std::to_string(scaled_edits);
+        const double p50 = open_micros.Percentile(50.0);
+        WriteJsonResult(json_path, name, /*threads=*/1,
+                        /*ops=*/static_cast<uint64_t>(scaled_edits),
+                        /*ops_per_sec=*/p50 > 0 ? 1e6 / p50 : 0,
+                        open_micros, stats);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace acheron
+
+int main(int argc, char** argv) {
+  bool sweep = false;
+  std::string json_path;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--sweep") == 0) {
+      sweep = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      sweep = true;
+    }
+  }
+  if (sweep) {
+    return acheron::bench::RunSweep(json_path);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

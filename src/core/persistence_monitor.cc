@@ -40,6 +40,30 @@ void DeletePersistenceMonitor::OnTombstoneSuperseded(uint64_t n) {
   superseded_ += n;
 }
 
+uint64_t DeletePersistenceMonitor::WrittenCount() const {
+  MutexLock l(&mu_);
+  return written_;
+}
+
+void DeletePersistenceMonitor::ApplyDelta(uint64_t persisted,
+                                          uint64_t superseded,
+                                          const Histogram& latency) {
+  MutexLock l(&mu_);
+  persisted_ += persisted;
+  superseded_ += superseded;
+  latency_.Merge(latency);
+}
+
+void DeletePersistenceMonitor::Restore(uint64_t written, uint64_t persisted,
+                                       uint64_t superseded,
+                                       const Histogram& latency) {
+  MutexLock l(&mu_);
+  written_ = written;
+  persisted_ = persisted;
+  superseded_ = superseded;
+  latency_ = latency;
+}
+
 void DeletePersistenceMonitor::Snapshot(DeleteStats* stats,
                                         uint64_t tombstones_live,
                                         uint64_t oldest_live_age) const {

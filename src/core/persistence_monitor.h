@@ -68,6 +68,25 @@ class DeletePersistenceMonitor {
   // it (it no longer represented the live state of the key).
   void OnTombstoneSuperseded(uint64_t n = 1);
 
+  // Cumulative tombstones-written count; captured at memtable swap so flush
+  // edits can journal it into the MANIFEST (see version_edit.h).
+  uint64_t WrittenCount() const;
+
+  // Fold one compaction's outcome into the counters. The compaction merge
+  // loop accumulates persisted/superseded counts and latency samples locally
+  // (mutex released) and applies them here only after the version edit that
+  // carries the same delta is durably installed, so the live monitor and the
+  // journaled state advance in lock step.
+  void ApplyDelta(uint64_t persisted, uint64_t superseded,
+                  const Histogram& latency);
+
+  // Reset the monitor to journaled state at recovery time. |written| is the
+  // journaled cumulative count plus deletes re-counted during WAL replay;
+  // the rest comes verbatim from the MANIFEST journal, so the recovered
+  // clock is exact -- bit-identical latency percentiles included.
+  void Restore(uint64_t written, uint64_t persisted, uint64_t superseded,
+               const Histogram& latency);
+
   // Fill |*stats| with the current aggregate; live-tombstone numbers are
   // supplied by the caller (they come from the current Version).
   void Snapshot(DeleteStats* stats, uint64_t tombstones_live,

@@ -134,6 +134,13 @@ Env* DefaultEnv();
 // Caller owns the result.
 Env* NewMemEnv();
 
+// A private POSIX environment; caller owns the result. With
+// |unbuffered_writes| set, WritableFile::Append bypasses the 64KiB
+// user-space buffer and issues write(2) directly -- required when the env
+// is wrapped in a FaultInjectionEnv for crash simulation, whose durability
+// model assumes appends reach the tracked file immediately.
+Env* NewPosixEnv(bool unbuffered_writes);
+
 }  // namespace acheron
 
 #endif  // ACHERON_ENV_ENV_H_

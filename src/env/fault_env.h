@@ -97,6 +97,15 @@ class FaultInjectionEnv : public Env {
     crash_at_op_ = k;
   }
 
+  // Arm a crash |j| mutating ops from now (relative to the current op
+  // counter). Used by the crash-during-recovery matrix to place a second
+  // crash at the j-th file op *inside* DB::Open/RepairDB without the caller
+  // having to read FileOpCount() separately.
+  void CrashAfterRelativeOps(uint64_t j) {
+    MutexLock l(&mu_);
+    crash_at_op_ = static_cast<int64_t>(op_counter_ + j);
+  }
+
   // True once an armed crash point has fired.
   bool crashed() const {
     MutexLock l(&mu_);

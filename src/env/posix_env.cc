@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <memory>
 
 #include "src/env/env.h"
 
@@ -74,8 +75,14 @@ class PosixRandomAccessFile final : public RandomAccessFile {
 
 class PosixWritableFile final : public WritableFile {
  public:
-  PosixWritableFile(std::string filename, int fd)
-      : pos_(0), fd_(fd), filename_(std::move(filename)) {}
+  // |buffered| == false routes every Append straight to write(2), skipping
+  // the 64KiB user-space buffer. Crash simulation needs this: the
+  // FaultInjectionEnv durability model assumes appends reach the (tracked)
+  // file immediately, and the buffer would silently under-count what the
+  // OS saw at the simulated crash point.
+  PosixWritableFile(std::string filename, int fd, bool buffered = true)
+      : pos_(0), fd_(fd), buffered_(buffered),
+        filename_(std::move(filename)) {}
 
   ~PosixWritableFile() override {
     if (fd_ >= 0) {
@@ -86,6 +93,9 @@ class PosixWritableFile final : public WritableFile {
   Status Append(const Slice& data) override {
     size_t write_size = data.size();
     const char* write_data = data.data();
+    if (!buffered_) {
+      return WriteUnbuffered(write_data, write_size);
+    }
 
     // Fit as much as possible into buffer.
     size_t copy_size = std::min(write_size, kWritableFileBufferSize - pos_);
@@ -158,11 +168,15 @@ class PosixWritableFile final : public WritableFile {
   char buf_[kWritableFileBufferSize];
   size_t pos_;
   int fd_;
+  const bool buffered_;
   const std::string filename_;
 };
 
 class PosixEnv : public Env {
  public:
+  explicit PosixEnv(bool unbuffered_writes = false)
+      : unbuffered_writes_(unbuffered_writes) {}
+
   Status NewSequentialFile(const std::string& filename,
                            std::unique_ptr<SequentialFile>* result) override {
     int fd = ::open(filename.c_str(), O_RDONLY | O_CLOEXEC);
@@ -194,7 +208,7 @@ class PosixEnv : public Env {
       result->reset();
       return PosixError(filename, errno);
     }
-    result->reset(new PosixWritableFile(filename, fd));
+    result->reset(new PosixWritableFile(filename, fd, !unbuffered_writes_));
     return Status::OK();
   }
 
@@ -270,6 +284,7 @@ class PosixEnv : public Env {
   }
 
  private:
+  const bool unbuffered_writes_;
   BackgroundScheduler scheduler_;
 };
 
@@ -278,6 +293,11 @@ class PosixEnv : public Env {
 Env* DefaultEnv() {
   static PosixEnv env;
   return &env;
+}
+
+Env* NewPosixEnv(bool unbuffered_writes) {
+  // Ownership passes to the caller (see the declaration in env.h).
+  return std::make_unique<PosixEnv>(unbuffered_writes).release();
 }
 
 }  // namespace acheron

@@ -139,6 +139,10 @@ DBImpl::~DBImpl() {
   }
   if (mem_ != nullptr) mem_->Unref();
   if (imm_ != nullptr) imm_->Unref();
+  // Best-effort clean-close snapshot: the next Open seeks to it and replays
+  // zero edits. Failure is harmless -- recovery replays the edit suffix.
+  // io: mutex-held -- clean close, no concurrent writers remain
+  (void)versions_->WriteCleanCloseSnapshot();
   versions_.reset();
   table_cache_.reset();
   if (owns_cache_) {
@@ -284,6 +288,23 @@ void DBImpl::RecordDeadTableLevels(const VersionEdit& edit) {
   }
 }
 
+namespace {
+// Counts the tombstones in a batch for the persistence monitor. Shared by
+// the write path and WAL replay so live and recovered counts agree exactly.
+class DeleteCounter : public WriteBatch::Handler {
+ public:
+  uint64_t deletes = 0;
+  uint64_t bytes = 0;
+  void Put(const Slice& key, const Slice& value) override {
+    bytes += key.size() + value.size();
+  }
+  void Delete(const Slice& key) override {
+    deletes++;
+    bytes += key.size();
+  }
+};
+}  // namespace
+
 Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
   (void)env_->CreateDir(dbname_);  // io: open/recovery (may already exist)
 
@@ -339,9 +360,10 @@ Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
 
   // Recover in the order in which the logs were generated
   std::sort(logs.begin(), logs.end());
+  uint64_t replayed_deletes = 0;
   for (size_t i = 0; i < logs.size(); i++) {
     s = RecoverLogFile(logs[i], (i == logs.size() - 1), save_manifest, edit,
-                       &max_sequence);
+                       &max_sequence, &replayed_deletes);
     if (!s.ok()) {
       return s;
     }
@@ -356,12 +378,22 @@ Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
     versions_->SetLastSequence(max_sequence);
   }
 
+  // Restore the persistence monitor from the MANIFEST journal plus the WAL
+  // suffix just replayed. The journaled written count was captured at each
+  // memtable swap, i.e. it covers exactly the tombstones in WALs older than
+  // the descriptor's log_number; the surviving WALs contribute the rest, so
+  // the recovered FADE clock is exact, not conservative.
+  const VersionSet::MonitorJournal& journal = versions_->monitor_journal();
+  monitor_.Restore(journal.written + replayed_deletes, journal.persisted,
+                   journal.superseded, journal.latency);
+  stats_.manifest_edits_replayed = versions_->manifest_edits_replayed();
+
   return Status::OK();
 }
 
 Status DBImpl::RecoverLogFile(uint64_t log_number, bool, bool* save_manifest,
-                              VersionEdit* edit,
-                              SequenceNumber* max_sequence) {
+                              VersionEdit* edit, SequenceNumber* max_sequence,
+                              uint64_t* replayed_deletes) {
   struct LogReporter : public wal::Reader::Reporter {
     Status* status;
     void Corruption(size_t, const Status& s) override {
@@ -406,6 +438,9 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, bool, bool* save_manifest,
     if (!status.ok()) {
       break;
     }
+    DeleteCounter counter;
+    (void)batch.Iterate(&counter);  // the batch just applied; cannot fail
+    *replayed_deletes += counter.deletes;
     const SequenceNumber last_seq = WriteBatchInternal::Sequence(&batch) +
                                     WriteBatchInternal::Count(&batch) - 1;
     if (last_seq > *max_sequence) {
@@ -547,6 +582,11 @@ Status DBImpl::CompactMemTable() {
     // manifest's log number here retires every log older than the current
     // one now that their contents are durable in L0.
     edit.SetLogNumber(logfile_number_);
+    // Journal the FADE clock checkpoint captured at the swap: the written
+    // count as of the moment the retiring WALs stopped receiving writes.
+    // Recovery adds the replayed suffix of surviving WALs to this value to
+    // reconstruct the exact (not conservative) count.
+    edit.SetMonitorWritten(pending_written_at_swap_);
     s = versions_->LogAndApply(&edit, &mutex_);
   }
   if (s.ok()) {
@@ -768,6 +808,11 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     // Capture the replay horizon: the round that flushes this memtable
     // picks and drops as of now, no matter when it actually runs.
     pending_flush_horizon_ = versions_->LastSequence();
+    // Journal checkpoint for the FADE clock: at this instant the new WAL is
+    // empty, so the monitor's written count equals exactly the tombstones
+    // in WALs older than new_log_number. The flush edit that retires those
+    // WALs carries this value (no rotation can happen while imm_ exists).
+    pending_written_at_swap_ = monitor_.WrittenCount();
     if (planner_.delete_aware() && imm_->num_tombstones() > 0) {
       // Until the flush installs, next_ttl_deadline_ cannot see the L0
       // file it will create; bound it conservatively so writers cannot
@@ -996,6 +1041,13 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
   mutex_.Unlock();
   uint64_t shadowed_dropped = 0;
   uint64_t tombstones_dropped = 0;
+  // Monitor deltas are accumulated locally and journaled on the compaction's
+  // version edit; the live monitor advances only after the edit durably
+  // installs, so the journal and the monitor move in lock step and recovery
+  // replays the identical Merge sequence (bit-identical percentiles).
+  uint64_t persisted_delta = 0;
+  uint64_t superseded_delta = 0;
+  Histogram latency_delta;
 
   input->SeekToFirst();
   Status status;
@@ -1032,7 +1084,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
         shadowed_dropped++;
         if (ikey.type == kTypeDeletion) {
           // A newer write replaced this tombstone before it could persist.
-          monitor_.OnTombstoneSuperseded();
+          superseded_delta++;
         }
       } else if (ikey.type == kTypeDeletion &&
                  ikey.sequence <= compact->smallest_snapshot &&
@@ -1047,7 +1099,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
         // the delete is now *persistent*.
         drop = true;
         tombstones_dropped++;
-        monitor_.OnTombstonePersisted(ikey.sequence, now_seq);
+        persisted_delta++;
+        latency_delta.Add(static_cast<double>(
+            now_seq >= ikey.sequence ? now_seq - ikey.sequence : 0));
       }
 
       last_sequence_for_key = ikey.sequence;
@@ -1125,7 +1179,17 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
   stats_.tombstones_dropped_bottom += tombstones_dropped;
 
   if (status.ok()) {
+    if (persisted_delta > 0 || superseded_delta > 0) {
+      compact->compaction->edit()->SetMonitorDelta(
+          persisted_delta, superseded_delta, latency_delta);
+    }
     status = InstallCompactionResults(compact);
+    if (status.ok() && (persisted_delta > 0 || superseded_delta > 0)) {
+      // The edit carrying this delta is durable; now (and only now) fold it
+      // into the live monitor so journal and monitor agree at every crash
+      // point.
+      monitor_.ApplyDelta(persisted_delta, superseded_delta, latency_delta);
+    }
   }
   return status;
 }
@@ -1284,22 +1348,6 @@ Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
   batch.Delete(key);
   return Write(options, &batch);
 }
-
-namespace {
-// Counts the tombstones in a batch for the persistence monitor.
-class DeleteCounter : public WriteBatch::Handler {
- public:
-  uint64_t deletes = 0;
-  uint64_t bytes = 0;
-  void Put(const Slice& key, const Slice& value) override {
-    bytes += key.size() + value.size();
-  }
-  void Delete(const Slice& key) override {
-    deletes++;
-    bytes += key.size();
-  }
-};
-}  // namespace
 
 Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   Writer w(&mutex_);
@@ -1599,7 +1647,21 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     InternalStats merged = stats_;
     merged.iter_tombstones_skipped =
         iter_tombstones_skipped_.load(std::memory_order_relaxed);
+    merged.manifest_snapshots_written = versions_->manifest_snapshots_written();
+    merged.manifest_rotations = versions_->manifest_rotations();
+    merged.torn_snapshots_skipped = versions_->torn_snapshots_skipped();
     *value = merged.ToString();
+    return true;
+  } else if (in == "manifest-edits-replayed") {
+    // Edits applied after the last valid snapshot in the last Recover; the
+    // bounded-replay tests assert this stays O(snapshot interval).
+    *value = std::to_string(versions_->manifest_edits_replayed());
+    return true;
+  } else if (in == "next-ttl-deadline") {
+    // The recovered FADE clock: sequence number at which the next tombstone
+    // TTL lapses (UINT64_MAX when none is armed). The recovery-journal
+    // tests assert this is exactly equal across a crash.
+    *value = std::to_string(next_ttl_deadline_);
     return true;
   } else if (in == "sstables") {
     *value = versions_->current()->DebugString();
@@ -1686,6 +1748,9 @@ InternalStats DBImpl::GetStats() {
   InternalStats merged = stats_;
   merged.iter_tombstones_skipped =
       iter_tombstones_skipped_.load(std::memory_order_relaxed);
+  merged.manifest_snapshots_written = versions_->manifest_snapshots_written();
+  merged.manifest_rotations = versions_->manifest_rotations();
+  merged.torn_snapshots_skipped = versions_->torn_snapshots_skipped();
   return merged;
 }
 
@@ -1876,6 +1941,10 @@ Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
   }
   if (s.ok() && save_manifest) {
     edit.SetLogNumber(impl->logfile_number_);
+    // This edit retires the replayed WALs; journal the fully-restored
+    // written count so a crash after this point recovers it from the
+    // MANIFEST alone (the fresh WAL holds no tombstones yet).
+    edit.SetMonitorWritten(impl->monitor_.WrittenCount());
     s = impl->versions_->LogAndApply(&edit, &impl->mutex_);
   }
   if (s.ok()) {

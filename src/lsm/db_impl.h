@@ -109,9 +109,13 @@ class DBImpl : public DB {
   Status Recover(VersionEdit* edit, bool* save_manifest)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
+  // |replayed_deletes| accumulates the tombstones re-inserted from the log,
+  // so Recover can restore the monitor's exact written count (journaled
+  // baseline + WAL replay).
   Status RecoverLogFile(uint64_t log_number, bool last_log,
                         bool* save_manifest, VersionEdit* edit,
-                        SequenceNumber* max_sequence)
+                        SequenceNumber* max_sequence,
+                        uint64_t* replayed_deletes)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Delete any unneeded files and stale in-memory entries. Classifies the
@@ -230,6 +234,13 @@ class DBImpl : public DB {
   // file down adds TTL budget), so the floor only needs to track the
   // pending flush.
   uint64_t pending_ttl_floor_ GUARDED_BY(mutex_) = UINT64_MAX;
+  // Monitor written-count captured when mem_ was swapped into imm_. At that
+  // instant the new (empty) WAL holds no deletes, so this equals the number
+  // of tombstones in all WALs older than the flush edit's log_number; the
+  // flush edit journals it (SetMonitorWritten) so recovery can reconstruct
+  // the exact written count as journaled value + deletes re-counted from
+  // the surviving WALs.
+  uint64_t pending_written_at_swap_ GUARDED_BY(mutex_) = 0;
   std::unique_ptr<WritableFile> logfile_ GUARDED_BY(mutex_);
   uint64_t logfile_number_ GUARDED_BY(mutex_);
   std::unique_ptr<wal::Writer> log_ GUARDED_BY(mutex_);

@@ -93,6 +93,16 @@ struct Options {
   // Disable the WAL entirely (benchmarks on throwaway data).
   bool disable_wal = false;
 
+  // After this many version edits are appended to the current MANIFEST, the
+  // descriptor is rotated: a fresh MANIFEST is started whose head record is a
+  // checksummed full-version snapshot, and CURRENT is repointed. Recovery
+  // then replays only the edits in the newest MANIFEST (at most this many,
+  // plus the handful appended since the rotation), instead of the whole edit
+  // history. A snapshot record is also appended at clean close so a clean
+  // reopen replays zero edits. 0 disables rotation (single ever-growing
+  // MANIFEST, as before).
+  uint32_t manifest_snapshot_interval = 64;
+
   // -------- LSM shape --------
 
   // Size ratio T between adjacent level capacities (and, for tiering, the

@@ -1,5 +1,17 @@
 // RepairDB: best-effort recovery of a database whose MANIFEST/CURRENT is
-// lost or corrupted. The repairer
+// lost or corrupted. Repair runs in two tiers:
+//
+// Bounded repair (tried first): replay the newest MANIFEST whose record
+// stream yields a consistent picture -- seek to the last valid snapshot
+// record (each carries an inner CRC32C over its body, so validity is
+// independent of WAL framing and survives the tolerant checksum-off read),
+// apply the edit suffix, stop at the first torn record, and verify every
+// referenced table actually exists at (at least) its recorded size. On
+// success a fresh descriptor is written that preserves the level structure
+// and the persistence-monitor journal, and the original log number, so the
+// subsequent DB::Open replays the surviving WALs itself.
+//
+// Full salvage (fallback): the classic leveldb-style repair. The repairer
 //   (1) replays any WAL files into fresh L0 tables,
 //   (2) inspects every table file, re-deriving its key range and tombstone
 //       metadata from the file itself (the properties block, falling back
@@ -12,6 +24,8 @@
 // Sequence numbers embedded in the tables are preserved, so snapshots of
 // logical time -- and with them Acheron's delete-persistence clock --
 // survive the repair.
+#include <algorithm>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -47,6 +61,12 @@ class Repairer {
   Status Run() {
     Status status = FindFiles();
     if (status.ok()) {
+      // Tier 1: bounded repair from the newest consistent MANIFEST. Falls
+      // through to the full salvage on any inconsistency -- a missing or
+      // undersized table, a corrupt head record, no manifest at all.
+      if (BoundedRepair().ok()) {
+        return Status::OK();
+      }
       ConvertLogFilesToTables();
       ExtractMetaData();
       status = WriteDescriptor();
@@ -60,9 +80,225 @@ class Repairer {
     SequenceNumber max_sequence;
   };
 
+  // Accumulated state of one MANIFEST's tolerant replay: the file set per
+  // level plus the persistence-monitor journal, exactly as
+  // VersionSet::Recover would have built them.
+  struct ReplayedVersion {
+    std::map<int, std::map<uint64_t, FileMetaData>> levels;
+    uint64_t log_number = 0;
+    uint64_t next_file = 0;
+    SequenceNumber last_sequence = 0;
+    bool have_log = false;
+    bool have_next = false;
+    bool have_last = false;
+    uint64_t journal_written = 0;
+    uint64_t journal_persisted = 0;
+    uint64_t journal_superseded = 0;
+    Histogram journal_latency;
+  };
+
+  Status BoundedRepair() {
+    if (manifests_.empty()) {
+      return Status::NotFound(dbname_, "no MANIFEST to replay");
+    }
+    // Newest incarnation first: a higher-numbered manifest supersedes the
+    // ones before it, so fall back down the list only when replay or table
+    // verification fails.
+    std::vector<std::pair<uint64_t, std::string>> ordered;
+    uint64_t number;
+    FileType type;
+    for (const std::string& m : manifests_) {
+      if (ParseFileName(m, &number, &type)) {
+        ordered.emplace_back(number, m);
+      }
+    }
+    if (ordered.empty()) {
+      return Status::NotFound(dbname_, "no parsable MANIFEST name");
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const std::pair<uint64_t, std::string>& a,
+                 const std::pair<uint64_t, std::string>& b) {
+                return a.first > b.first;
+              });
+    // Floor for the repaired manifest's own number: above every existing
+    // manifest (never truncate one we might still fall back to) and above
+    // every salvageable log/table number.
+    const uint64_t min_new_number =
+        std::max(ordered.front().first + 1, next_file_number_);
+
+    Status status = Status::Corruption(dbname_, "no consistent MANIFEST");
+    for (const auto& entry : ordered) {
+      ReplayedVersion v;
+      status = ReplayManifest(entry.second, &v);
+      if (status.ok()) status = VerifyTables(v);
+      if (status.ok()) return WriteBoundedDescriptor(min_new_number, v);
+    }
+    return status;
+  }
+
+  Status ReplayManifest(const std::string& fname, ReplayedVersion* v) {
+    struct SilentReporter : public wal::Reader::Reporter {
+      void Corruption(size_t, const Status&) override {}
+    };
+    std::unique_ptr<SequentialFile> file;
+    Status status =
+        env_->NewSequentialFile(dbname_ + "/" + fname, &file);  // io: repair
+    if (!status.ok()) return status;
+    SilentReporter reporter;
+    // Framing checksums off: after a torn append the tail record's WAL CRC
+    // is garbage but the prefix still parses. Restart points are still
+    // never trusted blindly -- snapshot records carry their own inner
+    // CRC32C, which DecodeFrom verifies.
+    wal::Reader reader(file.get(), &reporter, false /*checksum*/);
+
+    std::string scratch;
+    Slice record;
+    int records = 0;
+    while (reader.ReadRecord(&record, &scratch)) {
+      VersionEdit edit;
+      Status s = edit.DecodeFrom(record);
+      if (!s.ok()) {
+        // An undecodable head record leaves nothing to build on. A torn
+        // record later on (snapshot or ordinary edit) just ends the useful
+        // prefix: everything before it is a consistent version.
+        if (records == 0) return s;
+        break;
+      }
+      records++;
+      if (edit.IsSnapshot()) {
+        // Self-describing restart point: discard the replay so far. The
+        // snapshot's own content re-populates it below (its monitor fields
+        // carry cumulative state, i.e. deltas from zero).
+        v->levels.clear();
+        v->journal_written = 0;
+        v->journal_persisted = 0;
+        v->journal_superseded = 0;
+        v->journal_latency.Clear();
+      }
+      for (const auto& dead : edit.deleted_files()) {
+        v->levels[dead.first].erase(dead.second);
+      }
+      for (const auto& added : edit.new_files()) {
+        v->levels[added.first][added.second.number] = added.second;
+      }
+      if (edit.has_log_number()) {
+        v->log_number = edit.log_number();
+        v->have_log = true;
+      }
+      if (edit.has_next_file_number()) {
+        v->next_file = edit.next_file_number();
+        v->have_next = true;
+      }
+      if (edit.has_last_sequence()) {
+        v->last_sequence = edit.last_sequence();
+        v->have_last = true;
+      }
+      if (edit.has_monitor_written()) {
+        v->journal_written = edit.monitor_written();
+      }
+      if (edit.has_monitor_delta()) {
+        v->journal_persisted += edit.monitor_persisted();
+        v->journal_superseded += edit.monitor_superseded();
+        v->journal_latency.Merge(edit.monitor_latency());
+      }
+    }
+    if (records == 0) {
+      return Status::Corruption(fname, "empty MANIFEST");
+    }
+    if (!v->have_log || !v->have_next || !v->have_last) {
+      return Status::Corruption(fname, "MANIFEST missing meta fields");
+    }
+    return Status::OK();
+  }
+
+  Status VerifyTables(const ReplayedVersion& v) {
+    // Every table the replayed version references must exist at no less
+    // than its recorded size; a shorter file would fail at read time (the
+    // footer offset comes from file_size), so reject it here and let the
+    // salvage tier rebuild from what is actually on disk.
+    for (const auto& level : v.levels) {
+      for (const auto& f : level.second) {
+        const std::string fname = TableFileName(dbname_, f.first);
+        uint64_t size = 0;
+        Status s = env_->GetFileSize(fname, &size);  // io: repair
+        if (!s.ok()) return s;
+        if (size < f.second.file_size) {
+          return Status::Corruption(fname, "table shorter than recorded");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status WriteBoundedDescriptor(uint64_t min_new_number,
+                                const ReplayedVersion& v) {
+    // The descriptor's recorded next_file must exceed its own number, or
+    // the next Open would allocate the same number for its manifest and
+    // truncate this one (same ordering constraint as rotation in
+    // VersionSet::LogAndApply).
+    const uint64_t manifest_number = std::max(v.next_file, min_new_number);
+
+    VersionEdit edit;
+    edit.SetSnapshot();
+    edit.SetComparatorName(icmp_.user_comparator()->Name());
+    // Preserve the log number: DB::Open replays the surviving WALs itself,
+    // so unflushed writes are not lost by the repair.
+    edit.SetLogNumber(v.log_number);
+    edit.SetNextFile(manifest_number + 1);
+    edit.SetLastSequence(v.last_sequence);
+    edit.SetMonitorWritten(v.journal_written);
+    edit.SetMonitorDelta(v.journal_persisted, v.journal_superseded,
+                         v.journal_latency);
+    for (const auto& level : v.levels) {
+      for (const auto& f : level.second) {
+        edit.AddFile(level.first, f.second);
+      }
+    }
+
+    std::string manifest_name = DescriptorFileName(dbname_, manifest_number);
+    std::unique_ptr<WritableFile> manifest_file;
+    Status status =
+        env_->NewWritableFile(manifest_name, &manifest_file);  // io: repair
+    if (!status.ok()) return status;
+    {
+      wal::Writer manifest_log(manifest_file.get());
+      std::string record;
+      edit.EncodeTo(&record);
+      status = manifest_log.AddRecord(record);
+    }
+    if (status.ok()) status = manifest_file->Sync();
+    if (status.ok()) status = manifest_file->Close();
+    if (!status.ok()) {
+      (void)env_->RemoveFile(manifest_name);  // io: repair cleanup
+      return status;
+    }
+    // Point CURRENT at the repaired manifest *before* discarding the old
+    // ones (same crash-ordering argument as the salvage tier).
+    status = SetCurrentFile(env_, dbname_, manifest_number);
+    if (status.ok()) {
+      RemoveSupersededManifests(manifest_number);
+    }
+    return status;
+  }
+
+  // Discard the manifests found at startup; the repaired descriptor
+  // supersedes them. Never touches the descriptor just written, even if a
+  // stale file of the same name was in the startup listing.
+  void RemoveSupersededManifests(uint64_t new_manifest_number) {
+    uint64_t number;
+    FileType type;
+    for (const std::string& old_manifest : manifests_) {
+      if (ParseFileName(old_manifest, &number, &type) &&
+          number == new_manifest_number) {
+        continue;
+      }
+      (void)env_->RemoveFile(dbname_ + "/" + old_manifest);  // io: repair
+    }
+  }
+
   Status FindFiles() {
     std::vector<std::string> filenames;
-    Status status = env_->GetChildren(dbname_, &filenames);
+    Status status = env_->GetChildren(dbname_, &filenames);  // io: repair
     if (!status.ok()) return status;
     if (filenames.empty()) {
       return Status::IOError(dbname_, "repair found no files");
@@ -72,12 +308,16 @@ class Repairer {
     FileType type;
     for (const std::string& filename : filenames) {
       if (ParseFileName(filename, &number, &type)) {
+        // Descriptors count toward next_file_number_ too: a crashed earlier
+        // repair can leave a (possibly empty) MANIFEST behind, and reusing
+        // its number would truncate it -- and then the old-manifest cleanup
+        // below would unlink the descriptor we just wrote under that name.
+        if (number + 1 > next_file_number_) {
+          next_file_number_ = number + 1;
+        }
         if (type == kDescriptorFile) {
           manifests_.push_back(filename);
         } else {
-          if (number + 1 > next_file_number_) {
-            next_file_number_ = number + 1;
-          }
           if (type == kLogFile) {
             logs_.push_back(number);
           } else if (type == kTableFile) {
@@ -109,7 +349,7 @@ class Repairer {
 
     std::string logname = LogFileName(dbname_, log);
     std::unique_ptr<SequentialFile> lfile;
-    Status status = env_->NewSequentialFile(logname, &lfile);
+    Status status = env_->NewSequentialFile(logname, &lfile);  // io: repair
     if (!status.ok()) return status;
 
     LogReporter reporter;
@@ -146,7 +386,7 @@ class Repairer {
   Status BuildTableFromMemTable(MemTable* mem, uint64_t number) {
     std::string fname = TableFileName(dbname_, number);
     std::unique_ptr<WritableFile> file;
-    Status s = env_->NewWritableFile(fname, &file);
+    Status s = env_->NewWritableFile(fname, &file);  // io: repair
     if (!s.ok()) return s;
     TableBuilder builder(options_, file.get());
     std::unique_ptr<Iterator> iter(mem->NewIterator());
@@ -159,7 +399,7 @@ class Repairer {
     s = builder.Finish();
     if (s.ok()) s = file->Sync();
     if (s.ok()) s = file->Close();
-    if (!s.ok()) (void)env_->RemoveFile(fname);  // best-effort cleanup
+    if (!s.ok()) (void)env_->RemoveFile(fname);  // io: repair cleanup
     return s;
   }
 
@@ -180,11 +420,11 @@ class Repairer {
 
   Status ScanTable(TableInfo* t) {
     std::string fname = TableFileName(dbname_, t->meta.number);
-    Status status = env_->GetFileSize(fname, &t->meta.file_size);
+    Status status = env_->GetFileSize(fname, &t->meta.file_size);  // io: repair
     if (!status.ok()) return status;
 
     std::unique_ptr<RandomAccessFile> file;
-    status = env_->NewRandomAccessFile(fname, &file);
+    status = env_->NewRandomAccessFile(fname, &file);  // io: repair
     if (!status.ok()) return status;
     Table* table = nullptr;
     status = Table::Open(options_, file.get(), t->meta.file_size, &table);
@@ -252,7 +492,8 @@ class Repairer {
     const uint64_t manifest_number = next_file_number_ + 2;
     std::string manifest_name = DescriptorFileName(dbname_, manifest_number);
     std::unique_ptr<WritableFile> manifest_file;
-    Status status = env_->NewWritableFile(manifest_name, &manifest_file);
+    Status status =
+        env_->NewWritableFile(manifest_name, &manifest_file);  // io: repair
     if (!status.ok()) return status;
     {
       wal::Writer manifest_log(manifest_file.get());
@@ -263,7 +504,7 @@ class Repairer {
     if (status.ok()) status = manifest_file->Sync();
     if (status.ok()) status = manifest_file->Close();
     if (!status.ok()) {
-      (void)env_->RemoveFile(manifest_name);  // best-effort cleanup
+      (void)env_->RemoveFile(manifest_name);  // io: repair cleanup
       return status;
     }
     // Point CURRENT at the repaired manifest *before* discarding the old
@@ -272,10 +513,7 @@ class Repairer {
     // where CURRENT referenced an already-unlinked file.)
     status = SetCurrentFile(env_, dbname_, manifest_number);
     if (status.ok()) {
-      // Discard older manifests: the repaired one supersedes them.
-      for (const std::string& old_manifest : manifests_) {
-        (void)env_->RemoveFile(dbname_ + "/" + old_manifest);
-      }
+      RemoveSupersededManifests(manifest_number);
     }
     return status;
   }

@@ -15,6 +15,8 @@ std::string InternalStats::ToString() const {
       "stalls: slowdown=%llu stop=%llu imm_wait=%llu ttl_wait=%llu "
       "micros=%llu | bg: jobs=%llu swaps=%llu | "
       "commit: wal_syncs=%llu groups=%llu grouped_writes=%llu | "
+      "recovery: edits_replayed=%llu snapshots=%llu rotations=%llu "
+      "torn_skipped=%llu | "
       "WA=%.2f",
       static_cast<unsigned long long>(user_bytes_written),
       static_cast<unsigned long long>(wal_bytes_written),
@@ -40,6 +42,10 @@ std::string InternalStats::ToString() const {
       static_cast<unsigned long long>(wal_syncs),
       static_cast<unsigned long long>(group_commits),
       static_cast<unsigned long long>(writes_grouped),
+      static_cast<unsigned long long>(manifest_edits_replayed),
+      static_cast<unsigned long long>(manifest_snapshots_written),
+      static_cast<unsigned long long>(manifest_rotations),
+      static_cast<unsigned long long>(torn_snapshots_skipped),
       WriteAmplification());
   return buf;
 }

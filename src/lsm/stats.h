@@ -48,6 +48,14 @@ struct InternalStats {
   uint64_t writes_grouped = 0;         // logical batches riding a leader's
                                        // group (0 when every write is alone)
 
+  // --- recovery / MANIFEST bounded replay ---
+  uint64_t manifest_edits_replayed = 0;  // edits applied after the last valid
+                                         // snapshot during the last Recover
+  uint64_t manifest_snapshots_written = 0;  // snapshot records appended
+  uint64_t manifest_rotations = 0;          // descriptor rotations
+  uint64_t torn_snapshots_skipped = 0;      // snapshots skipped on inner-CRC
+                                            // failure during recovery
+
   // --- reads ---
   uint64_t gets = 0;
   uint64_t gets_found = 0;

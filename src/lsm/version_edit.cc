@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/util/coding.h"
+#include "src/util/crc32c.h"
 
 namespace acheron {
 
@@ -16,6 +17,15 @@ enum Tag {
   kCompactPointer = 5,
   kDeletedFile = 6,
   kNewFile = 7,
+  // A full-version snapshot record: the tag is followed by a fixed32 CRC32C
+  // of the remaining body, then the body itself (ordinary tag encoding).
+  // The inner CRC makes snapshot validity independent of the WAL framing,
+  // so a tolerant (checksum-off) MANIFEST scan in RepairDB can still tell a
+  // good restart point from a torn one.
+  kSnapshot = 8,
+  // Persistence-monitor journal fields (see version_edit.h).
+  kMonitorWritten = 9,
+  kMonitorDelta = 10,
 };
 
 void VersionEdit::Clear() {
@@ -27,12 +37,31 @@ void VersionEdit::Clear() {
   has_log_number_ = false;
   has_next_file_number_ = false;
   has_last_sequence_ = false;
+  is_snapshot_ = false;
+  has_monitor_written_ = false;
+  monitor_written_ = 0;
+  has_monitor_delta_ = false;
+  monitor_persisted_ = 0;
+  monitor_superseded_ = 0;
+  monitor_latency_.Clear();
   compact_pointers_.clear();
   deleted_files_.clear();
   new_files_.clear();
 }
 
 void VersionEdit::EncodeTo(std::string* dst) const {
+  if (is_snapshot_) {
+    std::string body;
+    EncodeBodyTo(&body);
+    PutVarint32(dst, kSnapshot);
+    PutFixed32(dst, crc32c::Value(body.data(), body.size()));
+    dst->append(body);
+    return;
+  }
+  EncodeBodyTo(dst);
+}
+
+void VersionEdit::EncodeBodyTo(std::string* dst) const {
   if (has_comparator_) {
     PutVarint32(dst, kComparator);
     PutLengthPrefixedSlice(dst, comparator_);
@@ -77,6 +106,19 @@ void VersionEdit::EncodeTo(std::string* dst) const {
     PutLengthPrefixedSlice(dst, f.max_secondary_key);
     PutVarint64(dst, f.run_id);
   }
+
+  if (has_monitor_written_) {
+    PutVarint32(dst, kMonitorWritten);
+    PutVarint64(dst, monitor_written_);
+  }
+  if (has_monitor_delta_) {
+    PutVarint32(dst, kMonitorDelta);
+    PutVarint64(dst, monitor_persisted_);
+    PutVarint64(dst, monitor_superseded_);
+    std::string hist;
+    monitor_latency_.EncodeTo(&hist);
+    PutLengthPrefixedSlice(dst, hist);
+  }
 }
 
 static bool GetInternalKey(Slice* input, InternalKey* dst) {
@@ -101,6 +143,26 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
   Slice input = src;
   const char* msg = nullptr;
   uint32_t tag;
+
+  // Snapshot envelope: tag, inner CRC over the rest, then an ordinary tag
+  // stream. A failed inner CRC still reports IsSnapshot()==true so recovery
+  // can skip the record and keep the previously accumulated state.
+  {
+    Slice peek = input;
+    uint32_t first_tag;
+    if (GetVarint32(&peek, &first_tag) && first_tag == kSnapshot) {
+      is_snapshot_ = true;
+      input = peek;
+      uint32_t expected_crc;
+      if (!GetFixed32(&input, &expected_crc)) {
+        return Status::Corruption("VersionEdit", "snapshot record too short");
+      }
+      if (crc32c::Value(input.data(), input.size()) != expected_crc) {
+        return Status::Corruption("VersionEdit",
+                                  "snapshot record checksum mismatch");
+      }
+    }
+  }
 
   // Temporary storage for parsing
   int level;
@@ -182,6 +244,27 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
         break;
       }
 
+      case kMonitorWritten:
+        if (GetVarint64(&input, &monitor_written_)) {
+          has_monitor_written_ = true;
+        } else {
+          msg = "monitor written count";
+        }
+        break;
+
+      case kMonitorDelta: {
+        Slice hist;
+        if (GetVarint64(&input, &monitor_persisted_) &&
+            GetVarint64(&input, &monitor_superseded_) &&
+            GetLengthPrefixedSlice(&input, &hist) &&
+            monitor_latency_.DecodeFrom(&hist) && hist.empty()) {
+          has_monitor_delta_ = true;
+        } else {
+          msg = "monitor delta";
+        }
+        break;
+      }
+
       default:
         msg = "unknown tag";
         break;
@@ -202,7 +285,13 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
 std::string VersionEdit::DebugString() const {
   std::ostringstream ss;
   ss << "VersionEdit {";
+  if (is_snapshot_) ss << "\n  Snapshot";
   if (has_comparator_) ss << "\n  Comparator: " << comparator_;
+  if (has_monitor_written_) ss << "\n  MonitorWritten: " << monitor_written_;
+  if (has_monitor_delta_) {
+    ss << "\n  MonitorDelta: persisted=" << monitor_persisted_
+       << " superseded=" << monitor_superseded_;
+  }
   if (has_log_number_) ss << "\n  LogNumber: " << log_number_;
   if (has_next_file_number_) ss << "\n  NextFile: " << next_file_number_;
   if (has_last_sequence_) ss << "\n  LastSeq: " << last_sequence_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/lsm/dbformat.h"
+#include "src/util/histogram.h"
 #include "src/util/status.h"
 
 namespace acheron {
@@ -100,6 +101,54 @@ class VersionEdit {
     return new_files_;
   }
 
+  // Read-only accessors used by RepairDB's bounded manifest replay.
+  bool has_log_number() const { return has_log_number_; }
+  uint64_t log_number() const { return log_number_; }
+  bool has_next_file_number() const { return has_next_file_number_; }
+  uint64_t next_file_number() const { return next_file_number_; }
+  bool has_last_sequence() const { return has_last_sequence_; }
+  SequenceNumber last_sequence() const { return last_sequence_; }
+
+  // Mark this edit as a full-version *snapshot record*. Snapshot records are
+  // self-describing restart points in the MANIFEST: they carry the complete
+  // file set plus log/next-file/last-sequence and the cumulative
+  // persistence-monitor journal state, and are encoded with an inner CRC32C
+  // over the whole body. Recovery resets its replay state whenever it reads a
+  // valid snapshot record, so only the suffix after the last valid snapshot
+  // is actually applied.
+  void SetSnapshot() { is_snapshot_ = true; }
+  // True after DecodeFrom even when the record failed its inner CRC, so
+  // recovery can distinguish "torn snapshot -- keep prior state" from a
+  // corrupt ordinary edit (which is fatal).
+  bool IsSnapshot() const { return is_snapshot_; }
+
+  // ---- Persistence-monitor journal (piggybacked on the edit stream) ----
+  // Cumulative count of tombstones ever written, captured at memtable swap
+  // for flush edits (covers exactly the WALs older than this edit's
+  // log_number; deletes in newer WALs are recounted during WAL replay).
+  void SetMonitorWritten(uint64_t written) {
+    has_monitor_written_ = true;
+    monitor_written_ = written;
+  }
+  bool has_monitor_written() const { return has_monitor_written_; }
+  uint64_t monitor_written() const { return monitor_written_; }
+
+  // Per-compaction monitor delta: tombstones persisted (reached the bottom
+  // level) and superseded, plus the persistence-latency samples of this
+  // compaction. Snapshot records reuse the same field with delta-from-zero
+  // (i.e. cumulative) semantics.
+  void SetMonitorDelta(uint64_t persisted, uint64_t superseded,
+                       const Histogram& latency) {
+    has_monitor_delta_ = true;
+    monitor_persisted_ = persisted;
+    monitor_superseded_ = superseded;
+    monitor_latency_ = latency;
+  }
+  bool has_monitor_delta() const { return has_monitor_delta_; }
+  uint64_t monitor_persisted() const { return monitor_persisted_; }
+  uint64_t monitor_superseded() const { return monitor_superseded_; }
+  const Histogram& monitor_latency() const { return monitor_latency_; }
+
   void EncodeTo(std::string* dst) const;
   Status DecodeFrom(const Slice& src);
 
@@ -107,6 +156,9 @@ class VersionEdit {
 
  private:
   friend class VersionSet;
+
+  // Tag-stream encoding without the snapshot CRC envelope.
+  void EncodeBodyTo(std::string* dst) const;
 
   std::string comparator_;
   uint64_t log_number_;
@@ -116,6 +168,14 @@ class VersionEdit {
   bool has_log_number_;
   bool has_next_file_number_;
   bool has_last_sequence_;
+
+  bool is_snapshot_;
+  bool has_monitor_written_;
+  uint64_t monitor_written_;
+  bool has_monitor_delta_;
+  uint64_t monitor_persisted_;
+  uint64_t monitor_superseded_;
+  Histogram monitor_latency_;
 
   std::vector<std::pair<int, InternalKey>> compact_pointers_;
   DeletedFileSet deleted_files_;

@@ -631,6 +631,11 @@ VersionSet::VersionSet(const std::string& dbname, const Options* options,
       log_number_(0),
       descriptor_file_(nullptr),
       descriptor_log_(nullptr),
+      edits_since_snapshot_(0),
+      manifest_edits_replayed_(0),
+      snapshots_written_(0),
+      manifest_rotations_(0),
+      torn_snapshots_skipped_(0),
       dummy_versions_(this),
       current_(nullptr) {
   AppendVersion(new Version(this));
@@ -669,6 +674,24 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
     edit->SetLogNumber(log_number_);
   }
 
+  // Rotate the descriptor once enough edits have accumulated since the last
+  // snapshot: close the current MANIFEST and let the lazy-open branch below
+  // start a fresh one headed by a checksummed snapshot record. Crash-safe at
+  // every file op in between: CURRENT keeps naming the old (complete)
+  // MANIFEST until SetCurrentFile repoints it. Must run before SetNextFile
+  // below so the edit's recorded next-file exceeds the new MANIFEST's own
+  // number (recovery derives the next descriptor name from that field).
+  if (descriptor_log_ != nullptr && options_->manifest_snapshot_interval > 0 &&
+      edits_since_snapshot_ >= options_->manifest_snapshot_interval) {
+    // io: mutex-held -- MANIFEST rotation (closes the old descriptor)
+    delete descriptor_log_;
+    delete descriptor_file_;
+    descriptor_log_ = nullptr;
+    descriptor_file_ = nullptr;
+    manifest_file_number_ = NewFileNumber();
+    manifest_rotations_++;
+  }
+
   edit->SetNextFile(next_file_number_);
   edit->SetLastSequence(last_sequence_);
 
@@ -689,6 +712,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
     assert(descriptor_file_ == nullptr);
     new_manifest_file = DescriptorFileName(dbname_, manifest_file_number_);
     std::unique_ptr<WritableFile> file;
+    // io: mutex-held -- first edit into a fresh MANIFEST (open or rotation)
     s = env_->NewWritableFile(new_manifest_file, &file);
     if (s.ok()) {
       descriptor_file_ = file.release();
@@ -717,6 +741,8 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
   if (s.ok()) {
     AppendVersion(v);
     log_number_ = edit->log_number_;
+    edits_since_snapshot_++;
+    FoldEditIntoJournal(*edit);
   } else {
     delete v;
     if (!new_manifest_file.empty()) {
@@ -724,10 +750,34 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
       delete descriptor_file_;
       descriptor_log_ = nullptr;
       descriptor_file_ = nullptr;
-      (void)env_->RemoveFile(new_manifest_file);  // best-effort cleanup
+      // io: mutex-held -- best-effort cleanup of the failed MANIFEST
+      (void)env_->RemoveFile(new_manifest_file);
     }
   }
 
+  return s;
+}
+
+void VersionSet::FoldEditIntoJournal(const VersionEdit& edit) {
+  if (edit.has_monitor_written()) {
+    journal_state_.written = edit.monitor_written();
+  }
+  if (edit.has_monitor_delta()) {
+    journal_state_.persisted += edit.monitor_persisted();
+    journal_state_.superseded += edit.monitor_superseded();
+    journal_state_.latency.Merge(edit.monitor_latency());
+  }
+}
+
+Status VersionSet::WriteCleanCloseSnapshot() {
+  if (descriptor_log_ == nullptr) {
+    return Status::OK();
+  }
+  Status s = WriteSnapshot(descriptor_log_);
+  if (s.ok()) {
+    // io: mutex-held -- clean-close snapshot sync (DB is shutting down)
+    s = descriptor_file_->Sync();
+  }
   return s;
 }
 
@@ -742,6 +792,7 @@ Status VersionSet::Recover(bool* save_manifest) {
   // Read "CURRENT" file, which contains a pointer to the current manifest
   // file.
   std::string current;
+  // io: open/recovery
   Status s = env_->ReadFileToString(CurrentFileName(dbname_), &current);
   if (!s.ok()) {
     return s;
@@ -753,6 +804,7 @@ Status VersionSet::Recover(bool* save_manifest) {
 
   std::string dscname = dbname_ + "/" + current;
   std::unique_ptr<SequentialFile> file;
+  // io: open/recovery
   s = env_->NewSequentialFile(dscname, &file);
   if (!s.ok()) {
     if (s.IsNotFound()) {
@@ -768,7 +820,9 @@ Status VersionSet::Recover(bool* save_manifest) {
   uint64_t next_file = 0;
   uint64_t last_sequence = 0;
   uint64_t log_number = 0;
-  Builder builder(this, current_);
+  std::unique_ptr<Builder> builder(new Builder(this, current_));
+  MonitorJournal journal;
+  uint64_t edits_replayed = 0;
   int read_records = 0;
 
   {
@@ -781,6 +835,18 @@ Status VersionSet::Recover(bool* save_manifest) {
       ++read_records;
       VersionEdit edit;
       s = edit.DecodeFrom(record);
+      if (!s.ok() && edit.IsSnapshot() && read_records > 1) {
+        // A non-head snapshot record that failed its inner CRC: skip it and
+        // keep the state accumulated so far (previous snapshot + suffix
+        // edits). A later snapshot adds no information the preceding records
+        // lack, so dropping it is always safe -- unlike a corrupt ordinary
+        // edit, which leaves a hole in the delta chain and stays fatal. A
+        // corrupt HEAD snapshot is the file-set baseline itself and remains
+        // fatal (RepairDB then falls back to an older MANIFEST or salvage).
+        torn_snapshots_skipped_++;
+        s = Status::OK();
+        continue;
+      }
       if (s.ok()) {
         if (edit.has_comparator_ &&
             edit.comparator_ != icmp_.user_comparator()->Name()) {
@@ -791,7 +857,26 @@ Status VersionSet::Recover(bool* save_manifest) {
       }
 
       if (s.ok()) {
-        builder.Apply(&edit);
+        if (edit.IsSnapshot()) {
+          // Valid snapshot: restart replay from here. The record carries the
+          // complete file set and cumulative monitor state, so everything
+          // accumulated before it is superseded.
+          builder.reset();
+          builder.reset(new Builder(this, new Version(this)));
+          journal = MonitorJournal();
+          edits_replayed = 0;
+        } else {
+          edits_replayed++;
+        }
+        builder->Apply(&edit);
+        if (edit.has_monitor_written()) {
+          journal.written = edit.monitor_written();
+        }
+        if (edit.has_monitor_delta()) {
+          journal.persisted += edit.monitor_persisted();
+          journal.superseded += edit.monitor_superseded();
+          journal.latency.Merge(edit.monitor_latency());
+        }
       }
 
       if (edit.has_log_number_) {
@@ -826,13 +911,15 @@ Status VersionSet::Recover(bool* save_manifest) {
 
   if (s.ok()) {
     Version* v = new Version(this);
-    builder.SaveTo(v);
+    builder->SaveTo(v);
     // Install recovered version
     AppendVersion(v);
     manifest_file_number_ = next_file;
     next_file_number_ = next_file + 1;
     last_sequence_ = last_sequence;
     log_number_ = log_number;
+    journal_state_ = journal;
+    manifest_edits_replayed_ = edits_replayed;
 
     // A new MANIFEST is always written on open (no manifest reuse).
     *save_manifest = true;
@@ -848,9 +935,19 @@ void VersionSet::MarkFileNumberUsed(uint64_t number) {
 }
 
 Status VersionSet::WriteSnapshot(wal::Writer* log) {
-  // Save metadata
+  // Save metadata. The snapshot is a self-contained restart point: beyond
+  // the file set it records log/next-file/last-sequence and the cumulative
+  // monitor journal, and its body is wrapped in an inner CRC32C (see
+  // version_edit.cc) so recovery can trust it independently of WAL framing.
   VersionEdit edit;
+  edit.SetSnapshot();
   edit.SetComparatorName(icmp_.user_comparator()->Name());
+  edit.SetLogNumber(log_number_);
+  edit.SetNextFile(next_file_number_);
+  edit.SetLastSequence(last_sequence_);
+  edit.SetMonitorWritten(journal_state_.written);
+  edit.SetMonitorDelta(journal_state_.persisted, journal_state_.superseded,
+                       journal_state_.latency);
 
   // Save compaction pointers
   for (int level = 0; level < kNumLevels; level++) {
@@ -870,7 +967,12 @@ Status VersionSet::WriteSnapshot(wal::Writer* log) {
 
   std::string record;
   edit.EncodeTo(&record);
-  return log->AddRecord(record);
+  Status s = log->AddRecord(record);
+  if (s.ok()) {
+    edits_since_snapshot_ = 0;
+    snapshots_written_++;
+  }
+  return s;
 }
 
 int VersionSet::NumLevelFiles(int level) const {

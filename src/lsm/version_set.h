@@ -150,11 +150,43 @@ class VersionSet {
   // both saved to persistent state and installed as the new current
   // version. |mu| is the DB mutex, held for the duration: the manifest IO
   // happens under it by design (see DESIGN.md "Locking discipline").
+  //
+  // When Options::manifest_snapshot_interval edits have accumulated in the
+  // current MANIFEST, the descriptor is rotated first: a fresh MANIFEST is
+  // started whose head record is a checksummed full-version snapshot and
+  // CURRENT is repointed, bounding how much any future recovery replays.
   Status LogAndApply(VersionEdit* edit, Mutex* mu)
       EXCLUSIVE_LOCKS_REQUIRED(mu);
 
-  // Recover the last saved descriptor from persistent storage.
+  // Recover the last saved descriptor from persistent storage. Replay
+  // restarts from the last valid snapshot record; a snapshot record that
+  // fails its inner CRC is skipped (state falls back to the previous
+  // snapshot plus the edits in between).
   Status Recover(bool* save_manifest);
+
+  // Append a snapshot record to the current MANIFEST and sync it, so a
+  // clean reopen replays zero edits. Called by DBImpl's destructor once all
+  // background work has drained; a no-op if no descriptor was ever opened.
+  Status WriteCleanCloseSnapshot();
+
+  // Cumulative persistence-monitor state journaled through the MANIFEST
+  // edit stream (see version_edit.h). After Recover() this holds the exact
+  // pre-crash monitor state as of the last installed edit; DBImpl adds the
+  // deletes re-counted during WAL replay and restores the live monitor.
+  struct MonitorJournal {
+    uint64_t written = 0;
+    uint64_t persisted = 0;
+    uint64_t superseded = 0;
+    Histogram latency;
+  };
+  const MonitorJournal& monitor_journal() const { return journal_state_; }
+
+  // Diagnostics for the bounded-replay machinery (surfaced via
+  // GetProperty("acheron.stats") and asserted by the recovery tests).
+  uint64_t manifest_edits_replayed() const { return manifest_edits_replayed_; }
+  uint64_t manifest_snapshots_written() const { return snapshots_written_; }
+  uint64_t manifest_rotations() const { return manifest_rotations_; }
+  uint64_t torn_snapshots_skipped() const { return torn_snapshots_skipped_; }
 
   // Return the current version.
   Version* current() const { return current_; }
@@ -252,8 +284,13 @@ class VersionSet {
 
   void SetupOtherInputs(Compaction* c);
 
-  // Save current contents to *log.
+  // Save current contents to *log as a checksummed snapshot record
+  // (includes log/next-file/last-sequence and the monitor journal, so the
+  // record alone is a complete restart point). Resets the rotation counter.
   Status WriteSnapshot(wal::Writer* log);
+
+  // Fold an installed edit's piggybacked monitor fields into journal_state_.
+  void FoldEditIntoJournal(const VersionEdit& edit);
 
   void AppendVersion(Version* v);
 
@@ -270,6 +307,18 @@ class VersionSet {
   // Opened lazily.
   WritableFile* descriptor_file_;
   wal::Writer* descriptor_log_;
+
+  // Edits appended to the current MANIFEST since its last snapshot record;
+  // reaching Options::manifest_snapshot_interval triggers rotation.
+  uint64_t edits_since_snapshot_;
+  // Cumulative monitor state as of the last installed edit (journaled into
+  // every snapshot record; reconstructed by Recover).
+  MonitorJournal journal_state_;
+  // Set by Recover: edits applied after the last valid snapshot record.
+  uint64_t manifest_edits_replayed_;
+  uint64_t snapshots_written_;
+  uint64_t manifest_rotations_;
+  uint64_t torn_snapshots_skipped_;
   Version dummy_versions_;  // Head of circular doubly-linked list of versions
   Version* current_;        // == dummy_versions_.prev_
 

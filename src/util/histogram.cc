@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+
+#include "src/util/coding.h"
 
 namespace acheron {
 
@@ -94,6 +97,67 @@ double Histogram::Percentile(double p) const {
     }
   }
   return max_;
+}
+
+namespace {
+
+uint64_t DoubleToBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void Histogram::EncodeTo(std::string* dst) const {
+  PutFixed64(dst, DoubleToBits(min_));
+  PutFixed64(dst, DoubleToBits(max_));
+  PutFixed64(dst, DoubleToBits(sum_));
+  PutFixed64(dst, DoubleToBits(sum_squares_));
+  PutVarint64(dst, num_);
+  uint64_t nonzero = 0;
+  for (uint64_t count : buckets_) {
+    if (count != 0) nonzero++;
+  }
+  PutVarint64(dst, nonzero);
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    if (buckets_[b] != 0) {
+      PutVarint64(dst, b);
+      PutVarint64(dst, buckets_[b]);
+    }
+  }
+}
+
+bool Histogram::DecodeFrom(Slice* input) {
+  Clear();
+  uint64_t min_bits, max_bits, sum_bits, sumsq_bits, num, nonzero;
+  if (!GetFixed64(input, &min_bits) || !GetFixed64(input, &max_bits) ||
+      !GetFixed64(input, &sum_bits) || !GetFixed64(input, &sumsq_bits) ||
+      !GetVarint64(input, &num) || !GetVarint64(input, &nonzero)) {
+    Clear();
+    return false;
+  }
+  for (uint64_t i = 0; i < nonzero; i++) {
+    uint64_t index, count;
+    if (!GetVarint64(input, &index) || !GetVarint64(input, &count) ||
+        index >= buckets_.size()) {
+      Clear();
+      return false;
+    }
+    buckets_[index] = count;
+  }
+  min_ = BitsToDouble(min_bits);
+  max_ = BitsToDouble(max_bits);
+  sum_ = BitsToDouble(sum_bits);
+  sum_squares_ = BitsToDouble(sumsq_bits);
+  num_ = num;
+  return true;
 }
 
 std::string Histogram::ToString() const {

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/slice.h"
+
 namespace acheron {
 
 class Histogram {
@@ -16,6 +18,14 @@ class Histogram {
   void Clear();
   void Add(double value);
   void Merge(const Histogram& other);
+
+  // Lossless wire format for the persistence-monitor journal: doubles are
+  // stored as raw IEEE-754 bit patterns and buckets sparsely, so
+  // DecodeFrom(EncodeTo(h)) reproduces h bit-for-bit (percentiles included).
+  void EncodeTo(std::string* dst) const;
+  // Replaces *this; on malformed input returns false and leaves *this
+  // cleared. Advances *input past the encoding on success.
+  bool DecodeFrom(Slice* input);
 
   uint64_t Count() const { return num_; }
   double Min() const { return num_ ? min_ : 0; }

@@ -135,8 +135,16 @@ struct RunResult {
 class CrashRun {
  public:
   explicit CrashRun(bool background)
+      : CrashRun(background, std::unique_ptr<Env>(NewMemEnv()), "/crashdb") {}
+
+  // For shards that crash-simulate against a different base env (e.g. the
+  // unbuffered PosixEnv): the caller supplies the base env and a dbname
+  // rooted wherever that env can write. The base env must apply Append()
+  // immediately (see the FaultInjectionEnv header contract).
+  CrashRun(bool background, std::unique_ptr<Env> base, std::string dbname)
       : background_(background),
-        base_(NewMemEnv()),
+        dbname_(std::move(dbname)),
+        base_(std::move(base)),
         fault_(new FaultInjectionEnv(base_.get())) {}
 
   FaultInjectionEnv* env() { return fault_.get(); }
@@ -209,7 +217,7 @@ class CrashRun {
 
  private:
   const bool background_;
-  const std::string dbname_ = "/crashdb";
+  const std::string dbname_;
   std::unique_ptr<Env> base_;
   std::unique_ptr<FaultInjectionEnv> fault_;
   RunResult result_;

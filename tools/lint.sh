@@ -133,35 +133,39 @@ if ! grep -q 'class \[\[nodiscard\]\] Status' src/util/status.h; then
 fi
 
 # ---------------------------------------------------------------------------
-# 4. Env I/O call sites in db_impl.cc must be annotated.
+# 4. Env I/O call sites in the engine's hot/recovery files must be annotated.
 #
 # The background pipeline's whole point is that file I/O happens with
-# mutex_ released. Every `env_->` call in db_impl.cc must carry an `// io:`
-# marker on the same or previous line saying which side it is on
-# (`io: unlocked`, `io: mutex-held -- <reason>`, `io: open/recovery`), so a
-# new unlocked-I/O-under-the-mutex regression cannot land silently. The
-# writer's WAL handoff and recovery paths are the deliberate exceptions,
-# and say so in their markers.
+# mutex_ released. Every `env_->` call in the files below must carry an
+# `// io:` marker on the same or a nearby line saying which side it is on
+# (`io: unlocked`, `io: mutex-held -- <reason>`, `io: open/recovery`,
+# `io: repair`), so a new unlocked-I/O-under-the-mutex regression cannot
+# land silently. The writer's WAL handoff and the recovery/repair paths are
+# the deliberate exceptions, and say so in their markers. version_set.cc
+# and repair.cc are included because they hold the MANIFEST
+# snapshot/rotation and bounded-repair I/O.
 # ---------------------------------------------------------------------------
-echo "lint: checking // io: markers on Env calls in db_impl.cc..."
-unmarked=$(awk '
-  # A marker covers env_-> calls within two lines either side, so it may
-  # sit on the statement itself, a continuation line, or a comment above.
-  { line[NR] = $0 }
-  /\/\/ io:/ { marker[NR] = 1 }
-  /env_->/  { call[NR] = 1 }
-  END {
-    for (n in call) {
-      covered = 0
-      for (d = -2; d <= 2; d++) if (marker[n + d]) covered = 1
-      if (!covered) print FILENAME ":" n ": " line[n]
+for io_file in src/lsm/db_impl.cc src/lsm/version_set.cc src/lsm/repair.cc; do
+  echo "lint: checking // io: markers on Env calls in $io_file..."
+  unmarked=$(awk '
+    # A marker covers env_-> calls within two lines either side, so it may
+    # sit on the statement itself, a continuation line, or a comment above.
+    { line[NR] = $0 }
+    /\/\/ io:/ { marker[NR] = 1 }
+    /env_->/  { call[NR] = 1 }
+    END {
+      for (n in call) {
+        covered = 0
+        for (d = -2; d <= 2; d++) if (marker[n + d]) covered = 1
+        if (!covered) print FILENAME ":" n ": " line[n]
+      }
     }
-  }
-' src/lsm/db_impl.cc)
-if [ -n "$unmarked" ]; then
-  fail "src/lsm/db_impl.cc: env_-> call without an // io: marker:"
-  echo "$unmarked" | sed 's/^/    /' >&2
-fi
+  ' "$io_file")
+  if [ -n "$unmarked" ]; then
+    fail "$io_file: env_-> call without an // io: marker:"
+    echo "$unmarked" | sed 's/^/    /' >&2
+  fi
+done
 
 # ---------------------------------------------------------------------------
 # 5. clang-tidy over src/ (uses .clang-tidy at the repo root).
