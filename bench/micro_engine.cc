@@ -4,17 +4,27 @@
 // Two modes:
 //   * default: the registered google-benchmark suite below
 //       ./micro_engine [--benchmark_filter=...]
-//   * fillrandom: N concurrent writer threads into one DB, reporting
-//     throughput, latency percentiles, and engine stall/commit counters
-//       ./micro_engine --threads=4 [--ops=N] [--value-size=N]
+//   * multi-threaded engine runs (bypass google-benchmark; measure one
+//     N-thread run end to end):
+//       ./micro_engine --threads=4 [--mode=fillrandom|readrandom|
+//                      readwhilewriting] [--ops=N] [--value-size=N]
 //                      [--background=0|1] [--sync=0|1] [--db=DIR]
 //                      [--json=PATH]
-//     --db=DIR uses the real filesystem (fsync costs included) instead of
-//     the in-memory env; with --sync=1 each *write group* costs one fsync,
-//     which is the configuration where group commit pays off.
+//     fillrandom: N writer threads (group-commit/stall counters).
+//     readrandom: N reader threads over a preloaded tree; exercises the
+//       lock-free ReadState path (one writer-free Get never touches the DB
+//       mutex, so throughput scales with reader threads).
+//     readwhilewriting: same readers plus one un-counted writer thread
+//       churning the keyspace, so reads race memtable swaps and version
+//       installs.
+//     --db=DIR uses the real filesystem (fsync + mmap-read costs included)
+//     instead of the in-memory env; with --sync=1 each *write group* costs
+//     one fsync, which is the configuration where group commit pays off.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -126,6 +136,7 @@ BENCHMARK(BM_DbDelete)->Arg(0)->Arg(100000);
 
 struct FillRandomConfig {
   int threads = 0;           // 0 = mode not requested
+  std::string mode = "fillrandom";
   uint64_t ops = 200000;     // total across all threads
   int value_size = 100;
   bool background = true;    // Options::background_compactions
@@ -213,6 +224,117 @@ static int RunFillRandom(const FillRandomConfig& cfg) {
   return 0;
 }
 
+// readrandom / readwhilewriting: N reader threads doing point lookups over
+// a preloaded tree; readwhilewriting adds one un-counted writer churning
+// the same keyspace so reads race memtable swaps and version installs.
+static int RunReadBench(const FillRandomConfig& cfg) {
+  const bool with_writer = (cfg.mode == "readwhilewriting");
+  constexpr uint64_t kKeySpace = 100000;
+
+  Options options = BenchOptions();
+  options.background_compactions = cfg.background;
+  options.disable_wal = false;
+  std::unique_ptr<Env> mem_env;
+  std::string db_path = "/bench";
+  if (cfg.db_dir.empty()) {
+    mem_env.reset(NewMemEnv());
+    options.env = mem_env.get();
+  } else {
+    options.env = DefaultEnv();
+    db_path = cfg.db_dir;
+    CheckOk(DestroyDB(db_path, options));  // fresh tree, comparable runs
+  }
+
+  DB* raw = nullptr;
+  CheckOk(DB::Open(options, db_path, &raw));
+  std::unique_ptr<DB> db(raw);
+
+  // Preload every key so readrandom is all-hits against a settled tree.
+  {
+    Random rnd(99);
+    std::string value(cfg.value_size, 'v');
+    char key[32];
+    for (uint64_t i = 0; i < kKeySpace; i++) {
+      std::snprintf(key, sizeof(key), "key%010llu",
+                    static_cast<unsigned long long>(i));
+      CheckOk(db->Put(WriteOptions(), key, value));
+    }
+    CheckOk(db->WaitForCompactions());
+  }
+
+  const uint64_t per_thread = cfg.ops / cfg.threads;
+  const uint64_t total_ops = per_thread * cfg.threads;
+  std::vector<Histogram> latencies(cfg.threads);
+  std::atomic<int> readers_done{0};
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < cfg.threads; t++) {
+    threads.emplace_back([&, t] {
+      Random rnd(2000 + t);
+      ReadOptions ro;
+      std::string value;
+      char key[32];
+      for (uint64_t i = 0; i < per_thread; i++) {
+        std::snprintf(key, sizeof(key), "key%010llu",
+                      static_cast<unsigned long long>(rnd.Uniform(kKeySpace)));
+        const auto op_start = std::chrono::steady_clock::now();
+        Status s = db->Get(ro, key, &value);
+        if (!s.ok() && !s.IsNotFound()) CheckOk(s);
+        latencies[t].Add(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - op_start)
+                             .count());
+      }
+      readers_done.fetch_add(1);
+    });
+  }
+  std::thread writer;
+  if (with_writer) {
+    writer = std::thread([&] {
+      Random rnd(77);
+      std::string value(cfg.value_size, 'w');
+      char key[32];
+      while (readers_done.load() < cfg.threads) {
+        std::snprintf(key, sizeof(key), "key%010llu",
+                      static_cast<unsigned long long>(rnd.Uniform(kKeySpace)));
+        CheckOk(db->Put(WriteOptions(), key, value));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (writer.joinable()) writer.join();
+  CheckOk(db->WaitForCompactions());
+
+  Histogram latency;
+  for (const auto& h : latencies) latency.Merge(h);
+  const double ops_per_sec = secs > 0 ? total_ops / secs : 0;
+  const InternalStats stats = db->GetStats();
+
+  std::printf(
+      "%s: threads=%d ops=%llu background=%d env=%s\n"
+      "  %.0f ops/s   p50=%.1fus p99=%.1fus max=%.1fus\n"
+      "  gets=%llu found=%llu bloom_useful=%llu memtable_swaps=%llu\n",
+      cfg.mode.c_str(), cfg.threads,
+      static_cast<unsigned long long>(total_ops), cfg.background ? 1 : 0,
+      cfg.db_dir.empty() ? "mem" : cfg.db_dir.c_str(), ops_per_sec,
+      latency.Percentile(50.0), latency.Percentile(99.0), latency.Max(),
+      static_cast<unsigned long long>(stats.gets),
+      static_cast<unsigned long long>(stats.gets_found),
+      static_cast<unsigned long long>(stats.bloom_useful),
+      static_cast<unsigned long long>(stats.memtable_swaps));
+  PrintEngineStats(db.get());
+  if (!cfg.json_path.empty()) {
+    WriteJsonResult(cfg.json_path, cfg.mode, cfg.threads, total_ops,
+                    ops_per_sec, latency, stats);
+  }
+
+  db.reset();
+  if (!cfg.db_dir.empty()) CheckOk(DestroyDB(db_path, options));
+  return 0;
+}
+
 static bool ParseFlag(const char* arg, const char* name, const char** value) {
   const size_t n = std::strlen(name);
   if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
@@ -231,6 +353,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; i++) {
     if (acheron::bench::ParseFlag(argv[i], "--threads", &v)) {
       cfg.threads = std::atoi(v);
+    } else if (acheron::bench::ParseFlag(argv[i], "--mode", &v)) {
+      cfg.mode = v;
+      if (cfg.threads == 0) cfg.threads = 1;
     } else if (acheron::bench::ParseFlag(argv[i], "--ops", &v)) {
       cfg.ops = std::strtoull(v, nullptr, 10);
     } else if (acheron::bench::ParseFlag(argv[i], "--value-size", &v)) {
@@ -247,7 +372,14 @@ int main(int argc, char** argv) {
   }
   if (cfg.threads > 0) {
     if (cfg.ops < static_cast<uint64_t>(cfg.threads)) cfg.ops = cfg.threads;
-    return acheron::bench::RunFillRandom(cfg);
+    if (cfg.mode == "fillrandom") {
+      return acheron::bench::RunFillRandom(cfg);
+    }
+    if (cfg.mode == "readrandom" || cfg.mode == "readwhilewriting") {
+      return acheron::bench::RunReadBench(cfg);
+    }
+    std::fprintf(stderr, "unknown --mode=%s\n", cfg.mode.c_str());
+    return 1;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

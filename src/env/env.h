@@ -139,7 +139,13 @@ Env* NewMemEnv();
 // user-space buffer and issues write(2) directly -- required when the env
 // is wrapped in a FaultInjectionEnv for crash simulation, whose durability
 // model assumes appends reach the tracked file immediately.
-Env* NewPosixEnv(bool unbuffered_writes);
+//
+// |mmap_budget| bounds how many RandomAccessFiles may be served via mmap at
+// once (reads skip the pread syscall + copy); files beyond the budget, or
+// whose mapping fails, fall back to pread transparently. -1 picks the
+// default (1000 on 64-bit, 0 on 32-bit where address space is scarce);
+// 0 disables mmap entirely.
+Env* NewPosixEnv(bool unbuffered_writes, int mmap_budget = -1);
 
 }  // namespace acheron
 

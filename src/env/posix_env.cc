@@ -1,10 +1,12 @@
 // POSIX filesystem implementation of Env.
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <memory>
@@ -70,6 +72,72 @@ class PosixRandomAccessFile final : public RandomAccessFile {
 
  private:
   const int fd_;
+  const std::string filename_;
+};
+
+// Counting semaphore over a scarce resource (mmap slots): Acquire never
+// blocks, it just reports whether a slot was available.
+class Limiter {
+ public:
+  explicit Limiter(int max_allowed) : available_(max_allowed) {}
+
+  Limiter(const Limiter&) = delete;
+  Limiter& operator=(const Limiter&) = delete;
+
+  bool Acquire() {
+    int old = available_.fetch_sub(1, std::memory_order_relaxed);
+    if (old > 0) return true;
+    available_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  void Release() { available_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> available_;
+};
+
+// RandomAccessFile over a read-only mmap of the whole file: Read is a
+// pointer computation plus bounds check — no syscall, no copy into scratch.
+//
+// The mapping length is captured once at open and never grows, which is
+// what makes this safe under the crash simulator: table files are immutable
+// after install, and a reader can never observe bytes past the size the
+// file had when it was opened (pread has the same property via the file's
+// i-size at read time, but a fixed-length mapping makes it structural).
+class PosixMmapReadableFile final : public RandomAccessFile {
+ public:
+  // |base| points to the length-|length| mapping of |filename|; ownership
+  // of the mapping (and one Limiter slot) transfers to this object.
+  PosixMmapReadableFile(std::string filename, char* base, size_t length,
+                        Limiter* limiter)
+      : base_(base), length_(length), limiter_(limiter),
+        filename_(std::move(filename)) {}
+
+  ~PosixMmapReadableFile() override {
+    // io: unlocked -- mapping teardown at file close
+    ::munmap(static_cast<void*>(base_), length_);
+    limiter_->Release();
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    // pread-equivalent EOF semantics: reads at or past the end return an
+    // empty/short slice with OK, not an error (callers detect truncation
+    // by result size, see table/format.cc).
+    (void)scratch;
+    if (offset >= length_) {
+      *result = Slice();
+      return Status::OK();
+    }
+    *result = Slice(base_ + offset, std::min(n, length_ - offset));
+    return Status::OK();
+  }
+
+ private:
+  char* const base_;
+  const size_t length_;
+  Limiter* const limiter_;
   const std::string filename_;
 };
 
@@ -172,10 +240,15 @@ class PosixWritableFile final : public WritableFile {
   const std::string filename_;
 };
 
+// Up to 1000 mmapped files on 64-bit (virtual address space is effectively
+// free there); 0 on 32-bit, where maps of multi-MB tables would exhaust it.
+constexpr int kDefaultMmapBudget = (sizeof(void*) >= 8) ? 1000 : 0;
+
 class PosixEnv : public Env {
  public:
-  explicit PosixEnv(bool unbuffered_writes = false)
-      : unbuffered_writes_(unbuffered_writes) {}
+  explicit PosixEnv(bool unbuffered_writes = false, int mmap_budget = -1)
+      : unbuffered_writes_(unbuffered_writes),
+        mmap_limiter_(mmap_budget >= 0 ? mmap_budget : kDefaultMmapBudget) {}
 
   Status NewSequentialFile(const std::string& filename,
                            std::unique_ptr<SequentialFile>* result) override {
@@ -195,6 +268,24 @@ class PosixEnv : public Env {
     if (fd < 0) {
       result->reset();
       return PosixError(filename, errno);
+    }
+    // Serve via mmap while the budget lasts; empty files (mmap of length 0
+    // is EINVAL) and mapping failures fall back to pread. The fd is only
+    // needed to establish the mapping.
+    if (mmap_limiter_.Acquire()) {
+      struct ::stat file_stat;
+      if (::fstat(fd, &file_stat) == 0 && file_stat.st_size > 0) {
+        const size_t length = static_cast<size_t>(file_stat.st_size);
+        // io: unlocked -- one-time mapping; length fixed at open
+        void* base = ::mmap(nullptr, length, PROT_READ, MAP_SHARED, fd, 0);
+        if (base != MAP_FAILED) {
+          ::close(fd);
+          result->reset(new PosixMmapReadableFile(
+              filename, static_cast<char*>(base), length, &mmap_limiter_));
+          return Status::OK();
+        }
+      }
+      mmap_limiter_.Release();
     }
     result->reset(new PosixRandomAccessFile(filename, fd));
     return Status::OK();
@@ -285,6 +376,7 @@ class PosixEnv : public Env {
 
  private:
   const bool unbuffered_writes_;
+  Limiter mmap_limiter_;
   BackgroundScheduler scheduler_;
 };
 
@@ -295,9 +387,9 @@ Env* DefaultEnv() {
   return &env;
 }
 
-Env* NewPosixEnv(bool unbuffered_writes) {
+Env* NewPosixEnv(bool unbuffered_writes, int mmap_budget) {
   // Ownership passes to the caller (see the declaration in env.h).
-  return std::make_unique<PosixEnv>(unbuffered_writes).release();
+  return std::make_unique<PosixEnv>(unbuffered_writes, mmap_budget).release();
 }
 
 }  // namespace acheron

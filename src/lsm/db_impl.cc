@@ -12,6 +12,7 @@
 #include "src/lsm/write_batch_internal.h"
 #include "src/memtable/memtable.h"
 #include "src/table/table_builder.h"
+#include "src/util/bloom.h"
 #include "src/util/clock.h"
 #include "src/wal/log_reader.h"
 
@@ -107,6 +108,8 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
                                                   : BytewiseComparator()),
       options_(SanitizeOptions(dbname, raw_options)),
       owns_cache_(options_.block_cache == nullptr),
+      owns_filter_policy_(options_.filter_policy == nullptr &&
+                          options_.filter_bits_per_key > 0),
       dbname_(dbname),
       mem_(nullptr),
       imm_(nullptr),
@@ -122,11 +125,18 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
   if (owns_cache_) {
     mutable_options->block_cache = NewLRUCache(8 << 20);
   }
+  // One filter policy shared by every table this DB opens or builds
+  // (Table::Open used to allocate one per table).
+  if (owns_filter_policy_) {
+    mutable_options->filter_policy =
+        NewBloomFilterPolicy(options_.filter_bits_per_key);
+  }
   table_cache_ = std::make_unique<TableCache>(dbname_, options_,
                                               options_.max_open_files);
   versions_ = std::make_unique<VersionSet>(dbname_, &options_,
                                            table_cache_.get(),
                                            &internal_comparator_);
+  version_set_lockfree_ = versions_.get();
 }
 
 DBImpl::~DBImpl() {
@@ -137,6 +147,18 @@ DBImpl::~DBImpl() {
   while (bg_compaction_scheduled_ || compaction_active_) {
     background_work_finished_signal_.Wait();
   }
+  // Unpublish and tear down the ReadState chain. The DB contract requires
+  // all reads/iterators to have finished before the destructor runs, so
+  // every retired node's refcount is (or is about to be) zero.
+  ReadState* last = read_state_.exchange(nullptr, std::memory_order_acq_rel);
+  if (last != nullptr) {
+    retired_read_states_.push_back(last);
+    last->refs.fetch_sub(1, std::memory_order_release);  // publication ref
+  }
+  DrainRetiredReadStates();
+  assert(retired_read_states_.empty());
+  for (ReadState* s : free_read_states_) delete s;
+  free_read_states_.clear();
   if (mem_ != nullptr) mem_->Unref();
   if (imm_ != nullptr) imm_->Unref();
   // Best-effort clean-close snapshot: the next Open seeks to it and replays
@@ -148,6 +170,103 @@ DBImpl::~DBImpl() {
   if (owns_cache_) {
     delete options_.block_cache;
   }
+  if (owns_filter_policy_) {
+    delete options_.filter_policy;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ReadState: the lock-free read-path snapshot.
+//
+// Invariants (see DESIGN.md "Read path" for the full argument):
+//  * read_state_ always points at a node whose refcount includes one
+//    "publication" reference; fields of a published node never change.
+//  * Nodes are type-stable: never freed while the DB is open, only moved
+//    retired list -> freelist -> reuse. A reader may therefore bump the
+//    refcount of a stale (even recycled) node safely; the recheck below
+//    ensures it only *uses* the node it actually pinned.
+//  * Teardown (Unref of mem/imm/current) happens only in
+//    DrainRetiredReadStates, always under mutex_, on nodes with zero refs.
+// ---------------------------------------------------------------------------
+
+DBImpl::ReadState* DBImpl::AcquireReadState() {
+  while (true) {
+    ReadState* s = read_state_.load(std::memory_order_acquire);
+    assert(s != nullptr);  // published before the DB is handed out
+    s->refs.fetch_add(1, std::memory_order_relaxed);
+    // Recheck: if s is still published, our reference is guaranteed to be
+    // counted before the publisher's retire-side fetch_sub can drop the
+    // node to zero, so the drain cannot tear it down under us. The acquire
+    // reload synchronizes with the release publication, making the node's
+    // fields (set before publish) visible. If s was swapped out (or even
+    // recycled) between load and ref, retry; the stray ref we drop only
+    // touched the atomic counter of a type-stable node.
+    if (read_state_.load(std::memory_order_acquire) == s) {
+      return s;
+    }
+    s->refs.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void DBImpl::UnrefReadState(void* arg1, void* arg2) {
+  // Readers only drop their count; teardown is the writer side's job. The
+  // release order makes the reader's memtable/version accesses visible to
+  // the drain that observes the zero.
+  DBImpl* db = reinterpret_cast<DBImpl*>(arg1);
+  ReadState* state = reinterpret_cast<ReadState*>(arg2);
+  (void)db;
+  state->refs.fetch_sub(1, std::memory_order_release);
+}
+
+void DBImpl::PublishReadState() {
+  mutex_.AssertHeld();
+  ReadState* s;
+  if (!free_read_states_.empty()) {
+    s = free_read_states_.back();
+    free_read_states_.pop_back();
+  } else {
+    s = new ReadState();
+  }
+  s->mem = mem_;
+  s->imm = imm_;
+  s->current = versions_->current();
+  s->mem->Ref();
+  if (s->imm != nullptr) s->imm->Ref();
+  s->current->Ref();
+  // fetch_add rather than store(1): a racing reader may already have bumped
+  // a recycled node's count (its recheck will fail and it will decrement);
+  // overwriting the count would lose that transient and later underflow.
+  s->refs.fetch_add(1, std::memory_order_relaxed);  // publication ref
+  ReadState* old =
+      read_state_.exchange(s, std::memory_order_acq_rel);  // release s
+  if (old != nullptr) {
+    retired_read_states_.push_back(old);
+    old->refs.fetch_sub(1, std::memory_order_release);  // publication ref
+  }
+  DrainRetiredReadStates();
+}
+
+void DBImpl::DrainRetiredReadStates() {
+  mutex_.AssertHeld();
+  size_t kept = 0;
+  for (size_t i = 0; i < retired_read_states_.size(); i++) {
+    ReadState* s = retired_read_states_[i];
+    if (s->refs.load(std::memory_order_acquire) == 0) {
+      // No reader holds s, and none can complete a new acquisition of it:
+      // it is no longer published, so any racing fetch_add fails its
+      // recheck and backs out having touched only the counter.
+      s->mem->Unref();
+      if (s->imm != nullptr) s->imm->Unref();
+      s->current->Unref();
+      s->mem = nullptr;
+      s->imm = nullptr;
+      s->current = nullptr;
+      free_read_states_.push_back(s);
+    } else {
+      retired_read_states_[kept++] = s;
+    }
+  }
+  retired_read_states_.resize(kept);
 }
 
 Status DBImpl::NewDB() {
@@ -595,6 +714,9 @@ Status DBImpl::CompactMemTable() {
     // The flush installed; its TTL deadline (if any) is now visible to
     // ComputeNextTtlDeadline, so the conservative floor retires.
     pending_ttl_floor_ = UINT64_MAX;
+    // Readers switch to {mem_, no imm, flushed version}; the superseded
+    // state keeps the old version's files live until its readers drain.
+    PublishReadState();
     RemoveObsoleteFiles();
   } else {
     RecordBackgroundError(s);
@@ -828,6 +950,11 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     mem_ = new MemTable(internal_comparator_);
     mem_->Ref();
     stats_.memtable_swaps++;
+    // Publish {new mem_, imm_, current} before the leader's batch lands in
+    // the new memtable: a reader acquiring the pre-swap state still covers
+    // every acked sequence (the swapped memtable is its mem), and readers
+    // from here on see the swap atomically.
+    PublishReadState();
     force = false;  // the swap satisfied the forced flush
     if (options_.background_compactions) {
       MaybeScheduleCompaction();
@@ -893,6 +1020,8 @@ Status DBImpl::MaybeCompact(SequenceNumber horizon) {
       s = versions_->LogAndApply(c->edit(), &mutex_);
       if (!s.ok()) {
         RecordBackgroundError(s);
+      } else {
+        PublishReadState();
       }
       stats_.trivial_move_count++;
     } else {
@@ -1184,6 +1313,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
           persisted_delta, superseded_delta, latency_delta);
     }
     status = InstallCompactionResults(compact);
+    if (status.ok()) {
+      PublishReadState();
+    }
     if (status.ok() && (persisted_delta > 0 || superseded_delta > 0)) {
       // The edit carrying this delta is durable; now (and only now) fold it
       // into the live monitor so journal and monitor agree at every crash
@@ -1219,91 +1351,59 @@ void DBImpl::RecordBackgroundError(const Status& s) {
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
   Status s;
-  MutexLock l(&mutex_);
+  // Lock-free fast path: pin the published ReadState, then read the snapshot
+  // sequence. Order matters for read-your-writes — a completed write W both
+  // (a) landed in a memtable that is part of every state published at or
+  // after W and (b) advanced last_sequence with a release store, so a state
+  // acquired *before* the acquire-load of the sequence covers everything
+  // the sequence admits.
+  ReadState* state = AcquireReadState();
   SequenceNumber snapshot;
   if (options.snapshot != nullptr) {
     snapshot =
         static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
   } else {
-    snapshot = versions_->LastSequence();
+    snapshot = version_set_lockfree_->LastSequenceAcquire();
+  }
+  gets_.fetch_add(1, std::memory_order_relaxed);
+
+  // Look in the active memtable, then the flushing one, then the tables.
+  LookupKey lkey(key, snapshot);
+  if (state->mem->Get(lkey, value, &s)) {
+    // Done
+  } else if (state->imm != nullptr && state->imm->Get(lkey, value, &s)) {
+    // Done
+  } else {
+    s = state->current->Get(options, lkey, value);
   }
 
-  MemTable* mem = mem_;
-  mem->Ref();
-  MemTable* imm = imm_;
-  if (imm != nullptr) imm->Ref();
-  Version* current = versions_->current();
-  current->Ref();
-  stats_.gets++;
-
-  // Unlock while reading from files and memtables
-  {
-    mutex_.Unlock();
-    // Look in the active memtable, then the flushing one, then the tables.
-    LookupKey lkey(key, snapshot);
-    if (mem->Get(lkey, value, &s)) {
-      // Done
-    } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
-      // Done
-    } else {
-      s = current->Get(options, lkey, value);
-    }
-    mutex_.Lock();
-  }
-
-  if (s.ok()) stats_.gets_found++;
-  mem->Unref();
-  if (imm != nullptr) imm->Unref();
-  current->Unref();
+  if (s.ok()) gets_found_.fetch_add(1, std::memory_order_relaxed);
+  ReleaseReadState(state);
   return s;
 }
 
-namespace {
-// Pinned state for a live internal iterator. Ref counts (and the version
-// list) are protected by the DB mutex, and an iterator can be destroyed by
-// any thread at any time, so the cleanup must re-acquire the mutex.
-struct IterState {
-  Mutex* const mu;
-  MemTable* const mem GUARDED_BY(mu);
-  MemTable* const imm GUARDED_BY(mu);  // may be null
-  Version* const version GUARDED_BY(mu);
-
-  IterState(Mutex* mutex, MemTable* m, MemTable* im, Version* v)
-      : mu(mutex), mem(m), imm(im), version(v) {}
-};
-
-void CleanupIteratorState(void* arg1, void* /*arg2*/) {
-  IterState* state = reinterpret_cast<IterState*>(arg1);
-  state->mu->Lock();
-  state->mem->Unref();
-  if (state->imm != nullptr) state->imm->Unref();
-  state->version->Unref();
-  state->mu->Unlock();
-  delete state;
-}
-}  // anonymous namespace
-
 Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
                                       SequenceNumber* latest_snapshot) {
-  MutexLock l(&mutex_);
-  *latest_snapshot = versions_->LastSequence();
+  // Same lock-free acquisition as Get: pin the state first, then read the
+  // sequence, so the snapshot never admits writes the pinned memtables
+  // missed. The ReadState's references back the iterator for its whole
+  // lifetime; cleanup is a single lock-free unref (the writer-side drain
+  // does the actual teardown), so iterator destruction never blocks on or
+  // contends for mutex_ either.
+  ReadState* state = AcquireReadState();
+  *latest_snapshot = version_set_lockfree_->LastSequenceAcquire();
 
   // Collect together all needed child iterators
   std::vector<Iterator*> list;
-  list.push_back(mem_->NewIterator());
-  mem_->Ref();
-  if (imm_ != nullptr) {
-    list.push_back(imm_->NewIterator());
-    imm_->Ref();
+  list.push_back(state->mem->NewIterator());
+  if (state->imm != nullptr) {
+    list.push_back(state->imm->NewIterator());
   }
-  versions_->current()->AddIterators(options, &list);
+  state->current->AddIterators(options, &list);
   Iterator* internal_iter = NewMergingIterator(
       &internal_comparator_, list.data(), static_cast<int>(list.size()));
-  Version* current = versions_->current();
-  current->Ref();
 
-  IterState* cleanup = new IterState(&mutex_, mem_, imm_, current);
-  internal_iter->RegisterCleanup(CleanupIteratorState, cleanup, nullptr);
+  internal_iter->RegisterCleanup(&DBImpl::UnrefReadState, this, state);
   return internal_iter;
 }
 
@@ -1645,12 +1745,17 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     return true;
   } else if (in == "stats") {
     InternalStats merged = stats_;
-    merged.iter_tombstones_skipped =
-        iter_tombstones_skipped_.load(std::memory_order_relaxed);
+    MergeReadPathCounters(&merged);
     merged.manifest_snapshots_written = versions_->manifest_snapshots_written();
     merged.manifest_rotations = versions_->manifest_rotations();
     merged.torn_snapshots_skipped = versions_->torn_snapshots_skipped();
     *value = merged.ToString();
+    return true;
+  } else if (in == "mutex-acquisitions") {
+    // Diagnostic for the lock-free read path: total acquisitions of the DB
+    // mutex since open. A quiesced DB doing N Gets must move this by
+    // exactly 1 (this property call's own lock) regardless of N.
+    *value = std::to_string(mutex_.acquisitions());
     return true;
   } else if (in == "manifest-edits-replayed") {
     // Edits applied after the last valid snapshot in the last Recover; the
@@ -1743,11 +1848,18 @@ DeleteStats DBImpl::GetDeleteStats() {
   return ds;
 }
 
+void DBImpl::MergeReadPathCounters(InternalStats* merged) const {
+  merged->iter_tombstones_skipped =
+      iter_tombstones_skipped_.load(std::memory_order_relaxed);
+  merged->gets = gets_.load(std::memory_order_relaxed);
+  merged->gets_found = gets_found_.load(std::memory_order_relaxed);
+  merged->bloom_useful = table_cache_->filter_negatives_total();
+}
+
 InternalStats DBImpl::GetStats() {
   MutexLock l(&mutex_);
   InternalStats merged = stats_;
-  merged.iter_tombstones_skipped =
-      iter_tombstones_skipped_.load(std::memory_order_relaxed);
+  MergeReadPathCounters(&merged);
   merged.manifest_snapshots_written = versions_->manifest_snapshots_written();
   merged.manifest_rotations = versions_->manifest_rotations();
   merged.torn_snapshots_skipped = versions_->torn_snapshots_skipped();
@@ -1902,6 +2014,7 @@ Status DBImpl::PurgeSecondaryRange(const Slice& threshold) {
     s = versions_->LogAndApply(&edit, &mutex_);
   }
   if (s.ok()) {
+    PublishReadState();
     RecordDeadTableLevels(edit);
     RemoveObsoleteFiles();
   }
@@ -1948,6 +2061,10 @@ Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
     s = impl->versions_->LogAndApply(&edit, &impl->mutex_);
   }
   if (s.ok()) {
+    // First publication: reads become possible the moment Open returns.
+    // Recovery's installs above happened before any reader exists, so they
+    // did not need to publish individually.
+    impl->PublishReadState();
     impl->RemoveObsoleteFiles();
     s = impl->RunCompactions();
   }

@@ -28,8 +28,12 @@
 //    (compaction_active_), because compaction I/O runs unlocked and two
 //    jobs could otherwise pick overlapping inputs.
 //
-// Reads share the mutex only to pin mem_/imm_/version and then proceed
-// lock-free.
+// Reads never take the mutex at all: Get/NewIterator acquire the current
+// ReadState — an immutable, refcounted {mem, imm, version} bundle published
+// by writers with a single atomic pointer store — via a lock-free
+// load+ref+recheck, and read-path counters are relaxed atomics. Retired
+// ReadStates are torn down on the writer side (retire/drain protocol); see
+// the ReadState comment below and DESIGN.md "Read path".
 #ifndef ACHERON_LSM_DB_IMPL_H_
 #define ACHERON_LSM_DB_IMPL_H_
 
@@ -39,6 +43,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/core/compaction_planner.h"
 #include "src/core/persistence_monitor.h"
@@ -97,6 +102,41 @@ class DBImpl : public DB {
   friend class DB;
   struct CompactionState;
   struct Writer;
+
+  // An immutable snapshot of the structures a read needs, published by
+  // writers with one atomic pointer store and acquired by readers with a
+  // lock-free load+ref+recheck. The node's refcount counts the publication
+  // itself (1 while the node is read_state_) plus every in-flight reader.
+  //
+  // Memory is type-stable: nodes are never freed while the DB is open.
+  // Retiring a superseded node moves it to retired_read_states_; the
+  // writer-side drain (under mutex_) tears down nodes whose refcount has
+  // reached zero — Unref'ing mem/imm/current — and recycles them through
+  // free_read_states_. A reader can therefore touch a retired (or even
+  // recycled) node's refcount at any time without a use-after-free; the
+  // recheck of read_state_ after the ref guarantees it only *uses* the
+  // fields of the currently published node.
+  struct ReadState {
+    std::atomic<uint32_t> refs{0};
+    MemTable* mem = nullptr;
+    MemTable* imm = nullptr;  // may be null
+    Version* current = nullptr;
+  };
+
+  // Lock-free: returns the current ReadState with one reference held.
+  ReadState* AcquireReadState() LOCKS_EXCLUDED(mutex_);
+  // Lock-free: drops a reference taken by AcquireReadState. Never tears the
+  // node down — that is deferred to the writer-side drain.
+  void ReleaseReadState(ReadState* state) { UnrefReadState(this, state); }
+  // Iterator-cleanup shape of ReleaseReadState (|arg1| is the DBImpl,
+  // |arg2| the ReadState), so iterator destruction stays mutex-free.
+  static void UnrefReadState(void* arg1, void* arg2);
+  // Re-bundle {mem_, imm_, versions_->current()} into a fresh node, publish
+  // it, retire the predecessor, and drain retired nodes. Called after every
+  // memtable swap / flush install / version install.
+  void PublishReadState() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Tear down retired nodes whose refcount reached zero.
+  void DrainRetiredReadStates() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   Iterator* NewInternalIterator(const ReadOptions&,
                                 SequenceNumber* latest_snapshot)
@@ -191,6 +231,10 @@ class DBImpl : public DB {
   // The oldest sequence number any reader may still need.
   SequenceNumber SmallestSnapshot() const EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
+  // Fold the atomic read-path counters (gets, gets_found, bloom_useful,
+  // iter_tombstones_skipped) into an InternalStats snapshot copy.
+  void MergeReadPathCounters(InternalStats* merged) const;
+
   // Recompute next_ttl_deadline_ from the current version: the earliest
   // logical time at which some file's oldest tombstone will exceed its
   // level's cumulative TTL.
@@ -209,6 +253,7 @@ class DBImpl : public DB {
   const InternalKeyComparator internal_comparator_;
   const Options options_;  // sanitized
   const bool owns_cache_;
+  const bool owns_filter_policy_;
   const std::string dbname_;
 
   // table_cache_ provides its own synchronization.
@@ -279,6 +324,22 @@ class DBImpl : public DB {
 
   std::unique_ptr<VersionSet> versions_ GUARDED_BY(mutex_);
 
+  // Unguarded alias of versions_.get(), set once in the constructor and
+  // never changed. The lock-free read path may reach exactly one member
+  // through it: the atomic last-sequence accessor (LastSequenceAcquire).
+  // Everything else on VersionSet still requires mutex_ via versions_.
+  VersionSet* version_set_lockfree_ = nullptr;
+
+  // The currently published ReadState (acquire/release pairing with
+  // PublishReadState). Null only before DB::Open publishes the first state
+  // and after the destructor tears the last one down.
+  std::atomic<ReadState*> read_state_{nullptr};
+  // Superseded ReadStates awaiting teardown (refcount may still be held by
+  // in-flight readers) and zero-ref nodes ready for reuse. ACQUIRED_AFTER
+  // is implicit: both are only touched with mutex_ already held.
+  std::vector<ReadState*> retired_read_states_ GUARDED_BY(mutex_);
+  std::vector<ReadState*> free_read_states_ GUARDED_BY(mutex_);
+
   CompactionPlanner planner_;  // immutable after construction
   DeletePersistenceMonitor monitor_;  // provides its own synchronization
   InternalStats stats_ GUARDED_BY(mutex_);
@@ -288,6 +349,13 @@ class DBImpl : public DB {
   // counter is atomic rather than folded under mutex_; it is merged into
   // InternalStats snapshots on read.
   std::atomic<uint64_t> iter_tombstones_skipped_{0};
+
+  // Read-path counters. Get never holds mutex_, so these are relaxed
+  // atomics rather than fields of the mutex-guarded stats_; they are merged
+  // into InternalStats snapshots on read, like iter_tombstones_skipped_
+  // above (bloom_useful is merged from the table cache's aggregate).
+  std::atomic<uint64_t> gets_{0};
+  std::atomic<uint64_t> gets_found_{0};
 
   // Logical time at which the next file-TTL expiry fires; writes past this
   // point invoke the compaction machinery even without a flush. UINT64_MAX

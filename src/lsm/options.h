@@ -83,6 +83,12 @@ struct Options {
   // Bloom filter bits per key for SSTable filters; 0 disables filters.
   int filter_bits_per_key = 10;
 
+  // Filter policy shared by every table the DB opens or builds. nullptr =>
+  // when filter_bits_per_key > 0 the DB creates (and owns) one Bloom policy
+  // at Open and threads it through here, so Table::Open no longer allocates
+  // a policy per table. A caller-supplied policy is never freed by the DB.
+  const FilterPolicy* filter_policy = nullptr;
+
   // Max number of open table files cached.
   int max_open_files = 1000;
 

@@ -11,9 +11,11 @@ namespace acheron {
 
 // Externally synchronized: the DBImpl-owned instance is GUARDED_BY
 // DBImpl::mutex_ and mutated only on annotated EXCLUSIVE_LOCKS_REQUIRED
-// paths. The one counter bumped outside the mutex (tombstones skipped by
-// live iterators) lives in DBImpl as an atomic and is merged into the
-// snapshot copy handed out by DB::GetStats()/GetProperty().
+// paths. Counters bumped on lock-free paths -- gets/gets_found on the
+// mutex-free Get hot path, iter_tombstones_skipped by live iterators, and
+// bloom_useful inside table reads -- live as relaxed atomics in DBImpl and
+// TableCache and are merged into the snapshot copy handed out by
+// DB::GetStats()/GetProperty() (see DBImpl::MergeReadPathCounters).
 struct InternalStats {
   // --- write path ---
   uint64_t user_bytes_written = 0;  // key+value bytes accepted from callers

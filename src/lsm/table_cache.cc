@@ -54,6 +54,7 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
       // We do not cache error results so that if the error is transient,
       // or somebody repairs the file, we recover automatically.
     } else {
+      table->SetFilterNegativesSink(&filter_negatives_total_);
       TableAndFile* tf = new TableAndFile;
       tf->file = file.release();
       tf->table = table;

@@ -7,6 +7,7 @@
 #ifndef ACHERON_LSM_TABLE_CACHE_H_
 #define ACHERON_LSM_TABLE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -49,6 +50,13 @@ class TableCache {
   // Evict any entry for the specified file number.
   void Evict(uint64_t file_number);
 
+  // Point lookups answered negatively by a Bloom filter alone, totalled
+  // across every table this cache has opened (including since-evicted
+  // ones). Feeds InternalStats::bloom_useful.
+  uint64_t filter_negatives_total() const {
+    return filter_negatives_total_.load(std::memory_order_relaxed);
+  }
+
  private:
   Status FindTable(uint64_t file_number, uint64_t file_size, Cache::Handle**);
 
@@ -56,6 +64,8 @@ class TableCache {
   const std::string dbname_;
   const Options& options_;
   Cache* cache_;
+  // Aggregate sink installed on every table right after Table::Open.
+  std::atomic<uint64_t> filter_negatives_total_{0};
 };
 
 }  // namespace acheron

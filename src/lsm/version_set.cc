@@ -693,7 +693,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
   }
 
   edit->SetNextFile(next_file_number_);
-  edit->SetLastSequence(last_sequence_);
+  edit->SetLastSequence(LastSequence());
 
   Version* v = new Version(this);
   {
@@ -916,7 +916,7 @@ Status VersionSet::Recover(bool* save_manifest) {
     AppendVersion(v);
     manifest_file_number_ = next_file;
     next_file_number_ = next_file + 1;
-    last_sequence_ = last_sequence;
+    last_sequence_.store(last_sequence, std::memory_order_release);
     log_number_ = log_number;
     journal_state_ = journal;
     manifest_edits_replayed_ = edits_replayed;
@@ -944,7 +944,7 @@ Status VersionSet::WriteSnapshot(wal::Writer* log) {
   edit.SetComparatorName(icmp_.user_comparator()->Name());
   edit.SetLogNumber(log_number_);
   edit.SetNextFile(next_file_number_);
-  edit.SetLastSequence(last_sequence_);
+  edit.SetLastSequence(LastSequence());
   edit.SetMonitorWritten(journal_state_.written);
   edit.SetMonitorDelta(journal_state_.persisted, journal_state_.superseded,
                        journal_state_.latency);
@@ -1092,14 +1092,14 @@ Iterator* VersionSet::MakeInputIterator(Compaction* c) {
 
 bool VersionSet::NeedsCompaction(const CompactionPlanner& planner,
                                  SequenceNumber droppable_horizon) const {
-  CompactionPick pick = planner.Pick(current_, last_sequence_,
+  CompactionPick pick = planner.Pick(current_, LastSequence(),
                                      droppable_horizon, compact_pointer_);
   return !pick.inputs.empty();
 }
 
 Compaction* VersionSet::PickCompaction(const CompactionPlanner& planner,
                                        SequenceNumber droppable_horizon) {
-  CompactionPick pick = planner.Pick(current_, last_sequence_,
+  CompactionPick pick = planner.Pick(current_, LastSequence(),
                                      droppable_horizon, compact_pointer_);
   if (pick.inputs.empty()) {
     return nullptr;

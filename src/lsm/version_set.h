@@ -9,6 +9,7 @@
 #ifndef ACHERON_LSM_VERSION_SET_H_
 #define ACHERON_LSM_VERSION_SET_H_
 
+#include <atomic>
 #include <map>
 #include <set>
 #include <vector>
@@ -212,13 +213,24 @@ class VersionSet {
   // Return the combined file size of all files at the specified level.
   int64_t NumLevelBytes(int level) const;
 
-  // Return the last sequence number.
-  SequenceNumber LastSequence() const { return last_sequence_; }
+  // Return the last sequence number. Relaxed load: sufficient for callers
+  // that already hold the DB mutex (the store side is release anyway).
+  SequenceNumber LastSequence() const {
+    return last_sequence_.load(std::memory_order_relaxed);
+  }
 
-  // Set the last sequence number to s.
+  // Acquire load for lock-free readers (DBImpl::Get / NewIterator). Pairs
+  // with SetLastSequence's release store: a reader that observes sequence S
+  // also observes every memtable insert performed before S was published.
+  SequenceNumber LastSequenceAcquire() const {
+    return last_sequence_.load(std::memory_order_acquire);
+  }
+
+  // Set the last sequence number to s. Release store so lock-free readers
+  // that LastSequenceAcquire() >= s can see all writes committed up to s.
   void SetLastSequence(SequenceNumber s) {
-    assert(s >= last_sequence_);
-    last_sequence_ = s;
+    assert(s >= last_sequence_.load(std::memory_order_relaxed));
+    last_sequence_.store(s, std::memory_order_release);
   }
 
   // Mark the specified file number as used.
@@ -301,7 +313,9 @@ class VersionSet {
   const InternalKeyComparator icmp_;
   uint64_t next_file_number_;
   uint64_t manifest_file_number_;
-  SequenceNumber last_sequence_;
+  // Atomic: read lock-free by the Get/NewIterator hot path (acquire) while
+  // writers advance it under the DB mutex (release).
+  std::atomic<SequenceNumber> last_sequence_;
   uint64_t log_number_;
 
   // Opened lazily.

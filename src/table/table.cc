@@ -13,22 +13,48 @@
 
 namespace acheron {
 
+static void DeleteCachedBlock(const Slice&, void* value);
+static void DeleteCachedFilter(const Slice&, void* value);
+
 struct Table::Rep {
   ~Rep() {
-    delete filter_policy;
-    delete[] filter_data;
-    delete index_block;
+    // Metadata pinned in the block cache is released (the cache's deleter
+    // frees it once it falls out of the LRU); un-cached metadata is owned
+    // directly.
+    if (index_cache_handle != nullptr) {
+      options.block_cache->Release(index_cache_handle);
+    } else {
+      delete index_block;
+    }
+    if (filter_cache_handle != nullptr) {
+      options.block_cache->Release(filter_cache_handle);
+    } else {
+      delete[] filter_data;
+    }
+    delete owned_filter_policy;
   }
 
   Options options;
   Status status;
   RandomAccessFile* file;
   uint64_t cache_id;
-  const FilterPolicy* filter_policy;  // owned
-  const char* filter_data;            // owned; filter block contents
-  Slice filter;                       // view into filter_data
+  // Normally aliases the DB-wide Options::filter_policy; standalone opens
+  // (no policy in Options) fall back to a per-table owned policy so the
+  // old behaviour is preserved for direct Table users.
+  const FilterPolicy* filter_policy;        // may alias owned_filter_policy
+  const FilterPolicy* owned_filter_policy;  // owned; null when shared
+  const char* filter_data;  // filter block bytes; owned unless pinned/mapped
+  Slice filter;             // view into the filter block contents
   TableProperties properties;
-  Block* index_block;
+  Block* index_block;  // owned unless pinned in the block cache
+  // Pinned cache handles for the index block and filter (null without a
+  // block cache): the metadata every lookup touches stays resident for the
+  // table's lifetime, and the cache's memory accounting covers it.
+  Cache::Handle* index_cache_handle;
+  Cache::Handle* filter_cache_handle;
+  // Optional aggregate counter (TableCache's running total across all its
+  // tables), bumped alongside the per-table filter_negatives.
+  std::atomic<uint64_t>* filter_negatives_sink;
   std::atomic<uint64_t> filter_negatives{0};
 };
 
@@ -63,10 +89,20 @@ Status Table::Open(const Options& options, RandomAccessFile* file,
   rep->index_block = new Block(index_block_contents);
   rep->cache_id =
       (options.block_cache ? options.block_cache->NewId() : 0);
-  rep->filter_policy = options.filter_bits_per_key > 0
-                           ? NewBloomFilterPolicy(options.filter_bits_per_key)
-                           : nullptr;
+  rep->owned_filter_policy = nullptr;
+  if (options.filter_policy != nullptr) {
+    rep->filter_policy = options.filter_policy;
+  } else if (options.filter_bits_per_key > 0) {
+    rep->owned_filter_policy =
+        NewBloomFilterPolicy(options.filter_bits_per_key);
+    rep->filter_policy = rep->owned_filter_policy;
+  } else {
+    rep->filter_policy = nullptr;
+  }
   rep->filter_data = nullptr;
+  rep->index_cache_handle = nullptr;
+  rep->filter_cache_handle = nullptr;
+  rep->filter_negatives_sink = nullptr;
 
   // Read the filter block.
   if (rep->filter_policy != nullptr && footer.filter_handle().size() > 0) {
@@ -76,6 +112,29 @@ Status Table::Open(const Options& options, RandomAccessFile* file,
         rep->filter_data = filter_contents.data.data();
       }
       rep->filter = filter_contents.data;
+    }
+  }
+
+  // Pin the index block (and the filter, when it was heap-allocated rather
+  // than a view into the file, e.g. an mmap) in the block cache with a held
+  // handle. Both are consulted on every lookup and live exactly as long as
+  // the table either way; inserting them makes the cache's charge account
+  // for their footprint instead of hiding it, without any per-read cache
+  // lookups. Keys reuse the BlockReader scheme (cache_id, block offset) —
+  // data blocks live at other offsets, so there is no collision.
+  if (options.block_cache != nullptr) {
+    char key_buffer[16];
+    EncodeFixed64(key_buffer, rep->cache_id);
+    EncodeFixed64(key_buffer + 8, footer.index_handle().offset());
+    rep->index_cache_handle = options.block_cache->Insert(
+        Slice(key_buffer, sizeof(key_buffer)), rep->index_block,
+        rep->index_block->size(), &DeleteCachedBlock);
+    if (rep->filter_data != nullptr) {
+      EncodeFixed64(key_buffer + 8, footer.filter_handle().offset());
+      rep->filter_cache_handle = options.block_cache->Insert(
+          Slice(key_buffer, sizeof(key_buffer)),
+          const_cast<char*>(rep->filter_data), rep->filter.size(),
+          &DeleteCachedFilter);
     }
   }
 
@@ -108,6 +167,10 @@ static void DeleteBlock(void* arg, void*) {
 static void DeleteCachedBlock(const Slice&, void* value) {
   Block* block = reinterpret_cast<Block*>(value);
   delete block;
+}
+
+static void DeleteCachedFilter(const Slice&, void* value) {
+  delete[] reinterpret_cast<char*>(value);
 }
 
 static void ReleaseBlock(void* arg, void* h) {
@@ -145,7 +208,13 @@ Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
         s = ReadBlock(table->rep_->file, handle, &contents);
         if (s.ok()) {
           block = new Block(contents);
-          if (contents.cachable && options.fill_cache) {
+          // Cache the parsed Block even when its bytes are a view into an
+          // mmap'd file (contents.cachable false): what the cache saves is
+          // the per-read CRC + restart-array parse, not the bytes. A cached
+          // view Block is unreachable once its Table dies -- cache ids are
+          // never reused and live iterators pin the Table -- and its
+          // deleter frees only the Block object, never unowned data.
+          if (options.fill_cache) {
             cache_handle = block_cache->Insert(key, block, block->size(),
                                                &DeleteCachedBlock);
           }
@@ -193,6 +262,9 @@ Status Table::InternalGet(const ReadOptions& options, const Slice& k,
   if (rep_->filter_policy != nullptr && !rep_->filter.empty() &&
       !rep_->filter_policy->KeyMayMatch(filter_key, rep_->filter)) {
     rep_->filter_negatives.fetch_add(1, std::memory_order_relaxed);
+    if (rep_->filter_negatives_sink != nullptr) {
+      rep_->filter_negatives_sink->fetch_add(1, std::memory_order_relaxed);
+    }
     return s;  // Definitely not present.
   }
 
@@ -253,6 +325,10 @@ const TableProperties& Table::properties() const { return rep_->properties; }
 
 uint64_t Table::filter_negatives() const {
   return rep_->filter_negatives.load(std::memory_order_relaxed);
+}
+
+void Table::SetFilterNegativesSink(std::atomic<uint64_t>* sink) {
+  rep_->filter_negatives_sink = sink;
 }
 
 }  // namespace acheron

@@ -4,6 +4,7 @@
 #ifndef ACHERON_TABLE_TABLE_H_
 #define ACHERON_TABLE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/lsm/options.h"
@@ -66,6 +67,12 @@ class Table {
  private:
   friend class TableCache;
   struct Rep;
+
+  // Install an aggregate counter (e.g. the owning TableCache's running
+  // total) that is bumped alongside the per-table filter_negatives. Must be
+  // set before the table is shared across threads (TableCache sets it right
+  // after Open); |sink| must outlive the table.
+  void SetFilterNegativesSink(std::atomic<uint64_t>* sink);
 
   static Iterator* BlockReader(void*, const ReadOptions&, const Slice&);
 

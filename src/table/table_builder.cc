@@ -22,12 +22,17 @@ struct TableBuilder::Rep {
         index_block(1),
         num_entries(0),
         closed(false),
-        filter_policy(opt.filter_bits_per_key > 0
-                          ? NewBloomFilterPolicy(opt.filter_bits_per_key)
-                          : nullptr),
+        // Prefer the DB-wide shared policy; allocate a per-builder fallback
+        // only for standalone builders whose Options carry none.
+        owned_filter_policy(opt.filter_policy == nullptr &&
+                                    opt.filter_bits_per_key > 0
+                                ? NewBloomFilterPolicy(opt.filter_bits_per_key)
+                                : nullptr),
+        filter_policy(opt.filter_policy != nullptr ? opt.filter_policy
+                                                   : owned_filter_policy),
         pending_index_entry(false) {}
 
-  ~Rep() { delete filter_policy; }
+  ~Rep() { delete owned_filter_policy; }
 
   Options options;
   WritableFile* file;
@@ -38,7 +43,8 @@ struct TableBuilder::Rep {
   std::string last_key;
   int64_t num_entries;
   bool closed;  // Either Finish() or Abandon() has been called.
-  const FilterPolicy* filter_policy;
+  const FilterPolicy* owned_filter_policy;  // null when Options shares one
+  const FilterPolicy* filter_policy;        // may alias owned_filter_policy
   // Keys accumulated for the full-file Bloom filter.
   std::vector<std::string> filter_keys;
   TableProperties properties;

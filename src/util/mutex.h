@@ -9,7 +9,9 @@
 #ifndef ACHERON_UTIL_MUTEX_H_
 #define ACHERON_UTIL_MUTEX_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "src/util/thread_annotations.h"
@@ -25,9 +27,25 @@ class LOCKABLE Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() EXCLUSIVE_LOCK_FUNCTION() { mu_.lock(); }
+  void Lock() EXCLUSIVE_LOCK_FUNCTION() {
+    mu_.lock();
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
   void Unlock() UNLOCK_FUNCTION() { mu_.unlock(); }
-  bool TryLock() EXCLUSIVE_TRYLOCK_FUNCTION(true) { return mu_.try_lock(); }
+  bool TryLock() EXCLUSIVE_TRYLOCK_FUNCTION(true) {
+    if (!mu_.try_lock()) return false;
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Diagnostic: how many times this mutex has been acquired (Lock plus
+  // successful TryLock; CondVar::Wait reacquisitions are not counted). The
+  // lock-free read path asserts its "zero mutex_ acquisitions per Get"
+  // contract against this counter, so it is always compiled in — the cost
+  // is one uncontended relaxed increment on a line the lock already owns.
+  uint64_t acquisitions() const {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
 
   // No-op placeholder for "the caller must hold this mutex" runtime checks;
   // the compile-time counterpart is EXCLUSIVE_LOCKS_REQUIRED on the caller.
@@ -36,6 +54,7 @@ class LOCKABLE Mutex {
  private:
   friend class CondVar;
   std::mutex mu_;
+  std::atomic<uint64_t> acquisitions_{0};
 };
 
 // Condition variable bound to a single Mutex (leveldb's port::CondVar shape).

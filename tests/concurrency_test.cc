@@ -290,6 +290,180 @@ TEST_F(BackgroundConcurrencyTest, DeleteBoundsIdenticalAcrossModes) {
   EXPECT_EQ(run(false), run(true));
 }
 
+// --------------------------------------------------------------------------
+// Lock-free point-lookup hot path (DESIGN.md "Read path"): Gets and
+// iterators pin an atomically published ReadState and never touch the DB
+// mutex. The tests below pin down the zero-mutex property and race reads
+// against every ReadState publish site -- memtable swaps, flush/compaction
+// version installs, and manual CompactRange -- in both pipeline modes.
+// --------------------------------------------------------------------------
+
+TEST_F(ConcurrencyTest, GetTakesNoMutex) {
+  // Spread data across memtable and table files so Gets walk every layer.
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), "v" + Key(i)).ok());
+  }
+  ASSERT_TRUE(db_->WaitForCompactions().ok());
+
+  std::string c0, c1, value;
+  ASSERT_TRUE(db_->GetProperty("acheron.mutex-acquisitions", &c0));
+  Random rnd(21);
+  for (int i = 0; i < 5000; i++) {
+    // ~25% misses so the not-found path is exercised too.
+    Status s = db_->Get(ReadOptions(), Key(rnd.Uniform(4000)), &value);
+    ASSERT_TRUE(s.ok() || s.IsNotFound());
+  }
+  ASSERT_TRUE(db_->GetProperty("acheron.mutex-acquisitions", &c1));
+  // On a quiesced DB the only acquisition between the two samples is the
+  // second property call's own lock: N Gets contribute exactly zero.
+  EXPECT_EQ(std::stoull(c0) + 1, std::stoull(c1));
+}
+
+TEST_F(ConcurrencyTest, IteratorTakesNoMutex) {
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), "v").ok());
+  }
+  ASSERT_TRUE(db_->WaitForCompactions().ok());
+
+  std::string c0, c1;
+  ASSERT_TRUE(db_->GetProperty("acheron.mutex-acquisitions", &c0));
+  {
+    std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+    uint64_t n = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) n++;
+    ASSERT_TRUE(it->status().ok());
+    EXPECT_EQ(2000u, n);
+  }  // destruction = lock-free unref; the writer-side drain cleans up later
+  ASSERT_TRUE(db_->GetProperty("acheron.mutex-acquisitions", &c1));
+  EXPECT_EQ(std::stoull(c0) + 1, std::stoull(c1));
+}
+
+TEST_F(ConcurrencyTest, StatsReadsRaceGets) {
+  // TSan regression: GetProperty("acheron.stats")/GetStats() snapshot the
+  // lock-free read counters (gets, gets_found, bloom_useful) while reader
+  // threads bump them. Any non-atomic access is a reportable race.
+  std::atomic<bool> done{false};
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), "v").ok());
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; t++) {
+    threads.emplace_back([&, t] {
+      Random rnd(60 + t);
+      std::string value;
+      while (!done.load()) {
+        (void)db_->Get(ReadOptions(), Key(rnd.Uniform(600)), &value);
+      }
+    });
+  }
+
+  uint64_t prev_gets = 0;
+  for (int i = 0; i < 2000; i++) {
+    std::string text;
+    ASSERT_TRUE(db_->GetProperty("acheron.stats", &text));
+    const InternalStats stats = db_->GetStats();
+    // The merged snapshot must be internally sane and monotone.
+    EXPECT_GE(stats.gets, stats.gets_found);
+    EXPECT_GE(stats.gets, prev_gets);
+    prev_gets = stats.gets;
+  }
+  done.store(true);
+  for (auto& th : threads) th.join();
+}
+
+TEST_F(BackgroundConcurrencyTest, GetsRaceMemtableSwaps) {
+  // Readers hammer Gets while the writer forces frequent mem_ -> imm_
+  // rotations (16KiB buffer): every swap republishes the ReadState under
+  // the readers' feet. Values encode their key for integrity checking.
+  for (bool background : {false, true}) {
+    TestDB t(background);
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> read_errors{0};
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; r++) {
+      readers.emplace_back([&, r] {
+        Random rnd(80 + r);
+        std::string value;
+        while (!done.load()) {
+          uint64_t k = rnd.Uniform(1500);
+          Status s = t.db->Get(ReadOptions(), Key(k), &value);
+          if (s.ok()) {
+            if (value.rfind("val_" + Key(k) + "_", 0) != 0) {
+              read_errors.fetch_add(1);
+            }
+          } else if (!s.IsNotFound()) {
+            read_errors.fetch_add(1);
+          }
+        }
+      });
+    }
+
+    Random rnd(17);
+    for (int i = 0; i < 20000; i++) {
+      uint64_t k = rnd.Uniform(1500);
+      ASSERT_TRUE(t.db->Put(WriteOptions(), Key(k),
+                            "val_" + Key(k) + "_" + std::to_string(i))
+                      .ok());
+    }
+    done.store(true);
+    for (auto& r : readers) r.join();
+    ASSERT_TRUE(t.db->WaitForCompactions().ok());
+
+    EXPECT_EQ(0u, read_errors.load()) << "background=" << background;
+    // The workload really did rotate memtables (and install the flushed
+    // results as new versions) while readers were live.
+    EXPECT_GT(t.db->GetStats().memtable_swaps, 10u);
+    EXPECT_GT(t.db->GetStats().flush_count, 0u);
+  }
+}
+
+TEST_F(BackgroundConcurrencyTest, GetsRaceCompactRange) {
+  // Manual full-range compactions rewrite every level and republish the
+  // ReadState once per installed output; readers must never observe a
+  // missing or stale value for the stable key range.
+  for (bool background : {false, true}) {
+    TestDB t(background);
+    const int kStable = 400;
+    for (int i = 0; i < kStable; i++) {
+      ASSERT_TRUE(t.db->Put(WriteOptions(), Key(i), "stable").ok());
+    }
+    // Churn a disjoint range so compactions have real work.
+    Random rnd(23);
+    for (int i = 0; i < 8000; i++) {
+      ASSERT_TRUE(
+          t.db->Put(WriteOptions(), Key(1000 + rnd.Uniform(1000)), "x").ok());
+    }
+
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> read_errors{0};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; r++) {
+      readers.emplace_back([&, r] {
+        Random rr(90 + r);
+        std::string value;
+        while (!done.load()) {
+          uint64_t k = rr.Uniform(kStable);
+          Status s = t.db->Get(ReadOptions(), Key(k), &value);
+          if (!s.ok() || value != "stable") read_errors.fetch_add(1);
+        }
+      });
+    }
+
+    for (int round = 0; round < 4; round++) {
+      t.db->CompactRange(nullptr, nullptr);
+    }
+    ASSERT_TRUE(t.db->WaitForCompactions().ok());
+    done.store(true);
+    for (auto& r : readers) r.join();
+
+    EXPECT_EQ(0u, read_errors.load()) << "background=" << background;
+    EXPECT_GT(t.db->GetStats().compaction_count, 0u)
+        << "background=" << background;
+  }
+}
+
 TEST_F(BackgroundConcurrencyTest, GroupCommitBatchesWalSyncs) {
   TestDB t(/*background=*/true);
   const int kWriters = 4, kPerThread = 4000;

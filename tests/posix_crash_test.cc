@@ -88,5 +88,120 @@ TEST(PosixCrashShard, SampledMatrixSync) { RunPosixShard(false); }
 
 TEST(PosixCrashShard, SampledMatrixBackground) { RunPosixShard(true); }
 
+// --------------------------------------------------------------------------
+// mmap read path under crash simulation. PosixEnv serves RandomAccessFiles
+// via a fixed-length read-only mapping taken at open (see posix_env.cc); a
+// crash that drops unsynced data must leave a reopened reader seeing
+// exactly the synced prefix -- never a torn tail -- and the mmap and pread
+// (budget=0) paths must agree byte-for-byte.
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Reads the whole of |fname| through |env| and appends EOF probes: a read
+// starting at the persisted length must come back empty with OK, a read
+// straddling it must come back short.
+void ReadBackAndProbe(Env* env, const std::string& fname,
+                      uint64_t persisted, std::string* contents) {
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env->NewRandomAccessFile(fname, &file).ok());
+
+  std::vector<char> scratch(persisted + 4096);
+  Slice result;
+  ASSERT_TRUE(file->Read(0, persisted + 4096, &result, scratch.data()).ok());
+  ASSERT_EQ(persisted, result.size()) << "observed bytes past synced prefix";
+  contents->assign(result.data(), result.size());
+
+  ASSERT_TRUE(file->Read(persisted, 64, &result, scratch.data()).ok());
+  EXPECT_EQ(0u, result.size()) << "read at EOF must be empty, not torn";
+  if (persisted >= 16) {
+    ASSERT_TRUE(
+        file->Read(persisted - 16, 4096, &result, scratch.data()).ok());
+    EXPECT_EQ(16u, result.size()) << "straddling read must clamp at EOF";
+  }
+}
+
+}  // namespace
+
+TEST(PosixMmapCrash, MmapNeverObservesPastSyncedPrefix) {
+  const std::string dir = "posix_mmap_crash_scratch";
+  const std::string fname = dir + "/table.dat";
+  std::unique_ptr<Env> base(NewPosixEnv(/*unbuffered_writes=*/true));
+  FaultInjectionEnv fenv(base.get());
+  ASSERT_TRUE(fenv.CreateDir(dir).ok());
+  if (fenv.FileExists(fname)) ASSERT_TRUE(fenv.RemoveFile(fname).ok());
+
+  // 8KiB synced 'A' prefix, then 8KiB of unsynced 'B' that the crash drops.
+  const std::string synced(8192, 'A');
+  const std::string unsynced(8192, 'B');
+  {
+    std::unique_ptr<WritableFile> wf;
+    ASSERT_TRUE(fenv.NewWritableFile(fname, &wf).ok());
+    ASSERT_TRUE(wf->Append(synced).ok());
+    ASSERT_TRUE(wf->Sync().ok());
+    ASSERT_TRUE(wf->Append(unsynced).ok());
+    ASSERT_TRUE(wf->Close().ok());  // close(2) does not imply durability
+  }
+  ASSERT_TRUE(
+      fenv.CrashAndRestart(FaultInjectionEnv::CrashDataPolicy::kDropUnsynced)
+          .ok());
+
+  // Reopened through the default (mmap-serving) env: the mapping length is
+  // captured post-crash, so the reader structurally cannot see 'B' bytes.
+  std::string via_mmap;
+  ReadBackAndProbe(&fenv, fname, synced.size(), &via_mmap);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(synced, via_mmap);
+
+  // Equivalence: a pread-only env (mmap budget 0) must agree byte-for-byte.
+  std::unique_ptr<Env> pread_env(
+      NewPosixEnv(/*unbuffered_writes=*/true, /*mmap_budget=*/0));
+  std::string via_pread;
+  ReadBackAndProbe(pread_env.get(), fname, synced.size(), &via_pread);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(via_mmap, via_pread);
+
+  ASSERT_TRUE(fenv.RemoveFile(fname).ok());
+  ASSERT_TRUE(fenv.RemoveDir(dir).ok());
+}
+
+TEST(PosixMmapCrash, BudgetExhaustionFallsBackToPread) {
+  // With a budget of one mapping, the second open must transparently fall
+  // back to pread and still serve identical bytes; releasing the first
+  // reader hands its slot to a later open.
+  const std::string dir = "posix_mmap_budget_scratch";
+  std::unique_ptr<Env> env(
+      NewPosixEnv(/*unbuffered_writes=*/false, /*mmap_budget=*/1));
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+
+  const std::string payload = "acheron-mmap-budget-payload";
+  std::vector<std::string> names;
+  for (int i = 0; i < 3; i++) {
+    names.push_back(dir + "/f" + std::to_string(i));
+    ASSERT_TRUE(env->WriteStringToFile(payload, names.back()).ok());
+  }
+
+  char scratch[64];
+  Slice result;
+  {
+    std::unique_ptr<RandomAccessFile> a, b;
+    ASSERT_TRUE(env->NewRandomAccessFile(names[0], &a).ok());  // takes slot
+    ASSERT_TRUE(env->NewRandomAccessFile(names[1], &b).ok());  // pread path
+    ASSERT_TRUE(a->Read(0, sizeof(scratch), &result, scratch).ok());
+    EXPECT_EQ(payload, result.ToString());
+    ASSERT_TRUE(b->Read(0, sizeof(scratch), &result, scratch).ok());
+    EXPECT_EQ(payload, result.ToString());
+  }  // both closed: the mmap slot is back
+
+  std::unique_ptr<RandomAccessFile> c;
+  ASSERT_TRUE(env->NewRandomAccessFile(names[2], &c).ok());
+  ASSERT_TRUE(c->Read(0, sizeof(scratch), &result, scratch).ok());
+  EXPECT_EQ(payload, result.ToString());
+  c.reset();
+
+  for (const auto& n : names) ASSERT_TRUE(env->RemoveFile(n).ok());
+  ASSERT_TRUE(env->RemoveDir(dir).ok());
+}
+
 }  // namespace
 }  // namespace acheron

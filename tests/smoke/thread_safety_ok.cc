@@ -7,6 +7,8 @@
 // include path) cannot masquerade as "the violation was caught".
 //
 // NOT part of any build target -- compiled standalone by the smoke test.
+#include <vector>
+
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
 
@@ -22,9 +24,36 @@ class Guarded {
 
 }  // namespace
 
+namespace {
+
+// Well-locked twin of the RetireList violation: the retire/free lists of
+// the lock-free read path are GUARDED_BY the mutex even though the
+// published pointer itself is an atomic (see DBImpl::retired_read_states_).
+class RetireList {
+ public:
+  void Retire(int* p) EXCLUSIVE_LOCKS_REQUIRED(mu_) {
+    retired_.push_back(p);
+  }
+  void Drain() EXCLUSIVE_LOCKS_REQUIRED(mu_) { retired_.clear(); }
+
+  acheron::Mutex mu_;
+  std::vector<int*> retired_ GUARDED_BY(mu_);
+};
+
+}  // namespace
+
 int UseWithLockHeld() {
   Guarded g;
   acheron::MutexLock l(&g.mu_);
   g.MustHoldLock();
   return g.value_;
+}
+
+int UseRetireListWithLockHeld() {
+  RetireList r;
+  static int x;
+  acheron::MutexLock l(&r.mu_);
+  r.Retire(&x);
+  r.Drain();
+  return static_cast<int>(r.retired_.size());
 }

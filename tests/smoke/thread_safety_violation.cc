@@ -8,6 +8,8 @@
 // compiles under the flags above, the annotation enforcement is broken.
 //
 // NOT part of any build target -- compiled standalone by the smoke test.
+#include <vector>
+
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
 
@@ -23,8 +25,34 @@ class Guarded {
 
 }  // namespace
 
+namespace {
+
+// Mirrors the lock-free read path's writer-side state: the retire/free
+// lists are GUARDED_BY the mutex even though the published pointer itself
+// is an atomic (see DBImpl::retired_read_states_).
+class RetireList {
+ public:
+  void Retire(int* p) EXCLUSIVE_LOCKS_REQUIRED(mu_) {
+    retired_.push_back(p);
+  }
+  void Drain() EXCLUSIVE_LOCKS_REQUIRED(mu_) { retired_.clear(); }
+
+  acheron::Mutex mu_;
+  std::vector<int*> retired_ GUARDED_BY(mu_);
+};
+
+}  // namespace
+
 int ViolateThreadSafety() {
   Guarded g;
   g.MustHoldLock();     // ERROR: mu_ not held
   return g.value_;      // ERROR: reading value_ without mu_
+}
+
+int ViolateRetireList() {
+  RetireList r;
+  static int x;
+  r.Retire(&x);                           // ERROR: mu_ not held
+  r.Drain();                              // ERROR: mu_ not held
+  return static_cast<int>(r.retired_.size());  // ERROR: unguarded read
 }

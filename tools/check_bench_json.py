@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Schema gate for micro_engine --json output.
+
+bench-smoke.json is one JSON object per line (runs append). Downstream
+tooling (CI trend scraping, the experiment scripts in bench/) indexes these
+records by exact key; a silent rename or type change corrupts every
+consumer, so CI fails on any drift from the schema pinned here. Extending
+the schema is a deliberate act: add the key below in the same change that
+adds it to bench_common.h's WriteJsonResult.
+
+Usage:
+  tools/check_bench_json.py <file.json> [--require <bench-name>]...
+
+--require asserts at least one record with that "bench" value is present
+(used by CI to prove the readrandom leg actually ran).
+"""
+import json
+import sys
+
+# key -> allowed JSON types; nested dicts pin their sub-schema exactly.
+SCHEMA = {
+    "bench": str,
+    "threads": int,
+    "ops": int,
+    "ops_per_sec": (int, float),
+    "latency_micros": {
+        "p50": (int, float),
+        "p99": (int, float),
+        "max": (int, float),
+    },
+    "stalls": {
+        "slowdown_writes": int,
+        "stop_writes": int,
+        "memtable_waits": int,
+        "ttl_waits": int,
+        "stall_micros": int,
+    },
+    "commit": {
+        "wal_syncs": int,
+        "group_commits": int,
+        "writes_grouped": int,
+    },
+    "background": {
+        "jobs_scheduled": int,
+        "memtable_swaps": int,
+    },
+    "compactions": int,
+    "write_amplification": (int, float),
+}
+
+KNOWN_BENCHES = {"fillrandom", "readrandom", "readwhilewriting"}
+
+
+def check_object(obj, schema, path, errors):
+    if not isinstance(obj, dict):
+        errors.append(f"{path}: expected object, got {type(obj).__name__}")
+        return
+    missing = schema.keys() - obj.keys()
+    extra = obj.keys() - schema.keys()
+    for k in sorted(missing):
+        errors.append(f"{path}.{k}: missing key")
+    for k in sorted(extra):
+        errors.append(f"{path}.{k}: unexpected key (schema drift)")
+    for k, want in schema.items():
+        if k not in obj:
+            continue
+        if isinstance(want, dict):
+            check_object(obj[k], want, f"{path}.{k}", errors)
+        elif not isinstance(obj[k], want) or isinstance(obj[k], bool):
+            errors.append(
+                f"{path}.{k}: expected {want}, got {type(obj[k]).__name__}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    required = set()
+    args = argv[2:]
+    while args:
+        if args[0] == "--require" and len(args) >= 2:
+            required.add(args[1])
+            args = args[2:]
+        else:
+            print(f"unknown argument: {args[0]}", file=sys.stderr)
+            return 2
+
+    errors = []
+    seen_benches = set()
+    with open(path) as f:
+        lines = [ln for ln in f if ln.strip()]
+    if not lines:
+        errors.append(f"{path}: no records")
+    for i, line in enumerate(lines, 1):
+        where = f"{path}:{i}"
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"{where}: not valid JSON: {e}")
+            continue
+        check_object(obj, SCHEMA, where, errors)
+        bench = obj.get("bench")
+        if isinstance(bench, str):
+            seen_benches.add(bench)
+            if bench not in KNOWN_BENCHES:
+                errors.append(f"{where}: unknown bench name {bench!r}")
+
+    for name in sorted(required - seen_benches):
+        errors.append(f"{path}: no record for required bench {name!r}")
+
+    for e in errors:
+        print(f"check_bench_json: {e}", file=sys.stderr)
+    if errors:
+        print(f"check_bench_json: FAILED with {len(errors)} problem(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_bench_json: OK ({len(lines)} record(s), "
+          f"benches: {', '.join(sorted(seen_benches))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -167,6 +167,27 @@ for io_file in src/lsm/db_impl.cc src/lsm/version_set.cc src/lsm/repair.cc; do
   fi
 done
 
+# posix_env.cc implements the Env rather than calling one, so its marker
+# check keys on the mmap machinery instead of env_->: mapping setup and
+# teardown must each say which side of the DB mutex they run on.
+echo "lint: checking // io: markers on mmap/munmap in src/env/posix_env.cc..."
+unmarked=$(awk '
+  { line[NR] = $0 }
+  /\/\/ io:/ { marker[NR] = 1 }
+  /::mmap\(|::munmap\(/ { call[NR] = 1 }
+  END {
+    for (n in call) {
+      covered = 0
+      for (d = -2; d <= 2; d++) if (marker[n + d]) covered = 1
+      if (!covered) print FILENAME ":" n ": " line[n]
+    }
+  }
+' src/env/posix_env.cc)
+if [ -n "$unmarked" ]; then
+  fail "src/env/posix_env.cc: mmap/munmap call without an // io: marker:"
+  echo "$unmarked" | sed 's/^/    /' >&2
+fi
+
 # ---------------------------------------------------------------------------
 # 5. clang-tidy over src/ (uses .clang-tidy at the repo root).
 # ---------------------------------------------------------------------------
