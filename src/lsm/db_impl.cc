@@ -2081,6 +2081,7 @@ Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
 Status DestroyDB(const std::string& dbname, const Options& options) {
   Env* env = options.env ? options.env : DefaultEnv();
   std::vector<std::string> filenames;
+  // io: unlocked -- DestroyDB runs with no DB open, so no DB mutex exists
   Status result = env->GetChildren(dbname, &filenames);
   if (!result.ok()) {
     // Ignore error in case directory does not exist
@@ -2091,14 +2092,15 @@ Status DestroyDB(const std::string& dbname, const Options& options) {
   FileType type;
   for (size_t i = 0; i < filenames.size(); i++) {
     if (ParseFileName(filenames[i], &number, &type)) {
-      Status del = env->RemoveFile(dbname + "/" + filenames[i]);
+      Status del =
+          env->RemoveFile(dbname + "/" + filenames[i]);  // io: unlocked
       if (result.ok() && !del.ok()) {
         result = del;
       }
     }
   }
   // Ignore error in case dir contains other files.
-  (void)env->RemoveDir(dbname);
+  (void)env->RemoveDir(dbname);  // io: unlocked
   return result;
 }
 

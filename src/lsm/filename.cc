@@ -100,12 +100,15 @@ Status SetCurrentFile(Env* env, const std::string& dbname,
   assert(contents.starts_with(dbname + "/"));
   contents.remove_prefix(dbname.size() + 1);
   std::string tmp = TempFileName(dbname, descriptor_number);
+  // io: unlocked -- callers (LogAndApply, repair) release the DB mutex
+  // around CURRENT rotation
   Status s = env->WriteStringToFile(contents.ToString() + "\n", tmp);
   if (s.ok()) {
-    s = env->RenameFile(tmp, CurrentFileName(dbname));
+    s = env->RenameFile(tmp, CurrentFileName(dbname));  // io: unlocked
   }
   if (!s.ok()) {
-    (void)env->RemoveFile(tmp);  // best-effort cleanup; s already reports
+    // io: unlocked -- best-effort cleanup; s already reports the failure
+    (void)env->RemoveFile(tmp);
   }
   return s;
 }

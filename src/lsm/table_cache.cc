@@ -44,7 +44,7 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
     std::string fname = TableFileName(dbname_, file_number);
     std::unique_ptr<RandomAccessFile> file;
     Table* table = nullptr;
-    s = env_->NewRandomAccessFile(fname, &file);
+    s = env_->NewRandomAccessFile(fname, &file);  // io: unlocked
     if (s.ok()) {
       s = Table::Open(options_, file.get(), file_size, &table);
     }

@@ -10,6 +10,7 @@ namespace workload {
 Status TraceWriter::Open(Env* env, const std::string& path,
                          std::unique_ptr<TraceWriter>* writer) {
   writer->reset(new TraceWriter());
+  // io: unlocked -- trace files are workload-harness state, not DB state
   Status s = env->NewWritableFile(path, &(*writer)->file_);
   if (!s.ok()) {
     writer->reset();
@@ -42,7 +43,7 @@ Status TraceWriter::Finish() {
 Status TraceReader::Open(Env* env, const std::string& path,
                          std::unique_ptr<TraceReader>* reader) {
   reader->reset(new TraceReader());
-  Status s = env->NewSequentialFile(path, &(*reader)->file_);
+  Status s = env->NewSequentialFile(path, &(*reader)->file_);  // io: unlocked
   if (!s.ok()) {
     reader->reset();
     return s;

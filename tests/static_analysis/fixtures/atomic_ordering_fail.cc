@@ -1,0 +1,30 @@
+// acheron-check fixture: atomic-ordering, must FAIL.
+//
+// Three violations: an implicit-seq_cst store (no memory order argument),
+// a pointer-publication store that is not release, and operator sugar on
+// an atomic counter.
+
+#include <atomic>
+
+struct ReadState {
+  int sequence;
+};
+
+class Publisher {
+ public:
+  void BadImplicit(ReadState* next) {
+    state_.store(next);  // implicit seq_cst: ordering must be stated
+  }
+
+  void BadRelaxedPublish(ReadState* next) {
+    state_.store(next, std::memory_order_relaxed);  // must be release
+  }
+
+  void BadSugar() {
+    hits_++;  // operator sugar is an implicit seq_cst RMW
+  }
+
+ private:
+  std::atomic<ReadState*> state_{nullptr};
+  std::atomic<unsigned long> hits_{0};
+};

@@ -1,0 +1,34 @@
+// acheron-check fixture: atomic-ordering, must PASS.
+//
+// Every atomic access states its memory order, and the pointer-publication
+// member (state_) pairs release stores with acquire loads -- the ReadState
+// protocol from src/lsm/db_impl.h.
+
+#include <atomic>
+
+struct ReadState {
+  int sequence;
+};
+
+class Publisher {
+ public:
+  void Publish(ReadState* next) {
+    state_.store(next, std::memory_order_release);
+  }
+
+  ReadState* Snapshot() {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  void CountHit() {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  unsigned long Hits() {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<ReadState*> state_{nullptr};
+  std::atomic<unsigned long> hits_{0};
+};

@@ -1,0 +1,23 @@
+// acheron-check fixture: guarded-by coverage ratchet, must FAIL.
+//
+// Ledger owns a Mutex but its mutable member balance_ is neither
+// GUARDED_BY, atomic, const, nor on the baseline allowlist.
+
+#include <atomic>
+
+#define GUARDED_BY(x) __attribute__((guarded_by(x)))
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+class Ledger {
+ public:
+  void Credit();
+
+ private:
+  Mutex mu_;
+  int count_ GUARDED_BY(mu_);
+  int balance_;  // unguarded and not baselined: the ratchet must reject it
+};

@@ -1,0 +1,26 @@
+// acheron-check fixture: guarded-by coverage ratchet, must PASS.
+//
+// Registry owns a Mutex, so every mutable member must be GUARDED_BY,
+// atomic, or const -- except legacy_, which is carried by an entry in
+// fixtures/guarded_by_baseline.txt (with a reason).
+
+#include <atomic>
+
+#define GUARDED_BY(x) __attribute__((guarded_by(x)))
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+class Registry {
+ public:
+  void Bump();
+
+ private:
+  Mutex mu_;
+  int count_ GUARDED_BY(mu_);
+  std::atomic<int> hits_{0};
+  const int limit_ = 3;
+  int legacy_;  // unguarded by design; listed in the fixture baseline
+};

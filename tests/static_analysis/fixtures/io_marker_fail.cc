@@ -1,0 +1,23 @@
+// acheron-check fixture: io-marker, must FAIL.
+//
+// The Env call below carries no `// io:` marker, so a reader cannot tell
+// which side of the DB mutex the I/O runs on.
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+struct Env {
+  Status RemoveFile(const char* fname);
+};
+
+class Sweeper {
+ public:
+  void Sweep() {
+    (void)env_->RemoveFile("000001.ldb");
+  }
+
+ private:
+  Env* env_ = nullptr;
+};

@@ -1,0 +1,32 @@
+// acheron-check fixture: io-marker, must PASS.
+//
+// Every Env call carries an `// io:` marker -- same line, the line above,
+// or the top of a contiguous comment block -- and one site demonstrates
+// the justification-comment suppression syntax.
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+struct Env {
+  Status RemoveFile(const char* fname);
+  Status GetChildren(const char* dir, int* out);
+};
+
+class Sweeper {
+ public:
+  void Sweep() {
+    (void)env_->RemoveFile("000001.ldb");  // io: unlocked
+
+    // io: unlocked -- batch cleanup happens after the DB mutex is
+    // released, so this multi-line comment block covers the call below.
+    (void)env_->RemoveFile("000002.ldb");
+
+    // acheron: allow(io-marker) -- fixture demonstrates suppression
+    (void)env_->GetChildren("db", nullptr);
+  }
+
+ private:
+  Env* env_ = nullptr;
+};

@@ -1,0 +1,31 @@
+// acheron-check fixture: lock-order, must FAIL.
+//
+// fixtures/lock_order.txt declares Engine::outer_mu_ before
+// Engine::inner_mu_; Bad() acquires them in the opposite order, which is
+// exactly the deadlock-shaped edge the checker exists to reject.
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+class Engine {
+ public:
+  void Good() {
+    MutexLock l(&outer_mu_);
+    MutexLock l2(&inner_mu_);
+  }
+
+  void Bad() {
+    MutexLock l(&inner_mu_);
+    MutexLock l2(&outer_mu_);  // violates the declared order
+  }
+
+ private:
+  Mutex outer_mu_;
+  Mutex inner_mu_;
+};

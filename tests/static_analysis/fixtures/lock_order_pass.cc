@@ -1,0 +1,38 @@
+// acheron-check fixture: lock-order, must PASS.
+//
+// Outer::mu_ is declared before Inner::mu_ in fixtures/lock_order.txt, and
+// the only nesting here acquires them in exactly that order (Outer::Run
+// holds its lock across a call into Inner::Touch).
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+class Inner {
+ public:
+  void Touch() {
+    MutexLock l(&mu_);
+    count_ = count_ + 1;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ = 0;
+};
+
+class Outer {
+ public:
+  void Run() {
+    MutexLock l(&mu_);
+    inner_->Touch();
+  }
+
+ private:
+  Mutex mu_;
+  Inner* inner_ = nullptr;
+};

@@ -1,0 +1,45 @@
+// acheron-check fixture: sync-before-install, must FAIL.
+//
+// FlushTable creates a table output file and installs the version edit
+// without ever calling WritableFile::Sync: a crash after LogAndApply's
+// manifest write would leave a durable version pointing at a torn table.
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+struct WritableFile {
+  Status Sync();
+  Status Close();
+};
+
+struct Env {
+  Status NewWritableFile(const char* fname, WritableFile** file);
+};
+
+const char* TableFileName(int number);
+
+class VersionSetStub {
+ public:
+  Status LogAndApply(int edit);
+};
+
+class Flusher {
+ public:
+  Status FlushTable() {
+    WritableFile* file = nullptr;
+    Status s = env_->NewWritableFile(TableFileName(7), &file);
+    if (s.ok()) {
+      s = file->Close();  // closed but never synced
+    }
+    if (s.ok()) {
+      s = versions_->LogAndApply(0);  // installs a possibly-torn table
+    }
+    return s;
+  }
+
+ private:
+  Env* env_ = nullptr;
+  VersionSetStub* versions_ = nullptr;
+};

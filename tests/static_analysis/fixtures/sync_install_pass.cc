@@ -1,0 +1,45 @@
+// acheron-check fixture: sync-before-install, must PASS.
+//
+// FlushTable creates a table output file (NewWritableFile on a
+// TableFileName), Syncs it, and only then installs the version edit via
+// LogAndApply -- the PR-3 crash-matrix invariant, in miniature.
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+struct WritableFile {
+  Status Sync();
+  Status Close();
+};
+
+struct Env {
+  Status NewWritableFile(const char* fname, WritableFile** file);
+};
+
+const char* TableFileName(int number);
+
+class VersionSetStub {
+ public:
+  Status LogAndApply(int edit);
+};
+
+class Flusher {
+ public:
+  Status FlushTable() {
+    WritableFile* file = nullptr;
+    Status s = env_->NewWritableFile(TableFileName(7), &file);
+    if (s.ok()) {
+      s = file->Sync();  // durable before the manifest references it
+    }
+    if (s.ok()) {
+      s = versions_->LogAndApply(0);
+    }
+    return s;
+  }
+
+ private:
+  Env* env_ = nullptr;
+  VersionSetStub* versions_ = nullptr;
+};

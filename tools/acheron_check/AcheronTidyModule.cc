@@ -1,0 +1,49 @@
+//===--- AcheronTidyModule.cc - acheron-check clang-tidy module ----------===//
+//
+// Registers the five Acheron invariant checks as a clang-tidy plugin
+// module. Load with:
+//
+//   clang-tidy -load libacheron_check.so -checks='acheron-*' ...
+//
+// The checks mirror tools/acheron_check.py (the portable Python driver);
+// this module is the AST-accurate implementation, with real type
+// resolution, CFG-ordered statement walks, and comment attachment via the
+// SourceManager.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "AtomicOrderingCheck.h"
+#include "GuardedByCheck.h"
+#include "IoMarkerCheck.h"
+#include "LockOrderCheck.h"
+#include "SyncBeforeInstallCheck.h"
+
+namespace clang::tidy::acheron {
+
+class AcheronModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<AtomicOrderingCheck>("acheron-atomic-ordering");
+    Factories.registerCheck<GuardedByCheck>("acheron-guarded-by");
+    Factories.registerCheck<IoMarkerCheck>("acheron-io-marker");
+    Factories.registerCheck<LockOrderCheck>("acheron-lock-order");
+    Factories.registerCheck<SyncBeforeInstallCheck>(
+        "acheron-sync-before-install");
+  }
+};
+
+}  // namespace clang::tidy::acheron
+
+namespace clang::tidy {
+
+// Register the module with clang-tidy's global registry; the static
+// variable below anchors the registration into the loaded plugin.
+static ClangTidyModuleRegistry::Add<acheron::AcheronModule> X(
+    "acheron-module", "Acheron LSM engine invariant checks.");
+
+volatile int AcheronModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

@@ -1,0 +1,132 @@
+//===--- AtomicOrderingCheck.cc - acheron-atomic-ordering ----------------===//
+
+#include "AtomicOrderingCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::acheron {
+
+namespace {
+
+bool isMemoryOrderType(QualType QT) {
+  if (const auto *ET = QT->getAs<EnumType>())
+    return ET->getDecl()->getQualifiedNameAsString() == "std::memory_order";
+  return false;
+}
+
+// The atomic's template payload: true when it is a pointer (publication).
+bool hasPointerPayload(const CXXRecordDecl *Atomic) {
+  const auto *Spec = dyn_cast_or_null<ClassTemplateSpecializationDecl>(Atomic);
+  if (!Spec || Spec->getTemplateArgs().size() == 0) return false;
+  const TemplateArgument &Arg = Spec->getTemplateArgs()[0];
+  return Arg.getKind() == TemplateArgument::Type &&
+         Arg.getAsType()->isPointerType();
+}
+
+bool isReleaseOrder(StringRef Name) {
+  return Name == "memory_order_release" || Name == "memory_order_acq_rel" ||
+         Name == "memory_order_seq_cst";
+}
+
+bool isAcquireOrder(StringRef Name) {
+  return Name == "memory_order_acquire" || Name == "memory_order_consume" ||
+         Name == "memory_order_seq_cst";
+}
+
+// Last enumerator name reached by constant-evaluating the order argument.
+std::string orderArgName(const Expr *E, ASTContext &Ctx) {
+  Expr::EvalResult Res;
+  if (!E->EvaluateAsInt(Res, Ctx)) return {};
+  const auto *ET = E->getType()->getAs<EnumType>();
+  if (!ET) return {};
+  for (const EnumConstantDecl *EC : ET->getDecl()->enumerators())
+    if (EC->getInitVal() == Res.Val.getInt())
+      return EC->getNameAsString();
+  return {};
+}
+
+}  // namespace
+
+void AtomicOrderingCheck::registerMatchers(MatchFinder *Finder) {
+  auto AtomicClass = cxxRecordDecl(hasName("::std::atomic"));
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          on(expr(hasType(qualType(hasDeclaration(AtomicClass))))),
+          callee(cxxMethodDecl(hasAnyName("load", "store", "exchange",
+                                          "fetch_add", "fetch_sub",
+                                          "fetch_and", "fetch_or",
+                                          "fetch_xor",
+                                          "compare_exchange_weak",
+                                          "compare_exchange_strong"))))
+          .bind("call"),
+      this);
+  // Operator sugar: operator=, operator++, operator+= etc. on std::atomic.
+  Finder->addMatcher(
+      cxxOperatorCallExpr(
+          callee(cxxMethodDecl(ofClass(AtomicClass))))
+          .bind("sugar"),
+      this);
+}
+
+void AtomicOrderingCheck::check(const MatchFinder::MatchResult &Result) {
+  ASTContext &Ctx = *Result.Context;
+
+  if (const auto *Sugar =
+          Result.Nodes.getNodeAs<CXXOperatorCallExpr>("sugar")) {
+    diag(Sugar->getBeginLoc(),
+         "operator sugar on std::atomic is an implicit seq_cst access; use "
+         "load/store/fetch_* with an explicit memory order");
+    return;
+  }
+
+  const auto *Call = Result.Nodes.getNodeAs<CXXMemberCallExpr>("call");
+  if (!Call) return;
+  const auto *Method = Call->getMethodDecl();
+  StringRef Op = Method->getName();
+
+  // Locate the std::memory_order argument(s), if any.
+  SmallVector<std::string, 2> Orders;
+  for (const Expr *Arg : Call->arguments())
+    if (isMemoryOrderType(Arg->getType()))
+      Orders.push_back(orderArgName(Arg, Ctx));
+  if (Orders.empty()) {
+    diag(Call->getBeginLoc(),
+         "%0() without an explicit std::memory_order (implicit seq_cst is "
+         "banned; state the ordering)")
+        << Op;
+    return;
+  }
+
+  // Publication discipline for pointer-payload atomics.
+  const auto *Rec =
+      Call->getImplicitObjectArgument()->getType()->getAsCXXRecordDecl();
+  if (!Rec) {
+    if (const auto *PT = Call->getImplicitObjectArgument()
+                             ->getType()
+                             ->getAs<PointerType>())
+      Rec = PT->getPointeeType()->getAsCXXRecordDecl();
+  }
+  if (!Rec || !hasPointerPayload(Rec)) return;
+
+  if (Op == "store" || Op == "exchange" ||
+      Op.starts_with("compare_exchange")) {
+    for (const std::string &O : Orders)
+      if (!O.empty() && !isReleaseOrder(O))
+        diag(Call->getBeginLoc(),
+             "pointer-publication store must use release ordering (got %0); "
+             "the ReadState protocol pairs release stores with acquire "
+             "loads")
+            << O;
+  } else if (Op == "load") {
+    for (const std::string &O : Orders)
+      if (!O.empty() && !isAcquireOrder(O))
+        diag(Call->getBeginLoc(),
+             "pointer-publication load must use acquire ordering (got %0)")
+            << O;
+  }
+}
+
+}  // namespace clang::tidy::acheron

@@ -1,0 +1,32 @@
+//===--- AtomicOrderingCheck.h - acheron-atomic-ordering -------*- C++ -*-===//
+//
+// Bans implicit memory_order_seq_cst on std::atomic operations in src/:
+// every load/store/exchange/fetch_* must pass an explicit std::memory_order,
+// operator sugar (=, ++, +=) on atomics is rejected outright, and atomics
+// with a pointer payload (the ReadState publication protocol) must use
+// release-class orders on the store side and acquire-class orders on the
+// load side.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ACHERON_TOOLS_ACHERON_CHECK_ATOMIC_ORDERING_CHECK_H_
+#define ACHERON_TOOLS_ACHERON_CHECK_ATOMIC_ORDERING_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::acheron {
+
+class AtomicOrderingCheck : public ClangTidyCheck {
+ public:
+  AtomicOrderingCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::acheron
+
+#endif  // ACHERON_TOOLS_ACHERON_CHECK_ATOMIC_ORDERING_CHECK_H_

@@ -1,0 +1,95 @@
+//===--- GuardedByCheck.cc - acheron-guarded-by --------------------------===//
+
+#include "GuardedByCheck.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::acheron {
+
+namespace {
+
+std::set<std::string> loadBaseline(const std::string &Path) {
+  std::set<std::string> Entries;
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    auto Hash = Line.find('#');
+    if (Hash != std::string::npos) Line.erase(Hash);
+    std::istringstream SS(Line);
+    std::string Entry;
+    if (SS >> Entry) Entries.insert(Entry);
+  }
+  return Entries;
+}
+
+bool isMutexType(QualType QT) {
+  if (const auto *RD = QT->getAsCXXRecordDecl())
+    return RD->getName() == "Mutex";
+  return false;
+}
+
+bool ownsMutex(const CXXRecordDecl *RD) {
+  for (const FieldDecl *F : RD->fields())
+    if (isMutexType(F->getType())) return true;
+  return false;
+}
+
+}  // namespace
+
+GuardedByCheck::GuardedByCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      BaselinePath(Options.get("Baseline", "tools/guarded_by_baseline.txt")),
+      Baseline(loadBaseline(BaselinePath)) {}
+
+void GuardedByCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "Baseline", BaselinePath);
+}
+
+void GuardedByCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxRecordDecl(isDefinition(), unless(isImplicit())).bind("record"),
+      this);
+}
+
+void GuardedByCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *RD = Result.Nodes.getNodeAs<CXXRecordDecl>("record");
+  if (!RD || !ownsMutex(RD)) return;
+  const SourceManager &SM = *Result.SourceManager;
+  if (!SM.isInMainFile(SM.getExpansionLoc(RD->getBeginLoc()))) return;
+
+  for (const FieldDecl *F : RD->fields()) {
+    QualType QT = F->getType();
+    if (QT.isConstQualified()) continue;
+    if (isMutexType(QT)) continue;
+    const auto *FieldRec = QT->getAsCXXRecordDecl();
+    if (FieldRec && (FieldRec->getName() == "CondVar")) continue;
+    if (FieldRec) {
+      if (const auto *Spec =
+              dyn_cast<ClassTemplateSpecializationDecl>(FieldRec)) {
+        if (Spec->getSpecializedTemplate()
+                ->getQualifiedNameAsString() == "std::atomic")
+          continue;
+      }
+    }
+    if (F->hasAttr<GuardedByAttr>() || F->hasAttr<PtGuardedByAttr>())
+      continue;
+
+    std::string Key =
+        RD->getNameAsString() + "::" + F->getNameAsString();
+    if (Baseline.count(Key)) continue;
+    diag(F->getLocation(),
+         "'%0' is mutable state in a Mutex-owning class but is neither "
+         "GUARDED_BY, atomic, nor const; annotate it or add it to the "
+         "baseline (which only ever shrinks)")
+        << Key;
+  }
+}
+
+}  // namespace clang::tidy::acheron

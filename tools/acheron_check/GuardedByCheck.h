@@ -1,0 +1,38 @@
+//===--- GuardedByCheck.h - acheron-guarded-by -----------------*- C++ -*-===//
+//
+// Coverage ratchet for thread-safety annotations: every mutable data member
+// of a class that owns a Mutex must be GUARDED_BY(...), std::atomic, or
+// const -- or listed in the shrink-only baseline file (option `Baseline`,
+// default tools/guarded_by_baseline.txt). New unguarded members are
+// rejected; stale baseline entries are reported so the list only shrinks.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ACHERON_TOOLS_ACHERON_CHECK_GUARDED_BY_CHECK_H_
+#define ACHERON_TOOLS_ACHERON_CHECK_GUARDED_BY_CHECK_H_
+
+#include <set>
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::acheron {
+
+class GuardedByCheck : public ClangTidyCheck {
+ public:
+  GuardedByCheck(StringRef Name, ClangTidyContext *Context);
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+ private:
+  const std::string BaselinePath;
+  std::set<std::string> Baseline;
+};
+
+}  // namespace clang::tidy::acheron
+
+#endif  // ACHERON_TOOLS_ACHERON_CHECK_GUARDED_BY_CHECK_H_

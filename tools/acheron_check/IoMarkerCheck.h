@@ -1,0 +1,33 @@
+//===--- IoMarkerCheck.h - acheron-io-marker -------------------*- C++ -*-===//
+//
+// Every call through an Env (or Env-derived) receiver in engine code must
+// carry an `// io:` marker comment attached to the call statement or the
+// contiguous comment block above it, stating which side of the DB mutex
+// the I/O runs on. AST-accurate replacement for the old line-oriented awk
+// pass in tools/lint.sh: the comment is matched against the actual
+// CallExpr's source range, so call sites that move or span lines cannot
+// silently escape.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ACHERON_TOOLS_ACHERON_CHECK_IO_MARKER_CHECK_H_
+#define ACHERON_TOOLS_ACHERON_CHECK_IO_MARKER_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::acheron {
+
+class IoMarkerCheck : public ClangTidyCheck {
+ public:
+  IoMarkerCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::acheron
+
+#endif  // ACHERON_TOOLS_ACHERON_CHECK_IO_MARKER_CHECK_H_

@@ -1,0 +1,156 @@
+//===--- LockOrderCheck.cc - acheron-lock-order --------------------------===//
+
+#include "LockOrderCheck.h"
+
+#include <fstream>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::acheron {
+
+namespace {
+
+std::map<std::string, int> loadOrder(const std::string &Path) {
+  std::map<std::string, int> Rank;
+  std::ifstream In(Path);
+  std::string Line;
+  int N = 0;
+  while (std::getline(In, Line)) {
+    auto Hash = Line.find('#');
+    if (Hash != std::string::npos) Line.erase(Hash);
+    while (!Line.empty() && (Line.back() == ' ' || Line.back() == '\t'))
+      Line.pop_back();
+    auto Begin = Line.find_first_not_of(" \t");
+    if (Begin == std::string::npos) continue;
+    Rank.emplace(Line.substr(Begin), N++);
+  }
+  return Rank;
+}
+
+// Canonical "Class::member" name of a lock expression, or "" when the
+// expression does not resolve to a Mutex member.
+std::string lockName(const Expr *E) {
+  E = E->IgnoreParenImpCasts();
+  if (const auto *UO = dyn_cast<UnaryOperator>(E))
+    if (UO->getOpcode() == UO_AddrOf)
+      return lockName(UO->getSubExpr());
+  if (const auto *ME = dyn_cast<MemberExpr>(E)) {
+    const auto *FD = dyn_cast<FieldDecl>(ME->getMemberDecl());
+    if (!FD) return {};
+    const auto *RD = dyn_cast<CXXRecordDecl>(FD->getParent());
+    if (!RD) return {};
+    return RD->getNameAsString() + "::" + FD->getNameAsString();
+  }
+  return {};
+}
+
+// Ordered walk of one function body collecting lock events. Statement
+// order within a CompoundStmt is source order, which matches the Python
+// driver's token-order walk; branches are visited in sequence, a
+// deliberate over-approximation shared with the driver.
+class LockWalker : public RecursiveASTVisitor<LockWalker> {
+ public:
+  struct Event {
+    enum Kind { Scoped, Lock, Unlock } K;
+    std::string Name;
+    SourceLocation Loc;
+  };
+  std::vector<Event> Events;
+
+  bool VisitCXXConstructExpr(CXXConstructExpr *CE) {
+    const auto *Ctor = CE->getConstructor();
+    if (Ctor && Ctor->getParent()->getName() == "MutexLock" &&
+        CE->getNumArgs() >= 1) {
+      std::string N = lockName(CE->getArg(0));
+      if (!N.empty()) Events.push_back({Event::Scoped, N, CE->getBeginLoc()});
+    }
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(CXXMemberCallExpr *MC) {
+    const auto *MD = MC->getMethodDecl();
+    if (!MD || MD->getParent()->getName() != "Mutex") return true;
+    StringRef Name = MD->getName();
+    if (Name != "Lock" && Name != "Unlock") return true;
+    std::string N = lockName(MC->getImplicitObjectArgument());
+    if (N.empty()) return true;
+    Events.push_back({Name == "Lock" ? Event::Lock : Event::Unlock, N,
+                      MC->getBeginLoc()});
+    return true;
+  }
+};
+
+}  // namespace
+
+LockOrderCheck::LockOrderCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      OrderFile(Options.get("OrderFile", "tools/lock_order.txt")),
+      Rank(loadOrder(OrderFile)) {}
+
+void LockOrderCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "OrderFile", OrderFile);
+}
+
+void LockOrderCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      functionDecl(isDefinition(), hasBody(stmt())).bind("func"), this);
+}
+
+void LockOrderCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *FD = Result.Nodes.getNodeAs<FunctionDecl>("func");
+  if (!FD) return;
+  const SourceManager &SM = *Result.SourceManager;
+  if (!SM.isInMainFile(SM.getExpansionLoc(FD->getBeginLoc()))) return;
+
+  // Seed the held set from EXCLUSIVE_LOCKS_REQUIRED / REQUIRES.
+  std::vector<std::string> Held;
+  if (const auto *RC = FD->getAttr<RequiresCapabilityAttr>())
+    for (const Expr *E : RC->args()) {
+      std::string N = lockName(E);
+      if (!N.empty()) Held.push_back(N);
+    }
+
+  LockWalker Walker;
+  Walker.TraverseStmt(FD->getBody());
+
+  for (const auto &Ev : Walker.Events) {
+    if (Ev.K == LockWalker::Event::Unlock) {
+      for (auto It = Held.begin(); It != Held.end(); ++It)
+        if (*It == Ev.Name) {
+          Held.erase(It);
+          break;
+        }
+      continue;
+    }
+    auto RankOf = [&](const std::string &N) {
+      auto It = Rank.find(N);
+      return It == Rank.end() ? -1 : It->second;
+    };
+    if (RankOf(Ev.Name) < 0)
+      diag(Ev.Loc,
+           "lock '%0' is acquired but not declared in the lock order file; "
+           "add it at its ordering position")
+          << Ev.Name;
+    for (const std::string &H : Held) {
+      if (H == Ev.Name) {
+        diag(Ev.Loc, "re-acquisition of '%0' while already held") << Ev.Name;
+        continue;
+      }
+      if (RankOf(H) >= 0 && RankOf(Ev.Name) >= 0 &&
+          RankOf(H) >= RankOf(Ev.Name))
+        diag(Ev.Loc,
+             "acquisition order violation: '%0' acquired while holding "
+             "'%1', but the declared order lists '%0' first")
+            << Ev.Name << H;
+    }
+    Held.push_back(Ev.Name);
+  }
+}
+
+}  // namespace clang::tidy::acheron

@@ -1,0 +1,41 @@
+//===--- LockOrderCheck.h - acheron-lock-order -----------------*- C++ -*-===//
+//
+// Harvests every MutexLock construction and explicit Mutex::Lock/Unlock
+// call, tracks the held set through each function body (seeded from
+// EXCLUSIVE_LOCKS_REQUIRED annotations), and validates every observed
+// acquired-while-holding edge against the declared total order in the
+// `OrderFile` option (default tools/lock_order.txt): edges that contradict
+// the order, locks missing from the file, and re-acquisitions all produce
+// diagnostics. Cycle detection across translation units is done by the
+// Python driver, which sees the whole-program edge set.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ACHERON_TOOLS_ACHERON_CHECK_LOCK_ORDER_CHECK_H_
+#define ACHERON_TOOLS_ACHERON_CHECK_LOCK_ORDER_CHECK_H_
+
+#include <map>
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::acheron {
+
+class LockOrderCheck : public ClangTidyCheck {
+ public:
+  LockOrderCheck(StringRef Name, ClangTidyContext *Context);
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+ private:
+  const std::string OrderFile;
+  std::map<std::string, int> Rank;  // lock name -> declared position
+};
+
+}  // namespace clang::tidy::acheron
+
+#endif  // ACHERON_TOOLS_ACHERON_CHECK_LOCK_ORDER_CHECK_H_

@@ -1,0 +1,101 @@
+//===--- SyncBeforeInstallCheck.cc - acheron-sync-before-install ---------===//
+
+#include "SyncBeforeInstallCheck.h"
+
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::acheron {
+
+namespace {
+
+bool callNamed(const CallExpr *CE, StringRef Name) {
+  const FunctionDecl *FD = CE->getDirectCallee();
+  return FD && FD->getName() == Name;
+}
+
+// Does any argument (sub)expression call TableFileName/DescriptorFileName?
+class HintFinder : public RecursiveASTVisitor<HintFinder> {
+ public:
+  bool Found = false;
+  bool VisitCallExpr(CallExpr *CE) {
+    if (callNamed(CE, "TableFileName") ||
+        callNamed(CE, "DescriptorFileName"))
+      Found = true;
+    return !Found;
+  }
+};
+
+class OrderWalker : public RecursiveASTVisitor<OrderWalker> {
+ public:
+  struct Event {
+    enum Kind { Create, Sync, Install } K;
+    SourceLocation Loc;
+  };
+  std::vector<Event> Events;
+
+  bool VisitCallExpr(CallExpr *CE) {
+    const FunctionDecl *FD = CE->getDirectCallee();
+    if (!FD) return true;
+    StringRef Name = FD->getName();
+    if (Name == "NewWritableFile") {
+      HintFinder HF;
+      for (Expr *Arg : CE->arguments()) HF.TraverseStmt(Arg);
+      if (HF.Found) Events.push_back({Event::Create, CE->getBeginLoc()});
+    } else if (Name == "Sync") {
+      Events.push_back({Event::Sync, CE->getBeginLoc()});
+    } else if (Name == "LogAndApply" || Name == "SetCurrentFile") {
+      Events.push_back({Event::Install, CE->getBeginLoc()});
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+void SyncBeforeInstallCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      functionDecl(isDefinition(), hasBody(stmt())).bind("func"), this);
+}
+
+void SyncBeforeInstallCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *FD = Result.Nodes.getNodeAs<FunctionDecl>("func");
+  if (!FD) return;
+  const SourceManager &SM = *Result.SourceManager;
+  if (!SM.isInMainFile(SM.getExpansionLoc(FD->getBeginLoc()))) return;
+
+  OrderWalker Walker;
+  Walker.TraverseStmt(FD->getBody());
+
+  bool Pending = false;
+  SourceLocation PendingLoc;
+  for (const auto &Ev : Walker.Events) {
+    switch (Ev.K) {
+      case OrderWalker::Event::Create:
+        Pending = true;
+        PendingLoc = Ev.Loc;
+        break;
+      case OrderWalker::Event::Sync:
+        Pending = false;
+        break;
+      case OrderWalker::Event::Install:
+        if (Pending) {
+          diag(Ev.Loc,
+               "install call is reachable after an output-file create with "
+               "no WritableFile::Sync in between; a crash could leave a "
+               "durable version pointing at a torn table");
+          diag(PendingLoc, "output file created here",
+               DiagnosticIDs::Note);
+          Pending = false;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace clang::tidy::acheron

@@ -1,0 +1,34 @@
+//===--- SyncBeforeInstallCheck.h - acheron-sync-before-install *- C++ -*-===//
+//
+// The static twin of the PR-3 crash matrix: inside a function, a
+// NewWritableFile call that creates a table or MANIFEST output (its
+// filename argument mentions TableFileName / DescriptorFileName) must be
+// followed by a WritableFile::Sync before any LogAndApply / SetCurrentFile
+// call that makes the output live. A crash between an unsynced create and
+// a durable install would leave a live version pointing at a torn file.
+// Cross-function reachability is covered by the Python driver's summary
+// propagation; this check enforces the in-function ordering on the AST.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ACHERON_TOOLS_ACHERON_CHECK_SYNC_BEFORE_INSTALL_CHECK_H_
+#define ACHERON_TOOLS_ACHERON_CHECK_SYNC_BEFORE_INSTALL_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::acheron {
+
+class SyncBeforeInstallCheck : public ClangTidyCheck {
+ public:
+  SyncBeforeInstallCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::acheron
+
+#endif  // ACHERON_TOOLS_ACHERON_CHECK_SYNC_BEFORE_INSTALL_CHECK_H_

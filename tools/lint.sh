@@ -11,13 +11,21 @@
 #      an `// io:` marker stating whether it runs with mutex_ held
 #      (I/O under the DB mutex stalls every writer and reader)
 #   5. clang-tidy over src/ (skipped with a notice if clang-tidy or the
-#      compile_commands.json it needs is unavailable)
-#   6. --format-check: clang-format --dry-run over tracked sources (skipped
+#      compile_commands.json it needs is unavailable; --require-clang-tidy
+#      turns the skip into a hard failure, which CI uses)
+#   6. --ast: acheron-check -- the five engine invariant checks (lock-order,
+#      sync-before-install, atomic-ordering, guarded-by, io-marker) run by
+#      tools/acheron_check.py against compile_commands.json; when the
+#      clang-tidy plugin (tools/acheron_check/) has been built, the
+#      acheron-* checks also run on the real AST
+#   7. --format-check: clang-format --dry-run over tracked sources (skipped
 #      with a notice if clang-format is unavailable)
 #
 # Usage:
 #   tools/lint.sh                 # checks 1-5
-#   tools/lint.sh --format-check  # checks 1-6
+#   tools/lint.sh --ast           # checks 1-6
+#   tools/lint.sh --format-check  # checks 1-5 and 7
+#   tools/lint.sh --require-clang-tidy  # missing clang-tidy fails loudly
 #   tools/lint.sh --build-dir <dir>   # where compile_commands.json lives
 #                                     # (default: build/)
 set -u
@@ -26,11 +34,16 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 FORMAT_CHECK=0
+AST_CHECK=0
+REQUIRE_CLANG_TIDY=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --format-check) FORMAT_CHECK=1 ;;
+    --ast) AST_CHECK=1 ;;
+    --require-clang-tidy) REQUIRE_CLANG_TIDY=1 ;;
     --build-dir) shift; BUILD_DIR="${1:?--build-dir needs an argument}" ;;
-    *) echo "usage: tools/lint.sh [--format-check] [--build-dir <dir>]" >&2
+    *) echo "usage: tools/lint.sh [--ast] [--format-check]" \
+            "[--require-clang-tidy] [--build-dir <dir>]" >&2
        exit 2 ;;
   esac
   shift
@@ -110,12 +123,23 @@ $1
     *) return 1 ;;
   esac
 }
+# Comment/string stripping before matching: `new` inside a /* block
+# comment */ or a string literal is not an allocation. The Python lexer in
+# acheron_check.py blanks comments and literal contents exactly; without
+# python3, fall back to stripping only line comments (the old behavior).
+strip_source() {
+  if command -v python3 >/dev/null 2>&1; then
+    python3 tools/acheron_check.py --strip "$1"
+  else
+    sed 's@//.*$@@' "$1"
+  fi
+}
 while IFS= read -r f; do
   rel="${f#./}"
   allowed "$rel" && continue
-  # Strip // comments, then match allocation-style `new X` (not
-  # reset(new ...)/make_unique) and the delete keyword (not `= delete`).
-  hits=$(sed 's@//.*$@@' "$rel" |
+  # Match allocation-style `new X` (not reset(new ...)/make_unique) and the
+  # delete keyword (not `= delete`).
+  hits=$(strip_source "$rel" |
     grep -nE '\bnew [A-Za-z_(]|\bnew\[|\bdelete\b' |
     grep -vE 'reset\(new |make_unique|= *delete|^[0-9]+: *delete;$' || true)
   if [ -n "$hits" ]; then
@@ -198,16 +222,54 @@ if command -v clang-tidy >/dev/null 2>&1; then
          xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "$BUILD_DIR" --quiet; then
       fail "clang-tidy reported problems"
     fi
+  elif [ "$REQUIRE_CLANG_TIDY" -eq 1 ]; then
+    fail "no $BUILD_DIR/compile_commands.json and --require-clang-tidy set" \
+         "(configure with cmake first)"
   else
     echo "lint: NOTE: no $BUILD_DIR/compile_commands.json (configure with" \
          "cmake first); skipping clang-tidy"
   fi
+elif [ "$REQUIRE_CLANG_TIDY" -eq 1 ]; then
+  fail "clang-tidy not installed but --require-clang-tidy set (CI runners" \
+       "must install it; a silent skip here hid real regressions)"
 else
   echo "lint: NOTE: clang-tidy not installed; skipping clang-tidy"
 fi
 
 # ---------------------------------------------------------------------------
-# 6. Format check (opt-in): no reformatting, just verification.
+# 6. --ast: acheron-check, the engine's own invariant checkers.
+#
+# Always runs the portable Python driver (token-accurate, whole-program
+# summaries). When the clang-tidy plugin module has been built
+# (-DACHERON_BUILD_TIDY_PLUGIN=ON), the acheron-* checks additionally run
+# on the real AST for the per-TU invariants.
+# ---------------------------------------------------------------------------
+if [ "$AST_CHECK" -eq 1 ]; then
+  if ! command -v python3 >/dev/null 2>&1; then
+    fail "--ast needs python3 for tools/acheron_check.py"
+  elif [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    fail "--ast needs $BUILD_DIR/compile_commands.json (configure with" \
+         "cmake first)"
+  else
+    echo "lint: running acheron-check (portable driver) over src/..."
+    if ! python3 tools/acheron_check.py \
+         --compdb "$BUILD_DIR/compile_commands.json"; then
+      fail "acheron-check reported violations"
+    fi
+    PLUGIN="$BUILD_DIR/tools/acheron_check/libacheron_check.so"
+    if [ -f "$PLUGIN" ] && command -v clang-tidy >/dev/null 2>&1; then
+      echo "lint: running acheron-* clang-tidy plugin checks over src/..."
+      if ! find src -name '*.cc' -not -path 'src/env/*' -print0 |
+           xargs -0 -P "$(nproc)" -n 4 clang-tidy -load "$PLUGIN" \
+             -checks='-*,acheron-*' -p "$BUILD_DIR" --quiet; then
+        fail "acheron-* plugin checks reported problems"
+      fi
+    fi
+  fi
+fi
+
+# ---------------------------------------------------------------------------
+# 7. Format check (opt-in): no reformatting, just verification.
 # ---------------------------------------------------------------------------
 if [ "$FORMAT_CHECK" -eq 1 ]; then
   if command -v clang-format >/dev/null 2>&1; then
