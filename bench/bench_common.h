@@ -148,16 +148,21 @@ inline void PrintEngineStats(DB* db) {
 // Machine-readable result sink: one JSON object per run, written to |path|
 // (appended, one object per line, so a sweep can share a file). Latency
 // percentiles come from |latency| (microseconds); stall/commit counters
-// from the engine's InternalStats.
+// from the engine's InternalStats. |extra| is a pre-rendered JSON fragment
+// of additional top-level fields ("\"k\":v,...", no braces) for modes with
+// bench-specific outputs; the added keys must be registered per bench in
+// tools/check_bench_json.py's EXTRA_KEYS in the same change.
 inline void WriteJsonResult(const std::string& path, const std::string& name,
                             int threads, uint64_t ops, double ops_per_sec,
                             const Histogram& latency,
-                            const InternalStats& stats) {
+                            const InternalStats& stats,
+                            const std::string& extra = std::string()) {
   std::FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr) {
     std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
     return;
   }
+  const std::string extra_fields = extra.empty() ? "" : "," + extra;
   std::fprintf(
       f,
       "{\"bench\":\"%s\",\"threads\":%d,\"ops\":%llu,"
@@ -168,7 +173,7 @@ inline void WriteJsonResult(const std::string& path, const std::string& name,
       "\"commit\":{\"wal_syncs\":%llu,\"group_commits\":%llu,"
       "\"writes_grouped\":%llu},"
       "\"background\":{\"jobs_scheduled\":%llu,\"memtable_swaps\":%llu},"
-      "\"compactions\":%llu,\"write_amplification\":%.2f}\n",
+      "\"compactions\":%llu,\"write_amplification\":%.2f%s}\n",
       name.c_str(), threads, static_cast<unsigned long long>(ops),
       ops_per_sec, latency.Percentile(50.0), latency.Percentile(99.0),
       latency.Max(),
@@ -183,7 +188,7 @@ inline void WriteJsonResult(const std::string& path, const std::string& name,
       static_cast<unsigned long long>(stats.background_jobs_scheduled),
       static_cast<unsigned long long>(stats.memtable_swaps),
       static_cast<unsigned long long>(stats.compaction_count),
-      stats.WriteAmplification());
+      stats.WriteAmplification(), extra_fields.c_str());
   std::fclose(f);
 }
 

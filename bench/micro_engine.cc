@@ -7,7 +7,7 @@
 //   * multi-threaded engine runs (bypass google-benchmark; measure one
 //     N-thread run end to end):
 //       ./micro_engine --threads=4 [--mode=fillrandom|readrandom|
-//                      readwhilewriting] [--ops=N] [--value-size=N]
+//                      readwhilewriting|multiget] [--ops=N] [--value-size=N]
 //                      [--background=0|1] [--sync=0|1] [--db=DIR]
 //                      [--json=PATH]
 //     fillrandom: N writer threads (group-commit/stall counters).
@@ -17,18 +17,29 @@
 //     readwhilewriting: same readers plus one un-counted writer thread
 //       churning the keyspace, so reads race memtable swaps and version
 //       installs.
+//     multiget: DB::MultiGet batch-size sweep (1/8/64) against a tiny block
+//       cache plus a sequential-Get baseline; measures the async batched
+//       block-read path (Env::SubmitReads).
 //     --db=DIR uses the real filesystem (fsync + mmap-read costs included)
 //     instead of the in-memory env; with --sync=1 each *write group* costs
 //     one fsync, which is the configuration where group commit pays off.
 #include <benchmark/benchmark.h>
+#if defined(__linux__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/table/cache.h"
 
 namespace acheron {
 namespace bench {
@@ -335,6 +346,183 @@ static int RunReadBench(const FillRandomConfig& cfg) {
   return 0;
 }
 
+// Drops the OS page cache for every file under |dir| so a timed pass
+// measures device reads instead of page-cache hits (fio's invalidate=1).
+// Quietly a no-op where posix_fadvise is unavailable; only effective for
+// files read via pread (mmap'd pages stay resident), which is why the
+// multiget bench opens its env with the mmap budget set to zero.
+static void EvictPageCache(Env* env, const std::string& dir) {
+#if defined(__linux__)
+  std::vector<std::string> children;
+  if (!env->GetChildren(dir, &children).ok()) return;
+  ::sync();  // fadvise only evicts clean pages
+  for (const std::string& c : children) {
+    const std::string path = dir + "/" + c;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) continue;
+    ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+    ::close(fd);
+  }
+#else
+  (void)env;
+  (void)dir;
+#endif
+}
+
+// multiget: point lookups in batches through DB::MultiGet over a preloaded
+// 100k keyspace, swept over batch sizes 1/8/64, plus a sequential-Get
+// baseline over the same number of keys. A deliberately tiny block cache
+// (64KB against ~10MB of table data) forces nearly every lookup to a block
+// read, and in --db mode the page cache is evicted before every timed pass
+// (mmap disabled so reads are preads), so the sweep measures how much the
+// batched submission path (Env::SubmitReads keeping up to |batch| block
+// reads in flight) buys over one blocking read at a time. JSON is emitted
+// for the batch-64 leg with two extra fields: "batch" and
+// "speedup_vs_sequential".
+static int RunMultiGet(const FillRandomConfig& cfg) {
+  constexpr uint64_t kKeySpace = 100000;
+  static constexpr size_t kBatches[] = {1, 8, 64};
+  static constexpr size_t kMaxBatch = 64;
+
+  Options options = BenchOptions();
+  options.background_compactions = cfg.background;
+  options.disable_wal = false;
+  std::unique_ptr<Cache> small_cache(NewLRUCache(64 << 10));
+  options.block_cache = small_cache.get();
+  std::unique_ptr<Env> owned_env;
+  std::string db_path = "/bench";
+  if (cfg.db_dir.empty()) {
+    owned_env.reset(NewMemEnv());
+    options.env = owned_env.get();
+  } else {
+    // Private posix env with mmap disabled: table reads are preads, so
+    // EvictPageCache below actually makes the timed passes cold.
+    owned_env.reset(NewPosixEnv(/*unbuffered_writes=*/false,
+                                /*mmap_budget=*/0));
+    options.env = owned_env.get();
+    db_path = cfg.db_dir;
+    CheckOk(DestroyDB(db_path, options));  // fresh tree, comparable runs
+  }
+
+  DB* raw = nullptr;
+  CheckOk(DB::Open(options, db_path, &raw));
+  std::unique_ptr<DB> db(raw);
+
+  // Preload every key so the lookups are all-hits against a settled tree.
+  {
+    Random rnd(99);
+    std::string value(cfg.value_size, 'v');
+    char key[32];
+    for (uint64_t i = 0; i < kKeySpace; i++) {
+      std::snprintf(key, sizeof(key), "key%010llu",
+                    static_cast<unsigned long long>(i));
+      CheckOk(db->Put(WriteOptions(), key, value));
+    }
+    CheckOk(db->WaitForCompactions());
+  }
+
+  // One pass over |ops| random keys: batch == 0 is the sequential-Get
+  // baseline, otherwise MultiGet in groups of |batch|. In --db mode the
+  // pass runs in rounds with an UNTIMED page-cache eviction between them
+  // (a round is short relative to the block population, so most block
+  // reads in a round are genuinely cold); only the in-round time counts
+  // toward the reported keys/second. Per-call latencies land in |latency|.
+  const uint64_t total_ops = cfg.ops < kMaxBatch ? kMaxBatch : cfg.ops;
+  const uint64_t round_ops =
+      cfg.db_dir.empty() ? total_ops : std::min<uint64_t>(total_ops, 1000);
+  auto run_pass = [&](size_t batch, Histogram* latency) -> double {
+    Random rnd(2000 + static_cast<int>(batch));
+    ReadOptions ro;
+    char key[32];
+    double secs = 0;
+    std::string value;
+    std::vector<std::string> key_bufs(batch ? batch : 1);
+    std::vector<Slice> keys(batch ? batch : 1);
+    std::vector<std::string> values;
+    for (uint64_t done = 0; done < total_ops; done += round_ops) {
+      if (!cfg.db_dir.empty()) EvictPageCache(options.env, db_path);
+      const uint64_t this_round = std::min(round_ops, total_ops - done);
+      const auto start = std::chrono::steady_clock::now();
+      if (batch == 0) {
+        for (uint64_t i = 0; i < this_round; i++) {
+          std::snprintf(key, sizeof(key), "key%010llu",
+                        static_cast<unsigned long long>(
+                            rnd.Uniform(kKeySpace)));
+          const auto op_start = std::chrono::steady_clock::now();
+          Status s = db->Get(ro, key, &value);
+          if (!s.ok() && !s.IsNotFound()) CheckOk(s);
+          latency->Add(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - op_start)
+                           .count());
+        }
+      } else {
+        for (uint64_t i = 0; i < this_round; i += batch) {
+          const size_t n = static_cast<size_t>(
+              std::min<uint64_t>(batch, this_round - i));
+          for (size_t k = 0; k < n; k++) {
+            std::snprintf(key, sizeof(key), "key%010llu",
+                          static_cast<unsigned long long>(
+                              rnd.Uniform(kKeySpace)));
+            key_bufs[k] = key;
+            keys[k] = key_bufs[k];
+          }
+          const auto op_start = std::chrono::steady_clock::now();
+          std::vector<Status> statuses = db->MultiGet(
+              ro, std::span<const Slice>(keys.data(), n), &values);
+          for (const Status& s : statuses) {
+            if (!s.ok() && !s.IsNotFound()) CheckOk(s);
+          }
+          latency->Add(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - op_start)
+                           .count());
+        }
+      }
+      secs += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+    }
+    return secs > 0 ? total_ops / secs : 0;
+  };
+
+  Histogram seq_latency;
+  const double seq_ops_per_sec = run_pass(0, &seq_latency);
+  double batch64_ops_per_sec = 0;
+  Histogram batch64_latency;
+  std::printf("multiget: threads=%d ops=%llu env=%s\n",
+              cfg.threads, static_cast<unsigned long long>(total_ops),
+              cfg.db_dir.empty() ? "mem" : cfg.db_dir.c_str());
+  std::printf("  sequential-get baseline: %.0f keys/s (p99=%.1fus)\n",
+              seq_ops_per_sec, seq_latency.Percentile(99.0));
+  for (size_t batch : kBatches) {
+    Histogram latency;
+    const double ops_per_sec = run_pass(batch, &latency);
+    std::printf("  batch=%-3zu %.0f keys/s (%.2fx sequential, "
+                "p99=%.1fus/call)\n",
+                batch, ops_per_sec,
+                seq_ops_per_sec > 0 ? ops_per_sec / seq_ops_per_sec : 0,
+                latency.Percentile(99.0));
+    if (batch == kMaxBatch) {
+      batch64_ops_per_sec = ops_per_sec;
+      batch64_latency = latency;
+    }
+  }
+  const InternalStats stats = db->GetStats();
+  PrintEngineStats(db.get());
+  if (!cfg.json_path.empty()) {
+    char extra[96];
+    std::snprintf(extra, sizeof(extra),
+                  "\"batch\":%zu,\"speedup_vs_sequential\":%.2f", kMaxBatch,
+                  seq_ops_per_sec > 0 ? batch64_ops_per_sec / seq_ops_per_sec
+                                      : 0.0);
+    WriteJsonResult(cfg.json_path, "multiget", cfg.threads, total_ops,
+                    batch64_ops_per_sec, batch64_latency, stats, extra);
+  }
+
+  db.reset();
+  if (!cfg.db_dir.empty()) CheckOk(DestroyDB(db_path, options));
+  return 0;
+}
+
 static bool ParseFlag(const char* arg, const char* name, const char** value) {
   const size_t n = std::strlen(name);
   if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
@@ -377,6 +565,9 @@ int main(int argc, char** argv) {
     }
     if (cfg.mode == "readrandom" || cfg.mode == "readwhilewriting") {
       return acheron::bench::RunReadBench(cfg);
+    }
+    if (cfg.mode == "multiget") {
+      return acheron::bench::RunMultiGet(cfg);
     }
     std::fprintf(stderr, "unknown --mode=%s\n", cfg.mode.c_str());
     return 1;

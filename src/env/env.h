@@ -38,6 +38,12 @@ class RandomAccessFile {
 
   virtual Status Read(uint64_t offset, size_t n, Slice* result,
                       char* scratch) const = 0;
+
+  // File descriptor usable for kernel-side async reads (io_uring), or -1
+  // when reads must go through Read() (mmap views, in-memory files, fault
+  // wrappers that intercept Read). A file returning fd >= 0 promises that
+  // pread(fd, scratch, n, offset) is equivalent to Read().
+  virtual int PreadFd() const { return -1; }
 };
 
 // Append-only writable file (WAL, SSTable, MANIFEST).
@@ -50,6 +56,106 @@ class WritableFile {
   virtual Status Flush() = 0;
   // Durably persist written data (fsync/fdatasync equivalent).
   virtual Status Sync() = 0;
+
+  // The durability half of Sync(), for Env::SubmitSync: persists data
+  // already handed to the OS without touching any user-space write buffer,
+  // so it is safe to run on a completion thread concurrently with Append()
+  // from the owner (the async group-commit WAL path relies on this).
+  // Callers must Flush() buffered data before submitting. The default
+  // falls back to Sync(), which is only concurrency-safe for
+  // implementations without a user-space buffer.
+  virtual Status SyncDurable() { return Sync(); }
+};
+
+// ---- Asynchronous submission/completion IO ------------------------------
+//
+// Batches of RandomAccessFile reads (and WritableFile syncs) can be
+// submitted to the Env and completed through a CompletionQueue instead of
+// blocking the calling thread per operation. PosixEnv backs this with
+// io_uring when the kernel allows it and a shared thread pool otherwise;
+// MemEnv always uses the thread pool, so every test exercises the same
+// submission/completion protocol everywhere. FaultInjectionEnv overrides
+// submission to keep its op-numbering and synced-prefix crash model exact
+// (see fault_env.h).
+
+// Counts completions. One queue is typically stack-allocated per batch;
+// the submitter calls WaitFor(n) after submitting n requests. Post() is
+// called by the Env exactly once per completed request, after the
+// request's status/result fields are fully written and any on_complete
+// hook has run (the queue's lock gives the waiter a happens-before edge to
+// those writes).
+class CompletionQueue {
+ public:
+  CompletionQueue() : cv_(&mu_), completed_(0), waiters_(0), armed_target_(0) {}
+
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  void Post() {
+    MutexLock l(&mu_);
+    completed_++;
+    // Only wake the waiter once its target is reached: a 64-read batch
+    // costs one wakeup, not 64 spurious ones (each a context switch when
+    // submitter and workers share cores).
+    if (armed_target_ != 0 && completed_ >= armed_target_) cv_.SignalAll();
+  }
+
+  // Blocks until at least |n| completions have been posted since
+  // construction.
+  void WaitFor(uint64_t n) {
+    MutexLock l(&mu_);
+    waiters_++;
+    while (completed_ < n) {
+      if (armed_target_ == 0 || n < armed_target_) armed_target_ = n;
+      cv_.Wait();
+    }
+    waiters_--;
+    // Re-arm any remaining waiters: the armed target may have been this
+    // waiter's, and a stale zero would let Post skip their wakeup forever.
+    armed_target_ = 0;
+    if (waiters_ > 0) cv_.SignalAll();
+  }
+
+  uint64_t completed() const {
+    MutexLock l(&mu_);
+    return completed_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  CondVar cv_;  // paired with mu_
+  uint64_t completed_ GUARDED_BY(mu_);
+  int waiters_ GUARDED_BY(mu_);
+  uint64_t armed_target_ GUARDED_BY(mu_);
+};
+
+// One asynchronous read of [offset, offset+n) into |scratch| (result may
+// point elsewhere, e.g. an mmap view, exactly like RandomAccessFile::Read).
+// The optional on_complete hook runs on the completing thread after
+// status/result are set and before the completion is posted -- table block
+// CRC checks and parses ride it so they overlap across a batch.
+struct ReadRequest {
+  RandomAccessFile* file = nullptr;
+  uint64_t offset = 0;
+  size_t n = 0;
+  char* scratch = nullptr;
+  void (*on_complete)(ReadRequest* req) = nullptr;
+  void* arg = nullptr;  // caller context for on_complete
+
+  // Outputs, valid once the completion is posted.
+  Slice result;
+  Status status;
+};
+
+// One asynchronous durable sync of a writable file (SyncDurable semantics:
+// the submitter Flush()es first). Completion posts to the queue after
+// |status| is set and the optional hook has run.
+struct SyncRequest {
+  WritableFile* file = nullptr;
+  void (*on_complete)(SyncRequest* req) = nullptr;
+  void* arg = nullptr;  // caller context for on_complete
+
+  Status status;
 };
 
 class Env {
@@ -90,6 +196,19 @@ class Env {
   virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;
 
+  // --- Asynchronous IO -----------------------------------------------------
+  //
+  // Submit |count| reads; each posts exactly once to |cq| when complete.
+  // Completion order is unspecified. The base implementation executes the
+  // batch synchronously inline (the portable degenerate case); PosixEnv and
+  // MemEnv override with a real async backend.
+  virtual void SubmitReads(ReadRequest** reqs, size_t count,
+                           CompletionQueue* cq);
+
+  // Submit one durable sync (WritableFile::SyncDurable); posts exactly once
+  // to |cq| when complete. The submitter must Flush() buffered data first.
+  virtual void SubmitSync(SyncRequest* req, CompletionQueue* cq);
+
   // Read/write an entire small file; used for CURRENT.
   Status WriteStringToFile(const Slice& data, const std::string& fname);
   Status ReadFileToString(const std::string& fname, std::string* data);
@@ -127,6 +246,50 @@ class BackgroundScheduler {
   std::thread worker_;
 };
 
+// The portable thread-pool backend for Env::SubmitReads/SubmitSync, shared
+// by MemEnv and (as the non-io_uring fallback) PosixEnv. Worker threads
+// start lazily as submissions arrive, up to a small cap
+// (ACHERON_ASYNC_IO_THREADS overrides it); the destructor drains queued
+// requests -- every accepted submission still posts its completion -- then
+// joins the workers.
+class AsyncIoPool {
+ public:
+  AsyncIoPool();
+  ~AsyncIoPool();
+
+  AsyncIoPool(const AsyncIoPool&) = delete;
+  AsyncIoPool& operator=(const AsyncIoPool&) = delete;
+
+  void SubmitReads(ReadRequest** reqs, size_t count, CompletionQueue* cq);
+  void SubmitSync(SyncRequest* req, CompletionQueue* cq);
+
+ private:
+  // Exactly one of |reads| (nreads > 0) and |sync| is set. Reads travel in
+  // small chunks so a 64-read batch costs a handful of queue hand-offs
+  // (lock + condvar wake + context switch) instead of 64; SubmitReads picks
+  // the chunk size to still spread the batch across every worker.
+  struct Item {
+    static constexpr size_t kMaxReads = 16;
+    ReadRequest* reads[kMaxReads] = {};
+    size_t nreads = 0;
+    SyncRequest* sync = nullptr;
+    CompletionQueue* cq = nullptr;
+  };
+
+  void EnqueueLocked(Item item) EXCLUSIVE_LOCKS_REQUIRED(mu_);
+  void WorkerLoop();
+  static void WorkerEntry(void* self);
+
+  const int max_threads_;
+  Mutex mu_;
+  CondVar work_available_;  // paired with mu_
+  int started_threads_ GUARDED_BY(mu_);
+  int idle_threads_ GUARDED_BY(mu_);
+  bool shutting_down_ GUARDED_BY(mu_);
+  std::deque<Item> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;
+};
+
 // The default POSIX environment; singleton, never destroyed.
 Env* DefaultEnv();
 
@@ -145,7 +308,15 @@ Env* NewMemEnv();
 // whose mapping fails, fall back to pread transparently. -1 picks the
 // default (1000 on 64-bit, 0 on 32-bit where address space is scarce);
 // 0 disables mmap entirely.
-Env* NewPosixEnv(bool unbuffered_writes, int mmap_budget = -1);
+//
+// |enable_io_uring| lets SubmitReads use the kernel io_uring backend when
+// the runtime probe succeeds (it can fail under seccomp or old kernels, in
+// which case the thread-pool fallback is used transparently). Setting it
+// false -- or setting ACHERON_NO_IO_URING=1 in the environment -- forces
+// the portable fallback, which is how the async tests pin down identical
+// behavior everywhere (see TESTING.md).
+Env* NewPosixEnv(bool unbuffered_writes, int mmap_budget = -1,
+                 bool enable_io_uring = true);
 
 }  // namespace acheron
 

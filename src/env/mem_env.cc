@@ -144,6 +144,18 @@ class MemEnv : public Env {
     t.detach();
   }
 
+  // The portable async backend: MemEnv always uses the thread pool, so
+  // every test exercises the same submission/completion protocol as the
+  // non-uring PosixEnv fallback.
+  void SubmitReads(ReadRequest** reqs, size_t count,
+                   CompletionQueue* cq) override {
+    pool_.SubmitReads(reqs, count, cq);
+  }
+
+  void SubmitSync(SyncRequest* req, CompletionQueue* cq) override {
+    pool_.SubmitSync(req, cq);
+  }
+
   Status NewSequentialFile(const std::string& fname,
                            std::unique_ptr<SequentialFile>* result) override {
     MutexLock l(&mu_);
@@ -247,6 +259,7 @@ class MemEnv : public Env {
 
  private:
   BackgroundScheduler scheduler_;
+  AsyncIoPool pool_;
   Mutex mu_;
   std::map<std::string, FileState*> files_ GUARDED_BY(mu_);
 };

@@ -18,7 +18,9 @@
 #define ACHERON_LSM_DB_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/core/persistence_monitor.h"
 #include "src/lsm/options.h"
@@ -63,6 +65,17 @@ class DB {
   // status for which Status::IsNotFound() returns true.
   virtual Status Get(const ReadOptions& options, const Slice& key,
                      std::string* value) = 0;
+
+  // Look up a batch of keys in one call. values is resized to keys.size();
+  // the returned vector holds one status per key, aligned with |keys| (OK =
+  // found, NotFound, or an error). All lookups observe the same snapshot.
+  // The default implementation loops over Get; DBImpl overrides it to fan
+  // the table-block reads of the whole batch out through the Env's
+  // asynchronous submission path, so large cold-read batches overlap their
+  // IO instead of paying one synchronous round trip per key.
+  virtual std::vector<Status> MultiGet(const ReadOptions& options,
+                                       std::span<const Slice> keys,
+                                       std::vector<std::string>* values);
 
   // Return a heap-allocated iterator over the contents of the database.
   // The result of NewIterator() is initially invalid (caller must call one

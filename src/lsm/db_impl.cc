@@ -114,6 +114,7 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       mem_(nullptr),
       imm_(nullptr),
       logfile_number_(0),
+      wal_sync_done_(&mutex_),
       compaction_active_(false),
       bg_compaction_scheduled_(false),
       background_work_finished_signal_(&mutex_),
@@ -902,6 +903,14 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     // Rotate the WAL and swap mem_ into the immutable slot. The new log
     // file must exist before any write lands in the new memtable, so this
     // one Env call stays under the mutex by design.
+    //
+    // Async group syncs submitted by earlier leaders may still be in flight
+    // on the outgoing log file; destroying it under them would hand the
+    // completion thread a dangling WritableFile. Drain them first (their
+    // leaders are off the mutex in WaitFor, so this cannot deadlock).
+    while (wal_syncs_inflight_ > 0) {
+      wal_sync_done_.Wait();
+    }
     const uint64_t new_log_number = versions_->NewFileNumber();
     std::unique_ptr<WritableFile> lfile;
     if (!options_.disable_wal) {
@@ -1147,6 +1156,97 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
   return s;
 }
 
+namespace {
+// Keeps the next chunks of the compaction's input files in flight while the
+// merge loop drains the current ones. The chunk reads go through the Env's
+// asynchronous submission path and their bytes are discarded: the value is
+// the overlapped IO / warmed page cache ahead of the table iterators, not
+// the data. Reads are non-mutating, so the crash matrix's op numbering and
+// synced-prefix guarantees are untouched.
+class CompactionPrefetcher {
+ public:
+  static constexpr size_t kChunkSize = 256 * 1024;
+  static constexpr size_t kMaxInflight = 4;
+
+  CompactionPrefetcher(Env* env, const std::string& dbname, Compaction* c)
+      : env_(env) {
+    for (int which = 0; which < 2; which++) {
+      for (int i = 0; i < c->num_input_files(which); i++) {
+        const FileMetaData* f = c->input(which, i);
+        if (f->file_size == 0) continue;
+        Input in;
+        in.size = f->file_size;
+        // The input version is pinned for the whole compaction, so the
+        // file cannot be unlinked while this handle is open. A failed open
+        // just means no read-ahead for that file.
+        if (env_->NewRandomAccessFile(TableFileName(dbname, f->number),
+                                      &in.file)  // io: unlocked
+                .ok()) {
+          inputs_.push_back(std::move(in));
+        }
+      }
+    }
+    for (Slot& slot : slots_) {
+      slot.buf = std::make_unique<char[]>(kChunkSize);
+    }
+    Pump();
+  }
+
+  CompactionPrefetcher(const CompactionPrefetcher&) = delete;
+  CompactionPrefetcher& operator=(const CompactionPrefetcher&) = delete;
+
+  ~CompactionPrefetcher() {
+    // Every slot's reads must have posted before the files close.
+    for (Slot& slot : slots_) {
+      slot.cq.WaitFor(slot.submits);
+    }
+  }
+
+  // Top the in-flight window back up to kMaxInflight. Non-blocking: a slot
+  // is reusable only once its previous read posted (checked through the
+  // slot's own completion count), so the merge loop never waits here.
+  void Pump() {
+    for (Slot& slot : slots_) {
+      if (cur_ >= inputs_.size()) return;  // all input bytes staged
+      if (slot.cq.completed() < slot.submits) continue;  // still in flight
+      Input& in = inputs_[cur_];
+      slot.req = ReadRequest();
+      slot.req.file = in.file.get();
+      slot.req.offset = offset_;
+      slot.req.n = static_cast<size_t>(
+          std::min<uint64_t>(kChunkSize, in.size - offset_));
+      slot.req.scratch = slot.buf.get();
+      ReadRequest* r = &slot.req;
+      env_->SubmitReads(&r, 1, &slot.cq);  // io: unlocked
+      slot.submits++;
+      offset_ += slot.req.n;
+      if (offset_ >= in.size) {
+        offset_ = 0;
+        cur_++;
+      }
+    }
+  }
+
+ private:
+  struct Input {
+    std::unique_ptr<RandomAccessFile> file;
+    uint64_t size = 0;
+  };
+  struct Slot {
+    std::unique_ptr<char[]> buf;
+    ReadRequest req;
+    CompletionQueue cq;
+    uint64_t submits = 0;
+  };
+
+  Env* const env_;
+  std::vector<Input> inputs_;
+  Slot slots_[kMaxInflight];
+  size_t cur_ = 0;       // index into inputs_ of the next chunk's file
+  uint64_t offset_ = 0;  // next chunk offset within inputs_[cur_]
+};
+}  // namespace
+
 Status DBImpl::DoCompactionWork(CompactionState* compact,
                                 SequenceNumber horizon) {
   assert(compaction_active_);
@@ -1168,6 +1268,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
   // slot keeps rival compactions out. Guarded counters are accumulated
   // locally and folded back in after relocking.
   mutex_.Unlock();
+  auto prefetcher = std::make_unique<CompactionPrefetcher>(
+      env_, dbname_, compact->compaction);
+  uint64_t merge_steps = 0;
   uint64_t shadowed_dropped = 0;
   uint64_t tombstones_dropped = 0;
   // Monitor deltas are accumulated locally and journaled on the compaction's
@@ -1190,6 +1293,10 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
     // flushing it here would install its L0 file between this round's
     // picks, diverging from the synchronous schedule (which flushes only
     // at round boundaries). BackgroundCall reschedules for it.
+    if ((merge_steps++ & 63) == 0) {
+      // Keep the next input blocks in flight while this one merges.
+      prefetcher->Pump();
+    }
     Slice key = input->key();
     bool drop = false;
     if (!ParseInternalKey(key, &ikey)) {
@@ -1301,6 +1408,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
   }
   delete input;
   input = nullptr;
+  // Drain the read-ahead window (and close its file handles) while still
+  // off the mutex; the waits must not run under the lock.
+  prefetcher.reset();
 
   mutex_.Lock();
   stats_.compaction_bytes_written += compact->total_bytes;
@@ -1365,21 +1475,113 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   } else {
     snapshot = version_set_lockfree_->LastSequenceAcquire();
   }
-  gets_.fetch_add(1, std::memory_order_relaxed);
-
   // Look in the active memtable, then the flushing one, then the tables.
+  // Counter accounting runs on locals flushed once at the end: the shared
+  // relaxed atomics are touched a bounded number of times per op (not once
+  // per bloom-filtered table), which is what keeps single-thread readrandom
+  // at its pre-counter throughput.
+  uint64_t filter_negatives = 0;
   LookupKey lkey(key, snapshot);
   if (state->mem->Get(lkey, value, &s)) {
     // Done
   } else if (state->imm != nullptr && state->imm->Get(lkey, value, &s)) {
     // Done
   } else {
-    s = state->current->Get(options, lkey, value);
+    s = state->current->Get(options, lkey, value, &filter_negatives);
   }
 
+  gets_.fetch_add(1, std::memory_order_relaxed);
   if (s.ok()) gets_found_.fetch_add(1, std::memory_order_relaxed);
+  table_cache_->AddFilterNegatives(filter_negatives);
   ReleaseReadState(state);
   return s;
+}
+
+std::vector<Status> DBImpl::MultiGet(const ReadOptions& options,
+                                     std::span<const Slice> keys,
+                                     std::vector<std::string>* values) {
+  const size_t n = keys.size();
+  std::vector<Status> statuses(n);
+  values->clear();
+  values->resize(n);
+  if (n == 0) return statuses;
+
+  // Same lock-free snapshot protocol as Get: pin the ReadState, then read
+  // the sequence, and the whole batch observes one consistent snapshot
+  // without ever touching mutex_.
+  ReadState* state = AcquireReadState();
+  SequenceNumber snapshot;
+  if (options.snapshot != nullptr) {
+    snapshot =
+        static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
+  } else {
+    snapshot = version_set_lockfree_->LastSequenceAcquire();
+  }
+
+  // Memtable probes are memory-only and run synchronously; only the keys
+  // they miss go to the table fan-out.
+  std::vector<std::unique_ptr<LookupKey>> lkeys;
+  lkeys.reserve(n);
+  std::vector<Version::MultiGetItem> items(n);
+  size_t unresolved = 0;
+  for (size_t i = 0; i < n; i++) {
+    lkeys.push_back(std::make_unique<LookupKey>(keys[i], snapshot));
+    items[i].key = lkeys.back().get();
+    items[i].value = &(*values)[i];
+    Status s;
+    if (state->mem->Get(*lkeys[i], items[i].value, &s)) {
+      items[i].status = s;
+      items[i].done = true;
+    } else if (state->imm != nullptr &&
+               state->imm->Get(*lkeys[i], items[i].value, &s)) {
+      items[i].status = s;
+      items[i].done = true;
+    } else {
+      unresolved++;
+    }
+  }
+
+  uint64_t filter_negatives = 0;
+  if (unresolved > 0) {
+    // Fan the remaining lookups out level by level; within a level every
+    // needed table-block read of a probe round goes down as one
+    // Env::SubmitReads batch (io_uring or the thread pool).
+    state->current->MultiGet(options, items.data(), n, &filter_negatives);
+  }
+
+  uint64_t found = 0;
+  for (size_t i = 0; i < n; i++) {
+    statuses[i] = items[i].status;
+    if (statuses[i].ok()) found++;
+  }
+  // One batched counter flush for the whole call.
+  gets_.fetch_add(n, std::memory_order_relaxed);
+  if (found > 0) gets_found_.fetch_add(found, std::memory_order_relaxed);
+  table_cache_->AddFilterNegatives(filter_negatives);
+  ReleaseReadState(state);
+  return statuses;
+}
+
+// Portable default for DB subclasses that do not override MultiGet: the
+// same results, one synchronous Get per key, pinned to one snapshot so the
+// batch-consistency contract still holds.
+std::vector<Status> DB::MultiGet(const ReadOptions& options,
+                                 std::span<const Slice> keys,
+                                 std::vector<std::string>* values) {
+  std::vector<Status> statuses(keys.size());
+  values->clear();
+  values->resize(keys.size());
+  ReadOptions ro = options;
+  const Snapshot* owned = nullptr;
+  if (ro.snapshot == nullptr) {
+    owned = GetSnapshot();
+    ro.snapshot = owned;
+  }
+  for (size_t i = 0; i < keys.size(); i++) {
+    statuses[i] = Get(ro, keys[i], &(*values)[i]);
+  }
+  if (owned != nullptr) ReleaseSnapshot(owned);
+  return statuses;
 }
 
 Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
@@ -1468,6 +1670,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   Status status = MakeRoomForWrite(updates == nullptr);
   SequenceNumber last_sequence = versions_->LastSequence();
   Writer* last_writer = &w;
+  bool async_sync = false;
+  CompletionQueue sync_cq;
+  SyncRequest sync_req;
   if (status.ok() && updates != nullptr) {
     WriteBatch* write_batch = BuildBatchGroup(&last_writer);
     WriteBatchInternal::SetSequence(write_batch, last_sequence + 1);
@@ -1495,9 +1700,34 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
           // Group commit's payoff: ONE fsync covers every batch in the
           // group (followers piggyback on the leader's sync; BuildBatchGroup
           // never puts a sync batch under a non-sync leader).
-          status = logfile->Sync();
-          wal_syncs++;
-          if (!status.ok()) sync_error = true;
+          if (options_.async_wal_sync) {
+            // Asynchronous variant: push the buffered record to the OS now
+            // (SyncDurable never touches the user-space buffer), then
+            // submit the fsync and keep going -- the leader applies the
+            // batch, hands off leadership, and only waits for this
+            // completion right before returning.
+            status = logfile->Flush();
+            if (status.ok()) {
+              sync_req.file = logfile;
+              env_->SubmitSync(&sync_req, &sync_cq);  // io: unlocked
+              wal_syncs++;
+              async_sync = true;
+              if (sync_cq.completed() >= 1 && !sync_req.status.ok()) {
+                // Completed inline with an error (e.g. a FaultInjectionEnv
+                // crash at submit): honor it exactly like a blocking sync
+                // failure -- skip the memtable apply.
+                status = sync_req.status;
+                sync_error = true;
+                async_sync = false;
+              }
+            } else {
+              sync_error = true;
+            }
+          } else {
+            status = logfile->Sync();
+            wal_syncs++;
+            if (!status.ok()) sync_error = true;
+          }
         }
       }
       if (status.ok()) {
@@ -1508,6 +1738,12 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         (void)write_batch->Iterate(&counter);
       }
       mutex_.Lock();
+    }
+    if (async_sync) {
+      // Claimed before any successor leader can run MakeRoomForWrite: a WAL
+      // rotation must not destroy logfile_ while the submitted fsync is in
+      // flight on it (the rotation path drains this counter).
+      wal_syncs_inflight_++;
     }
     stats_.wal_bytes_written += wal_bytes;
     stats_.wal_syncs += wal_syncs;
@@ -1567,6 +1803,26 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   }
   if (!writers_.empty()) {
     writers_.front()->cv.Signal();
+  }
+
+  if (async_sync) {
+    // Async WAL sync epilogue: the group is applied, its followers are
+    // awake, and the next leader is already running -- only now does this
+    // thread block on its own fsync completion, off the mutex. A failure
+    // here poisons the DB (like any sync error) and is returned to the
+    // caller; followers of this group were released with the pre-sync
+    // status, which is the documented async_wal_sync relaxation.
+    mutex_.Unlock();
+    sync_cq.WaitFor(1);
+    mutex_.Lock();
+    wal_syncs_inflight_--;
+    if (wal_syncs_inflight_ == 0) {
+      wal_sync_done_.SignalAll();
+    }
+    if (!sync_req.status.ok()) {
+      status = sync_req.status;
+      RecordBackgroundError(status);
+    }
   }
   return status;
 }

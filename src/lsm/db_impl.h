@@ -79,6 +79,9 @@ class DBImpl : public DB {
   Status Write(const WriteOptions& options, WriteBatch* updates) override;
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value) override;
+  std::vector<Status> MultiGet(const ReadOptions& options,
+                               std::span<const Slice> keys,
+                               std::vector<std::string>* values) override;
   Iterator* NewIterator(const ReadOptions&) override;
   const Snapshot* GetSnapshot() override;
   void ReleaseSnapshot(const Snapshot* snapshot) override;
@@ -295,6 +298,14 @@ class DBImpl : public DB {
   // pointers are captured under the lock first).
   std::deque<Writer*> writers_ GUARDED_BY(mutex_);
   WriteBatch tmp_batch_ GUARDED_BY(mutex_);  // scratch for group commit
+
+  // Async group-commit WAL syncs (Options::async_wal_sync) still in flight
+  // on logfile_. Incremented by the leader before it promotes a successor
+  // (so no later leader can rotate the WAL out from under the submitted
+  // fsync), decremented when the completion posts; MakeRoomForWrite drains
+  // it to zero before destroying the outgoing log file.
+  int wal_syncs_inflight_ GUARDED_BY(mutex_) = 0;
+  CondVar wal_sync_done_;  // paired with mutex_
 
   // True while a flush/compaction/purge owns the (single) compaction slot.
   bool compaction_active_ GUARDED_BY(mutex_);

@@ -30,7 +30,10 @@ class DBIter : public Iterator {
   DBIter(const DBIter&) = delete;
   DBIter& operator=(const DBIter&) = delete;
 
-  ~DBIter() override { delete iter_; }
+  ~DBIter() override {
+    FlushTombstoneSkips();
+    delete iter_;
+  }
 
   bool Valid() const override { return valid_; }
   Slice key() const override {
@@ -73,16 +76,25 @@ class DBIter : public Iterator {
     }
   }
 
-  void CountTombstoneSkip() {
-    if (tombstone_skips_ != nullptr) {
-      tombstone_skips_->fetch_add(1, std::memory_order_relaxed);
+  // Skips are tallied in a plain local and flushed to the shared atomic
+  // once per public operation (and at destruction), so a scan stepping
+  // over a tombstone run costs one relaxed RMW per Next/Seek instead of
+  // one per tombstone.
+  void CountTombstoneSkip() { pending_tombstone_skips_++; }
+
+  void FlushTombstoneSkips() {
+    if (tombstone_skips_ != nullptr && pending_tombstone_skips_ > 0) {
+      tombstone_skips_->fetch_add(pending_tombstone_skips_,
+                                  std::memory_order_relaxed);
     }
+    pending_tombstone_skips_ = 0;
   }
 
   const Comparator* const user_comparator_;
   Iterator* const iter_;
   SequenceNumber const sequence_;
   std::atomic<uint64_t>* const tombstone_skips_;
+  uint64_t pending_tombstone_skips_ = 0;
   Status status_;
   std::string saved_key_;    // == current key when direction_==kReverse
   std::string saved_value_;  // == current raw value when direction_==kReverse
@@ -132,6 +144,7 @@ void DBIter::Next() {
   }
 
   FindNextUserEntry(true, &saved_key_);
+  FlushTombstoneSkips();
 }
 
 void DBIter::FindNextUserEntry(bool skipping, std::string* skip) {
@@ -192,6 +205,7 @@ void DBIter::Prev() {
   }
 
   FindPrevUserEntry();
+  FlushTombstoneSkips();
 }
 
 void DBIter::FindPrevUserEntry() {
@@ -249,6 +263,7 @@ void DBIter::Seek(const Slice& target) {
   } else {
     valid_ = false;
   }
+  FlushTombstoneSkips();
 }
 
 void DBIter::SeekToFirst() {
@@ -260,6 +275,7 @@ void DBIter::SeekToFirst() {
   } else {
     valid_ = false;
   }
+  FlushTombstoneSkips();
 }
 
 void DBIter::SeekToLast() {
@@ -267,6 +283,7 @@ void DBIter::SeekToLast() {
   ClearSavedValue();
   iter_->SeekToLast();
   FindPrevUserEntry();
+  FlushTombstoneSkips();
 }
 
 }  // namespace

@@ -96,6 +96,19 @@ struct Options {
   // lost on machine crash (process crash never loses synced data).
   bool sync_writes = false;
 
+  // When a group commit ends with a WAL sync (sync_writes or
+  // WriteOptions::sync), submit the fsync through Env::SubmitSync instead
+  // of blocking the writer group's leader on Sync(): the leader applies the
+  // batch to the memtable, publishes the sequence, and hands leadership to
+  // the next group while the durability fsync completes on the Env's
+  // completion path; the leader then waits only for its own sync before
+  // returning. Groups still become durable in submission order
+  // (FaultInjectionEnv numbers the sync at submit time), so the crash
+  // matrix's synced-prefix guarantee is unchanged. Default off: the
+  // blocking leader sync is simpler to reason about and is what the
+  // deterministic replay tests were written against.
+  bool async_wal_sync = false;
+
   // Disable the WAL entirely (benchmarks on throwaway data).
   bool disable_wal = false;
 

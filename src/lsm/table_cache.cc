@@ -90,16 +90,31 @@ Status TableCache::Get(const ReadOptions& options, uint64_t file_number,
                        uint64_t file_size, const Slice& k,
                        const Slice& user_key, void* arg,
                        void (*handle_result)(void*, const Slice&,
-                                             const Slice&)) {
+                                             const Slice&),
+                       uint64_t* filter_negatives) {
   Cache::Handle* handle = nullptr;
   Status s = FindTable(file_number, file_size, &handle);
   if (s.ok()) {
     Table* t = reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table;
-    s = t->InternalGet(options, k, user_key, arg, handle_result);
+    s = t->InternalGet(options, k, user_key, arg, handle_result,
+                       filter_negatives);
     cache_->Release(handle);
   }
   return s;
 }
+
+Status TableCache::PinTable(uint64_t file_number, uint64_t file_size,
+                            Table** table, Cache::Handle** handle) {
+  *table = nullptr;
+  *handle = nullptr;
+  Status s = FindTable(file_number, file_size, handle);
+  if (s.ok()) {
+    *table = reinterpret_cast<TableAndFile*>(cache_->Value(*handle))->table;
+  }
+  return s;
+}
+
+void TableCache::Unpin(Cache::Handle* handle) { cache_->Release(handle); }
 
 void TableCache::Evict(uint64_t file_number) {
   char buf[sizeof(file_number)];

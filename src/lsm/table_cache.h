@@ -41,11 +41,28 @@ class TableCache {
 
   // If a seek to internal key "k" in specified file finds an entry, call
   // (*handle_result)(arg, found_key, found_value). |user_key| feeds the
-  // Bloom filter.
+  // Bloom filter. A non-null |filter_negatives| batches bloom-negative
+  // accounting into the caller's local counter (flushed once per op via
+  // AddFilterNegatives) instead of one shared atomic RMW per miss.
   Status Get(const ReadOptions& options, uint64_t file_number,
              uint64_t file_size, const Slice& k, const Slice& user_key,
              void* arg,
-             void (*handle_result)(void*, const Slice&, const Slice&));
+             void (*handle_result)(void*, const Slice&, const Slice&),
+             uint64_t* filter_negatives = nullptr);
+
+  // Pin the Table for |file_number| with a held cache handle so a caller
+  // can run PrepareGet / batched Env::SubmitReads across several tables
+  // before completing any lookup (the MultiGet fan-out). Unpin releases
+  // the handle; *table is valid until then.
+  Status PinTable(uint64_t file_number, uint64_t file_size, Table** table,
+                  Cache::Handle** handle);
+  void Unpin(Cache::Handle* handle);
+
+  // Flush a batch of locally-counted bloom negatives into the aggregate
+  // (the batched counterpart of the per-miss sink bump).
+  void AddFilterNegatives(uint64_t n) {
+    if (n > 0) filter_negatives_total_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   // Evict any entry for the specified file number.
   void Evict(uint64_t file_number);

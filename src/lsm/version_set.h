@@ -61,8 +61,27 @@ class Version {
   void AddIterators(const ReadOptions&, std::vector<Iterator*>* iters);
 
   // Lookup the value for key. If found, store it in *val and return OK.
-  // Else return a non-OK status.
-  Status Get(const ReadOptions&, const LookupKey& key, std::string* val);
+  // Else return a non-OK status. A non-null |filter_negatives| batches
+  // bloom-negative accounting into the caller's local counter (flushed
+  // once per op) instead of one shared atomic RMW per filtered-out table.
+  Status Get(const ReadOptions&, const LookupKey& key, std::string* val,
+             uint64_t* filter_negatives = nullptr);
+
+  // One key of a batched lookup (see MultiGet).
+  struct MultiGetItem {
+    const LookupKey* key = nullptr;  // set by the caller
+    std::string* value = nullptr;    // set by the caller
+    Status status;                   // OK = found; NotFound; or an error
+    bool done = false;               // resolved -- deeper levels skipped
+  };
+
+  // Batched Get over every not-yet-done item: walks levels shallow to
+  // deep, and within each level fans the required table-block reads of
+  // each probe round out as one Env::SubmitReads submission (per-level,
+  // bloom-filtered) instead of one blocking read per key. Equivalent to
+  // calling Get per key; items already marked done are left untouched.
+  void MultiGet(const ReadOptions&, MultiGetItem* items, size_t count,
+                uint64_t* filter_negatives = nullptr);
 
   // Reference count management (so Versions do not disappear out from
   // under live iterators).

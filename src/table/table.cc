@@ -256,36 +256,148 @@ Iterator* Table::NewIterator(const ReadOptions& options) const {
 Status Table::InternalGet(const ReadOptions& options, const Slice& k,
                           const Slice& filter_key, void* arg,
                           void (*handle_result)(void*, const Slice&,
-                                                const Slice&)) {
-  Status s;
+                                                const Slice&),
+                          uint64_t* filter_negatives_out) {
+  TableReadRequest req;
+  const TablePrepare prep =
+      PrepareGet(options, k, filter_key, &req, filter_negatives_out);
+  if (prep == TablePrepare::kFilteredOut || prep == TablePrepare::kNoBlock) {
+    return req.status;
+  }
+  if (prep == TablePrepare::kNeedsRead) {
+    // Synchronous completion: run the read and the parse hook inline.
+    req.io.status = req.io.file->Read(req.io.offset, req.io.n, &req.io.result,
+                                      req.io.scratch);
+    ParseBlockOnComplete(&req.io);
+  }
+  return ReadInBlock(&req, k, arg, handle_result);
+}
+
+TablePrepare Table::PrepareGet(const ReadOptions& options, const Slice& k,
+                               const Slice& filter_key, TableReadRequest* req,
+                               uint64_t* filter_negatives_out) {
+  req->table = this;
+  req->options = options;
+  req->buf = nullptr;
+  req->block = nullptr;
+  req->cache_handle = nullptr;
+  req->status = Status::OK();
+
   // Consult the full-file Bloom filter first.
   if (rep_->filter_policy != nullptr && !rep_->filter.empty() &&
       !rep_->filter_policy->KeyMayMatch(filter_key, rep_->filter)) {
     rep_->filter_negatives.fetch_add(1, std::memory_order_relaxed);
-    if (rep_->filter_negatives_sink != nullptr) {
+    if (filter_negatives_out != nullptr) {
+      // Batched accounting: the caller flushes its local count to the
+      // shared sink once per operation.
+      (*filter_negatives_out)++;
+    } else if (rep_->filter_negatives_sink != nullptr) {
       rep_->filter_negatives_sink->fetch_add(1, std::memory_order_relaxed);
     }
-    return s;  // Definitely not present.
+    return TablePrepare::kFilteredOut;
   }
 
   const Comparator* cmp = rep_->options.comparator ? rep_->options.comparator
                                                    : BytewiseComparator();
   Iterator* iiter = rep_->index_block->NewIterator(cmp);
   iiter->Seek(k);
-  if (iiter->Valid()) {
-    Iterator* block_iter = BlockReader(const_cast<Table*>(this), options,
-                                       iiter->value());
-    block_iter->Seek(k);
-    if (block_iter->Valid()) {
-      (*handle_result)(arg, block_iter->key(), block_iter->value());
-    }
-    s = block_iter->status();
-    delete block_iter;
+  if (!iiter->Valid()) {
+    // Past the last block, or an index error (kReady completes with it).
+    req->status = iiter->status();
+    delete iiter;
+    return req->status.ok() ? TablePrepare::kNoBlock : TablePrepare::kReady;
   }
-  if (s.ok()) {
-    s = iiter->status();
-  }
+  Slice input = iiter->value();
+  Status s = req->handle.DecodeFrom(&input);
+  // Extra data after the handle in index values stays allowed, as in
+  // BlockReader.
   delete iiter;
+  if (!s.ok()) {
+    req->status = s;
+    return TablePrepare::kReady;
+  }
+
+  Cache* block_cache = rep_->options.block_cache;
+  if (block_cache != nullptr) {
+    char cache_key_buffer[16];
+    EncodeFixed64(cache_key_buffer, rep_->cache_id);
+    EncodeFixed64(cache_key_buffer + 8, req->handle.offset());
+    Cache::Handle* h =
+        block_cache->Lookup(Slice(cache_key_buffer, sizeof(cache_key_buffer)));
+    if (h != nullptr) {
+      req->block = reinterpret_cast<Block*>(block_cache->Value(h));
+      req->cache_handle = h;
+      return TablePrepare::kReady;
+    }
+  }
+
+  // Needs IO: one read covering block + trailer. The completion hook
+  // CRC-checks and parses it on whichever thread completes the read, so a
+  // batch of lookups overlaps its parses too.
+  const size_t n = static_cast<size_t>(req->handle.size());
+  req->buf = new char[n + kBlockTrailerSize];
+  req->io.file = rep_->file;
+  req->io.offset = req->handle.offset();
+  req->io.n = n + kBlockTrailerSize;
+  req->io.scratch = req->buf;
+  req->io.on_complete = &Table::ParseBlockOnComplete;
+  req->io.arg = req;
+  return TablePrepare::kNeedsRead;
+}
+
+void Table::ParseBlockOnComplete(ReadRequest* io) {
+  auto* req = static_cast<TableReadRequest*>(io->arg);
+  char* buf = req->buf;
+  req->buf = nullptr;
+  if (!io->status.ok()) {
+    delete[] buf;
+    req->status = io->status;
+    return;
+  }
+  BlockContents contents;
+  Status s = FinishBlockRead(req->handle.size(), io->result, buf, &contents);
+  if (!s.ok()) {
+    req->status = s;
+    return;
+  }
+  req->block = new Block(contents);
+  // Cache the parsed Block under the BlockReader key scheme (view-backed
+  // bytes included -- see the rationale there), so later lookups of this
+  // block resolve as kReady without IO.
+  Cache* block_cache = req->table->rep_->options.block_cache;
+  if (block_cache != nullptr && req->options.fill_cache) {
+    char cache_key_buffer[16];
+    EncodeFixed64(cache_key_buffer, req->table->rep_->cache_id);
+    EncodeFixed64(cache_key_buffer + 8, req->handle.offset());
+    req->cache_handle = block_cache->Insert(
+        Slice(cache_key_buffer, sizeof(cache_key_buffer)), req->block,
+        req->block->size(), &DeleteCachedBlock);
+  }
+}
+
+Status Table::ReadInBlock(TableReadRequest* req, const Slice& k, void* arg,
+                          void (*handle_result)(void*, const Slice&,
+                                                const Slice&)) {
+  if (req->block == nullptr) {
+    // Read/parse failure (status set), or kNoBlock (status OK, no entry).
+    return req->status;
+  }
+  const Comparator* cmp = rep_->options.comparator ? rep_->options.comparator
+                                                   : BytewiseComparator();
+  Iterator* block_iter = req->block->NewIterator(cmp);
+  block_iter->Seek(k);
+  if (block_iter->Valid()) {
+    (*handle_result)(arg, block_iter->key(), block_iter->value());
+  }
+  Status s = block_iter->status();
+  delete block_iter;
+  if (req->cache_handle != nullptr) {
+    rep_->options.block_cache->Release(req->cache_handle);
+    req->cache_handle = nullptr;
+  } else {
+    delete req->block;
+  }
+  req->block = nullptr;
   return s;
 }
 

@@ -7,7 +7,10 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/env/env.h"
 #include "src/lsm/options.h"
+#include "src/table/cache.h"
+#include "src/table/format.h"
 #include "src/table/iterator.h"
 #include "src/table/properties.h"
 #include "src/util/status.h"
@@ -15,9 +18,33 @@
 namespace acheron {
 
 class Block;
-class BlockHandle;
 class Footer;
-class RandomAccessFile;
+class Table;
+
+// Outcome of Table::PrepareGet.
+enum class TablePrepare {
+  kFilteredOut,  // Bloom filter ruled the key out: no entry in this table
+  kNoBlock,      // index has no block at or past the key: no entry here
+  kReady,        // block in hand (cache hit) or early error: ReadInBlock now
+  kNeedsRead,    // submit &req->io via Env::SubmitReads, then ReadInBlock
+};
+
+// One point lookup split into prepare / (async) read / complete so a batch
+// of lookups can keep several block reads in flight at once (MultiGet).
+// PrepareGet fills it; the io request's completion hook verifies the block
+// trailer and parses the Block on the completing thread; ReadInBlock runs
+// the saver callback and releases the block. The struct must stay pinned
+// (no moves) from PrepareGet until ReadInBlock.
+struct TableReadRequest {
+  Table* table = nullptr;
+  ReadOptions options;
+  BlockHandle handle;
+  ReadRequest io;       // valid after PrepareGet returns kNeedsRead
+  char* buf = nullptr;  // heap read buffer; owned until the parse consumes it
+  Block* block = nullptr;                 // parsed block, set by the hook
+  Cache::Handle* cache_handle = nullptr;  // held ref when |block| is cached
+  Status status;
+};
 
 class Table {
  public:
@@ -54,9 +81,31 @@ class Table {
   // Calls (*handle_result)(arg, internal_key, value) for the first entry at
   // or past |key| in this table, after consulting the Bloom filter with
   // |filter_key|. No callback is made if the filter rules the key out or the
-  // table has no entry >= key.
+  // table has no entry >= key. A non-null |filter_negatives| batches the
+  // bloom-negative accounting into the caller's local counter instead of
+  // one shared-sink atomic RMW per miss (the caller flushes once per op).
   Status InternalGet(const ReadOptions&, const Slice& key,
                      const Slice& filter_key, void* arg,
+                     void (*handle_result)(void* arg, const Slice& k,
+                                           const Slice& v),
+                     uint64_t* filter_negatives_out = nullptr);
+
+  // First phase of an asynchronous InternalGet: consults the Bloom filter,
+  // seeks the pinned index block, and checks the block cache -- no file IO.
+  // On kNeedsRead the caller submits &req->io (batched with other lookups)
+  // via Env::SubmitReads; the request's completion hook CRC-checks and
+  // parses the block on the completing thread. On kReady, ReadInBlock can
+  // run immediately. kFilteredOut/kNoBlock resolve the lookup with no
+  // entry (req->status stays OK). |filter_negatives| as in InternalGet.
+  TablePrepare PrepareGet(const ReadOptions&, const Slice& key,
+                          const Slice& filter_key, TableReadRequest* req,
+                          uint64_t* filter_negatives_out = nullptr);
+
+  // Final phase: once req->io has posted (or immediately after kReady),
+  // seeks |key| in the parsed block, invokes |handle_result| like
+  // InternalGet, and releases the block / cache handle. Returns the read,
+  // parse, or seek status.
+  Status ReadInBlock(TableReadRequest* req, const Slice& key, void* arg,
                      void (*handle_result)(void* arg, const Slice& k,
                                            const Slice& v));
 
@@ -75,6 +124,11 @@ class Table {
   void SetFilterNegativesSink(std::atomic<uint64_t>* sink);
 
   static Iterator* BlockReader(void*, const ReadOptions&, const Slice&);
+
+  // ReadRequest::on_complete hook installed by PrepareGet: verifies the
+  // trailer, parses the Block, and (fill_cache permitting) inserts it into
+  // the block cache -- all off the submitting thread.
+  static void ParseBlockOnComplete(ReadRequest* io);
 
   explicit Table(Rep* rep) : rep_(rep) {}
 

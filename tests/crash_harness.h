@@ -150,6 +150,14 @@ class CrashRun {
   FaultInjectionEnv* env() { return fault_.get(); }
   const std::string& dbname() const { return dbname_; }
 
+  // Route group-commit WAL fsyncs through Env::SubmitSync for this run.
+  // Safe for the matrix: the harness writes single-threaded, every write is
+  // its own group leader, and the leader still blocks on its completion
+  // before returning -- so a synced ack implies durability exactly as in
+  // the blocking mode, and syncs are numbered at submit time in arrival
+  // order, keeping the file-op schedule deterministic.
+  void set_async_wal_sync(bool v) { async_wal_sync_ = v; }
+
   Options DbOptions() const {
     Options o;
     o.env = fault_.get();
@@ -160,6 +168,7 @@ class CrashRun {
     o.write_buffer_size = 256 << 10;
     o.background_compactions = background_;
     o.delete_persistence_threshold = kDth;
+    o.async_wal_sync = async_wal_sync_;
     return o;
   }
 
@@ -217,6 +226,7 @@ class CrashRun {
 
  private:
   const bool background_;
+  bool async_wal_sync_ = false;
   const std::string dbname_;
   std::unique_ptr<Env> base_;
   std::unique_ptr<FaultInjectionEnv> fault_;

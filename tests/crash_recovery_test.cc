@@ -223,12 +223,11 @@ bool IsWalOrManifest(const std::string& fname) {
          fname.find("MANIFEST-") != std::string::npos;
 }
 
-std::string Repro(bool background, uint64_t k, uint64_t total,
+std::string Repro(const std::string& mode, uint64_t k, uint64_t total,
                   const FaultInjectionEnv::CrashedOpInfo& op,
                   const std::string& leg, const std::string& torn) {
   std::ostringstream out;
-  out << "[crash-matrix repro: mode="
-      << (background ? "background" : "sync") << " k=" << k << "/" << total
+  out << "[crash-matrix repro: mode=" << mode << " k=" << k << "/" << total
       << " crashed_op=" << (op.kind.empty() ? "none" : op.kind);
   if (!op.fname.empty()) {
     out << "(" << op.fname;
@@ -285,14 +284,22 @@ void RepairAndCheck(CrashRun& run, const std::string& repro, bool check_ttl) {
 //                    default, every byte offset under FULL).
 //   leg C ("keep"):  process crash, everything written survives, reopen.
 //   leg D ("repair"): machine crash, CURRENT+MANIFEST destroyed, RepairDB.
-void RunCrashMatrix(bool background, uint64_t shard, uint64_t nshards) {
+void RunCrashMatrix(bool background, uint64_t shard, uint64_t nshards,
+                    bool async_wal = false) {
   const bool full = FullMatrix();
+  const std::string mode = std::string(background ? "background" : "sync") +
+                           (async_wal ? "+async-wal" : "");
+  auto make_run = [&] {
+    CrashRun r(background);
+    r.set_async_wal_sync(async_wal);
+    return r;
+  };
 
   // Dry run (twice): learn the op count and assert the schedule is
   // deterministic -- the property that makes "k" a sufficient repro.
   uint64_t total = 0;
   {
-    CrashRun dry(background);
+    CrashRun dry = make_run();
     dry.RunWorkload(-1);
     ASSERT_TRUE(dry.result().open_status.ok());
     for (const crash::LogicalOp& op : dry.result().ops) {
@@ -300,7 +307,7 @@ void RunCrashMatrix(bool background, uint64_t shard, uint64_t nshards) {
     }
     total = dry.env()->FileOpCount();
     ASSERT_GT(total, 0u);
-    CrashRun dry2(background);
+    CrashRun dry2 = make_run();
     dry2.RunWorkload(-1);
     ASSERT_EQ(total, dry2.env()->FileOpCount())
         << "file-op schedule must be deterministic for k to be a repro";
@@ -308,7 +315,7 @@ void RunCrashMatrix(bool background, uint64_t shard, uint64_t nshards) {
 
   for (uint64_t k = shard; k <= total; k += nshards) {
     // ---- leg A: machine crash at op k. ----
-    CrashRun run(background);
+    CrashRun run = make_run();
     run.RunWorkload(static_cast<int64_t>(k));
     if (k < total) {
       ASSERT_TRUE(run.env()->crashed())
@@ -320,7 +327,7 @@ void RunCrashMatrix(bool background, uint64_t shard, uint64_t nshards) {
     // The TTL churn (invariant 4) dominates matrix cost; stride it unless
     // the full matrix was requested.
     const bool check_ttl = full || (k % 4 == 0);
-    ReopenAndCheck(run, Repro(background, k, total, crashed_op, "drop", ""),
+    ReopenAndCheck(run, Repro(mode, k, total, crashed_op, "drop", ""),
                    check_ttl);
     if (::testing::Test::HasFatalFailure()) return;
 
@@ -349,7 +356,7 @@ void RunCrashMatrix(bool background, uint64_t shard, uint64_t nshards) {
         if (target <= info.synced_bytes || target >= info.written_bytes) {
           continue;
         }
-        CrashRun torn(background);
+        CrashRun torn = make_run();
         torn.RunWorkload(static_cast<int64_t>(k));
         std::string tag = fname + "@" + std::to_string(target);
         ASSERT_TRUE(torn.env()
@@ -357,7 +364,7 @@ void RunCrashMatrix(bool background, uint64_t shard, uint64_t nshards) {
                                           {{fname, target}})
                         .ok());
         ReopenAndCheck(torn,
-                       Repro(background, k, total, crashed_op, "torn", tag),
+                       Repro(mode, k, total, crashed_op, "torn", tag),
                        /*check_ttl=*/false);
         if (::testing::Test::HasFatalFailure()) return;
       }
@@ -365,21 +372,21 @@ void RunCrashMatrix(bool background, uint64_t shard, uint64_t nshards) {
 
     // ---- leg C: process crash (everything written survives). ----
     {
-      CrashRun keep(background);
+      CrashRun keep = make_run();
       keep.RunWorkload(static_cast<int64_t>(k));
       ASSERT_TRUE(
           keep.env()->CrashAndRestart(CrashDataPolicy::kKeepWritten).ok());
-      ReopenAndCheck(keep, Repro(background, k, total, crashed_op, "keep", ""),
+      ReopenAndCheck(keep, Repro(mode, k, total, crashed_op, "keep", ""),
                      /*check_ttl=*/false);
       if (::testing::Test::HasFatalFailure()) return;
     }
 
     // ---- leg D: RepairDB on the crash state, metadata destroyed. ----
     if (full || (k % 3 == 0)) {
-      CrashRun rep(background);
+      CrashRun rep = make_run();
       rep.RunWorkload(static_cast<int64_t>(k));
       ASSERT_TRUE(rep.env()->CrashAndRestart().ok());
-      RepairAndCheck(rep, Repro(background, k, total, crashed_op, "repair", ""),
+      RepairAndCheck(rep, Repro(mode, k, total, crashed_op, "repair", ""),
                      /*check_ttl=*/full);
       if (::testing::Test::HasFatalFailure()) return;
     }
@@ -394,6 +401,15 @@ TEST(CrashMatrixBackground, Shard0) { RunCrashMatrix(true, 0, 4); }
 TEST(CrashMatrixBackground, Shard1) { RunCrashMatrix(true, 1, 4); }
 TEST(CrashMatrixBackground, Shard2) { RunCrashMatrix(true, 2, 4); }
 TEST(CrashMatrixBackground, Shard3) { RunCrashMatrix(true, 3, 4); }
+
+// Async group-commit WAL syncs (Options::async_wal_sync) through the same
+// matrix: the fsync is numbered at submit and the leader still waits for
+// its completion, so the invariants and the determinism assertion must hold
+// unchanged in both pipeline modes.
+TEST(CrashMatrixAsyncWalSync, Shard0) { RunCrashMatrix(false, 0, 2, true); }
+TEST(CrashMatrixAsyncWalSync, Shard1) { RunCrashMatrix(false, 1, 2, true); }
+TEST(CrashMatrixAsyncWalBackground, Shard0) { RunCrashMatrix(true, 0, 2, true); }
+TEST(CrashMatrixAsyncWalBackground, Shard1) { RunCrashMatrix(true, 1, 2, true); }
 
 }  // namespace
 }  // namespace acheron

@@ -1,7 +1,8 @@
 // Differential test: drive the DB and a trivially-correct in-memory model
 // (std::map plus a deleted-key set) through the same randomized op stream
 // and require identical visible state at every checkpoint. The stream mixes
-// puts, deletes, overwrites, point reads, full scans, explicit flushes and
+// puts, deletes, overwrites, point reads (single and MultiGet batches),
+// full scans, explicit flushes and
 // compactions, and full close/reopen cycles; the PRNG is seeded with a
 // fixed constant so a failure reproduces exactly, and the seed is printed
 // in every assertion for when someone changes it.
@@ -12,7 +13,9 @@
 #include <memory>
 #include <random>
 #include <set>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/env/env.h"
 #include "src/lsm/db.h"
@@ -131,7 +134,7 @@ TEST_F(DifferentialTest, DbMatchesModelOverRandomHistory) {
         ASSERT_TRUE(db_->Delete(WriteOptions(), k).ok()) << Ctx();
         model_.erase(k);
         deleted_.insert(k);
-      } else if (roll < 950) {
+      } else if (roll < 875) {
         // Point-read a random key and compare against the model.
         std::string k = Key(rng);
         std::string v;
@@ -142,6 +145,35 @@ TEST_F(DifferentialTest, DbMatchesModelOverRandomHistory) {
         } else {
           ASSERT_TRUE(s.ok()) << Ctx() << " Get(" << k << ")";
           ASSERT_EQ(it->second, v) << Ctx() << " Get(" << k << ")";
+        }
+      } else if (roll < 950) {
+        // Batched point reads: MultiGet must agree with the model per key,
+        // under one snapshot, duplicates included.
+        const size_t n = 1 + rng() % 8;
+        std::vector<std::string> keys(n);
+        std::vector<Slice> slices(n);
+        for (size_t i = 0; i < n; i++) {
+          keys[i] = Key(rng);
+          slices[i] = keys[i];
+        }
+        std::vector<std::string> values;
+        std::vector<Status> statuses = db_->MultiGet(
+            ReadOptions(), std::span<const Slice>(slices.data(), n), &values);
+        ASSERT_EQ(n, statuses.size()) << Ctx();
+        ASSERT_EQ(n, values.size()) << Ctx();
+        for (size_t i = 0; i < n; i++) {
+          auto it = model_.find(keys[i]);
+          if (it == model_.end()) {
+            ASSERT_TRUE(statuses[i].IsNotFound())
+                << Ctx() << " MultiGet[" << i << "](" << keys[i] << "): "
+                << statuses[i].ToString();
+          } else {
+            ASSERT_TRUE(statuses[i].ok())
+                << Ctx() << " MultiGet[" << i << "](" << keys[i] << "): "
+                << statuses[i].ToString();
+            ASSERT_EQ(it->second, values[i])
+                << Ctx() << " MultiGet[" << i << "](" << keys[i] << ")";
+          }
         }
       } else if (roll < 970) {
         ASSERT_TRUE(db_->FlushMemTable().ok()) << Ctx();

@@ -1,0 +1,65 @@
+// acheron-check fixture: sync-before-install with async durability,
+// must FAIL.
+//
+// FlushTable creates a table output file and submits its fsync through
+// Env::SubmitSync, but installs the version edit via LogAndApply while
+// the fsync is still in flight -- the WaitFor only happens afterwards.
+// A crash between the manifest write and the fsync completion would
+// leave a durable version pointing at a torn table: submitting is not
+// syncing.
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+struct WritableFile {
+  Status Flush();
+  Status SyncDurable();
+  Status Close();
+};
+
+struct SyncRequest {
+  WritableFile* file = nullptr;
+  Status status;
+};
+
+struct CompletionQueue {
+  void WaitFor(unsigned long n);
+};
+
+struct Env {
+  Status NewWritableFile(const char* fname, WritableFile** file);
+  void SubmitSync(SyncRequest* req, CompletionQueue* cq);
+};
+
+const char* TableFileName(int number);
+
+class VersionSetStub {
+ public:
+  Status LogAndApply(int edit);
+};
+
+class AsyncFlusher {
+ public:
+  Status FlushTable() {
+    WritableFile* file = nullptr;
+    Status s = env_->NewWritableFile(TableFileName(7), &file);
+    if (s.ok()) {
+      s = file->Flush();
+    }
+    SyncRequest req;
+    CompletionQueue cq;
+    if (s.ok()) {
+      req.file = file;
+      env_->SubmitSync(&req, &cq);
+      s = versions_->LogAndApply(0);  // installs while the fsync is in flight
+      cq.WaitFor(1);                  // too late: manifest already durable
+    }
+    return s;
+  }
+
+ private:
+  Env* env_ = nullptr;
+  VersionSetStub* versions_ = nullptr;
+};

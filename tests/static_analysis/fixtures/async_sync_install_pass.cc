@@ -1,0 +1,67 @@
+// acheron-check fixture: sync-before-install with async durability,
+// must PASS.
+//
+// FlushTable creates a table output file, submits its fsync through
+// Env::SubmitSync, and WAITS on the completion queue before installing
+// the version edit via LogAndApply. The completed SubmitSync/WaitFor
+// pair is the async equivalent of WritableFile::Sync, so the PR-3
+// invariant holds.
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+struct WritableFile {
+  Status Flush();
+  Status SyncDurable();
+  Status Close();
+};
+
+struct SyncRequest {
+  WritableFile* file = nullptr;
+  Status status;
+};
+
+struct CompletionQueue {
+  void WaitFor(unsigned long n);
+};
+
+struct Env {
+  Status NewWritableFile(const char* fname, WritableFile** file);
+  void SubmitSync(SyncRequest* req, CompletionQueue* cq);
+};
+
+const char* TableFileName(int number);
+
+class VersionSetStub {
+ public:
+  Status LogAndApply(int edit);
+};
+
+class AsyncFlusher {
+ public:
+  Status FlushTable() {
+    WritableFile* file = nullptr;
+    Status s = env_->NewWritableFile(TableFileName(7), &file);
+    if (s.ok()) {
+      s = file->Flush();  // SubmitSync contract: buffers on disk first
+    }
+    SyncRequest req;
+    CompletionQueue cq;
+    if (s.ok()) {
+      req.file = file;
+      env_->SubmitSync(&req, &cq);
+      cq.WaitFor(1);  // fsync completed: table durable before install
+      s = req.status;
+    }
+    if (s.ok()) {
+      s = versions_->LogAndApply(0);
+    }
+    return s;
+  }
+
+ private:
+  Env* env_ = nullptr;
+  VersionSetStub* versions_ = nullptr;
+};

@@ -1291,12 +1291,28 @@ def fn_required_set(fn, resolve):
 
 INSTALL_CALLS = {"LogAndApply", "SetCurrentFile"}
 CREATE_CALLS = {"NewWritableFile"}
-SYNC_CALLS = {"Sync"}
+SYNC_CALLS = {"Sync", "SyncDurable"}
 OUTPUT_NAME_HINTS = {"TableFileName", "DescriptorFileName"}
+# Async durability (Env::SubmitSync): the submission alone leaves the fsync
+# merely in flight -- only a later CompletionQueue::WaitFor in the same body
+# observes its completion. The pair therefore counts as a sync; a bare
+# SubmitSync never does, even though the resolved callee (the pool worker /
+# uring reaper body) contains the actual SyncDurable call.
+ASYNC_SUBMIT_CALLS = {"SubmitSync"}
+ASYNC_WAIT_CALLS = {"WaitFor"}
 
 
 def check_sync_before_install(models, reporter, reg):
     all_funcs = reg.all_funcs
+
+    def has_async_sync_pair(fn):
+        submitted = False
+        for c in sorted(fn.calls, key=lambda c: c.index):
+            if c.name in ASYNC_SUBMIT_CALLS:
+                submitted = True
+            elif submitted and c.name in ASYNC_WAIT_CALLS:
+                return True
+        return False
 
     def qualifying_create(fn, c):
         if any(t.kind == "id" and t.text in OUTPUT_NAME_HINTS
@@ -1308,7 +1324,8 @@ def check_sync_before_install(models, reporter, reg):
     syncs = {}
     installs = {}
     for fn in all_funcs:
-        syncs[id(fn)] = any(c.name in SYNC_CALLS for c in fn.calls)
+        syncs[id(fn)] = (any(c.name in SYNC_CALLS for c in fn.calls) or
+                         has_async_sync_pair(fn))
         installs[id(fn)] = any(c.name in INSTALL_CALLS for c in fn.calls)
 
     # Transitive closure over the strictly-resolved call graph.
@@ -1345,10 +1362,20 @@ def check_sync_before_install(models, reporter, reg):
         guard += 1
         for fn in all_funcs:
             pending = False
+            submitted = False
             for c in sorted(fn.calls, key=lambda c: c.index):
                 callees = [g for g in reg.resolve_callees(fn, c)
                            if g is not fn]
-                if c.name in CREATE_CALLS and qualifying_create(fn, c):
+                if c.name in ASYNC_SUBMIT_CALLS:
+                    # In flight, not durable: never clears pending by
+                    # itself (handled before the callee-summary branch so
+                    # the worker body's fsync cannot leak through).
+                    submitted = True
+                elif c.name in ASYNC_WAIT_CALLS:
+                    if submitted:
+                        pending = False
+                        submitted = False
+                elif c.name in CREATE_CALLS and qualifying_create(fn, c):
                     pending = True
                 elif any(ends_pending[id(g)] for g in callees):
                     pending = True
@@ -1361,10 +1388,18 @@ def check_sync_before_install(models, reporter, reg):
 
     for fn in all_funcs:
         pending = None  # (line, what)
+        submitted = False
         for c in sorted(fn.calls, key=lambda c: c.index):
             callees = [g for g in reg.resolve_callees(fn, c) if g is not fn]
-            is_sync = c.name in SYNC_CALLS or \
-                any(t_syncs[id(g)] for g in callees)
+            if c.name in ASYNC_SUBMIT_CALLS:
+                submitted = True
+                is_sync = False
+            elif c.name in ASYNC_WAIT_CALLS:
+                is_sync = submitted
+                submitted = False
+            else:
+                is_sync = c.name in SYNC_CALLS or \
+                    any(t_syncs[id(g)] for g in callees)
             is_create = (c.name in CREATE_CALLS and
                          qualifying_create(fn, c)) or \
                 any(ends_pending[id(g)] for g in callees)
@@ -1376,9 +1411,10 @@ def check_sync_before_install(models, reporter, reg):
                     "sync-before-install",
                     f"install call '{c.name}(...)' in {fn.qname} is "
                     f"reachable after an output file created at line "
-                    f"{pending[0]} with no WritableFile::Sync in between; "
-                    "a crash could leave a durable version pointing at a "
-                    "torn table (PR-3 invariant)")
+                    f"{pending[0]} with no WritableFile::Sync (or completed "
+                    "SubmitSync/WaitFor pair) in between; a crash could "
+                    "leave a durable version pointing at a torn table "
+                    "(PR-3 invariant)")
                 pending = None
             if is_sync:
                 pending = None

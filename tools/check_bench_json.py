@@ -48,7 +48,16 @@ SCHEMA = {
     "write_amplification": (int, float),
 }
 
-KNOWN_BENCHES = {"fillrandom", "readrandom", "readwhilewriting"}
+KNOWN_BENCHES = {"fillrandom", "readrandom", "readwhilewriting", "multiget"}
+
+# Bench-specific top-level fields (WriteJsonResult's |extra| fragment).
+# Records for these benches must carry exactly SCHEMA + their entry here.
+EXTRA_KEYS = {
+    "multiget": {
+        "batch": int,
+        "speedup_vs_sequential": (int, float),
+    },
+}
 
 
 def check_object(obj, schema, path, errors):
@@ -99,8 +108,11 @@ def main(argv):
         except json.JSONDecodeError as e:
             errors.append(f"{where}: not valid JSON: {e}")
             continue
-        check_object(obj, SCHEMA, where, errors)
         bench = obj.get("bench")
+        schema = SCHEMA
+        if bench in EXTRA_KEYS:
+            schema = {**SCHEMA, **EXTRA_KEYS[bench]}
+        check_object(obj, schema, where, errors)
         if isinstance(bench, str):
             seen_benches.add(bench)
             if bench not in KNOWN_BENCHES:
