@@ -111,6 +111,9 @@ inline double RunWorkload(DB* db, const workload::WorkloadSpec& spec) {
       case workload::OpType::kDelete:
         CheckOk(db->Delete(wo, op.key));
         break;
+      case workload::OpType::kRangeDelete:
+        CheckOk(db->DeleteRange(wo, op.key, op.end_key));
+        break;
       case workload::OpType::kPointQuery:
         // NotFound is an expected outcome for point lookups.
         (void)db->Get(ro, op.key, &value);

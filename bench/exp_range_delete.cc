@@ -1,0 +1,165 @@
+// E14 -- Range-delete persistence latency vs D_th: range tombstones are
+// first-class FADE citizens, so the same guarantee applies to them -- the
+// monitor's dedicated range-delete histogram must be non-empty after the
+// fill and its max latency must respect the threshold. The bench aborts if
+// either check fails (these are the acceptance criteria, not just numbers).
+//
+// With --json=PATH, appends one schema-gated record (bench="range_delete",
+// extra keys registered in tools/check_bench_json.py) for the tightest
+// FADE configuration.
+#include "bench/bench_common.h"
+
+namespace acheron {
+namespace bench {
+
+// Granularity slack on the D_th bound, mirroring the crash harness: the
+// deadline check runs at write granularity and the triggering write plus
+// the tombstone's own entry land after it.
+constexpr uint64_t kDthSlack = 2;
+
+struct Result {
+  DeleteStats ds;
+  InternalStats stats;
+  Histogram op_latency;  // per-op wall latency in microseconds
+  uint64_t ops = 0;
+  double ops_per_sec = 0;
+};
+
+static Result Run(uint64_t dth) {
+  Options options = BenchOptions();
+  options.delete_persistence_threshold = dth;
+  BenchDB db(options);
+
+  workload::WorkloadSpec spec;
+  spec.num_ops = 60000 * Scale();
+  spec.key_space = 10000;
+  spec.value_size = 64;
+  spec.update_percent = 20;
+  spec.delete_percent = 10;
+  spec.range_delete_percent = 10;  // the op this harness exists to exercise
+  spec.range_delete_span = 16;
+  spec.seed = 41;
+
+  workload::Generator gen(spec);
+  WriteOptions wo;
+  Result r;
+  auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    workload::Op op = gen.Next();
+    auto t0 = std::chrono::steady_clock::now();
+    switch (op.type) {
+      case workload::OpType::kRangeDelete:
+        CheckOk(db->DeleteRange(wo, op.key, op.end_key));
+        break;
+      case workload::OpType::kDelete:
+        CheckOk(db->Delete(wo, op.key));
+        break;
+      default:
+        CheckOk(db->Put(wo, op.key, op.value));
+        break;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    r.op_latency.Add(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  CheckOk(db->WaitForCompactions());
+  auto end = std::chrono::steady_clock::now();
+  double secs = std::chrono::duration<double>(end - start).count();
+  r.ops = spec.num_ops;
+  r.ops_per_sec = secs > 0 ? spec.num_ops / secs : 0;
+  r.ds = db->GetDeleteStats();
+  r.stats = db->GetStats();
+  return r;
+}
+
+static void Verify(uint64_t dth, const Result& r) {
+  if (r.ds.range_deletes_written == 0) {
+    std::fprintf(stderr, "E14: workload produced no range deletes\n");
+    std::abort();
+  }
+  if (dth == 0) return;  // baseline row: no bound to enforce
+  if (r.ds.range_deletes_persisted == 0) {
+    std::fprintf(stderr,
+                 "E14: Dth=%llu produced an empty range-delete latency "
+                 "histogram (no range tombstone persisted)\n",
+                 static_cast<unsigned long long>(dth));
+    std::abort();
+  }
+  if (r.ds.range_persistence_latency_max >
+      static_cast<double>(dth + kDthSlack)) {
+    std::fprintf(stderr,
+                 "E14: Dth=%llu violated: max range persistence latency "
+                 "%.0f logical ops\n",
+                 static_cast<unsigned long long>(dth),
+                 r.ds.range_persistence_latency_max);
+    std::abort();
+  }
+}
+
+static void PrintRow(uint64_t dth, const Result& r) {
+  char label[32];
+  if (dth == 0) {
+    std::snprintf(label, sizeof(label), "baseline");
+  } else {
+    std::snprintf(label, sizeof(label), "Dth=%llu",
+                  static_cast<unsigned long long>(dth));
+  }
+  std::printf("%-12s %9llu %10llu %10llu %8.0f %8.0f %10.0f\n", label,
+              static_cast<unsigned long long>(r.ds.range_deletes_written),
+              static_cast<unsigned long long>(r.ds.range_deletes_persisted),
+              static_cast<unsigned long long>(r.ds.range_deletes_live),
+              r.ds.range_persistence_latency_p50,
+              r.ds.range_persistence_latency_p99,
+              r.ds.range_persistence_latency_max);
+}
+
+static void Main(const std::string& json_path) {
+  PrintHeader("E14: range-delete persistence latency vs D_th",
+              "latencies in logical ops; FADE guarantee: max <= D_th "
+              "(range-delete histogram, tracked apart from point deletes)");
+  std::printf("%-12s %9s %10s %10s %8s %8s %10s\n", "config", "written",
+              "persisted", "live", "p50", "p99", "max");
+
+  Result base = Run(0);
+  PrintRow(0, base);
+  Verify(0, base);
+
+  uint64_t tightest = 0;
+  Result tightest_result;
+  for (uint64_t dth : {50000, 20000, 10000}) {
+    const uint64_t scaled = dth * Scale();
+    Result r = Run(scaled);
+    PrintRow(scaled, r);
+    Verify(scaled, r);
+    tightest = scaled;
+    tightest_result = r;
+  }
+
+  if (!json_path.empty()) {
+    char extra[160];
+    std::snprintf(
+        extra, sizeof(extra),
+        "\"dth\":%llu,\"range_deletes_written\":%llu,"
+        "\"range_deletes_persisted\":%llu,"
+        "\"range_persistence_latency_max\":%.0f",
+        static_cast<unsigned long long>(tightest),
+        static_cast<unsigned long long>(tightest_result.ds.range_deletes_written),
+        static_cast<unsigned long long>(
+            tightest_result.ds.range_deletes_persisted),
+        tightest_result.ds.range_persistence_latency_max);
+    WriteJsonResult(json_path, "range_delete", /*threads=*/1,
+                    tightest_result.ops, tightest_result.ops_per_sec,
+                    tightest_result.op_latency, tightest_result.stats, extra);
+  }
+}
+
+}  // namespace bench
+}  // namespace acheron
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  acheron::bench::Main(json_path);
+}

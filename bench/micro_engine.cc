@@ -9,7 +9,7 @@
 //       ./micro_engine --threads=4 [--mode=fillrandom|readrandom|
 //                      readwhilewriting|multiget] [--ops=N] [--value-size=N]
 //                      [--background=0|1] [--sync=0|1] [--db=DIR]
-//                      [--json=PATH]
+//                      [--json=PATH] [--range-delete-fill=P]
 //     fillrandom: N writer threads (group-commit/stall counters).
 //     readrandom: N reader threads over a preloaded tree; exercises the
 //       lock-free ReadState path (one writer-free Get never touches the DB
@@ -152,6 +152,7 @@ struct FillRandomConfig {
   int value_size = 100;
   bool background = true;    // Options::background_compactions
   bool sync = false;         // WriteOptions::sync (one fsync per group)
+  int range_delete_fill = 0;  // % of keyspace covered by DeleteRange spans
   std::string db_dir;        // empty = in-memory env
   std::string json_path;     // empty = stdout only
 };
@@ -273,6 +274,31 @@ static int RunReadBench(const FillRandomConfig& cfg) {
     CheckOk(db->WaitForCompactions());
   }
 
+  // Optional range-delete fill: cover --range-delete-fill percent of the
+  // keyspace with 100-key DeleteRange spans at a regular stride, then have
+  // the readers VERIFY every lookup -- keys inside a span must come back
+  // NotFound, everything else must hit. This exercises suppression across
+  // the whole read stack (memtable, fragmented SST blocks, compacted tree).
+  const uint64_t kSpan = 100;
+  uint64_t del_stride = 0;
+  if (cfg.range_delete_fill > 0) {
+    const int pct = std::min(cfg.range_delete_fill, 100);
+    del_stride = std::max<uint64_t>(kSpan, kSpan * 100 / pct);
+    char b[32], e[32];
+    for (uint64_t s = 0; s + kSpan <= kKeySpace; s += del_stride) {
+      std::snprintf(b, sizeof(b), "key%010llu",
+                    static_cast<unsigned long long>(s));
+      std::snprintf(e, sizeof(e), "key%010llu",
+                    static_cast<unsigned long long>(s + kSpan));
+      CheckOk(db->DeleteRange(WriteOptions(), b, e));
+    }
+    CheckOk(db->WaitForCompactions());
+  }
+  // The churning writer re-inserts deleted keys, so only the pure-reader
+  // mode can assert exact expectations.
+  const bool verify_deletes = del_stride != 0 && !with_writer;
+  std::atomic<uint64_t> verify_failures{0};
+
   const uint64_t per_thread = cfg.ops / cfg.threads;
   const uint64_t total_ops = per_thread * cfg.threads;
   std::vector<Histogram> latencies(cfg.threads);
@@ -286,14 +312,21 @@ static int RunReadBench(const FillRandomConfig& cfg) {
       std::string value;
       char key[32];
       for (uint64_t i = 0; i < per_thread; i++) {
+        const uint64_t idx = rnd.Uniform(kKeySpace);
         std::snprintf(key, sizeof(key), "key%010llu",
-                      static_cast<unsigned long long>(rnd.Uniform(kKeySpace)));
+                      static_cast<unsigned long long>(idx));
         const auto op_start = std::chrono::steady_clock::now();
         Status s = db->Get(ro, key, &value);
         if (!s.ok() && !s.IsNotFound()) CheckOk(s);
         latencies[t].Add(std::chrono::duration<double, std::micro>(
                              std::chrono::steady_clock::now() - op_start)
                              .count());
+        if (verify_deletes) {
+          const bool deleted = (idx % del_stride) < kSpan;
+          if (deleted ? !s.IsNotFound() : !s.ok()) {
+            verify_failures.fetch_add(1);
+          }
+        }
       }
       readers_done.fetch_add(1);
     });
@@ -335,6 +368,16 @@ static int RunReadBench(const FillRandomConfig& cfg) {
       static_cast<unsigned long long>(stats.gets_found),
       static_cast<unsigned long long>(stats.bloom_useful),
       static_cast<unsigned long long>(stats.memtable_swaps));
+  if (verify_deletes) {
+    const uint64_t failures = verify_failures.load();
+    std::printf("  range-delete verification: %s (%llu mismatches)\n",
+                failures == 0 ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(failures));
+    if (failures != 0) {
+      std::fprintf(stderr, "readrandom: range-delete suppression broken\n");
+      std::abort();
+    }
+  }
   PrintEngineStats(db.get());
   if (!cfg.json_path.empty()) {
     WriteJsonResult(cfg.json_path, cfg.mode, cfg.threads, total_ops,
@@ -552,6 +595,8 @@ int main(int argc, char** argv) {
       cfg.background = std::atoi(v) != 0;
     } else if (acheron::bench::ParseFlag(argv[i], "--sync", &v)) {
       cfg.sync = std::atoi(v) != 0;
+    } else if (acheron::bench::ParseFlag(argv[i], "--range-delete-fill", &v)) {
+      cfg.range_delete_fill = std::atoi(v);
     } else if (acheron::bench::ParseFlag(argv[i], "--db", &v)) {
       cfg.db_dir = v;
     } else if (acheron::bench::ParseFlag(argv[i], "--json", &v)) {

@@ -53,13 +53,20 @@ uint64_t CompactionPlanner::CumulativeTtl(int level, int depth) const {
   return sum;
 }
 
+// Oldest tombstone of either kind (point or range) in |f|;
+// kMaxSequenceNumber when the file holds none.
+static SequenceNumber EarliestAnyTombstoneSeq(const FileMetaData& f) {
+  return std::min(f.earliest_tombstone_seq, f.earliest_range_tombstone_seq);
+}
+
 bool CompactionPlanner::FileTtlExpired(const FileMetaData& f, int level,
                                        SequenceNumber last_seq,
                                        int depth) const {
-  if (!delete_aware() || !f.has_tombstones()) return false;
-  const uint64_t age = last_seq >= f.earliest_tombstone_seq
-                           ? last_seq - f.earliest_tombstone_seq
-                           : 0;
+  if (!delete_aware() || (!f.has_tombstones() && !f.has_range_tombstones())) {
+    return false;
+  }
+  const SequenceNumber earliest = EarliestAnyTombstoneSeq(f);
+  const uint64_t age = last_seq >= earliest ? last_seq - earliest : 0;
   return age > CumulativeTtl(level, depth);
 }
 
@@ -93,11 +100,12 @@ CompactionPick CompactionPlanner::PickTtlExpiry(
       // An in-place rewrite at the deepest level only helps if the expired
       // tombstone is actually droppable; a snapshot-pinned tombstone must
       // wait for the snapshot to be released.
-      if (level >= deepest && f->earliest_tombstone_seq > droppable_horizon) {
+      if (level >= deepest &&
+          EarliestAnyTombstoneSeq(*f) > droppable_horizon) {
         continue;
       }
-      const uint64_t overdue =
-          (last_seq - f->earliest_tombstone_seq) - CumulativeTtl(level, depth);
+      const uint64_t overdue = (last_seq - EarliestAnyTombstoneSeq(*f)) -
+                               CumulativeTtl(level, depth);
       if (pick.inputs.empty() || overdue > worst_overdue) {
         worst_overdue = overdue;
         pick.inputs.assign(1, f);
@@ -116,6 +124,58 @@ CompactionPick CompactionPlanner::PickTtlExpiry(
           pick.inputs = v->files(level);
         }
       }
+    }
+  }
+
+  // A range tombstone only drops when no file *outside* the compaction
+  // overlaps its span at any level (see the compaction drop rule). For a
+  // deepest-level in-place rewrite driven by range tombstones, rewriting
+  // just the one file would leave the tombstone undropped and expired --
+  // the same pick would repeat forever. Two fixups restore progress:
+  // shallower files overlapping the span are pushed down first (shallowest
+  // blocker), and same-level overlaps are folded into the rewrite.
+  if (!pick.inputs.empty() && pick.level == pick.output_level &&
+      options_.compaction_style != CompactionStyle::kTiering &&
+      pick.inputs.size() == 1 && pick.inputs[0]->has_range_tombstones()) {
+    FileMetaData* f = pick.inputs[0];
+    const Comparator* ucmp = icmp_->user_comparator();
+    const Slice span_begin(f->range_del_begin);
+    const Slice span_end(f->range_del_end);
+    auto overlaps_span = [&](const FileMetaData* g) {
+      return ucmp->Compare(g->smallest.user_key(), span_end) < 0 &&
+             ucmp->Compare(g->largest.user_key(), span_begin) >= 0;
+    };
+    for (int bl = 0; bl < pick.level; bl++) {
+      for (FileMetaData* g : v->files(bl)) {
+        if (overlaps_span(g)) {
+          // Push the shallowest blocker down one level instead; repeated
+          // application drains every blocker to the bottom, after which
+          // the rewrite actually drops the tombstone.
+          pick.level = bl;
+          pick.output_level = bl + 1;
+          pick.inputs.assign(1, g);
+          return pick;
+        }
+      }
+    }
+    // No shallower blockers: widen the rewrite across the same level. At
+    // level 0 runs shadow by recency, so a partial merge would reorder
+    // entries -- take every run. At sorted levels take the contiguous
+    // index run spanning |f| and all span-overlapping files (contiguity
+    // keeps the vacated region free of non-input files, which a
+    // range-tombstone-only output needs for its clamped bounds).
+    const std::vector<FileMetaData*>& files = v->files(pick.level);
+    if (pick.level == 0) {
+      pick.inputs = files;
+    } else {
+      size_t lo = files.size(), hi = 0;
+      for (size_t i = 0; i < files.size(); i++) {
+        if (files[i] == f || overlaps_span(files[i])) {
+          lo = std::min(lo, i);
+          hi = std::max(hi, i);
+        }
+      }
+      pick.inputs.assign(files.begin() + lo, files.begin() + hi + 1);
     }
   }
   return pick;

@@ -5,12 +5,14 @@
 namespace acheron {
 
 std::string DeleteStats::ToString() const {
-  char buf[512];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "tombstones: written=%llu persisted=%llu superseded=%llu live=%llu "
       "oldest_live_age=%llu | persistence latency (ops): avg=%.0f p50=%.0f "
-      "p90=%.0f p99=%.0f max=%.0f",
+      "p90=%.0f p99=%.0f max=%.0f | range deletes: written=%llu "
+      "persisted=%llu superseded=%llu live=%llu | range latency (ops): "
+      "avg=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f",
       static_cast<unsigned long long>(tombstones_written),
       static_cast<unsigned long long>(tombstones_persisted),
       static_cast<unsigned long long>(tombstones_superseded),
@@ -18,7 +20,14 @@ std::string DeleteStats::ToString() const {
       static_cast<unsigned long long>(oldest_live_tombstone_age),
       persistence_latency_avg, persistence_latency_p50,
       persistence_latency_p90, persistence_latency_p99,
-      persistence_latency_max);
+      persistence_latency_max,
+      static_cast<unsigned long long>(range_deletes_written),
+      static_cast<unsigned long long>(range_deletes_persisted),
+      static_cast<unsigned long long>(range_deletes_superseded),
+      static_cast<unsigned long long>(range_deletes_live),
+      range_persistence_latency_avg, range_persistence_latency_p50,
+      range_persistence_latency_p90, range_persistence_latency_p99,
+      range_persistence_latency_max);
   return buf;
 }
 
@@ -64,9 +73,53 @@ void DeletePersistenceMonitor::Restore(uint64_t written, uint64_t persisted,
   latency_ = latency;
 }
 
+void DeletePersistenceMonitor::OnRangeTombstoneWritten(uint64_t n) {
+  MutexLock l(&mu_);
+  range_written_ += n;
+}
+
+void DeletePersistenceMonitor::OnRangeTombstonePersisted(
+    SequenceNumber created_seq, SequenceNumber now_seq) {
+  MutexLock l(&mu_);
+  range_persisted_++;
+  const uint64_t latency = now_seq >= created_seq ? now_seq - created_seq : 0;
+  range_latency_.Add(static_cast<double>(latency));
+}
+
+void DeletePersistenceMonitor::OnRangeTombstoneSuperseded(uint64_t n) {
+  MutexLock l(&mu_);
+  range_superseded_ += n;
+}
+
+uint64_t DeletePersistenceMonitor::RangeWrittenCount() const {
+  MutexLock l(&mu_);
+  return range_written_;
+}
+
+void DeletePersistenceMonitor::ApplyRangeDelta(uint64_t persisted,
+                                               uint64_t superseded,
+                                               const Histogram& latency) {
+  MutexLock l(&mu_);
+  range_persisted_ += persisted;
+  range_superseded_ += superseded;
+  range_latency_.Merge(latency);
+}
+
+void DeletePersistenceMonitor::RestoreRange(uint64_t written,
+                                            uint64_t persisted,
+                                            uint64_t superseded,
+                                            const Histogram& latency) {
+  MutexLock l(&mu_);
+  range_written_ = written;
+  range_persisted_ = persisted;
+  range_superseded_ = superseded;
+  range_latency_ = latency;
+}
+
 void DeletePersistenceMonitor::Snapshot(DeleteStats* stats,
                                         uint64_t tombstones_live,
-                                        uint64_t oldest_live_age) const {
+                                        uint64_t oldest_live_age,
+                                        uint64_t range_tombstones_live) const {
   MutexLock l(&mu_);
   stats->tombstones_written = written_;
   stats->tombstones_persisted = persisted_;
@@ -78,11 +131,25 @@ void DeletePersistenceMonitor::Snapshot(DeleteStats* stats,
   stats->persistence_latency_p99 = latency_.Percentile(99);
   stats->persistence_latency_max = latency_.Max();
   stats->persistence_latency_avg = latency_.Average();
+  stats->range_deletes_written = range_written_;
+  stats->range_deletes_persisted = range_persisted_;
+  stats->range_deletes_superseded = range_superseded_;
+  stats->range_deletes_live = range_tombstones_live;
+  stats->range_persistence_latency_p50 = range_latency_.Percentile(50);
+  stats->range_persistence_latency_p90 = range_latency_.Percentile(90);
+  stats->range_persistence_latency_p99 = range_latency_.Percentile(99);
+  stats->range_persistence_latency_max = range_latency_.Max();
+  stats->range_persistence_latency_avg = range_latency_.Average();
 }
 
 Histogram DeletePersistenceMonitor::LatencyHistogram() const {
   MutexLock l(&mu_);
   return latency_;
+}
+
+Histogram DeletePersistenceMonitor::RangeLatencyHistogram() const {
+  MutexLock l(&mu_);
+  return range_latency_;
 }
 
 }  // namespace acheron

@@ -45,6 +45,19 @@ struct DeleteStats {
   double persistence_latency_max = 0;
   double persistence_latency_avg = 0;
 
+  // ---- Range-delete (kTypeRangeDeletion) counterparts ----
+  // Tracked separately: one range tombstone may cover many keys, so mixing
+  // the two populations would skew both latency distributions.
+  uint64_t range_deletes_written = 0;
+  uint64_t range_deletes_persisted = 0;
+  uint64_t range_deletes_superseded = 0;
+  uint64_t range_deletes_live = 0;
+  double range_persistence_latency_p50 = 0;
+  double range_persistence_latency_p90 = 0;
+  double range_persistence_latency_p99 = 0;
+  double range_persistence_latency_max = 0;
+  double range_persistence_latency_avg = 0;
+
   std::string ToString() const;
 };
 
@@ -87,13 +100,28 @@ class DeletePersistenceMonitor {
   void Restore(uint64_t written, uint64_t persisted, uint64_t superseded,
                const Histogram& latency);
 
+  // ---- Range-delete counterparts ----
+  // Same life cycle, separate population: a range tombstone persists when
+  // it is dropped at the bottommost level with nothing left to cover.
+  void OnRangeTombstoneWritten(uint64_t n = 1);
+  void OnRangeTombstonePersisted(SequenceNumber created_seq,
+                                 SequenceNumber now_seq);
+  void OnRangeTombstoneSuperseded(uint64_t n = 1);
+  uint64_t RangeWrittenCount() const;
+  void ApplyRangeDelta(uint64_t persisted, uint64_t superseded,
+                       const Histogram& latency);
+  void RestoreRange(uint64_t written, uint64_t persisted, uint64_t superseded,
+                    const Histogram& latency);
+
   // Fill |*stats| with the current aggregate; live-tombstone numbers are
   // supplied by the caller (they come from the current Version).
   void Snapshot(DeleteStats* stats, uint64_t tombstones_live,
-                uint64_t oldest_live_age) const;
+                uint64_t oldest_live_age,
+                uint64_t range_tombstones_live = 0) const;
 
-  // Raw access to the latency histogram (benchmark reporting).
+  // Raw access to the latency histograms (benchmark reporting).
   Histogram LatencyHistogram() const;
+  Histogram RangeLatencyHistogram() const;
 
  private:
   // mu_ is the innermost lock of the engine (see DESIGN.md "Locking
@@ -108,6 +136,10 @@ class DeletePersistenceMonitor {
   uint64_t persisted_ GUARDED_BY(mu_) = 0;
   uint64_t superseded_ GUARDED_BY(mu_) = 0;
   Histogram latency_ GUARDED_BY(mu_);
+  uint64_t range_written_ GUARDED_BY(mu_) = 0;
+  uint64_t range_persisted_ GUARDED_BY(mu_) = 0;
+  uint64_t range_superseded_ GUARDED_BY(mu_) = 0;
+  Histogram range_latency_ GUARDED_BY(mu_);
 };
 
 }  // namespace acheron

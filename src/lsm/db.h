@@ -57,6 +57,16 @@ class DB {
   // operations.
   virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
 
+  // Remove every database entry with a key in the range [begin, end) --
+  // begin inclusive, end exclusive -- as a single atomic write. Implemented
+  // as one range tombstone (kTypeRangeDeletion), not one tombstone per key,
+  // so the cost is independent of how many keys the span covers. An
+  // inverted range (begin >= end) is a no-op. Like point deletes, range
+  // tombstones age under FADE: with a delete persistence threshold D_th the
+  // covered versions are physically gone within D_th ingested operations.
+  virtual Status DeleteRange(const WriteOptions& options, const Slice& begin,
+                             const Slice& end) = 0;
+
   // Apply the specified updates to the database atomically.
   virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <set>
 #include <vector>
 
 #include "src/env/env.h"
@@ -29,6 +30,11 @@ struct DBImpl::CompactionState {
     uint64_t num_tombstones = 0;
     SequenceNumber earliest_tombstone_seq = kMaxSequenceNumber;
     uint64_t earliest_tombstone_wall_micros = UINT64_MAX;
+    uint64_t num_range_tombstones = 0;
+    SequenceNumber earliest_range_tombstone_seq = kMaxSequenceNumber;
+    uint64_t earliest_range_tombstone_wall_micros = UINT64_MAX;
+    std::string range_del_begin;
+    std::string range_del_end;
     std::string min_secondary_key;
     std::string max_secondary_key;
   };
@@ -132,8 +138,9 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
     mutable_options->filter_policy =
         NewBloomFilterPolicy(options_.filter_bits_per_key);
   }
-  table_cache_ = std::make_unique<TableCache>(dbname_, options_,
-                                              options_.max_open_files);
+  table_cache_ = std::make_unique<TableCache>(
+      dbname_, options_, options_.max_open_files,
+      internal_comparator_.user_comparator());
   versions_ = std::make_unique<VersionSet>(dbname_, &options_,
                                            table_cache_.get(),
                                            &internal_comparator_);
@@ -414,6 +421,7 @@ namespace {
 class DeleteCounter : public WriteBatch::Handler {
  public:
   uint64_t deletes = 0;
+  uint64_t range_deletes = 0;
   uint64_t bytes = 0;
   void Put(const Slice& key, const Slice& value) override {
     bytes += key.size() + value.size();
@@ -421,6 +429,10 @@ class DeleteCounter : public WriteBatch::Handler {
   void Delete(const Slice& key) override {
     deletes++;
     bytes += key.size();
+  }
+  void DeleteRange(const Slice& begin, const Slice& end) override {
+    range_deletes++;
+    bytes += begin.size() + end.size();
   }
 };
 }  // namespace
@@ -481,9 +493,11 @@ Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
   // Recover in the order in which the logs were generated
   std::sort(logs.begin(), logs.end());
   uint64_t replayed_deletes = 0;
+  uint64_t replayed_range_deletes = 0;
   for (size_t i = 0; i < logs.size(); i++) {
     s = RecoverLogFile(logs[i], (i == logs.size() - 1), save_manifest, edit,
-                       &max_sequence, &replayed_deletes);
+                       &max_sequence, &replayed_deletes,
+                       &replayed_range_deletes);
     if (!s.ok()) {
       return s;
     }
@@ -506,6 +520,9 @@ Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
   const VersionSet::MonitorJournal& journal = versions_->monitor_journal();
   monitor_.Restore(journal.written + replayed_deletes, journal.persisted,
                    journal.superseded, journal.latency);
+  monitor_.RestoreRange(journal.range_written + replayed_range_deletes,
+                        journal.range_persisted, journal.range_superseded,
+                        journal.range_latency);
   stats_.manifest_edits_replayed = versions_->manifest_edits_replayed();
 
   return Status::OK();
@@ -513,7 +530,8 @@ Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
 
 Status DBImpl::RecoverLogFile(uint64_t log_number, bool, bool* save_manifest,
                               VersionEdit* edit, SequenceNumber* max_sequence,
-                              uint64_t* replayed_deletes) {
+                              uint64_t* replayed_deletes,
+                              uint64_t* replayed_range_deletes) {
   struct LogReporter : public wal::Reader::Reporter {
     Status* status;
     void Corruption(size_t, const Status& s) override {
@@ -561,6 +579,7 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, bool, bool* save_manifest,
     DeleteCounter counter;
     (void)batch.Iterate(&counter);  // the batch just applied; cannot fail
     *replayed_deletes += counter.deletes;
+    *replayed_range_deletes += counter.range_deletes;
     const SequenceNumber last_seq = WriteBatchInternal::Sequence(&batch) +
                                     WriteBatchInternal::Count(&batch) - 1;
     if (last_seq > *max_sequence) {
@@ -609,32 +628,68 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
     s = env_->NewWritableFile(fname, &file);  // io: unlocked
     if (s.ok()) {
       TableBuilder builder(options_, file.get());
+      // |mem| is frozen, so the push-front range-tombstone list is stable.
+      std::vector<RangeTombstone> range_dels;
+      mem->CollectRangeTombstones(&range_dels);
       iter->SeekToFirst();
-      if (iter->Valid()) {
-        meta.smallest.DecodeFrom(iter->key());
-        Slice prev_key;
-        for (; iter->Valid(); iter->Next()) {
-          Slice key = iter->key();
-          meta.largest.DecodeFrom(key);
-          const Slice user_key = ExtractUserKey(key);
-          builder.Add(key, iter->value(), user_key);
-          ParsedInternalKey parsed;
-          if (ParseInternalKey(key, &parsed)) {
-            if (parsed.type == kTypeValue &&
-                options_.secondary_key_extractor) {
-              std::string sec =
-                  options_.secondary_key_extractor(user_key, iter->value());
-              if (!sec.empty()) {
-                if (meta.min_secondary_key.empty() ||
-                    sec < meta.min_secondary_key) {
-                  meta.min_secondary_key = sec;
-                }
-                if (meta.max_secondary_key.empty() ||
-                    sec > meta.max_secondary_key) {
-                  meta.max_secondary_key = sec;
+      const bool has_data = iter->Valid();
+      if (has_data || !range_dels.empty()) {
+        if (has_data) {
+          meta.smallest.DecodeFrom(iter->key());
+          for (; iter->Valid(); iter->Next()) {
+            Slice key = iter->key();
+            meta.largest.DecodeFrom(key);
+            const Slice user_key = ExtractUserKey(key);
+            builder.Add(key, iter->value(), user_key);
+            ParsedInternalKey parsed;
+            if (ParseInternalKey(key, &parsed)) {
+              if (parsed.type == kTypeValue &&
+                  options_.secondary_key_extractor) {
+                std::string sec =
+                    options_.secondary_key_extractor(user_key, iter->value());
+                if (!sec.empty()) {
+                  if (meta.min_secondary_key.empty() ||
+                      sec < meta.min_secondary_key) {
+                    meta.min_secondary_key = sec;
+                  }
+                  if (meta.max_secondary_key.empty() ||
+                      sec > meta.max_secondary_key) {
+                    meta.max_secondary_key = sec;
+                  }
                 }
               }
             }
+          }
+        }
+        if (!range_dels.empty()) {
+          const Comparator* ucmp = internal_comparator_.user_comparator();
+          std::string span_begin, span_end;
+          SequenceNumber max_seq = 0;
+          for (const RangeTombstone& t : range_dels) {
+            builder.AddRangeTombstone(t.begin, t.end, t.seq, ucmp);
+            if (span_begin.empty() ||
+                ucmp->Compare(t.begin, span_begin) < 0) {
+              span_begin = t.begin;
+            }
+            if (span_end.empty() || ucmp->Compare(t.end, span_end) > 0) {
+              span_end = t.end;
+            }
+            max_seq = std::max(max_seq, t.seq);
+          }
+          meta.num_range_tombstones = mem->num_range_tombstones();
+          meta.earliest_range_tombstone_seq =
+              mem->earliest_range_tombstone_seq();
+          meta.earliest_range_tombstone_wall_micros =
+              mem->earliest_range_tombstone_wall_micros();
+          meta.range_del_begin = span_begin;
+          meta.range_del_end = span_end;
+          if (!has_data) {
+            // A range-only memtable must still become an L0 file (the
+            // tombstones have to reach the tree to age and drop). L0 files
+            // may overlap freely, so span-derived bounds are safe here.
+            meta.smallest =
+                InternalKey(span_begin, max_seq, kValueTypeForSeek);
+            meta.largest = InternalKey(span_end, 0, kTypeDeletion);
           }
         }
         meta.num_entries = builder.NumEntries();
@@ -643,11 +698,15 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
         meta.earliest_tombstone_wall_micros =
             mem->earliest_tombstone_wall_micros();
         // Mirror the metadata into the table's own properties block.
+        // (AddRangeTombstone already maintained the range span/count/seq
+        // fields; only the wall stamp needs the memtable's clock.)
         TableProperties* props = builder.mutable_properties();
         props->num_tombstones = meta.num_tombstones;
         props->earliest_tombstone_time = meta.earliest_tombstone_seq;
         props->earliest_tombstone_wall_micros =
             meta.earliest_tombstone_wall_micros;
+        props->earliest_range_tombstone_wall_micros =
+            meta.earliest_range_tombstone_wall_micros;
         props->min_secondary_key = meta.min_secondary_key;
         props->max_secondary_key = meta.max_secondary_key;
         s = builder.Finish();
@@ -707,6 +766,7 @@ Status DBImpl::CompactMemTable() {
     // Recovery adds the replayed suffix of surviving WALs to this value to
     // reconstruct the exact (not conservative) count.
     edit.SetMonitorWritten(pending_written_at_swap_);
+    edit.SetMonitorRangeWritten(pending_range_written_at_swap_);
     s = versions_->LogAndApply(&edit, &mutex_);
   }
   if (s.ok()) {
@@ -808,11 +868,16 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     // write_buffer_size at the arena's block granularity a fresh (empty)
     // memtable can already sit at the usage threshold -- flushing it would
     // spin this loop forever.
+    // Range tombstones live outside the skiplist, so "non-empty" means
+    // point entries OR range tombstones (a range-only memtable must still
+    // flush to an L0 file, or its tombstones would never age in the tree).
+    const bool mem_nonempty =
+        mem_->num_entries() > 0 || mem_->num_range_tombstones() > 0;
     bool flush;
     if (force) {
-      flush = mem_->num_entries() > 0;
+      flush = mem_nonempty;
     } else {
-      flush = mem_->num_entries() > 0 &&
+      flush = mem_nonempty &&
               mem_->ApproximateMemoryUsage() >= options_.write_buffer_size;
       // FADE also bounds how long a tombstone may sit in the *memtable*:
       // flush once the oldest buffered tombstone has consumed half of level
@@ -827,10 +892,16 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // always replay-exact. Only the band in between is ambiguous -- drain
       // the pending rounds (the writer runs them inline, horizons captured,
       // so the work is identical) and re-evaluate against the fresh tree.
-      if (!flush && planner_.delete_aware() && mem_->num_tombstones() > 0) {
+      if (!flush && planner_.delete_aware() &&
+          (mem_->num_tombstones() > 0 || mem_->num_range_tombstones() > 0)) {
         const int depth = versions_->current()->DeepestNonEmptyLevel() + 1;
-        const uint64_t age =
-            versions_->LastSequence() - mem_->earliest_tombstone_seq();
+        // Range tombstones age on the same clock; the trigger fires on the
+        // oldest buffered tombstone of either kind (the unset side reads
+        // kMaxSequenceNumber, so min() ignores it).
+        const SequenceNumber earliest_any =
+            std::min(mem_->earliest_tombstone_seq(),
+                     mem_->earliest_range_tombstone_seq());
+        const uint64_t age = versions_->LastSequence() - earliest_any;
         if (age > planner_.LevelTtl(0, depth) / 2) {
           flush = true;
         } else if ((imm_ != nullptr || compaction_active_) &&
@@ -944,7 +1015,9 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     // in WALs older than new_log_number. The flush edit that retires those
     // WALs carries this value (no rotation can happen while imm_ exists).
     pending_written_at_swap_ = monitor_.WrittenCount();
-    if (planner_.delete_aware() && imm_->num_tombstones() > 0) {
+    pending_range_written_at_swap_ = monitor_.RangeWrittenCount();
+    if (planner_.delete_aware() &&
+        (imm_->num_tombstones() > 0 || imm_->num_range_tombstones() > 0)) {
       // Until the flush installs, next_ttl_deadline_ cannot see the L0
       // file it will create; bound it conservatively so writers cannot
       // race past that deadline in the meantime. Adding an L0 file never
@@ -953,7 +1026,8 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       const int depth = versions_->current()->DeepestNonEmptyLevel() + 1;
       pending_ttl_floor_ =
           std::min(pending_ttl_floor_,
-                   imm_->earliest_tombstone_seq() +
+                   std::min(imm_->earliest_tombstone_seq(),
+                            imm_->earliest_range_tombstone_seq()) +
                        planner_.CumulativeTtl(0, depth));
     }
     mem_ = new MemTable(internal_comparator_);
@@ -984,9 +1058,13 @@ void DBImpl::ComputeNextTtlDeadline() {
   const int depth = v->DeepestNonEmptyLevel() + 1;
   for (int level = 0; level < kNumLevels; level++) {
     for (FileMetaData* f : v->files(level)) {
-      if (!f->has_tombstones()) continue;
+      if (!f->has_tombstones() && !f->has_range_tombstones()) continue;
+      // Oldest tombstone of either kind: the unset side reads
+      // kMaxSequenceNumber, so min() ignores it.
+      const SequenceNumber earliest = std::min(
+          f->earliest_tombstone_seq, f->earliest_range_tombstone_seq);
       const uint64_t deadline =
-          f->earliest_tombstone_seq + planner_.CumulativeTtl(level, depth);
+          earliest + planner_.CumulativeTtl(level, depth);
       next_ttl_deadline_ = std::min(next_ttl_deadline_, deadline);
     }
   }
@@ -1093,6 +1171,12 @@ Status DBImpl::FinishCompactionOutputFile(CompactionState* compact,
   props->num_tombstones = out->num_tombstones;
   props->earliest_tombstone_time = out->earliest_tombstone_seq;
   props->earliest_tombstone_wall_micros = out->earliest_tombstone_wall_micros;
+  // AddRangeTombstone maintains the count/seq/span properties itself; only
+  // the inherited wall stamp needs mirroring.
+  if (out->num_range_tombstones > 0) {
+    props->earliest_range_tombstone_wall_micros =
+        out->earliest_range_tombstone_wall_micros;
+  }
   props->min_secondary_key = out->min_secondary_key;
   props->max_secondary_key = out->max_secondary_key;
 
@@ -1118,8 +1202,9 @@ Status DBImpl::FinishCompactionOutputFile(CompactionState* compact,
   }
   compact->outfile.reset();
 
-  if (s.ok() && current_entries == 0) {
-    // An empty output: delete it and forget it.
+  if (s.ok() && current_entries == 0 && out->num_range_tombstones == 0) {
+    // An empty output: delete it and forget it. (A file holding only range
+    // tombstones is NOT empty -- dropping it would resurrect covered keys.)
     (void)env_->RemoveFile(
         TableFileName(dbname_, output_number));  // io: unlocked
     MutexLock l(&mutex_);
@@ -1144,6 +1229,12 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
     meta.num_tombstones = out.num_tombstones;
     meta.earliest_tombstone_seq = out.earliest_tombstone_seq;
     meta.earliest_tombstone_wall_micros = out.earliest_tombstone_wall_micros;
+    meta.num_range_tombstones = out.num_range_tombstones;
+    meta.earliest_range_tombstone_seq = out.earliest_range_tombstone_seq;
+    meta.earliest_range_tombstone_wall_micros =
+        out.earliest_range_tombstone_wall_micros;
+    meta.range_del_begin = out.range_del_begin;
+    meta.range_del_end = out.range_del_end;
     meta.min_secondary_key = out.min_secondary_key;
     meta.max_secondary_key = out.max_secondary_key;
     meta.run_id = out.number;
@@ -1270,6 +1361,29 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
   mutex_.Unlock();
   auto prefetcher = std::make_unique<CompactionPrefetcher>(
       env_, dbname_, compact->compaction);
+
+  // Range tombstones ride in dedicated blocks, not the merged key stream:
+  // load every input file's raw tombstones up front. Queried at
+  // smallest_snapshot, their fragmented union drives covered-entry drops
+  // inside the merge loop; the tombstones' own disposition is decided after
+  // it. The input version is pinned, so the reads are safe off the mutex.
+  std::vector<RangeTombstone> input_range_dels;
+  Status range_status;
+  for (int which = 0; which < 2 && range_status.ok(); which++) {
+    for (int i = 0; i < compact->compaction->num_input_files(which); i++) {
+      const FileMetaData* f = compact->compaction->input(which, i);
+      if (!f->has_range_tombstones()) continue;
+      range_status = table_cache_->GetRangeTombstones(
+          f->number, f->file_size, &input_range_dels);  // io: unlocked
+      if (!range_status.ok()) break;
+    }
+  }
+  FragmentedRangeTombstoneList range_cover;
+  if (!input_range_dels.empty()) {
+    range_cover.Build(internal_comparator_.user_comparator(),
+                      input_range_dels);
+  }
+
   uint64_t merge_steps = 0;
   uint64_t shadowed_dropped = 0;
   uint64_t tombstones_dropped = 0;
@@ -1280,15 +1394,17 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
   uint64_t persisted_delta = 0;
   uint64_t superseded_delta = 0;
   Histogram latency_delta;
+  uint64_t range_persisted_delta = 0;
+  Histogram range_latency_delta;
 
   input->SeekToFirst();
-  Status status;
+  Status status = range_status;
   ParsedInternalKey ikey;
   std::string current_user_key;
   bool has_current_user_key = false;
   SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
 
-  while (input->Valid()) {
+  while (status.ok() && input->Valid()) {
     // A memtable swapped out mid-merge stays queued until this round ends:
     // flushing it here would install its L0 file between this round's
     // picks, diverging from the synchronous schedule (which flushes only
@@ -1338,6 +1454,19 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
         persisted_delta++;
         latency_delta.Add(static_cast<double>(
             now_seq >= ikey.sequence ? now_seq - ikey.sequence : 0));
+      } else if (!input_range_dels.empty() &&
+                 range_cover.MaxCoveringSeq(ikey.user_key,
+                                            compact->smallest_snapshot) >
+                     ikey.sequence) {
+        // Covered by a range tombstone visible to every live snapshot: no
+        // reader can observe this entry again. A covered point tombstone is
+        // superseded -- the range tombstone took over its job (and keeps
+        // shadowing deeper levels until it drops itself).
+        drop = true;
+        shadowed_dropped++;
+        if (ikey.type == kTypeDeletion) {
+          superseded_delta++;
+        }
       }
 
       last_sequence_for_key = ikey.sequence;
@@ -1400,6 +1529,125 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
     input->Next();
   }
 
+  // Decide the fate of every input range tombstone. [b,e)@S drops -- the
+  // range delete becomes persistent -- only when every live snapshot sees
+  // it (S <= smallest_snapshot) and no file OUTSIDE this compaction
+  // overlaps its span at any level: entries it covers that are not merged
+  // here would otherwise resurrect. (Memtable data is always newer than a
+  // flushed tombstone, so only files can resurrect.) Survivors are carried
+  // forward into the last output.
+  if (status.ok() && !input_range_dels.empty()) {
+    const Comparator* ucmp = internal_comparator_.user_comparator();
+    const Version* base = compact->compaction->input_version();
+    std::set<uint64_t> input_numbers;
+    for (int which = 0; which < 2; which++) {
+      for (int i = 0; i < compact->compaction->num_input_files(which); i++) {
+        input_numbers.insert(compact->compaction->input(which, i)->number);
+      }
+    }
+    auto blocked = [&](const RangeTombstone& t) {
+      for (int level = 0; level < kNumLevels; level++) {
+        for (const FileMetaData* g : base->files(level)) {
+          if (input_numbers.count(g->number) != 0) continue;
+          if (ucmp->Compare(g->smallest.user_key(), Slice(t.end)) < 0 &&
+              ucmp->Compare(g->largest.user_key(), Slice(t.begin)) >= 0) {
+            return true;
+          }
+        }
+      }
+      return false;
+    };
+    std::vector<RangeTombstone> survivors;
+    for (const RangeTombstone& t : input_range_dels) {
+      if (t.seq <= compact->smallest_snapshot && !blocked(t)) {
+        range_persisted_delta++;
+        range_latency_delta.Add(
+            static_cast<double>(now_seq >= t.seq ? now_seq - t.seq : 0));
+      } else {
+        survivors.push_back(t);
+      }
+    }
+    if (!survivors.empty()) {
+      const bool fresh_output = compact->builder == nullptr;
+      if (fresh_output) {
+        status = OpenCompactionOutputFile(compact);
+      }
+      if (status.ok()) {
+        CompactionState::Output* out = compact->current_output();
+        for (const RangeTombstone& t : survivors) {
+          compact->builder->AddRangeTombstone(t.begin, t.end, t.seq, ucmp);
+          out->num_range_tombstones++;
+          out->earliest_range_tombstone_seq =
+              std::min(out->earliest_range_tombstone_seq, t.seq);
+          if (out->range_del_begin.empty() ||
+              ucmp->Compare(Slice(t.begin), Slice(out->range_del_begin)) < 0) {
+            out->range_del_begin = t.begin;
+          }
+          if (out->range_del_end.empty() ||
+              ucmp->Compare(Slice(t.end), Slice(out->range_del_end)) > 0) {
+            out->range_del_end = t.end;
+          }
+        }
+        // Oldest wall stamp among the inputs that contributed tombstones.
+        for (int which = 0; which < 2; which++) {
+          for (int i = 0; i < compact->compaction->num_input_files(which);
+               i++) {
+            const FileMetaData* f = compact->compaction->input(which, i);
+            if (f->has_range_tombstones()) {
+              out->earliest_range_tombstone_wall_micros =
+                  std::min(out->earliest_range_tombstone_wall_micros,
+                           f->earliest_range_tombstone_wall_micros);
+            }
+          }
+        }
+        if (fresh_output) {
+          // A range-tombstone-only output has no point entries to derive
+          // bounds from. Clamp to the union internal-key range of the
+          // inputs: the compaction owns that region at the output level
+          // (SetupOtherInputs pulled in every overlapping file, and the
+          // planner's same-level widening keeps its input run contiguous),
+          // so sorted-level disjointness holds. If earlier outputs already
+          // cover a prefix of the region, start just past the last one --
+          // same user key at the next-lower sequence sorts strictly after,
+          // and that exact (key, seq) pair exists nowhere else.
+          InternalKey lo, hi;
+          bool first = true;
+          for (int which = 0; which < 2; which++) {
+            for (int i = 0; i < compact->compaction->num_input_files(which);
+                 i++) {
+              const FileMetaData* f = compact->compaction->input(which, i);
+              if (first || internal_comparator_.Compare(
+                               f->smallest.Encode(), lo.Encode()) < 0) {
+                lo = f->smallest;
+              }
+              if (first || internal_comparator_.Compare(
+                               f->largest.Encode(), hi.Encode()) > 0) {
+                hi = f->largest;
+              }
+              first = false;
+            }
+          }
+          if (compact->outputs.size() > 1) {
+            const CompactionState::Output& prev =
+                compact->outputs[compact->outputs.size() - 2];
+            ParsedInternalKey pk;
+            if (ParseInternalKey(prev.largest.Encode(), &pk)) {
+              lo = InternalKey(pk.user_key,
+                               pk.sequence > 0 ? pk.sequence - 1 : 0,
+                               pk.type);
+              if (internal_comparator_.Compare(hi.Encode(), lo.Encode()) <
+                  0) {
+                hi = lo;
+              }
+            }
+          }
+          out->smallest = lo;
+          out->largest = hi;
+        }
+      }
+    }
+  }
+
   if (status.ok() && compact->builder != nullptr) {
     status = FinishCompactionOutputFile(compact, input);
   }
@@ -1422,6 +1670,10 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
       compact->compaction->edit()->SetMonitorDelta(
           persisted_delta, superseded_delta, latency_delta);
     }
+    if (range_persisted_delta > 0) {
+      compact->compaction->edit()->SetMonitorRangeDelta(
+          range_persisted_delta, 0, range_latency_delta);
+    }
     status = InstallCompactionResults(compact);
     if (status.ok()) {
       PublishReadState();
@@ -1431,6 +1683,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
       // into the live monitor so journal and monitor agree at every crash
       // point.
       monitor_.ApplyDelta(persisted_delta, superseded_delta, latency_delta);
+    }
+    if (status.ok() && range_persisted_delta > 0) {
+      monitor_.ApplyRangeDelta(range_persisted_delta, 0, range_latency_delta);
     }
   }
   return status;
@@ -1482,12 +1737,33 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   // at its pre-counter throughput.
   uint64_t filter_negatives = 0;
   LookupKey lkey(key, snapshot);
-  if (state->mem->Get(lkey, value, &s)) {
+  SequenceNumber found_seq = 0;
+  if (state->mem->Get(lkey, value, &s, &found_seq)) {
     // Done
-  } else if (state->imm != nullptr && state->imm->Get(lkey, value, &s)) {
+  } else if (state->imm != nullptr &&
+             state->imm->Get(lkey, value, &s, &found_seq)) {
     // Done
   } else {
-    s = state->current->Get(options, lkey, value, &filter_negatives);
+    s = state->current->Get(options, lkey, value, &filter_negatives,
+                            &found_seq);
+  }
+
+  // Range-tombstone coverage. Sequence numbers are global, so one coverage
+  // test after point resolution is enough: any entry the point lookup could
+  // have found below the deciding one has a smaller sequence and is hidden
+  // by the same covering tombstone. Only a found value needs the test (a
+  // point deletion stays NotFound either way).
+  if (s.ok()) {
+    SequenceNumber rcov = state->mem->MaxRangeCoveringSeq(key, snapshot);
+    if (state->imm != nullptr) {
+      rcov = std::max(rcov, state->imm->MaxRangeCoveringSeq(key, snapshot));
+    }
+    rcov = std::max(rcov,
+                    state->current->MaxRangeCoveringSeq(key, snapshot));
+    if (rcov > found_seq) {
+      value->clear();
+      s = Status::NotFound(Slice());
+    }
   }
 
   gets_.fetch_add(1, std::memory_order_relaxed);
@@ -1529,11 +1805,12 @@ std::vector<Status> DBImpl::MultiGet(const ReadOptions& options,
     items[i].key = lkeys.back().get();
     items[i].value = &(*values)[i];
     Status s;
-    if (state->mem->Get(*lkeys[i], items[i].value, &s)) {
+    if (state->mem->Get(*lkeys[i], items[i].value, &s, &items[i].seq)) {
       items[i].status = s;
       items[i].done = true;
     } else if (state->imm != nullptr &&
-               state->imm->Get(*lkeys[i], items[i].value, &s)) {
+               state->imm->Get(*lkeys[i], items[i].value, &s,
+                               &items[i].seq)) {
       items[i].status = s;
       items[i].done = true;
     } else {
@@ -1551,6 +1828,22 @@ std::vector<Status> DBImpl::MultiGet(const ReadOptions& options,
 
   uint64_t found = 0;
   for (size_t i = 0; i < n; i++) {
+    // Same global coverage test as Get: a found value whose sequence is
+    // below a covering range tombstone (<= the batch snapshot) is hidden.
+    if (items[i].status.ok()) {
+      SequenceNumber rcov =
+          state->mem->MaxRangeCoveringSeq(keys[i], snapshot);
+      if (state->imm != nullptr) {
+        rcov = std::max(rcov,
+                        state->imm->MaxRangeCoveringSeq(keys[i], snapshot));
+      }
+      rcov = std::max(
+          rcov, state->current->MaxRangeCoveringSeq(keys[i], snapshot));
+      if (rcov > items[i].seq) {
+        items[i].value->clear();
+        items[i].status = Status::NotFound(Slice());
+      }
+    }
     statuses[i] = items[i].status;
     if (statuses[i].ok()) found++;
   }
@@ -1585,7 +1878,8 @@ std::vector<Status> DB::MultiGet(const ReadOptions& options,
 }
 
 Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
-                                      SequenceNumber* latest_snapshot) {
+                                      SequenceNumber* latest_snapshot,
+                                      ReadState** state_out) {
   // Same lock-free acquisition as Get: pin the state first, then read the
   // sequence, so the snapshot never admits writes the pinned memtables
   // missed. The ReadState's references back the iterator for its whole
@@ -1606,6 +1900,7 @@ Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
       &internal_comparator_, list.data(), static_cast<int>(list.size()));
 
   internal_iter->RegisterCleanup(&DBImpl::UnrefReadState, this, state);
+  if (state_out != nullptr) *state_out = state;
   return internal_iter;
 }
 
@@ -1616,14 +1911,35 @@ Iterator* DBImpl::TEST_NewInternalIterator() {
 
 Iterator* DBImpl::NewIterator(const ReadOptions& options) {
   SequenceNumber latest_snapshot;
-  Iterator* iter = NewInternalIterator(options, &latest_snapshot);
+  ReadState* state = nullptr;
+  Iterator* iter = NewInternalIterator(options, &latest_snapshot, &state);
   SequenceNumber seq =
       (options.snapshot != nullptr
            ? static_cast<const SnapshotImpl*>(options.snapshot)
                  ->sequence_number()
            : latest_snapshot);
+  // Materialize every range tombstone visible to this iterator's snapshot
+  // into one fragmented list (snapshot filtering happens at query time in
+  // MaxCoveringSeq). The pinned ReadState keeps all sources stable; the
+  // list is built once here so iteration itself never touches the tree.
+  std::vector<RangeTombstone> raw;
+  state->mem->CollectRangeTombstones(&raw);
+  if (state->imm != nullptr) {
+    state->imm->CollectRangeTombstones(&raw);
+  }
+  Status rs = state->current->CollectRangeTombstones(&raw);
+  if (!rs.ok()) {
+    // Dropping tombstones would resurrect deleted keys; fail the iterator.
+    delete iter;
+    return NewErrorIterator(rs);
+  }
+  FragmentedRangeTombstoneList* range_dels = nullptr;
+  if (!raw.empty()) {
+    range_dels = new FragmentedRangeTombstoneList();
+    range_dels->Build(internal_comparator_.user_comparator(), raw);
+  }
   return NewDBIterator(internal_comparator_.user_comparator(), iter, seq,
-                       &iter_tombstones_skipped_);
+                       &iter_tombstones_skipped_, range_dels);
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
@@ -1648,6 +1964,13 @@ Status DBImpl::Put(const WriteOptions& o, const Slice& key,
 Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
   WriteBatch batch;
   batch.Delete(key);
+  return Write(options, &batch);
+}
+
+Status DBImpl::DeleteRange(const WriteOptions& options, const Slice& begin,
+                           const Slice& end) {
+  WriteBatch batch;
+  batch.DeleteRange(begin, end);
   return Write(options, &batch);
 }
 
@@ -1753,6 +2076,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       stats_.user_bytes_written += counter.bytes;
       if (counter.deletes > 0) {
         monitor_.OnTombstoneWritten(counter.deletes);
+      }
+      if (counter.range_deletes > 0) {
+        monitor_.OnRangeTombstoneWritten(counter.range_deletes);
       }
     } else {
       // A sync error leaves the tail of the WAL in an unknown state; any
@@ -2055,16 +2381,31 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     if (imm_ != nullptr) total += imm_->num_tombstones();
     *value = std::to_string(total);
     return true;
+  } else if (in == "total-range-tombstones") {
+    uint64_t total = versions_->current()->TotalRangeTombstones() +
+                     mem_->num_range_tombstones();
+    if (imm_ != nullptr) total += imm_->num_range_tombstones();
+    *value = std::to_string(total);
+    return true;
   } else if (in == "max-tombstone-age") {
-    uint64_t age =
-        versions_->current()->MaxTombstoneAge(versions_->LastSequence());
+    uint64_t age = std::max(
+        versions_->current()->MaxTombstoneAge(versions_->LastSequence()),
+        versions_->current()->MaxRangeTombstoneAge(versions_->LastSequence()));
     if (mem_->num_tombstones() > 0) {
       age = std::max(age, versions_->LastSequence() -
                               mem_->earliest_tombstone_seq());
     }
+    if (mem_->num_range_tombstones() > 0) {
+      age = std::max(age, versions_->LastSequence() -
+                              mem_->earliest_range_tombstone_seq());
+    }
     if (imm_ != nullptr && imm_->num_tombstones() > 0) {
       age = std::max(age, versions_->LastSequence() -
                               imm_->earliest_tombstone_seq());
+    }
+    if (imm_ != nullptr && imm_->num_range_tombstones() > 0) {
+      age = std::max(age, versions_->LastSequence() -
+                              imm_->earliest_range_tombstone_seq());
     }
     *value = std::to_string(age);
     return true;
@@ -2072,10 +2413,15 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     DeleteStats ds;
     uint64_t live = versions_->current()->TotalTombstones() +
                     mem_->num_tombstones();
-    if (imm_ != nullptr) live += imm_->num_tombstones();
+    uint64_t range_live = versions_->current()->TotalRangeTombstones() +
+                          mem_->num_range_tombstones();
+    if (imm_ != nullptr) {
+      live += imm_->num_tombstones();
+      range_live += imm_->num_range_tombstones();
+    }
     uint64_t age =
         versions_->current()->MaxTombstoneAge(versions_->LastSequence());
-    monitor_.Snapshot(&ds, live, age);
+    monitor_.Snapshot(&ds, live, age, range_live);
     *value = ds.ToString();
     return true;
   }
@@ -2087,6 +2433,8 @@ DeleteStats DBImpl::GetDeleteStats() {
   DeleteStats ds;
   uint64_t live =
       versions_->current()->TotalTombstones() + mem_->num_tombstones();
+  uint64_t range_live = versions_->current()->TotalRangeTombstones() +
+                        mem_->num_range_tombstones();
   uint64_t age =
       versions_->current()->MaxTombstoneAge(versions_->LastSequence());
   if (mem_->num_tombstones() > 0) {
@@ -2095,12 +2443,13 @@ DeleteStats DBImpl::GetDeleteStats() {
   }
   if (imm_ != nullptr) {
     live += imm_->num_tombstones();
+    range_live += imm_->num_range_tombstones();
     if (imm_->num_tombstones() > 0) {
       age = std::max(age, versions_->LastSequence() -
                               imm_->earliest_tombstone_seq());
     }
   }
-  monitor_.Snapshot(&ds, live, age);
+  monitor_.Snapshot(&ds, live, age, range_live);
   return ds;
 }
 
@@ -2141,9 +2490,20 @@ Status DBImpl::RewriteFileForPurge(FileMetaData* f, int level,
   std::unique_ptr<Iterator> it(
       table_cache_->NewIterator(ropts, f->number, f->file_size));
 
+  // Range tombstones are orthogonal to the secondary purge and must be
+  // carried into the replacement verbatim: losing them would resurrect
+  // every key they cover.
+  std::vector<RangeTombstone> range_dels;
+  Status s;
+  if (f->has_range_tombstones()) {
+    s = table_cache_->GetRangeTombstones(f->number, f->file_size,
+                                         &range_dels);
+  }
   std::unique_ptr<WritableFile> file;
-  Status s = env_->NewWritableFile(TableFileName(dbname_, new_number),
-                                   &file);  // io: unlocked
+  if (s.ok()) {
+    s = env_->NewWritableFile(TableFileName(dbname_, new_number),
+                              &file);  // io: unlocked
+  }
   if (!s.ok()) {
     mutex_.Lock();
     pending_outputs_.erase(new_number);
@@ -2192,12 +2552,36 @@ Status DBImpl::RewriteFileForPurge(FileMetaData* f, int level,
     s = it->status();
   }
 
+  if (s.ok() && !range_dels.empty()) {
+    for (const RangeTombstone& t : range_dels) {
+      builder.AddRangeTombstone(t.begin, t.end, t.seq,
+                                internal_comparator_.user_comparator());
+      meta.num_range_tombstones++;
+      meta.earliest_range_tombstone_seq =
+          std::min(meta.earliest_range_tombstone_seq, t.seq);
+    }
+    meta.earliest_range_tombstone_wall_micros =
+        f->earliest_range_tombstone_wall_micros;
+    meta.range_del_begin = f->range_del_begin;
+    meta.range_del_end = f->range_del_end;
+  }
+
   bool emit_replacement = false;
-  if (s.ok() && builder.NumEntries() > 0) {
+  if (s.ok() && (builder.NumEntries() > 0 || meta.num_range_tombstones > 0)) {
     meta.num_entries = builder.NumEntries();
+    if (builder.NumEntries() == 0) {
+      // Every point entry purged but range tombstones remain: keep the old
+      // file's bounds (the replacement fills the same slot in the level).
+      meta.smallest = f->smallest;
+      meta.largest = f->largest;
+    }
     TableProperties* props = builder.mutable_properties();
     props->num_tombstones = meta.num_tombstones;
     props->earliest_tombstone_time = meta.earliest_tombstone_seq;
+    if (meta.num_range_tombstones > 0) {
+      props->earliest_range_tombstone_wall_micros =
+          meta.earliest_range_tombstone_wall_micros;
+    }
     props->min_secondary_key = meta.min_secondary_key;
     props->max_secondary_key = meta.max_secondary_key;
     s = builder.Finish();
@@ -2252,9 +2636,12 @@ Status DBImpl::PurgeSecondaryRange(const Slice& threshold) {
         // File holds no secondary-keyed values (e.g. all tombstones); skip.
         continue;
       }
-      if (Slice(f->max_secondary_key).compare(threshold) < 0) {
+      if (Slice(f->max_secondary_key).compare(threshold) < 0 &&
+          !f->has_range_tombstones()) {
         // Whole file is dead: drop it without reading a byte (this is the
-        // KiWi-style wholesale drop the experiment measures).
+        // KiWi-style wholesale drop the experiment measures). A file also
+        // carrying range tombstones must be rewritten instead -- dropping
+        // it wholesale would resurrect everything the tombstones cover.
         edit.RemoveFile(level, f->number);
         continue;
       }
@@ -2314,6 +2701,7 @@ Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
     // written count so a crash after this point recovers it from the
     // MANIFEST alone (the fresh WAL holds no tombstones yet).
     edit.SetMonitorWritten(impl->monitor_.WrittenCount());
+    edit.SetMonitorRangeWritten(impl->monitor_.RangeWrittenCount());
     s = impl->versions_->LogAndApply(&edit, &impl->mutex_);
   }
   if (s.ok()) {

@@ -76,6 +76,8 @@ class DBImpl : public DB {
   Status Put(const WriteOptions&, const Slice& key,
              const Slice& value) override;
   Status Delete(const WriteOptions&, const Slice& key) override;
+  Status DeleteRange(const WriteOptions&, const Slice& begin,
+                     const Slice& end) override;
   Status Write(const WriteOptions& options, WriteBatch* updates) override;
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value) override;
@@ -141,8 +143,13 @@ class DBImpl : public DB {
   // Tear down retired nodes whose refcount reached zero.
   void DrainRetiredReadStates() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
+  // |state_out|, when non-null, receives the pinned ReadState backing the
+  // iterator (valid for the iterator's lifetime; the iterator's cleanup
+  // drops the reference). NewIterator uses it to aggregate the range
+  // tombstones visible to the same snapshot.
   Iterator* NewInternalIterator(const ReadOptions&,
-                                SequenceNumber* latest_snapshot)
+                                SequenceNumber* latest_snapshot,
+                                ReadState** state_out = nullptr)
       LOCKS_EXCLUDED(mutex_);
 
   Status NewDB();
@@ -158,7 +165,8 @@ class DBImpl : public DB {
   Status RecoverLogFile(uint64_t log_number, bool last_log,
                         bool* save_manifest, VersionEdit* edit,
                         SequenceNumber* max_sequence,
-                        uint64_t* replayed_deletes)
+                        uint64_t* replayed_deletes,
+                        uint64_t* replayed_range_deletes)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Delete any unneeded files and stale in-memory entries. Classifies the
@@ -289,6 +297,9 @@ class DBImpl : public DB {
   // the exact written count as journaled value + deletes re-counted from
   // the surviving WALs.
   uint64_t pending_written_at_swap_ GUARDED_BY(mutex_) = 0;
+  // Range-delete counterpart of pending_written_at_swap_, captured at the
+  // same instant and journaled by the same flush edit (kMonitorRangeWritten).
+  uint64_t pending_range_written_at_swap_ GUARDED_BY(mutex_) = 0;
   std::unique_ptr<WritableFile> logfile_ GUARDED_BY(mutex_);
   uint64_t logfile_number_ GUARDED_BY(mutex_);
   std::unique_ptr<wal::Writer> log_ GUARDED_BY(mutex_);

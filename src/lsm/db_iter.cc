@@ -19,11 +19,13 @@ class DBIter : public Iterator {
   enum Direction { kForward, kReverse };
 
   DBIter(const Comparator* cmp, Iterator* iter, SequenceNumber s,
-         std::atomic<uint64_t>* tombstone_skips)
+         std::atomic<uint64_t>* tombstone_skips,
+         FragmentedRangeTombstoneList* range_dels)
       : user_comparator_(cmp),
         iter_(iter),
         sequence_(s),
         tombstone_skips_(tombstone_skips),
+        range_dels_(range_dels),
         direction_(kForward),
         valid_(false) {}
 
@@ -32,6 +34,7 @@ class DBIter : public Iterator {
 
   ~DBIter() override {
     FlushTombstoneSkips();
+    delete range_dels_;
     delete iter_;
   }
 
@@ -62,6 +65,14 @@ class DBIter : public Iterator {
   void FindNextUserEntry(bool skipping, std::string* skip);
   void FindPrevUserEntry();
   bool ParseKey(ParsedInternalKey* key);
+
+  // True when a range tombstone visible at sequence_ hides |ikey|: covered
+  // entries behave exactly like entries below a point deletion.
+  bool RangeCovered(const ParsedInternalKey& ikey) const {
+    return range_dels_ != nullptr &&
+           range_dels_->MaxCoveringSeq(ikey.user_key, sequence_) >
+               ikey.sequence;
+  }
 
   inline void SaveKey(const Slice& k, std::string* dst) {
     dst->assign(k.data(), k.size());
@@ -94,6 +105,7 @@ class DBIter : public Iterator {
   Iterator* const iter_;
   SequenceNumber const sequence_;
   std::atomic<uint64_t>* const tombstone_skips_;
+  FragmentedRangeTombstoneList* const range_dels_;  // owned; may be null
   uint64_t pending_tombstone_skips_ = 0;
   Status status_;
   std::string saved_key_;    // == current key when direction_==kReverse
@@ -166,6 +178,13 @@ void DBIter::FindNextUserEntry(bool skipping, std::string* skip) {
           if (skipping &&
               user_comparator_->Compare(ikey.user_key, *skip) <= 0) {
             // Entry hidden
+          } else if (RangeCovered(ikey)) {
+            // Hidden by a range tombstone: behave exactly as if a point
+            // deletion preceded it -- older versions of this key have
+            // smaller sequences and are covered by the same fragment.
+            SaveKey(ikey.user_key, skip);
+            skipping = true;
+            CountTombstoneSkip();
           } else {
             valid_ = true;
             saved_key_.clear();
@@ -222,6 +241,10 @@ void DBIter::FindPrevUserEntry() {
           break;
         }
         value_type = ikey.type;
+        if (value_type == kTypeValue && RangeCovered(ikey)) {
+          // Hidden by a range tombstone: treat like a point deletion.
+          value_type = kTypeDeletion;
+        }
         if (value_type == kTypeDeletion) {
           saved_key_.clear();
           ClearSavedValue();
@@ -290,9 +313,10 @@ void DBIter::SeekToLast() {
 
 Iterator* NewDBIterator(const Comparator* user_key_comparator,
                         Iterator* internal_iter, SequenceNumber sequence,
-                        std::atomic<uint64_t>* tombstone_skips) {
+                        std::atomic<uint64_t>* tombstone_skips,
+                        FragmentedRangeTombstoneList* range_dels) {
   return new DBIter(user_key_comparator, internal_iter, sequence,
-                    tombstone_skips);
+                    tombstone_skips, range_dels);
 }
 
 }  // namespace acheron

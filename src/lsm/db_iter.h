@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/core/range_tombstone.h"
 #include "src/lsm/dbformat.h"
 #include "src/table/iterator.h"
 
@@ -17,9 +18,15 @@ namespace acheron {
 // |tombstone_skips| may be null; when set, tombstones skipped during
 // iteration are counted into it. It must be an atomic: iterators run outside
 // the DB mutex, concurrently with writers and with each other.
+// |range_dels| (may be null) is the fragmented union of every range
+// tombstone visible to this iterator's sources; ownership transfers to the
+// iterator. An entry whose sequence is below a covering fragment at or
+// below |sequence| is suppressed exactly like a point deletion (and counted
+// as a tombstone skip).
 Iterator* NewDBIterator(const Comparator* user_key_comparator,
                         Iterator* internal_iter, SequenceNumber sequence,
-                        std::atomic<uint64_t>* tombstone_skips);
+                        std::atomic<uint64_t>* tombstone_skips,
+                        FragmentedRangeTombstoneList* range_dels = nullptr);
 
 }  // namespace acheron
 

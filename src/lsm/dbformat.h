@@ -26,14 +26,24 @@ class InternalKey;
 // Value types encoded as the last component of internal keys.
 // DO NOT CHANGE THESE ENUM VALUES: they are embedded in the on-disk
 // data structures.
-enum ValueType { kTypeDeletion = 0x0, kTypeValue = 0x1 };
+//
+// kTypeRangeDeletion records live only in the WriteBatch/WAL stream and in
+// dedicated range-tombstone blocks (begin key in the record, end key as the
+// value); they never enter the point-key ordering of memtables or data
+// blocks.
+enum ValueType {
+  kTypeDeletion = 0x0,
+  kTypeValue = 0x1,
+  kTypeRangeDeletion = 0x2
+};
 
 // kValueTypeForSeek defines the ValueType that should be passed when
 // constructing a ParsedInternalKey object for seeking to a particular
 // sequence number (since we sort sequence numbers in decreasing order
 // and the value type is embedded as the low 8 bits in the sequence
 // number in internal keys, we need to use the highest-numbered
-// ValueType, not the lowest).
+// ValueType *among those in the point-key ordering*, not the lowest;
+// kTypeRangeDeletion is stored out of band and does not participate).
 static const ValueType kValueTypeForSeek = kTypeValue;
 
 typedef uint64_t SequenceNumber;

@@ -95,6 +95,10 @@ class Repairer {
     uint64_t journal_persisted = 0;
     uint64_t journal_superseded = 0;
     Histogram journal_latency;
+    uint64_t journal_range_written = 0;
+    uint64_t journal_range_persisted = 0;
+    uint64_t journal_range_superseded = 0;
+    Histogram journal_range_latency;
   };
 
   Status BoundedRepair() {
@@ -174,6 +178,10 @@ class Repairer {
         v->journal_persisted = 0;
         v->journal_superseded = 0;
         v->journal_latency.Clear();
+        v->journal_range_written = 0;
+        v->journal_range_persisted = 0;
+        v->journal_range_superseded = 0;
+        v->journal_range_latency.Clear();
       }
       for (const auto& dead : edit.deleted_files()) {
         v->levels[dead.first].erase(dead.second);
@@ -200,6 +208,14 @@ class Repairer {
         v->journal_persisted += edit.monitor_persisted();
         v->journal_superseded += edit.monitor_superseded();
         v->journal_latency.Merge(edit.monitor_latency());
+      }
+      if (edit.has_monitor_range_written()) {
+        v->journal_range_written = edit.monitor_range_written();
+      }
+      if (edit.has_monitor_range_delta()) {
+        v->journal_range_persisted += edit.monitor_range_persisted();
+        v->journal_range_superseded += edit.monitor_range_superseded();
+        v->journal_range_latency.Merge(edit.monitor_range_latency());
       }
     }
     if (records == 0) {
@@ -249,6 +265,10 @@ class Repairer {
     edit.SetMonitorWritten(v.journal_written);
     edit.SetMonitorDelta(v.journal_persisted, v.journal_superseded,
                          v.journal_latency);
+    edit.SetMonitorRangeWritten(v.journal_range_written);
+    edit.SetMonitorRangeDelta(v.journal_range_persisted,
+                              v.journal_range_superseded,
+                              v.journal_range_latency);
     for (const auto& level : v.levels) {
       for (const auto& f : level.second) {
         edit.AddFile(level.first, f.second);
@@ -371,7 +391,7 @@ class Repairer {
       // Ignore per-batch errors: salvage what parses.
     }
 
-    if (mem->num_entries() > 0) {
+    if (mem->num_entries() > 0 || mem->num_range_tombstones() > 0) {
       uint64_t number = next_file_number_++;
       status = BuildTableFromMemTable(mem, number);
       if (status.ok()) {
@@ -392,6 +412,12 @@ class Repairer {
     std::unique_ptr<Iterator> iter(mem->NewIterator());
     for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
       builder.Add(iter->key(), iter->value(), ExtractUserKey(iter->key()));
+    }
+    std::vector<RangeTombstone> range_dels;
+    mem->CollectRangeTombstones(&range_dels);
+    for (const RangeTombstone& t : range_dels) {
+      builder.AddRangeTombstone(t.begin, t.end, t.seq,
+                                icmp_.user_comparator());
     }
     TableProperties* props = builder.mutable_properties();
     props->num_tombstones = mem->num_tombstones();
@@ -462,10 +488,47 @@ class Repairer {
     }
     Status iter_status = iter->status();
     iter.reset();
+
+    // Range tombstones live in their own block; re-derive their metadata
+    // too. (A table whose range-del block failed to decode never passed
+    // Table::Open, so raw_range_tombstones() here is trustworthy.)
+    const std::vector<RangeTombstone>& range_dels =
+        table->raw_range_tombstones();
+    const Comparator* ucmp = icmp_.user_comparator();
+    SequenceNumber max_range_seq = 0;
+    for (const RangeTombstone& rt : range_dels) {
+      t->meta.num_range_tombstones++;
+      t->meta.earliest_range_tombstone_seq =
+          std::min(t->meta.earliest_range_tombstone_seq, rt.seq);
+      max_range_seq = std::max(max_range_seq, rt.seq);
+      if (rt.seq > t->max_sequence) t->max_sequence = rt.seq;
+      if (t->meta.range_del_begin.empty() ||
+          ucmp->Compare(Slice(rt.begin), Slice(t->meta.range_del_begin)) < 0) {
+        t->meta.range_del_begin = rt.begin;
+      }
+      if (t->meta.range_del_end.empty() ||
+          ucmp->Compare(Slice(rt.end), Slice(t->meta.range_del_end)) > 0) {
+        t->meta.range_del_end = rt.end;
+      }
+    }
+    if (t->meta.num_range_tombstones > 0) {
+      t->meta.earliest_range_tombstone_wall_micros =
+          table->properties().earliest_range_tombstone_wall_micros;
+    }
     delete table;
 
     if (!iter_status.ok()) return iter_status;
-    if (empty) return Status::Corruption("table holds no decodable entries");
+    if (empty && range_dels.empty()) {
+      return Status::Corruption("table holds no decodable entries");
+    }
+    if (empty) {
+      // A range-tombstone-only table: derive bounds from the tombstone
+      // span. Salvaged tables all land in level 0, where overlap is legal.
+      t->meta.smallest = InternalKey(Slice(t->meta.range_del_begin),
+                                     max_range_seq, kValueTypeForSeek);
+      t->meta.largest =
+          InternalKey(Slice(t->meta.range_del_end), 0, kTypeDeletion);
+    }
     if (bad_key && options_.paranoid_checks) {
       return Status::Corruption("table holds undecodable keys");
     }

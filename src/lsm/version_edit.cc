@@ -26,6 +26,9 @@ enum Tag {
   // Persistence-monitor journal fields (see version_edit.h).
   kMonitorWritten = 9,
   kMonitorDelta = 10,
+  // Range-delete counterparts of the monitor journal fields.
+  kMonitorRangeWritten = 11,
+  kMonitorRangeDelta = 12,
 };
 
 void VersionEdit::Clear() {
@@ -44,6 +47,12 @@ void VersionEdit::Clear() {
   monitor_persisted_ = 0;
   monitor_superseded_ = 0;
   monitor_latency_.Clear();
+  has_monitor_range_written_ = false;
+  monitor_range_written_ = 0;
+  has_monitor_range_delta_ = false;
+  monitor_range_persisted_ = 0;
+  monitor_range_superseded_ = 0;
+  monitor_range_latency_.Clear();
   compact_pointers_.clear();
   deleted_files_.clear();
   new_files_.clear();
@@ -105,6 +114,11 @@ void VersionEdit::EncodeBodyTo(std::string* dst) const {
     PutLengthPrefixedSlice(dst, f.min_secondary_key);
     PutLengthPrefixedSlice(dst, f.max_secondary_key);
     PutVarint64(dst, f.run_id);
+    PutVarint64(dst, f.num_range_tombstones);
+    PutVarint64(dst, f.earliest_range_tombstone_seq);
+    PutVarint64(dst, f.earliest_range_tombstone_wall_micros);
+    PutLengthPrefixedSlice(dst, f.range_del_begin);
+    PutLengthPrefixedSlice(dst, f.range_del_end);
   }
 
   if (has_monitor_written_) {
@@ -117,6 +131,18 @@ void VersionEdit::EncodeBodyTo(std::string* dst) const {
     PutVarint64(dst, monitor_superseded_);
     std::string hist;
     monitor_latency_.EncodeTo(&hist);
+    PutLengthPrefixedSlice(dst, hist);
+  }
+  if (has_monitor_range_written_) {
+    PutVarint32(dst, kMonitorRangeWritten);
+    PutVarint64(dst, monitor_range_written_);
+  }
+  if (has_monitor_range_delta_) {
+    PutVarint32(dst, kMonitorRangeDelta);
+    PutVarint64(dst, monitor_range_persisted_);
+    PutVarint64(dst, monitor_range_superseded_);
+    std::string hist;
+    monitor_range_latency_.EncodeTo(&hist);
     PutLengthPrefixedSlice(dst, hist);
   }
 }
@@ -223,7 +249,7 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
         break;
 
       case kNewFile: {
-        Slice min_sec, max_sec;
+        Slice min_sec, max_sec, rd_begin, rd_end;
         if (GetLevel(&input, &level) && GetVarint64(&input, &f.number) &&
             GetVarint64(&input, &f.file_size) &&
             GetInternalKey(&input, &f.smallest) &&
@@ -234,9 +260,16 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
             GetVarint64(&input, &f.earliest_tombstone_wall_micros) &&
             GetLengthPrefixedSlice(&input, &min_sec) &&
             GetLengthPrefixedSlice(&input, &max_sec) &&
-            GetVarint64(&input, &f.run_id)) {
+            GetVarint64(&input, &f.run_id) &&
+            GetVarint64(&input, &f.num_range_tombstones) &&
+            GetVarint64(&input, &f.earliest_range_tombstone_seq) &&
+            GetVarint64(&input, &f.earliest_range_tombstone_wall_micros) &&
+            GetLengthPrefixedSlice(&input, &rd_begin) &&
+            GetLengthPrefixedSlice(&input, &rd_end)) {
           f.min_secondary_key = min_sec.ToString();
           f.max_secondary_key = max_sec.ToString();
+          f.range_del_begin = rd_begin.ToString();
+          f.range_del_end = rd_end.ToString();
           new_files_.push_back(std::make_pair(level, f));
         } else {
           msg = "new-file entry";
@@ -261,6 +294,27 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
           has_monitor_delta_ = true;
         } else {
           msg = "monitor delta";
+        }
+        break;
+      }
+
+      case kMonitorRangeWritten:
+        if (GetVarint64(&input, &monitor_range_written_)) {
+          has_monitor_range_written_ = true;
+        } else {
+          msg = "monitor range written count";
+        }
+        break;
+
+      case kMonitorRangeDelta: {
+        Slice hist;
+        if (GetVarint64(&input, &monitor_range_persisted_) &&
+            GetVarint64(&input, &monitor_range_superseded_) &&
+            GetLengthPrefixedSlice(&input, &hist) &&
+            monitor_range_latency_.DecodeFrom(&hist) && hist.empty()) {
+          has_monitor_range_delta_ = true;
+        } else {
+          msg = "monitor range delta";
         }
         break;
       }
@@ -292,6 +346,13 @@ std::string VersionEdit::DebugString() const {
     ss << "\n  MonitorDelta: persisted=" << monitor_persisted_
        << " superseded=" << monitor_superseded_;
   }
+  if (has_monitor_range_written_) {
+    ss << "\n  MonitorRangeWritten: " << monitor_range_written_;
+  }
+  if (has_monitor_range_delta_) {
+    ss << "\n  MonitorRangeDelta: persisted=" << monitor_range_persisted_
+       << " superseded=" << monitor_range_superseded_;
+  }
   if (has_log_number_) ss << "\n  LogNumber: " << log_number_;
   if (has_next_file_number_) ss << "\n  NextFile: " << next_file_number_;
   if (has_last_sequence_) ss << "\n  LastSeq: " << last_sequence_;
@@ -304,7 +365,8 @@ std::string VersionEdit::DebugString() const {
   for (const auto& [level, f] : new_files_) {
     ss << "\n  AddFile: " << level << " " << f.number << " " << f.file_size
        << " " << f.smallest.DebugString() << " .. " << f.largest.DebugString()
-       << " tombstones=" << f.num_tombstones;
+       << " tombstones=" << f.num_tombstones
+       << " range_tombstones=" << f.num_range_tombstones;
   }
   ss << "\n}\n";
   return ss.str();

@@ -46,7 +46,20 @@ struct FileMetaData {
   // Runs are ordered by recency: higher run_id == newer data.
   uint64_t run_id = 0;
 
+  // ---- Range tombstones (kTypeRangeDeletion) ----
+  // Count of range tombstones in the file's dedicated block.
+  uint64_t num_range_tombstones = 0;
+  // Oldest range tombstone's sequence number / wall clock; defaults mirror
+  // the point-tombstone fields above.
+  SequenceNumber earliest_range_tombstone_seq = kMaxSequenceNumber;
+  uint64_t earliest_range_tombstone_wall_micros = UINT64_MAX;
+  // User-key span covered by the union of the file's range tombstones
+  // (empty when none): a cheap containment test before opening the table.
+  std::string range_del_begin;
+  std::string range_del_end;
+
   bool has_tombstones() const { return num_tombstones > 0; }
+  bool has_range_tombstones() const { return num_range_tombstones > 0; }
   double tombstone_density() const {
     return num_entries == 0
                ? 0.0
@@ -149,6 +162,31 @@ class VersionEdit {
   uint64_t monitor_superseded() const { return monitor_superseded_; }
   const Histogram& monitor_latency() const { return monitor_latency_; }
 
+  // Range-delete counterparts of the two fields above, journaled with their
+  // own tags so point and range histograms recover independently.
+  void SetMonitorRangeWritten(uint64_t written) {
+    has_monitor_range_written_ = true;
+    monitor_range_written_ = written;
+  }
+  bool has_monitor_range_written() const { return has_monitor_range_written_; }
+  uint64_t monitor_range_written() const { return monitor_range_written_; }
+
+  void SetMonitorRangeDelta(uint64_t persisted, uint64_t superseded,
+                            const Histogram& latency) {
+    has_monitor_range_delta_ = true;
+    monitor_range_persisted_ = persisted;
+    monitor_range_superseded_ = superseded;
+    monitor_range_latency_ = latency;
+  }
+  bool has_monitor_range_delta() const { return has_monitor_range_delta_; }
+  uint64_t monitor_range_persisted() const { return monitor_range_persisted_; }
+  uint64_t monitor_range_superseded() const {
+    return monitor_range_superseded_;
+  }
+  const Histogram& monitor_range_latency() const {
+    return monitor_range_latency_;
+  }
+
   void EncodeTo(std::string* dst) const;
   Status DecodeFrom(const Slice& src);
 
@@ -176,6 +214,12 @@ class VersionEdit {
   uint64_t monitor_persisted_;
   uint64_t monitor_superseded_;
   Histogram monitor_latency_;
+  bool has_monitor_range_written_;
+  uint64_t monitor_range_written_;
+  bool has_monitor_range_delta_;
+  uint64_t monitor_range_persisted_;
+  uint64_t monitor_range_superseded_;
+  Histogram monitor_range_latency_;
 
   std::vector<std::pair<int, InternalKey>> compact_pointers_;
   DeletedFileSet deleted_files_;

@@ -231,6 +231,7 @@ struct Saver {
   const Comparator* ucmp;
   Slice user_key;
   std::string* value;
+  SequenceNumber seq = 0;  // sequence of the deciding entry
 };
 }  // namespace
 static void SaveValue(void* arg, const Slice& ikey, const Slice& v) {
@@ -241,6 +242,7 @@ static void SaveValue(void* arg, const Slice& ikey, const Slice& v) {
   } else {
     if (s->ucmp->Compare(parsed_key.user_key, s->user_key) == 0) {
       s->state = (parsed_key.type == kTypeValue) ? kFound : kDeleted;
+      s->seq = parsed_key.sequence;
       if (s->state == kFound) {
         s->value->assign(v.data(), v.size());
       }
@@ -253,7 +255,8 @@ static bool NewestFirst(FileMetaData* a, FileMetaData* b) {
 }
 
 Status Version::Get(const ReadOptions& options, const LookupKey& k,
-                    std::string* value, uint64_t* filter_negatives) {
+                    std::string* value, uint64_t* filter_negatives,
+                    SequenceNumber* found_seq) {
   Slice ikey = k.internal_key();
   Slice user_key = k.user_key();
   const Comparator* ucmp = vset_->icmp_.user_comparator();
@@ -290,8 +293,10 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
           case kNotFound:
             break;  // Keep searching
           case kFound:
+            if (found_seq != nullptr) *found_seq = saver.seq;
             return Status::OK();
           case kDeleted:
+            if (found_seq != nullptr) *found_seq = saver.seq;
             return Status::NotFound(Slice());
           case kCorrupt:
             return Status::Corruption("corrupted key for ", user_key);
@@ -318,8 +323,10 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
         case kNotFound:
           break;  // Keep searching deeper levels
         case kFound:
+          if (found_seq != nullptr) *found_seq = saver.seq;
           return Status::OK();
         case kDeleted:
+          if (found_seq != nullptr) *found_seq = saver.seq;
           return Status::NotFound(Slice());
         case kCorrupt:
           return Status::Corruption("corrupted key for ", user_key);
@@ -472,10 +479,12 @@ void Version::MultiGet(const ReadOptions& options, MultiGetItem* items,
             break;  // keep searching deeper candidates / levels
           case kFound:
             item.status = Status::OK();
+            item.seq = saver.seq;
             item.done = true;
             break;
           case kDeleted:
             item.status = Status::NotFound(Slice());
+            item.seq = saver.seq;
             item.done = true;
             break;
           case kCorrupt:
@@ -577,6 +586,63 @@ bool Version::IsBaseLevelForKey(int level, const Slice& user_key) const {
     }
   }
   return true;
+}
+
+SequenceNumber Version::MaxRangeCoveringSeq(const Slice& user_key,
+                                            SequenceNumber snapshot) const {
+  const Comparator* ucmp = vset_->icmp_.user_comparator();
+  SequenceNumber best = 0;
+  for (int level = 0; level < kNumLevels; level++) {
+    for (FileMetaData* f : files_[level]) {
+      if (!f->has_range_tombstones()) continue;
+      // Metadata span test first: [range_del_begin, range_del_end) must
+      // contain the key before the block is worth opening.
+      if (ucmp->Compare(user_key, f->range_del_begin) < 0 ||
+          ucmp->Compare(user_key, f->range_del_end) >= 0) {
+        continue;
+      }
+      SequenceNumber seq = vset_->table_cache_->MaxRangeCoveringSeq(
+          f->number, f->file_size, user_key, snapshot);
+      if (seq > best) best = seq;
+    }
+  }
+  return best;
+}
+
+Status Version::CollectRangeTombstones(std::vector<RangeTombstone>* out) const {
+  for (int level = 0; level < kNumLevels; level++) {
+    for (FileMetaData* f : files_[level]) {
+      if (!f->has_range_tombstones()) continue;
+      Status s = vset_->table_cache_->GetRangeTombstones(f->number,
+                                                         f->file_size, out);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t Version::MaxRangeTombstoneAge(SequenceNumber last_seq) const {
+  uint64_t max_age = 0;
+  for (int level = 0; level < kNumLevels; level++) {
+    for (FileMetaData* f : files_[level]) {
+      if (f->has_range_tombstones() &&
+          last_seq >= f->earliest_range_tombstone_seq) {
+        max_age =
+            std::max(max_age, last_seq - f->earliest_range_tombstone_seq);
+      }
+    }
+  }
+  return max_age;
+}
+
+uint64_t Version::TotalRangeTombstones() const {
+  uint64_t total = 0;
+  for (int level = 0; level < kNumLevels; level++) {
+    for (FileMetaData* f : files_[level]) {
+      total += f->num_range_tombstones;
+    }
+  }
+  return total;
 }
 
 uint64_t Version::MaxTombstoneAge(SequenceNumber last_seq) const {
@@ -947,6 +1013,14 @@ void VersionSet::FoldEditIntoJournal(const VersionEdit& edit) {
     journal_state_.superseded += edit.monitor_superseded();
     journal_state_.latency.Merge(edit.monitor_latency());
   }
+  if (edit.has_monitor_range_written()) {
+    journal_state_.range_written = edit.monitor_range_written();
+  }
+  if (edit.has_monitor_range_delta()) {
+    journal_state_.range_persisted += edit.monitor_range_persisted();
+    journal_state_.range_superseded += edit.monitor_range_superseded();
+    journal_state_.range_latency.Merge(edit.monitor_range_latency());
+  }
 }
 
 Status VersionSet::WriteCleanCloseSnapshot() {
@@ -1057,6 +1131,14 @@ Status VersionSet::Recover(bool* save_manifest) {
           journal.superseded += edit.monitor_superseded();
           journal.latency.Merge(edit.monitor_latency());
         }
+        if (edit.has_monitor_range_written()) {
+          journal.range_written = edit.monitor_range_written();
+        }
+        if (edit.has_monitor_range_delta()) {
+          journal.range_persisted += edit.monitor_range_persisted();
+          journal.range_superseded += edit.monitor_range_superseded();
+          journal.range_latency.Merge(edit.monitor_range_latency());
+        }
       }
 
       if (edit.has_log_number_) {
@@ -1128,6 +1210,10 @@ Status VersionSet::WriteSnapshot(wal::Writer* log) {
   edit.SetMonitorWritten(journal_state_.written);
   edit.SetMonitorDelta(journal_state_.persisted, journal_state_.superseded,
                        journal_state_.latency);
+  edit.SetMonitorRangeWritten(journal_state_.range_written);
+  edit.SetMonitorRangeDelta(journal_state_.range_persisted,
+                            journal_state_.range_superseded,
+                            journal_state_.range_latency);
 
   // Save compaction pointers
   for (int level = 0; level < kNumLevels; level++) {

@@ -14,6 +14,7 @@
 #include <set>
 #include <vector>
 
+#include "src/core/range_tombstone.h"
 #include "src/lsm/dbformat.h"
 #include "src/lsm/options.h"
 #include "src/lsm/version_edit.h"
@@ -64,8 +65,12 @@ class Version {
   // Else return a non-OK status. A non-null |filter_negatives| batches
   // bloom-negative accounting into the caller's local counter (flushed
   // once per op) instead of one shared atomic RMW per filtered-out table.
+  // A non-null |found_seq| receives the sequence number of the entry that
+  // decided the result (value or point tombstone), so the caller can test
+  // it against range-tombstone coverage; untouched on NotFound.
   Status Get(const ReadOptions&, const LookupKey& key, std::string* val,
-             uint64_t* filter_negatives = nullptr);
+             uint64_t* filter_negatives = nullptr,
+             SequenceNumber* found_seq = nullptr);
 
   // One key of a batched lookup (see MultiGet).
   struct MultiGetItem {
@@ -73,6 +78,8 @@ class Version {
     std::string* value = nullptr;    // set by the caller
     Status status;                   // OK = found; NotFound; or an error
     bool done = false;               // resolved -- deeper levels skipped
+    // Sequence of the deciding entry (coverage test; 0 when NotFound).
+    SequenceNumber seq = 0;
   };
 
   // Batched Get over every not-yet-done item: walks levels shallow to
@@ -113,11 +120,26 @@ class Version {
   // can be dropped).
   bool IsBaseLevelForKey(int level, const Slice& user_key) const;
 
+  // Largest range-tombstone sequence <= |snapshot| covering |user_key|
+  // across every file of this version, or 0 when uncovered. Sequence
+  // numbers are global, so a covering tombstone at any level hides every
+  // entry with a smaller sequence regardless of level placement; files
+  // whose metadata span excludes the key are skipped without opening.
+  SequenceNumber MaxRangeCoveringSeq(const Slice& user_key,
+                                     SequenceNumber snapshot) const;
+
+  // Append every raw range tombstone stored in this version's files to
+  // |*out| (iterator construction, compaction planning diagnostics).
+  Status CollectRangeTombstones(std::vector<RangeTombstone>* out) const;
+
   // Sum over all files of (last_seq - earliest tombstone seq); diagnostics
   // for the delete-persistence invariant.
   uint64_t MaxTombstoneAge(SequenceNumber last_seq) const;
   // Total live tombstones across the tree.
   uint64_t TotalTombstones() const;
+  // Range-tombstone counterparts.
+  uint64_t MaxRangeTombstoneAge(SequenceNumber last_seq) const;
+  uint64_t TotalRangeTombstones() const;
   // Total bytes at a level.
   int64_t NumLevelBytes(int level) const;
 
@@ -198,6 +220,13 @@ class VersionSet {
     uint64_t persisted = 0;
     uint64_t superseded = 0;
     Histogram latency;
+    // Range-delete counterparts (kMonitorRangeWritten/kMonitorRangeDelta
+    // tags): a separate population so recovery restores both histograms
+    // bit-identically.
+    uint64_t range_written = 0;
+    uint64_t range_persisted = 0;
+    uint64_t range_superseded = 0;
+    Histogram range_latency;
   };
   const MonitorJournal& monitor_journal() const { return journal_state_; }
 

@@ -4,7 +4,8 @@
 //    data: record[count]
 // record :=
 //    kTypeValue varstring varstring         |
-//    kTypeDeletion varstring
+//    kTypeDeletion varstring                |
+//    kTypeRangeDeletion varstring varstring
 // varstring :=
 //    len: varint32
 //    data: uint8[len]
@@ -57,6 +58,17 @@ Status WriteBatch::Iterate(Handler* handler) const {
           return Status::Corruption("bad WriteBatch Delete");
         }
         break;
+      case kTypeRangeDeletion:
+        // Ordering of begin/end is a comparator-level question, so only the
+        // framing is validated here; inverted ranges are dropped by the
+        // consumers (memtable range store, fragmenter).
+        if (GetLengthPrefixedSlice(&input, &key) &&
+            GetLengthPrefixedSlice(&input, &value)) {
+          handler->DeleteRange(key, value);
+        } else {
+          return Status::Corruption("bad WriteBatch DeleteRange");
+        }
+        break;
       default:
         return Status::Corruption("unknown WriteBatch tag");
     }
@@ -97,6 +109,14 @@ void WriteBatch::Delete(const Slice& key) {
   PutLengthPrefixedSlice(&rep_, key);
 }
 
+void WriteBatch::DeleteRange(const Slice& begin, const Slice& end) {
+  if (begin.compare(end) >= 0) return;  // covers nothing
+  WriteBatchInternal::SetCount(this, WriteBatchInternal::Count(this) + 1);
+  rep_.push_back(static_cast<char>(kTypeRangeDeletion));
+  PutLengthPrefixedSlice(&rep_, begin);
+  PutLengthPrefixedSlice(&rep_, end);
+}
+
 void WriteBatch::Append(const WriteBatch& source) {
   WriteBatchInternal::Append(this, &source);
 }
@@ -115,6 +135,10 @@ class MemTableInserter : public WriteBatch::Handler {
   }
   void Delete(const Slice& key) override {
     mem_->Add(sequence_, kTypeDeletion, key, Slice());
+    sequence_++;
+  }
+  void DeleteRange(const Slice& begin, const Slice& end) override {
+    mem_->AddRange(sequence_, begin, end);
     sequence_++;
   }
 };

@@ -22,6 +22,9 @@ class WriteBatch {
     virtual ~Handler() = default;
     virtual void Put(const Slice& key, const Slice& value) = 0;
     virtual void Delete(const Slice& key) = 0;
+    // Range delete of user keys in [begin, end). Pure virtual on purpose:
+    // every handler must decide how ranges map onto its domain.
+    virtual void DeleteRange(const Slice& begin, const Slice& end) = 0;
   };
 
   WriteBatch();
@@ -37,6 +40,10 @@ class WriteBatch {
 
   // If the database contains a mapping for "key", erase it. Else do nothing.
   void Delete(const Slice& key);
+
+  // Erase every mapping with a key in [begin, end). A range with
+  // begin >= end is dropped at batch-build time (it can cover nothing).
+  void DeleteRange(const Slice& begin, const Slice& end);
 
   // Clear all updates buffered in this batch.
   void Clear();

@@ -16,10 +16,14 @@ MemTable::MemTable(const InternalKeyComparator& comparator)
     : comparator_(comparator),
       refs_(0),
       table_(comparator_, &arena_),
+      range_head_(nullptr),
       num_entries_(0),
       num_tombstones_(0),
       earliest_tombstone_seq_(kMaxSequenceNumber),
-      earliest_tombstone_wall_micros_(UINT64_MAX) {}
+      earliest_tombstone_wall_micros_(UINT64_MAX),
+      num_range_tombstones_(0),
+      earliest_range_tombstone_seq_(kMaxSequenceNumber),
+      earliest_range_tombstone_wall_micros_(UINT64_MAX) {}
 
 MemTable::~MemTable() { assert(refs_ == 0); }
 
@@ -111,7 +115,82 @@ void MemTable::Add(SequenceNumber s, ValueType type, const Slice& key,
   }
 }
 
-bool MemTable::Get(const LookupKey& key, std::string* value, Status* s) {
+void MemTable::AddRange(SequenceNumber s, const Slice& begin,
+                        const Slice& end) {
+  if (comparator_.comparator.user_comparator()->Compare(begin, end) >= 0) {
+    return;  // covers nothing
+  }
+  const size_t payload = VarintLength(begin.size()) + begin.size() +
+                         VarintLength(end.size()) + end.size() + 8;
+  char* buf = arena_.Allocate(sizeof(RangeDelNode) + payload);
+  RangeDelNode* node = reinterpret_cast<RangeDelNode*>(buf);
+  char* p = buf + sizeof(RangeDelNode);
+  node->data = p;
+  p = EncodeVarint32(p, static_cast<uint32_t>(begin.size()));
+  std::memcpy(p, begin.data(), begin.size());
+  p += begin.size();
+  p = EncodeVarint32(p, static_cast<uint32_t>(end.size()));
+  std::memcpy(p, end.data(), end.size());
+  p += end.size();
+  EncodeFixed64(p, s);
+
+  // Single writer (the write-group leader); acquire keeps the invariant
+  // that every load of the head pairs with its release store, and the
+  // store publishes the node contents to readers.
+  node->next = range_head_.load(std::memory_order_acquire);
+  range_head_.store(node, std::memory_order_release);
+
+  num_range_tombstones_.fetch_add(1, std::memory_order_relaxed);
+  if (s < earliest_range_tombstone_seq_.load(std::memory_order_relaxed)) {
+    earliest_range_tombstone_seq_.store(s, std::memory_order_relaxed);
+    earliest_range_tombstone_wall_micros_.store(SystemClock::NowMicros(),
+                                                std::memory_order_relaxed);
+  }
+}
+
+void MemTable::DecodeRangeNode(const RangeDelNode* node, Slice* begin,
+                               Slice* end, SequenceNumber* seq) {
+  const char* p = node->data;
+  uint32_t len;
+  p = GetVarint32Ptr(p, p + 5, &len);
+  *begin = Slice(p, len);
+  p += len;
+  p = GetVarint32Ptr(p, p + 5, &len);
+  *end = Slice(p, len);
+  p += len;
+  *seq = DecodeFixed64(p);
+}
+
+SequenceNumber MemTable::MaxRangeCoveringSeq(const Slice& user_key,
+                                             SequenceNumber snapshot) const {
+  SequenceNumber best = 0;
+  const Comparator* ucmp = comparator_.comparator.user_comparator();
+  for (const RangeDelNode* node = range_head_.load(std::memory_order_acquire);
+       node != nullptr; node = node->next) {
+    Slice begin, end;
+    SequenceNumber seq;
+    DecodeRangeNode(node, &begin, &end, &seq);
+    if (seq <= snapshot && seq > best &&
+        ucmp->Compare(begin, user_key) <= 0 &&
+        ucmp->Compare(user_key, end) < 0) {
+      best = seq;
+    }
+  }
+  return best;
+}
+
+void MemTable::CollectRangeTombstones(std::vector<RangeTombstone>* out) const {
+  for (const RangeDelNode* node = range_head_.load(std::memory_order_acquire);
+       node != nullptr; node = node->next) {
+    Slice begin, end;
+    SequenceNumber seq;
+    DecodeRangeNode(node, &begin, &end, &seq);
+    out->emplace_back(begin.ToString(), end.ToString(), seq);
+  }
+}
+
+bool MemTable::Get(const LookupKey& key, std::string* value, Status* s,
+                   SequenceNumber* seq_out) {
   Slice memkey = key.memtable_key();
   Table::Iterator iter(&table_);
   iter.Seek(memkey.data());
@@ -132,6 +211,7 @@ bool MemTable::Get(const LookupKey& key, std::string* value, Status* s) {
             Slice(key_ptr, key_length - 8), key.user_key()) == 0) {
       // Correct user key
       const uint64_t tag = DecodeFixed64(key_ptr + key_length - 8);
+      if (seq_out != nullptr) *seq_out = tag >> 8;
       switch (static_cast<ValueType>(tag & 0xff)) {
         case kTypeValue: {
           Slice v = GetLengthPrefixedSliceAt(key_ptr + key_length);
@@ -141,6 +221,8 @@ bool MemTable::Get(const LookupKey& key, std::string* value, Status* s) {
         case kTypeDeletion:
           *s = Status::NotFound(Slice());
           return true;
+        case kTypeRangeDeletion:
+          break;  // never stored in the skiplist
       }
     }
   }

@@ -7,7 +7,9 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "src/core/range_tombstone.h"
 #include "src/lsm/dbformat.h"
 #include "src/memtable/skiplist.h"
 #include "src/table/iterator.h"
@@ -54,10 +56,28 @@ class MemTable {
   void Add(SequenceNumber seq, ValueType type, const Slice& key,
            const Slice& value);
 
+  // Record a range tombstone over user keys [begin, end) at |seq|. Range
+  // tombstones live outside the skiplist, in an arena-backed lock-free list
+  // (single writer pushes with a release store; readers walk concurrently).
+  // Inverted ranges (begin >= end) are dropped.
+  void AddRange(SequenceNumber seq, const Slice& begin, const Slice& end);
+
   // If memtable contains a value for key, store it in *value and return
   // true. If memtable contains a deletion for key, store a NotFound() error
-  // in *status and return true. Else, return false.
-  bool Get(const LookupKey& key, std::string* value, Status* s);
+  // in *status and return true. Else, return false. A non-null |seq_out|
+  // receives the matched entry's sequence number so callers can test it
+  // against range-tombstone coverage.
+  bool Get(const LookupKey& key, std::string* value, Status* s,
+           SequenceNumber* seq_out = nullptr);
+
+  // Largest range-tombstone sequence <= |snapshot| covering |user_key|
+  // in this memtable, or 0 when uncovered.
+  SequenceNumber MaxRangeCoveringSeq(const Slice& user_key,
+                                     SequenceNumber snapshot) const;
+
+  // Append every range tombstone in this memtable to |*out| (read-path
+  // aggregation and flush).
+  void CollectRangeTombstones(std::vector<RangeTombstone>* out) const;
 
   // ---- Tombstone statistics (Acheron delete-persistence metadata) ----
   //
@@ -83,6 +103,18 @@ class MemTable {
     return num_entries_.load(std::memory_order_relaxed);
   }
 
+  // Range tombstones added; their oldest sequence / wall-clock analogs.
+  uint64_t num_range_tombstones() const {
+    return num_range_tombstones_.load(std::memory_order_relaxed);
+  }
+  SequenceNumber earliest_range_tombstone_seq() const {
+    return earliest_range_tombstone_seq_.load(std::memory_order_relaxed);
+  }
+  uint64_t earliest_range_tombstone_wall_micros() const {
+    return earliest_range_tombstone_wall_micros_.load(
+        std::memory_order_relaxed);
+  }
+
  private:
   friend class MemTableIterator;
 
@@ -94,16 +126,34 @@ class MemTable {
 
   typedef SkipList<const char*, KeyComparator> Table;
 
+  // One node of the lock-free range-tombstone list. Immutable once
+  // published; the encoded payload is
+  //   begin_len varint32 | begin | end_len varint32 | end | seq fixed64
+  // laid out directly after the node header in the arena.
+  struct RangeDelNode {
+    RangeDelNode* next;
+    const char* data;
+  };
+
   ~MemTable();  // Private since only Unref() should be used to delete it
+
+  static void DecodeRangeNode(const RangeDelNode* node, Slice* begin,
+                              Slice* end, SequenceNumber* seq);
 
   KeyComparator comparator_;
   int refs_;
   Arena arena_;
   Table table_;
+  // Push-front list head: the writer publishes with a release store;
+  // readers acquire-load and walk nodes that never change afterwards.
+  std::atomic<RangeDelNode*> range_head_;
   std::atomic<uint64_t> num_entries_;
   std::atomic<uint64_t> num_tombstones_;
   std::atomic<SequenceNumber> earliest_tombstone_seq_;
   std::atomic<uint64_t> earliest_tombstone_wall_micros_;
+  std::atomic<uint64_t> num_range_tombstones_;
+  std::atomic<SequenceNumber> earliest_range_tombstone_seq_;
+  std::atomic<uint64_t> earliest_range_tombstone_wall_micros_;
 };
 
 }  // namespace acheron

@@ -7,7 +7,10 @@ namespace acheron {
 // Properties are encoded as a fixed sequence of varints and length-prefixed
 // strings preceded by a format version byte, so fields can be appended in
 // future versions without breaking old readers.
-static const uint8_t kPropertiesFormatVersion = 1;
+// Version 2 appends the range-tombstone fields; version-1 blocks (written
+// before range deletes existed) still decode, with those fields left at
+// their "no range tombstones" defaults.
+static const uint8_t kPropertiesFormatVersion = 2;
 
 void TableProperties::EncodeTo(std::string* dst) const {
   dst->push_back(static_cast<char>(kPropertiesFormatVersion));
@@ -20,6 +23,13 @@ void TableProperties::EncodeTo(std::string* dst) const {
   PutVarint64(dst, num_data_blocks);
   PutLengthPrefixedSlice(dst, min_secondary_key);
   PutLengthPrefixedSlice(dst, max_secondary_key);
+  PutVarint64(dst, num_range_tombstones);
+  PutVarint64(dst, earliest_range_tombstone_time);
+  PutVarint64(dst, earliest_range_tombstone_wall_micros);
+  PutVarint64(dst, range_del_block_offset);
+  PutVarint64(dst, range_del_block_size);
+  PutLengthPrefixedSlice(dst, range_del_begin);
+  PutLengthPrefixedSlice(dst, range_del_end);
 }
 
 Status TableProperties::DecodeFrom(Slice input) {
@@ -27,7 +37,7 @@ Status TableProperties::DecodeFrom(Slice input) {
     return Status::Corruption("empty properties block");
   }
   uint8_t version = static_cast<uint8_t>(input[0]);
-  if (version != kPropertiesFormatVersion) {
+  if (version < 1 || version > kPropertiesFormatVersion) {
     return Status::Corruption("unknown properties version");
   }
   input.remove_prefix(1);
@@ -45,6 +55,20 @@ Status TableProperties::DecodeFrom(Slice input) {
   }
   min_secondary_key = min_sec.ToString();
   max_secondary_key = max_sec.ToString();
+  if (version >= 2) {
+    Slice rd_begin, rd_end;
+    if (!GetVarint64(&input, &num_range_tombstones) ||
+        !GetVarint64(&input, &earliest_range_tombstone_time) ||
+        !GetVarint64(&input, &earliest_range_tombstone_wall_micros) ||
+        !GetVarint64(&input, &range_del_block_offset) ||
+        !GetVarint64(&input, &range_del_block_size) ||
+        !GetLengthPrefixedSlice(&input, &rd_begin) ||
+        !GetLengthPrefixedSlice(&input, &rd_end)) {
+      return Status::Corruption("truncated properties block");
+    }
+    range_del_begin = rd_begin.ToString();
+    range_del_end = rd_end.ToString();
+  }
   return Status::OK();
 }
 

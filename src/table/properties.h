@@ -32,7 +32,26 @@ struct TableProperties {
   std::string min_secondary_key;
   std::string max_secondary_key;
 
+  // ---- Format version 2: range tombstones (kTypeRangeDeletion) ----
+  // Range tombstones in the file's range-tombstone block.
+  uint64_t num_range_tombstones = 0;
+  // Logical-clock timestamp of the oldest range tombstone; UINT64_MAX when
+  // the file holds none.
+  uint64_t earliest_range_tombstone_time = UINT64_MAX;
+  uint64_t earliest_range_tombstone_wall_micros = UINT64_MAX;
+  // Handle of the range-tombstone block inside the file. A zero size means
+  // the file carries no range-tombstone block (the footer has no fourth
+  // handle slot, so the handle rides in the properties block instead).
+  uint64_t range_del_block_offset = 0;
+  uint64_t range_del_block_size = 0;
+  // User-key span [range_del_begin, range_del_end) covered by the union of
+  // the file's range tombstones; empty when there are none. Lets readers
+  // and the compaction planner skip files without decoding the block.
+  std::string range_del_begin;
+  std::string range_del_end;
+
   bool has_tombstones() const { return num_tombstones > 0; }
+  bool has_range_tombstones() const { return num_range_tombstones > 0; }
 
   void EncodeTo(std::string* dst) const;
   Status DecodeFrom(Slice input);

@@ -56,6 +56,11 @@ struct Table::Rep {
   // tables), bumped alongside the per-table filter_negatives.
   std::atomic<uint64_t>* filter_negatives_sink;
   std::atomic<uint64_t> filter_negatives{0};
+  // Range tombstones decoded from the file's dedicated block at Open, and
+  // their fragmented form (built once via BuildRangeFragments, immutable
+  // and lock-free to query afterwards).
+  std::vector<RangeTombstone> raw_range_dels;
+  FragmentedRangeTombstoneList range_dels;
 };
 
 Status Table::Open(const Options& options, RandomAccessFile* file,
@@ -151,6 +156,27 @@ Status Table::Open(const Options& options, RandomAccessFile* file,
     if (!ps.ok() && options.paranoid_checks) {
       delete rep;
       return ps;
+    }
+  }
+
+  // Read the range-tombstone block, if the properties advertise one. A bad
+  // block fails the open even without paranoid checks: a silently dropped
+  // range tombstone resurrects every key it covered.
+  if (rep->properties.range_del_block_size > 0) {
+    BlockHandle rd_handle;
+    rd_handle.set_offset(rep->properties.range_del_block_offset);
+    rd_handle.set_size(rep->properties.range_del_block_size);
+    BlockContents rd_contents;
+    Status rs = ReadBlock(file, rd_handle, &rd_contents);
+    if (rs.ok()) {
+      rs = DecodeRangeTombstones(rd_contents.data, &rep->raw_range_dels);
+      if (rd_contents.heap_allocated) {
+        delete[] rd_contents.data.data();
+      }
+    }
+    if (!rs.ok()) {
+      delete rep;
+      return rs;
     }
   }
 
@@ -434,6 +460,20 @@ uint64_t Table::ApproximateOffsetOf(const Slice& key) const {
 }
 
 const TableProperties& Table::properties() const { return rep_->properties; }
+
+const std::vector<RangeTombstone>& Table::raw_range_tombstones() const {
+  return rep_->raw_range_dels;
+}
+
+void Table::BuildRangeFragments(const Comparator* ucmp) {
+  if (!rep_->raw_range_dels.empty()) {
+    rep_->range_dels.Build(ucmp, rep_->raw_range_dels);
+  }
+}
+
+const FragmentedRangeTombstoneList& Table::range_tombstones() const {
+  return rep_->range_dels;
+}
 
 uint64_t Table::filter_negatives() const {
   return rep_->filter_negatives.load(std::memory_order_relaxed);

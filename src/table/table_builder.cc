@@ -47,6 +47,8 @@ struct TableBuilder::Rep {
   const FilterPolicy* filter_policy;        // may alias owned_filter_policy
   // Keys accumulated for the full-file Bloom filter.
   std::vector<std::string> filter_keys;
+  // Raw range tombstones, emitted as a dedicated block at Finish().
+  std::vector<RangeTombstone> range_tombstones;
   TableProperties properties;
 
   // We do not emit the index entry for a block until we have seen the first
@@ -100,6 +102,31 @@ void TableBuilder::Add(const Slice& key, const Slice& value,
   const size_t estimated_block_size = r->data_block.CurrentSizeEstimate();
   if (estimated_block_size >= r->options.block_size) {
     Flush();
+  }
+}
+
+void TableBuilder::AddRangeTombstone(const Slice& begin, const Slice& end,
+                                     SequenceNumber seq,
+                                     const Comparator* ucmp) {
+  Rep* r = rep_;
+  assert(!r->closed);
+  if (!ok()) return;
+  const Comparator* cmp = ucmp != nullptr ? ucmp : BytewiseComparator();
+  if (cmp->Compare(begin, end) >= 0) return;  // covers nothing
+  // Deliberately not added to the Bloom filter: range coverage queries go
+  // straight to the decoded fragment list, never through the filter.
+  r->range_tombstones.emplace_back(begin.ToString(), end.ToString(), seq);
+  r->properties.num_range_tombstones++;
+  if (seq < r->properties.earliest_range_tombstone_time) {
+    r->properties.earliest_range_tombstone_time = seq;
+  }
+  if (r->properties.range_del_begin.empty() ||
+      cmp->Compare(begin, r->properties.range_del_begin) < 0) {
+    r->properties.range_del_begin = begin.ToString();
+  }
+  if (r->properties.range_del_end.empty() ||
+      cmp->Compare(end, r->properties.range_del_end) > 0) {
+    r->properties.range_del_end = end.ToString();
   }
 }
 
@@ -171,6 +198,19 @@ Status TableBuilder::Finish() {
                                      &filter_contents);
     }
     WriteRawBlock(Slice(filter_contents), &filter_block_handle);
+  }
+
+  // Write range-tombstone block (if any) and record its handle in the
+  // properties, since the fixed three-handle footer has no slot for it.
+  if (ok() && !r->range_tombstones.empty()) {
+    std::string range_contents;
+    EncodeRangeTombstones(r->range_tombstones, &range_contents);
+    BlockHandle range_handle;
+    WriteRawBlock(Slice(range_contents), &range_handle);
+    if (ok()) {
+      r->properties.range_del_block_offset = range_handle.offset();
+      r->properties.range_del_block_size = range_handle.size();
+    }
   }
 
   // Write properties block.

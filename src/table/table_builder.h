@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "src/core/range_tombstone.h"
 #include "src/lsm/options.h"
 #include "src/table/properties.h"
 #include "src/util/status.h"
@@ -35,6 +36,17 @@ class TableBuilder {
   // |filter_key| is the key the Bloom filter indexes (the user key, when
   // the stored key is an internal key); pass the stored key if identical.
   void Add(const Slice& key, const Slice& value, const Slice& filter_key);
+
+  // Record a range tombstone [begin, end)@seq for the table's
+  // range-tombstone block. May be called in any order relative to Add();
+  // the block is emitted at Finish() with its handle stored in the
+  // properties block. Inverted ranges (begin >= end) are dropped.
+  // |ucmp| orders the USER keys begin/end -- options.comparator cannot,
+  // because inside the engine it is the internal-key comparator, which
+  // misreads a bare user key's tail as a sequence tag.
+  // REQUIRES: Finish(), Abandon() have not been called.
+  void AddRangeTombstone(const Slice& begin, const Slice& end,
+                         SequenceNumber seq, const Comparator* ucmp);
 
   // Advanced: flush any buffered key/value pairs to file, starting a new
   // data block.

@@ -44,7 +44,8 @@ Generator::Generator(const WorkloadSpec& spec)
       fifo_delete_cursor_(0),
       insert_cursor_(0) {
   assert(spec.update_percent + spec.delete_percent +
-             spec.point_query_percent + spec.range_query_percent <=
+             spec.point_query_percent + spec.range_query_percent +
+             spec.range_delete_percent <=
          100);
 }
 
@@ -87,6 +88,7 @@ Op Generator::Next() {
   const int delete_hi = update_hi + spec_.delete_percent;
   const int point_hi = delete_hi + spec_.point_query_percent;
   const int range_hi = point_hi + spec_.range_query_percent;
+  const int range_del_hi = range_hi + spec_.range_delete_percent;
 
   if (dice < update_hi) {
     op.type = OpType::kUpdate;
@@ -107,6 +109,20 @@ Op Generator::Next() {
     op.type = OpType::kRangeQuery;
     op.key = KeyAt(NextKeyIndex());
     op.scan_length = spec_.range_scan_length;
+  } else if (dice < range_del_hi) {
+    op.type = OpType::kRangeDelete;
+    // [start, start + span) in index space; keys are zero-padded so index
+    // order and lexicographic order agree.
+    const uint64_t span =
+        spec_.range_delete_span > 0
+            ? static_cast<uint64_t>(spec_.range_delete_span)
+            : 1;
+    uint64_t start = NextKeyIndex();
+    if (start + span > spec_.key_space) {
+      start = spec_.key_space > span ? spec_.key_space - span : 0;
+    }
+    op.key = KeyAt(start);
+    op.end_key = KeyAt(start + span);
   } else {
     op.type = OpType::kInsert;
     // Inserts walk fresh keys round-robin so the live set stays ~key_space.

@@ -35,17 +35,19 @@ class ZipfianGenerator {
 };
 
 enum class OpType : uint8_t {
-  kInsert,      // Put of a (possibly) new key
-  kUpdate,      // Put of an existing key
-  kDelete,      // point delete
-  kPointQuery,  // Get
-  kRangeQuery,  // short scan
+  kInsert,       // Put of a (possibly) new key
+  kUpdate,       // Put of an existing key
+  kDelete,       // point delete
+  kPointQuery,   // Get
+  kRangeQuery,   // short scan
+  kRangeDelete,  // DeleteRange over [key, end_key)
 };
 
 struct Op {
   OpType type;
   std::string key;
-  std::string value;   // for puts
+  std::string value;    // for puts
+  std::string end_key;  // for range deletes (exclusive)
   int scan_length = 0;  // for range queries
 };
 
@@ -71,7 +73,9 @@ struct WorkloadSpec {
   int delete_percent = 10;
   int point_query_percent = 10;
   int range_query_percent = 0;
+  int range_delete_percent = 0;
   int range_scan_length = 32;
+  int range_delete_span = 16;  // keys covered per range delete
 
   KeyDistribution distribution = KeyDistribution::kUniform;
   double zipfian_theta = 0.99;

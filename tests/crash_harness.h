@@ -1,9 +1,11 @@
 // Shared helpers for the crash-recovery matrix (crash_recovery_test.cc):
-// a fixed scripted workload, a per-run wrapper around MemEnv +
-// FaultInjectionEnv, an in-memory model of the workload's visible state,
-// and the recovery-invariant checks. The five invariants the matrix
-// enforces are documented in DESIGN.md ("Recovery invariants"); how to run
-// the matrix and read a repro line is in TESTING.md.
+// fixed scripted workloads (point-op and range-delete variants), a per-run
+// wrapper around MemEnv + FaultInjectionEnv, an in-memory model of the
+// workload's visible state, and the recovery-invariant checks. The
+// invariants the matrix enforces (the five point-op ones plus "a durable
+// range delete never resurrects a covered key") are documented in
+// DESIGN.md ("Recovery invariants"); how to run the matrix and read a
+// repro line is in TESTING.md.
 #ifndef ACHERON_TESTS_CRASH_HARNESS_H_
 #define ACHERON_TESTS_CRASH_HARNESS_H_
 
@@ -12,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,8 +35,10 @@ constexpr uint64_t kDthSlack = 2;
 
 struct Entry {
   bool is_delete = false;
+  bool is_range = false;   // range delete [key, end_key)
   std::string key;
-  std::string value;  // empty for deletes
+  std::string value;    // empty for deletes
+  std::string end_key;  // exclusive end for range deletes
 };
 
 // One scripted logical operation. A kWrite with several entries is issued
@@ -50,14 +55,27 @@ struct LogicalOp {
 inline LogicalOp Put(const std::string& k, const std::string& v,
                      bool sync = false) {
   LogicalOp op;
-  op.entries.push_back(Entry{false, k, v});
+  op.entries.push_back(Entry{false, false, k, v, ""});
   op.sync = sync;
   return op;
 }
 
 inline LogicalOp Del(const std::string& k, bool sync = false) {
   LogicalOp op;
-  op.entries.push_back(Entry{true, k, std::string()});
+  op.entries.push_back(Entry{true, false, k, std::string(), ""});
+  op.sync = sync;
+  return op;
+}
+
+inline LogicalOp RangeDel(const std::string& begin, const std::string& end,
+                          bool sync = false) {
+  LogicalOp op;
+  Entry e;
+  e.is_delete = true;
+  e.is_range = true;
+  e.key = begin;
+  e.end_key = end;
+  op.entries.push_back(e);
   op.sync = sync;
   return op;
 }
@@ -99,9 +117,9 @@ inline std::vector<LogicalOp> ScriptedWorkload() {
   for (int i = 0; i < 8; i++) ops.push_back(Del(key(i)));
   {
     LogicalOp batch;  // one WAL record: all-or-nothing after a crash
-    batch.entries.push_back(Entry{true, key(8), std::string()});
-    batch.entries.push_back(Entry{false, key(19), "v1-batch"});
-    batch.entries.push_back(Entry{true, key(9), std::string()});
+    batch.entries.push_back(Entry{true, false, key(8), std::string(), ""});
+    batch.entries.push_back(Entry{false, false, key(19), "v1-batch", ""});
+    batch.entries.push_back(Entry{true, false, key(9), std::string(), ""});
     ops.push_back(batch);
   }
   ops.push_back(Del(key(10), /*sync=*/true));
@@ -118,6 +136,55 @@ inline std::vector<LogicalOp> ScriptedWorkload() {
   ops.push_back(Put(key(34), "tail-sync", /*sync=*/true));
   ops.push_back(Put(key(35), "tail-unsynced"));
   ops.push_back(Del(key(12)));
+  return ops;
+}
+
+// Range-delete variant of the scripted workload: the same phase structure,
+// but the tombstones over the deep data are range tombstones, including a
+// batch that mixes a put, a range delete, and a point delete in one WAL
+// record, a range-only flush, re-puts inside a deleted span, and an
+// unsynced range-delete tail. Exercises every structure the kRangeDelete
+// path adds: WAL records, memtable range lists, range-tombstone blocks in
+// L0, and compactions that persist or carry the ranges.
+inline std::vector<LogicalOp> ScriptedRangeDeleteWorkload() {
+  std::vector<LogicalOp> ops;
+  auto key = [](int i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key%03d", i);
+    return std::string(buf);
+  };
+
+  // Phase 1: base data, ending on a synced write (ack barrier).
+  for (int i = 0; i < 18; i++) ops.push_back(Put(key(i), "v1-" + key(i)));
+  ops.push_back(Put(key(18), "v1-sync", /*sync=*/true));
+  // Phase 2: into L0, then to the bottom of the tree.
+  ops.push_back(Flush());
+  ops.push_back(Compact());
+  // Phase 3: range tombstones over the deep data. One batch mixes a put, a
+  // range delete, and a point delete: all-or-nothing after a crash.
+  ops.push_back(RangeDel(key(0), key(4)));
+  {
+    LogicalOp batch;
+    batch.entries.push_back(Entry{false, false, key(19), "v1-batch", ""});
+    batch.entries.push_back(Entry{true, true, key(4), "", key(7)});
+    batch.entries.push_back(Entry{true, false, key(7), "", ""});
+    ops.push_back(batch);
+  }
+  ops.push_back(RangeDel(key(8), key(11), /*sync=*/true));
+  // Phase 4: the range tombstones become an L0 table, re-puts land inside
+  // a deleted span, and a compaction persists the ranges at the bottom.
+  ops.push_back(Flush());
+  for (int i = 2; i < 6; i++) ops.push_back(Put(key(i), "v2-" + key(i)));
+  ops.push_back(Put(key(20), "v2-sync", /*sync=*/true));
+  ops.push_back(Flush());
+  ops.push_back(Compact());
+  // Phase 5: an unsynced tail straddling one last ack barrier, with range
+  // deletes on both sides of it.
+  for (int i = 30; i < 33; i++) ops.push_back(Put(key(i), "tail-" + key(i)));
+  ops.push_back(RangeDel(key(11), key(14)));
+  ops.push_back(Put(key(34), "tail-sync", /*sync=*/true));
+  ops.push_back(RangeDel(key(14), key(17)));
+  ops.push_back(Put(key(35), "tail-unsynced"));
   return ops;
 }
 
@@ -158,6 +225,12 @@ class CrashRun {
   // order, keeping the file-op schedule deterministic.
   void set_async_wal_sync(bool v) { async_wal_sync_ = v; }
 
+  // Replace the default scripted workload (e.g. with
+  // ScriptedRangeDeleteWorkload()). Must be called before RunWorkload.
+  void set_script(std::vector<LogicalOp> script) {
+    script_ = std::move(script);
+  }
+
   Options DbOptions() const {
     Options o;
     o.env = fault_.get();
@@ -178,7 +251,7 @@ class CrashRun {
   void RunWorkload(int64_t crash_at) {
     if (crash_at >= 0) fault_->CrashAfterOp(crash_at);
     result_ = RunResult();
-    result_.ops = ScriptedWorkload();
+    result_.ops = script_;
     DB* db = nullptr;
     result_.open_status = DB::Open(DbOptions(), dbname_, &db);
     if (result_.open_status.ok()) {
@@ -188,7 +261,9 @@ class CrashRun {
           case LogicalOp::kWrite: {
             WriteBatch batch;
             for (const Entry& e : op.entries) {
-              if (e.is_delete) {
+              if (e.is_range) {
+                batch.DeleteRange(e.key, e.end_key);
+              } else if (e.is_delete) {
                 batch.Delete(e.key);
               } else {
                 batch.Put(e.key, e.value);
@@ -227,6 +302,7 @@ class CrashRun {
  private:
   const bool background_;
   bool async_wal_sync_ = false;
+  std::vector<LogicalOp> script_ = ScriptedWorkload();
   const std::string dbname_;
   std::unique_ptr<Env> base_;
   std::unique_ptr<FaultInjectionEnv> fault_;
@@ -240,7 +316,9 @@ inline std::map<std::string, std::string> ApplyPrefix(
   for (size_t i = 0; i < n && i < ops.size(); i++) {
     if (ops[i].kind != LogicalOp::kWrite) continue;
     for (const Entry& e : ops[i].entries) {
-      if (e.is_delete) {
+      if (e.is_range) {
+        m.erase(m.lower_bound(e.key), m.lower_bound(e.end_key));
+      } else if (e.is_delete) {
         m.erase(e.key);
       } else {
         m[e.key] = e.value;
@@ -318,11 +396,31 @@ inline void CheckRecoveredState(DB* db, const RunResult& run,
 
   // Invariant 3, stated directly: a key whose delete is inside the durable
   // prefix and never re-put afterwards in the matched prefix must be gone.
+  // For range deletes the same statement quantifies over every key the
+  // workload ever wrote inside [begin, end): a durable range delete never
+  // resurrects a covered key.
   const std::map<std::string, std::string> durable_state =
       ApplyPrefix(run.ops, matched_n);
+  std::set<std::string> written_keys;
+  for (const LogicalOp& op : run.ops) {
+    for (const Entry& e : op.entries) {
+      if (!e.is_delete) written_keys.insert(e.key);
+    }
+  }
   for (size_t i = 0; i < run.durable_lb; i++) {
     for (const Entry& e : run.ops[i].entries) {
       if (!e.is_delete) continue;
+      if (e.is_range) {
+        for (auto it = written_keys.lower_bound(e.key);
+             it != written_keys.end() && *it < e.end_key; ++it) {
+          if (durable_state.count(*it)) continue;  // re-put later
+          std::string v;
+          EXPECT_TRUE(db->Get(ReadOptions(), *it, &v).IsNotFound())
+              << repro << " durable range delete [" << e.key << ","
+              << e.end_key << ") resurrected covered key " << *it;
+        }
+        continue;
+      }
       if (durable_state.count(e.key)) continue;  // re-put later
       std::string v;
       EXPECT_TRUE(db->Get(ReadOptions(), e.key, &v).IsNotFound())

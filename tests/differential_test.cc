@@ -1,7 +1,8 @@
 // Differential test: drive the DB and a trivially-correct in-memory model
-// (std::map plus a deleted-key set) through the same randomized op stream
-// and require identical visible state at every checkpoint. The stream mixes
-// puts, deletes, overwrites, point reads (single and MultiGet batches),
+// (std::map plus a deleted-key set, with range deletes erasing whole map
+// intervals) through the same randomized op stream and require identical
+// visible state at every checkpoint. The stream mixes puts, point and RANGE
+// deletes, overwrites, point reads (single and MultiGet batches),
 // full scans, explicit flushes and
 // compactions, and full close/reopen cycles; the PRNG is seeded with a
 // fixed constant so a failure reproduces exactly, and the seed is printed
@@ -56,11 +57,14 @@ class DifferentialTest : public ::testing::Test {
            " step=" + std::to_string(step_) + "]";
   }
 
-  std::string Key(std::mt19937& rng) {
+  static std::string KeyAt(int idx) {
     char buf[16];
-    std::snprintf(buf, sizeof(buf), "key%06d",
-                  static_cast<int>(rng() % kKeySpace));
+    std::snprintf(buf, sizeof(buf), "key%06d", idx);
     return std::string(buf);
+  }
+
+  std::string Key(std::mt19937& rng) {
+    return KeyAt(static_cast<int>(rng() % kKeySpace));
   }
 
   // Point-read every key the model knows about (live or deleted) and
@@ -128,12 +132,25 @@ TEST_F(DifferentialTest, DbMatchesModelOverRandomHistory) {
                         std::string(1 + rng() % 60, 'a' + rng() % 26);
         ASSERT_TRUE(db_->Put(WriteOptions(), k, v).ok()) << Ctx();
         model_[k] = v;
-      } else if (roll < 800) {
+      } else if (roll < 750) {
         // Delete (often of a key that exists; sometimes a no-op delete).
         std::string k = Key(rng);
         ASSERT_TRUE(db_->Delete(WriteOptions(), k).ok()) << Ctx();
         model_.erase(k);
         deleted_.insert(k);
+      } else if (roll < 800) {
+        // Range delete over [start, start+span): the model erases the whole
+        // interval and remembers every covered index as deleted, so later
+        // checks also prove that a durable range delete never resurrects.
+        const int start = static_cast<int>(rng() % kKeySpace);
+        const int span = 1 + static_cast<int>(rng() % 8);
+        const std::string b = KeyAt(start);
+        const std::string e = KeyAt(start + span);
+        ASSERT_TRUE(db_->DeleteRange(WriteOptions(), b, e).ok()) << Ctx();
+        model_.erase(model_.lower_bound(b), model_.lower_bound(e));
+        for (int i = start; i < start + span && i < kKeySpace; i++) {
+          deleted_.insert(KeyAt(i));
+        }
       } else if (roll < 875) {
         // Point-read a random key and compare against the model.
         std::string k = Key(rng);

@@ -48,7 +48,8 @@ SCHEMA = {
     "write_amplification": (int, float),
 }
 
-KNOWN_BENCHES = {"fillrandom", "readrandom", "readwhilewriting", "multiget"}
+KNOWN_BENCHES = {"fillrandom", "readrandom", "readwhilewriting", "multiget",
+                 "range_delete"}
 
 # Bench-specific top-level fields (WriteJsonResult's |extra| fragment).
 # Records for these benches must carry exactly SCHEMA + their entry here.
@@ -56,6 +57,13 @@ EXTRA_KEYS = {
     "multiget": {
         "batch": int,
         "speedup_vs_sequential": (int, float),
+    },
+    # exp_range_delete (E14): range tombstones through the FADE monitor.
+    "range_delete": {
+        "dth": int,
+        "range_deletes_written": int,
+        "range_deletes_persisted": int,
+        "range_persistence_latency_max": (int, float),
     },
 }
 
