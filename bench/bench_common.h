@@ -176,6 +176,8 @@ inline void WriteJsonResult(const std::string& path, const std::string& name,
       "\"commit\":{\"wal_syncs\":%llu,\"group_commits\":%llu,"
       "\"writes_grouped\":%llu},"
       "\"background\":{\"jobs_scheduled\":%llu,\"memtable_swaps\":%llu},"
+      "\"errors\":{\"transient\":%llu,\"retried\":%llu,\"fatal\":%llu,"
+      "\"resumes\":%llu},"
       "\"compactions\":%llu,\"write_amplification\":%.2f%s}\n",
       name.c_str(), threads, static_cast<unsigned long long>(ops),
       ops_per_sec, latency.Percentile(50.0), latency.Percentile(99.0),
@@ -190,6 +192,10 @@ inline void WriteJsonResult(const std::string& path, const std::string& name,
       static_cast<unsigned long long>(stats.writes_grouped),
       static_cast<unsigned long long>(stats.background_jobs_scheduled),
       static_cast<unsigned long long>(stats.memtable_swaps),
+      static_cast<unsigned long long>(stats.errors_transient),
+      static_cast<unsigned long long>(stats.errors_retried),
+      static_cast<unsigned long long>(stats.errors_fatal),
+      static_cast<unsigned long long>(stats.resume_count),
       static_cast<unsigned long long>(stats.compaction_count),
       stats.WriteAmplification(), extra_fields.c_str());
   std::fclose(f);

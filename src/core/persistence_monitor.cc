@@ -12,7 +12,7 @@ std::string DeleteStats::ToString() const {
       "oldest_live_age=%llu | persistence latency (ops): avg=%.0f p50=%.0f "
       "p90=%.0f p99=%.0f max=%.0f | range deletes: written=%llu "
       "persisted=%llu superseded=%llu live=%llu | range latency (ops): "
-      "avg=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f",
+      "avg=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f | dth_at_risk=%d",
       static_cast<unsigned long long>(tombstones_written),
       static_cast<unsigned long long>(tombstones_persisted),
       static_cast<unsigned long long>(tombstones_superseded),
@@ -27,7 +27,7 @@ std::string DeleteStats::ToString() const {
       static_cast<unsigned long long>(range_deletes_live),
       range_persistence_latency_avg, range_persistence_latency_p50,
       range_persistence_latency_p90, range_persistence_latency_p99,
-      range_persistence_latency_max);
+      range_persistence_latency_max, dth_at_risk ? 1 : 0);
   return buf;
 }
 
@@ -140,6 +140,17 @@ void DeletePersistenceMonitor::Snapshot(DeleteStats* stats,
   stats->range_persistence_latency_p99 = range_latency_.Percentile(99);
   stats->range_persistence_latency_max = range_latency_.Max();
   stats->range_persistence_latency_avg = range_latency_.Average();
+  stats->dth_at_risk = dth_at_risk_;
+}
+
+void DeletePersistenceMonitor::SetDthAtRisk(bool at_risk) {
+  MutexLock l(&mu_);
+  dth_at_risk_ = at_risk;
+}
+
+bool DeletePersistenceMonitor::DthAtRisk() const {
+  MutexLock l(&mu_);
+  return dth_at_risk_;
 }
 
 Histogram DeletePersistenceMonitor::LatencyHistogram() const {

@@ -58,6 +58,12 @@ struct DeleteStats {
   double range_persistence_latency_max = 0;
   double range_persistence_latency_avg = 0;
 
+  // True while a background-error episode (see DBImpl::RecordBackgroundError)
+  // is delaying compactions past a due tombstone TTL deadline: the FADE
+  // D_th bound is at risk until the episode recovers. Not journaled -- it
+  // describes the live engine, not tombstone history.
+  bool dth_at_risk = false;
+
   std::string ToString() const;
 };
 
@@ -119,6 +125,12 @@ class DeletePersistenceMonitor {
                 uint64_t oldest_live_age,
                 uint64_t range_tombstones_live = 0) const;
 
+  // Flag (or clear) the D_th-at-risk condition: set by the engine when a
+  // background-error episode stalls compactions while a tombstone TTL
+  // deadline is already due, cleared when the episode recovers.
+  void SetDthAtRisk(bool at_risk);
+  bool DthAtRisk() const;
+
   // Raw access to the latency histograms (benchmark reporting).
   Histogram LatencyHistogram() const;
   Histogram RangeLatencyHistogram() const;
@@ -140,6 +152,7 @@ class DeletePersistenceMonitor {
   uint64_t range_persisted_ GUARDED_BY(mu_) = 0;
   uint64_t range_superseded_ GUARDED_BY(mu_) = 0;
   Histogram range_latency_ GUARDED_BY(mu_);
+  bool dth_at_risk_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace acheron

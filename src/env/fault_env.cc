@@ -1,6 +1,7 @@
 #include "src/env/fault_env.h"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -129,6 +130,21 @@ bool FaultInjectionEnv::ShouldFailRead(const std::string& fname) {
   return true;
 }
 
+namespace {
+
+Status SoftFaultStatus(FaultInjectionEnv::SoftFaultClass cls,
+                       const std::string& fname) {
+  switch (cls) {
+    case FaultInjectionEnv::SoftFaultClass::kNoSpace:
+      return Status::NoSpace("injected disk full", fname);
+    case FaultInjectionEnv::SoftFaultClass::kTransientEio:
+      break;
+  }
+  return Status::IOError("injected transient fault", fname);
+}
+
+}  // namespace
+
 Status FaultInjectionEnv::RegisterFileOp(const char* kind,
                                          const std::string& fname,
                                          uint64_t append_size) {
@@ -141,6 +157,26 @@ Status FaultInjectionEnv::RegisterFileOp(const char* kind,
       crashed_op_ = CrashedOpInfo{kind, fname, append_size};
     }
     return Status::IOError(kCrashMsg, fname);
+  }
+  auto armed = soft_fail_ops_.find(index);
+  if (armed != soft_fail_ops_.end()) {
+    const SoftFaultClass cls = armed->second;
+    // One-shot: the index is consumed; a retry of the same logical
+    // operation re-registers at a fresh index and proceeds.
+    soft_fail_ops_.erase(armed);
+    soft_faults_injected_++;
+    return SoftFaultStatus(cls, fname);
+  }
+  if (persistent_fault_armed_) {
+    // Data-path ops fail; close/remove/rename succeed so space can still
+    // be reclaimed (and probe files cleaned up) while the fault is armed.
+    const bool data_path = std::strcmp(kind, "create") == 0 ||
+                           std::strcmp(kind, "append") == 0 ||
+                           std::strcmp(kind, "sync") == 0;
+    if (data_path) {
+      soft_faults_injected_++;
+      return SoftFaultStatus(persistent_fault_class_, fname);
+    }
   }
   return Status::OK();
 }

@@ -1,6 +1,12 @@
 // FaultInjectionEnv: wraps another Env and injects IO failures for tests.
 // Three fault families:
 //   - write errors after a countdown, read errors by filename substring;
+//   - soft (recoverable) faults: FailOpOnce(k) makes the mutating op with
+//     index k fail once with a chosen errno class (transient EIO or
+//     ENOSPC) and no effect; the retried op gets a fresh index and
+//     succeeds. SetPersistentSoftFault keeps data-path ops failing until
+//     cleared while remove/rename/close still succeed (a full disk where
+//     deleting files still frees space);
 //   - deterministic crash simulation: every mutating file operation
 //     (create/append/sync/close/remove/rename) is numbered in arrival
 //     order; CrashAfterOp(k) makes op k and everything after it fail with
@@ -54,6 +60,44 @@ class FaultInjectionEnv : public Env {
   // FileOpCount()/crashed()).
   uint64_t FaultsInjected() const {
     return faults_injected_.load(std::memory_order_acquire);
+  }
+
+  // ---- Soft (recoverable) faults -----------------------------------------
+
+  // Errno class a soft fault surfaces as.
+  enum class SoftFaultClass {
+    kTransientEio,  // Status::IOError -- retryable
+    kNoSpace,       // Status::NoSpace -- degrades to read-only
+  };
+
+  // Arm a one-shot soft fault at absolute mutating-op index |k| (same
+  // numbering as CrashAfterOp): that single op fails with |cls| and has no
+  // effect; a retry of the same logical operation arrives at a fresh index
+  // and succeeds. Several indices may be armed at once.
+  void FailOpOnce(int64_t k,
+                  SoftFaultClass cls = SoftFaultClass::kTransientEio) {
+    MutexLock l(&mu_);
+    if (k >= 0) soft_fail_ops_[static_cast<uint64_t>(k)] = cls;
+  }
+
+  // Every create/append/sync fails with |cls| until cleared. close,
+  // remove, and rename still succeed: under ENOSPC the filesystem keeps
+  // honoring frees, which is what lets the engine's space watcher observe
+  // space returning.
+  void SetPersistentSoftFault(SoftFaultClass cls) {
+    MutexLock l(&mu_);
+    persistent_fault_armed_ = true;
+    persistent_fault_class_ = cls;
+  }
+  void ClearPersistentSoftFault() {
+    MutexLock l(&mu_);
+    persistent_fault_armed_ = false;
+  }
+
+  // Soft faults (one-shot + persistent) fired so far.
+  uint64_t SoftFaultsInjected() const {
+    MutexLock l(&mu_);
+    return soft_faults_injected_;
   }
 
   // ---- Crash simulation --------------------------------------------------
@@ -218,6 +262,13 @@ class FaultInjectionEnv : public Env {
   std::string read_fault_substr_ GUARDED_BY(mu_);
   std::atomic<int64_t> write_countdown_{-1};
   std::atomic<uint64_t> faults_injected_{0};
+
+  // Soft-fault state.
+  std::map<uint64_t, SoftFaultClass> soft_fail_ops_ GUARDED_BY(mu_);
+  bool persistent_fault_armed_ GUARDED_BY(mu_) = false;
+  SoftFaultClass persistent_fault_class_ GUARDED_BY(mu_) =
+      SoftFaultClass::kTransientEio;
+  uint64_t soft_faults_injected_ GUARDED_BY(mu_) = 0;
 
   // Crash simulation state.
   uint64_t op_counter_ GUARDED_BY(mu_) = 0;

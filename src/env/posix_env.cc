@@ -34,6 +34,11 @@ Status PosixError(const std::string& context, int err) {
   if (err == ENOENT) {
     return Status::NotFound(context, std::strerror(err));
   }
+  if (err == ENOSPC || err == EDQUOT) {
+    // Space exhaustion is recoverable (degraded read-only mode, see
+    // DBImpl::RecordBackgroundError); keep it distinguishable from EIO.
+    return Status::NoSpace(context, std::strerror(err));
+  }
   return Status::IOError(context, std::strerror(err));
 }
 

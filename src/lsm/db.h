@@ -113,6 +113,10 @@ class DB {
   //   "acheron.total-tombstones"       -- live tombstones in the tree
   //   "acheron.max-tombstone-age"      -- age (ops) of oldest live tombstone
   //   "acheron.delete-stats"           -- delete-persistence summary
+  //   "acheron.background-error"       -- background-error state machine
+  //                                       (state, subsystem, attempts,
+  //                                       retry budget, D_th-at-risk flag,
+  //                                       last error)
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
 
   // Compact the underlying storage for the key range [*begin,*end].
@@ -128,6 +132,15 @@ class DB {
   // Run compactions until no trigger (size, run count, or TTL expiry)
   // remains outstanding. Useful to settle the tree before measuring.
   virtual Status WaitForCompactions() = 0;
+
+  // Attempt to recover from degraded read-only mode (entered on a space
+  // error, see Options::max_background_retries): probes the filesystem
+  // and, if space has returned, clears the error state and resumes
+  // background work. Returns OK once the DB is writable again, the space
+  // error while still degraded, and the fatal error if the DB is past
+  // recovery. The default implementation (a DB with no background-error
+  // machinery) is trivially resumed.
+  virtual Status Resume() { return Status::OK(); }
 
   // ---- Acheron-specific observability ----
 

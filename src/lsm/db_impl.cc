@@ -152,7 +152,8 @@ DBImpl::~DBImpl() {
   // any slot holder to drain before tearing state down.
   MutexLock l(&mutex_);
   shutting_down_.store(true, std::memory_order_release);
-  while (bg_compaction_scheduled_ || compaction_active_) {
+  while (bg_compaction_scheduled_ || compaction_active_ ||
+         space_watcher_scheduled_) {
     background_work_finished_signal_.Wait();
   }
   // Unpublish and tear down the ReadState chain. The DB contract requires
@@ -169,6 +170,16 @@ DBImpl::~DBImpl() {
   free_read_states_.clear();
   if (mem_ != nullptr) mem_->Unref();
   if (imm_ != nullptr) imm_->Unref();
+  // Close the WAL explicitly: sync-acked records are already durable and
+  // unsynced ones were never promised, so a failed close here loses
+  // nothing -- but dropping the status is a conscious choice, not a silent
+  // one in the WritableFile destructor.
+  log_.reset();
+  if (logfile_ != nullptr) {
+    // io: mutex-held -- clean close, no concurrent writers remain
+    (void)logfile_->Close();
+    logfile_.reset();
+  }
   // Best-effort clean-close snapshot: the next Open seeks to it and replays
   // zero edits. Failure is harmless -- recovery replays the edit suffix.
   // io: mutex-held -- clean close, no concurrent writers remain
@@ -312,9 +323,13 @@ Status DBImpl::NewDB() {
 }
 
 void DBImpl::RemoveObsoleteFiles() {
-  if (!bg_error_.ok()) {
-    // After a background error, we don't know whether a new version may
-    // or may not have been committed, so we cannot safely garbage collect.
+  if (bg_error_state_ != BackgroundErrorState::kOk) {
+    // Mid-episode we don't know whether a failed MANIFEST write may still
+    // be readable on disk (a torn-but-valid tail could reference files the
+    // in-memory version discarded), so we cannot safely garbage collect.
+    // GC resumes once the episode recovers -- the retry's fresh
+    // snapshot-headed MANIFEST supersedes any torn tail (see
+    // VersionSet::LogAndApply's failure path).
     return;
   }
 
@@ -709,6 +724,7 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
             meta.earliest_range_tombstone_wall_micros;
         props->min_secondary_key = meta.min_secondary_key;
         props->max_secondary_key = meta.max_secondary_key;
+        bool close_attempted = false;
         s = builder.Finish();
         if (s.ok()) {
           meta.file_size = builder.FileSize();
@@ -717,10 +733,20 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
           // table data must be durable first or a crash could leave a live
           // version pointing at a torn file.
           s = file->Sync();
-          if (s.ok()) s = file->Close();
+          if (s.ok()) {
+            s = file->Close();
+            close_attempted = true;
+          }
+        }
+        if (!close_attempted) {
+          // The output cannot be installed (build or sync failed); it is
+          // removed below. Close deliberately -- the dropped status is a
+          // conscious choice here, not a silent one in the destructor.
+          (void)file->Close();  // io: unlocked -- abandoned flush output
         }
       } else {
         builder.Abandon();
+        (void)file->Close();  // io: unlocked -- abandoned empty output
       }
     }
   }
@@ -755,18 +781,23 @@ Status DBImpl::CompactMemTable() {
 
   VersionEdit edit;
   Status s = WriteLevel0Table(imm_, &edit);
+  ErrorSubsystem failed_in = ErrorSubsystem::kFlush;
 
   if (s.ok()) {
     // The WAL was already rotated when mem_ moved to imm_; advancing the
-    // manifest's log number here retires every log older than the current
-    // one now that their contents are durable in L0.
-    edit.SetLogNumber(logfile_number_);
+    // manifest's log number to the swap-time log retires every log older
+    // than it now that their contents are durable in L0. (Not the current
+    // logfile_number_: a WAL-recovery rotation may have advanced it while
+    // this flush was pending, and mem_'s acked records in the swap-time
+    // log must keep replaying until mem_ itself flushes.)
+    edit.SetLogNumber(pending_log_number_at_swap_);
     // Journal the FADE clock checkpoint captured at the swap: the written
     // count as of the moment the retiring WALs stopped receiving writes.
     // Recovery adds the replayed suffix of surviving WALs to this value to
     // reconstruct the exact (not conservative) count.
     edit.SetMonitorWritten(pending_written_at_swap_);
     edit.SetMonitorRangeWritten(pending_range_written_at_swap_);
+    failed_in = ErrorSubsystem::kManifest;
     s = versions_->LogAndApply(&edit, &mutex_);
   }
   if (s.ok()) {
@@ -780,7 +811,11 @@ Status DBImpl::CompactMemTable() {
     PublishReadState();
     RemoveObsoleteFiles();
   } else {
-    RecordBackgroundError(s);
+    // The flush retries with imm_, its TTL floor, and its journaled swap
+    // checkpoint all intact -- a successful retry installs exactly what
+    // this attempt would have (orphan outputs of failed attempts are
+    // collected by RemoveObsoleteFiles once the episode recovers).
+    RecordBackgroundError(s, failed_in);
   }
   return s;
 }
@@ -823,8 +858,14 @@ void DBImpl::MaybeScheduleCompaction() {
   if (!options_.background_compactions) return;  // synchronous mode
   if (bg_compaction_scheduled_) return;          // one round in flight max
   if (shutting_down_.load(std::memory_order_acquire)) return;
-  if (!bg_error_.ok()) return;
-  if (imm_ == nullptr) return;  // rounds are flush-driven; nothing to do
+  if (!BackgroundWorkAllowed()) return;  // fatal or degraded: work is paused
+  // Rounds are flush-driven, with one exception: while an error episode is
+  // retrying, the failed round must be re-queued even if its flush already
+  // landed (the failure may have been mid-compaction).
+  if (imm_ == nullptr &&
+      bg_error_state_ != BackgroundErrorState::kRetrying) {
+    return;
+  }
   bg_compaction_scheduled_ = true;
   stats_.background_jobs_scheduled++;
   env_->Schedule(&DBImpl::BGWork, this);  // io: mutex-held -- thread handoff
@@ -836,15 +877,29 @@ void DBImpl::BGWork(void* db) { static_cast<DBImpl*>(db)->BackgroundCall(); }
 void DBImpl::BackgroundCall() {
   MutexLock l(&mutex_);
   assert(bg_compaction_scheduled_);
-  if (!shutting_down_.load(std::memory_order_acquire) && bg_error_.ok()) {
-    // Errors are recorded in bg_error_ by the callees; the status here is
-    // deliberately dropped (no caller to return it to).
-    Status ignored = RunCompactions();
-    (void)ignored;
+  // If this round is an error retry, serve its backoff first, with the
+  // mutex released (bg_compaction_scheduled_ stays true, so no second
+  // round can be queued underneath the sleep). Jitterless by design:
+  // fault-injection runs must be deterministic.
+  const uint64_t backoff = retry_backoff_micros_;
+  retry_backoff_micros_ = 0;
+  if (backoff > 0 && !shutting_down_.load(std::memory_order_acquire)) {
+    mutex_.Unlock();
+    env_->SleepForMicroseconds(static_cast<int>(backoff));  // io: unlocked
+    mutex_.Lock();
+  }
+  if (!shutting_down_.load(std::memory_order_acquire) &&
+      BackgroundWorkAllowed()) {
+    // Errors are recorded by the callees (advancing the error state
+    // machine); a successful round while kRetrying ends the episode. The
+    // status itself has no caller to return to.
+    Status s = RunCompactions();
+    if (s.ok()) ClearBackgroundError();
   }
   bg_compaction_scheduled_ = false;
   // The round above may have created new work (e.g. an L0->L1 merge that
-  // overfilled L1) or a writer may have queued an imm_ meanwhile.
+  // overfilled L1), failed and scheduled a retry, or a writer may have
+  // queued an imm_ meanwhile.
   MaybeScheduleCompaction();
   background_work_finished_signal_.SignalAll();
 }
@@ -859,9 +914,74 @@ Status DBImpl::MakeRoomForWrite(bool force) {
   bool allow_delay = !force;
   Status s;
   while (true) {
-    if (!bg_error_.ok()) {
+    if (bg_error_state_ == BackgroundErrorState::kFatal) {
       s = bg_error_;
       break;
+    }
+    if (bg_error_state_ == BackgroundErrorState::kDegradedReadOnly) {
+      // Degraded read-only (ENOSPC): probe inline -- if space has come
+      // back this very write proceeds; otherwise it fails with NoSpace
+      // while reads and iterators stay fully live.
+      s = TryResumeFromNoSpace();
+      if (!s.ok()) break;
+      continue;
+    }
+
+    // A WAL append/sync failure leaves the wal::Writer's block arithmetic
+    // possibly out of step with the file, so the next record must open a
+    // fresh log -- retrying in place could emit records recovery
+    // mis-parses. mem_'s live records may then span two logs; recovery
+    // handles that (it replays every log >= the flush edit's swap-time log
+    // number, in order), and the flush that eventually swaps mem_ retires
+    // both.
+    if (wal_rotation_pending_ && !options_.disable_wal) {
+      // Async syncs still in flight target the outgoing file; drain them
+      // before retiring it (their leaders are off the mutex in WaitFor).
+      while (wal_syncs_inflight_ > 0) {
+        wal_sync_done_.Wait();
+      }
+      if (logfile_ != nullptr) {
+        // Make the old log's acked prefix durable before any ack can land
+        // in its successor (the same rotation-gap argument as the swap
+        // path below); this doubles as the retry of a failed sync.
+        s = logfile_->Sync();
+        if (!s.ok()) {
+          // A failed rotation step re-enters the loop: the loop head
+          // retries the rotation after backoff (kRetrying), probes for
+          // space (kDegradedReadOnly), or stops for good (kFatal) -- the
+          // retry budget bounds the iterations either way.
+          RecordBackgroundError(s, ErrorSubsystem::kWalSync);
+          if (bg_error_state_ == BackgroundErrorState::kFatal) break;
+          (void)BackoffForRetry();
+          continue;
+        }
+        s = logfile_->Close();
+        if (!s.ok()) {
+          RecordBackgroundError(s, ErrorSubsystem::kWalSync);
+          if (bg_error_state_ == BackgroundErrorState::kFatal) break;
+          (void)BackoffForRetry();
+          continue;
+        }
+        log_.reset();
+        logfile_.reset();
+      }
+      const uint64_t rotated_log_number = versions_->NewFileNumber();
+      std::unique_ptr<WritableFile> nfile;
+      // io: mutex-held -- WAL recovery rotation
+      s = env_->NewWritableFile(LogFileName(dbname_, rotated_log_number),
+                                &nfile);
+      if (!s.ok()) {
+        RecordBackgroundError(s, ErrorSubsystem::kWalSync);
+        if (bg_error_state_ == BackgroundErrorState::kFatal) break;
+        (void)BackoffForRetry();
+        continue;
+      }
+      logfile_ = std::move(nfile);
+      log_ = std::make_unique<wal::Writer>(logfile_.get());
+      logfile_number_ = rotated_log_number;
+      wal_rotation_pending_ = false;
+      ClearBackgroundError();
+      continue;
     }
 
     // An empty memtable never flushes: it would emit no L0 file, and with a
@@ -909,7 +1029,7 @@ Status DBImpl::MakeRoomForWrite(bool force) {
           // (A scheduled-but-idle BGWork with no imm_ is a stale wakeup;
           // the tree is already current, so it is excluded above -- waiting
           // on it here would spin without releasing the mutex.)
-          Status ds = RunCompactions();
+          Status ds = RunCompactionsWithRetry();
           if (!ds.ok()) {
             s = ds;
             break;
@@ -951,7 +1071,7 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       } else {
         // Synchronous mode only reaches here via manual compaction paths
         // that left imm_ populated; flush it inline.
-        s = RunCompactions();
+        s = RunCompactionsWithRetry();
         if (!s.ok()) break;
       }
       continue;
@@ -992,20 +1112,47 @@ Status DBImpl::MakeRoomForWrite(bool force) {
         // replay a sequence with a hole in it (the classic rotation gap).
         s = logfile_->Sync();
         if (!s.ok()) {
-          RecordBackgroundError(s);
-          break;
+          // Recording the error sets wal_rotation_pending_, so re-entering
+          // the loop routes through the recovery-rotation block above,
+          // which retries (with backoff), degrades, or goes fatal.
+          RecordBackgroundError(s, ErrorSubsystem::kWalSync);
+          if (bg_error_state_ == BackgroundErrorState::kFatal) break;
+          (void)BackoffForRetry();
+          continue;
         }
+        // Close the outgoing log explicitly so a failed close surfaces
+        // instead of being swallowed by the destructor at the move-assign
+        // below. The synced prefix is already durable, but a close error
+        // still marks the file handle unhealthy -- treat it like a sync
+        // failure.
+        s = logfile_->Close();
+        if (!s.ok()) {
+          RecordBackgroundError(s, ErrorSubsystem::kWalSync);
+          if (bg_error_state_ == BackgroundErrorState::kFatal) break;
+          (void)BackoffForRetry();
+          continue;
+        }
+        log_.reset();
+        logfile_.reset();
       }
       s = env_->NewWritableFile(LogFileName(dbname_, new_log_number),
                                 &lfile);  // io: mutex-held -- WAL rotation
       if (!s.ok()) {
-        RecordBackgroundError(s);
-        break;
+        RecordBackgroundError(s, ErrorSubsystem::kWalSync);
+        if (bg_error_state_ == BackgroundErrorState::kFatal) break;
+        (void)BackoffForRetry();
+        continue;
       }
       logfile_ = std::move(lfile);
       log_ = std::make_unique<wal::Writer>(logfile_.get());
     }
     logfile_number_ = new_log_number;
+    // The swap also satisfies any pending WAL-recovery rotation, and the
+    // flush edit must retire exactly the logs older than *this* log --
+    // capture it now; logfile_number_ itself may advance again (recovery
+    // rotation) before the flush runs.
+    wal_rotation_pending_ = false;
+    pending_log_number_at_swap_ = new_log_number;
     imm_ = mem_;
     // Capture the replay horizon: the round that flushes this memtable
     // picks and drops as of now, no matter when it actually runs.
@@ -1013,7 +1160,9 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     // Journal checkpoint for the FADE clock: at this instant the new WAL is
     // empty, so the monitor's written count equals exactly the tombstones
     // in WALs older than new_log_number. The flush edit that retires those
-    // WALs carries this value (no rotation can happen while imm_ exists).
+    // WALs carries this value (the edit's log number is the swap-time
+    // capture above, so a later WAL-recovery rotation cannot widen the set
+    // of logs it retires).
     pending_written_at_swap_ = monitor_.WrittenCount();
     pending_range_written_at_swap_ = monitor_.RangeWrittenCount();
     if (planner_.delete_aware() &&
@@ -1044,7 +1193,7 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     } else {
       // Synchronous mode: flush + compactions complete before the write
       // proceeds, preserving the deterministic pre-pipeline behaviour.
-      s = RunCompactions();
+      s = RunCompactionsWithRetry();
       if (!s.ok()) break;
     }
   }
@@ -1077,12 +1226,14 @@ Status DBImpl::MaybeCompact(SequenceNumber horizon) {
   // caused it (run counts, level sizes) or eliminates expired tombstones.
   // Snapshots can only pin the horizon below the round's captured value.
   const SequenceNumber effective = std::min(horizon, SmallestSnapshot());
-  Status s = bg_error_;
+  // A retrying episode resumes the loop (that is the retry); only a fatal
+  // or degraded state refuses to run.
+  Status s = BackgroundWorkAllowed() ? Status::OK() : bg_error_;
   int safety = 0;
   while (s.ok()) {
     if (++safety > 10000) {
       s = Status::Corruption("compaction loop failed to converge");
-      RecordBackgroundError(s);
+      RecordBackgroundError(s, ErrorSubsystem::kCompaction);
       break;
     }
     if (shutting_down_.load(std::memory_order_acquire)) break;
@@ -1106,7 +1257,7 @@ Status DBImpl::MaybeCompact(SequenceNumber horizon) {
       c->edit()->AddFile(c->output_level(), moved);
       s = versions_->LogAndApply(c->edit(), &mutex_);
       if (!s.ok()) {
-        RecordBackgroundError(s);
+        RecordBackgroundError(s, ErrorSubsystem::kManifest);
       } else {
         PublishReadState();
       }
@@ -1115,7 +1266,7 @@ Status DBImpl::MaybeCompact(SequenceNumber horizon) {
       CompactionState* compact = new CompactionState(c.get());
       s = DoCompactionWork(compact, horizon);
       if (!s.ok()) {
-        RecordBackgroundError(s);
+        RecordBackgroundError(s, ErrorSubsystem::kCompaction);
       }
       CleanupCompaction(compact);
       c->ReleaseInputs();
@@ -1199,6 +1350,11 @@ Status DBImpl::FinishCompactionOutputFile(CompactionState* compact,
   }
   if (s.ok()) {
     s = compact->outfile->Close();
+  } else {
+    // The output is already doomed (iterator, build, or sync error) and
+    // will be removed; close deliberately -- the dropped status is a
+    // conscious choice, not a silent one in the destructor.
+    (void)compact->outfile->Close();  // io: unlocked -- abandoned output
   }
   compact->outfile.reset();
 
@@ -1697,7 +1853,13 @@ void DBImpl::CleanupCompaction(CompactionState* compact) {
     compact->builder->Abandon();
     compact->builder.reset();
   }
-  compact->outfile.reset();
+  if (compact->outfile != nullptr) {
+    // An in-progress output that was never installed (error or shutdown
+    // mid-compaction); close deliberately -- the dropped status is a
+    // conscious choice, not a silent one in the destructor.
+    (void)compact->outfile->Close();  // io: mutex-held -- abandoned output
+    compact->outfile.reset();
+  }
   for (size_t i = 0; i < compact->outputs.size(); i++) {
     const CompactionState::Output& out = compact->outputs[i];
     pending_outputs_.erase(out.number);
@@ -1705,10 +1867,205 @@ void DBImpl::CleanupCompaction(CompactionState* compact) {
   delete compact;
 }
 
-void DBImpl::RecordBackgroundError(const Status& s) {
-  if (bg_error_.ok()) {
-    bg_error_ = s;
+// ---------------- Background-error state machine ----------------
+//
+// All transitions run under mutex_ and only through the three functions
+// below (tools/acheron_check.py enforces the locking half of that).
+
+void DBImpl::RecordBackgroundError(const Status& s, ErrorSubsystem subsystem) {
+  assert(!s.ok());
+  if (bg_error_state_ == BackgroundErrorState::kFatal) {
+    return;  // terminal; keep the first fatal error
   }
+  bg_error_ = s;
+  bg_error_subsystem_ = subsystem;
+  if (subsystem == ErrorSubsystem::kWalSync) {
+    // Whatever happens next, the wal::Writer's block arithmetic may have
+    // diverged from the file; the next record must open a fresh log.
+    wal_rotation_pending_ = true;
+  }
+  if (s.IsCorruption() || options_.max_background_retries <= 0) {
+    // Corruption never retries (re-running the same work re-reads the same
+    // bad bytes); retries disabled reproduces the old sticky behavior.
+    bg_error_state_ = BackgroundErrorState::kFatal;
+    stats_.errors_fatal++;
+  } else if (s.IsNoSpace()) {
+    // Space exhaustion: no retry budget to burn -- writing cannot succeed
+    // until space returns. Degrade to read-only and watch for space.
+    stats_.errors_transient++;
+    bg_error_state_ = BackgroundErrorState::kDegradedReadOnly;
+    MaybeStartSpaceWatcher();
+  } else {
+    stats_.errors_transient++;
+    // WAL and MANIFEST failures escalate twice as fast: they sit on the
+    // durability path of *acked* writes, where burning the full budget
+    // means a long window of un-synced acks.
+    const int cost = (subsystem == ErrorSubsystem::kWalSync ||
+                      subsystem == ErrorSubsystem::kManifest)
+                         ? 2
+                         : 1;
+    bg_error_attempts_ += cost;
+    if (bg_error_attempts_ > options_.max_background_retries) {
+      bg_error_state_ = BackgroundErrorState::kFatal;
+      stats_.errors_fatal++;
+    } else {
+      bg_error_state_ = BackgroundErrorState::kRetrying;
+      // Exponential, jitterless (deterministic under fault injection),
+      // capped so a large budget cannot produce absurd sleeps.
+      const int shift = std::min(bg_error_attempts_ - 1, 20);
+      retry_backoff_micros_ =
+          std::min<uint64_t>(options_.retry_backoff_base_micros << shift,
+                             10 * 1000 * 1000);
+    }
+  }
+  // FADE health: a background failure stalls the very compactions the
+  // delete-persistence bound depends on. Flag the monitor when a tombstone
+  // TTL deadline is already due while the engine is erroring; the property
+  // and delete-stats surface it as dth_at_risk.
+  const uint64_t deadline = std::min(next_ttl_deadline_, pending_ttl_floor_);
+  if (deadline != UINT64_MAX && versions_->LastSequence() >= deadline) {
+    monitor_.SetDthAtRisk(true);
+  }
+}
+
+void DBImpl::ClearBackgroundError() {
+  if (bg_error_state_ != BackgroundErrorState::kRetrying) {
+    return;  // nothing in flight, or a state only Resume/space can clear
+  }
+  bg_error_state_ = BackgroundErrorState::kOk;
+  bg_error_ = Status::OK();
+  bg_error_attempts_ = 0;
+  retry_backoff_micros_ = 0;
+  stats_.errors_retried++;
+  monitor_.SetDthAtRisk(false);
+}
+
+Status DBImpl::RunCompactionsWithRetry() {
+  Status s = RunCompactions();
+  while (!s.ok() && bg_error_state_ == BackgroundErrorState::kRetrying &&
+         !shutting_down_.load(std::memory_order_acquire)) {
+    const uint64_t backoff = retry_backoff_micros_;
+    retry_backoff_micros_ = 0;
+    if (backoff > 0) {
+      mutex_.Unlock();
+      env_->SleepForMicroseconds(static_cast<int>(backoff));  // io: unlocked
+      mutex_.Lock();
+    }
+    s = RunCompactions();
+  }
+  if (s.ok()) {
+    ClearBackgroundError();
+  }
+  return s;
+}
+
+bool DBImpl::BackoffForRetry() {
+  if (bg_error_state_ != BackgroundErrorState::kRetrying) return false;
+  const uint64_t backoff = retry_backoff_micros_;
+  retry_backoff_micros_ = 0;
+  if (backoff > 0 && !shutting_down_.load(std::memory_order_acquire)) {
+    mutex_.Unlock();
+    env_->SleepForMicroseconds(static_cast<int>(backoff));  // io: unlocked
+    mutex_.Lock();
+  }
+  return bg_error_state_ == BackgroundErrorState::kRetrying;
+}
+
+Status DBImpl::TryResumeFromNoSpace() {
+  if (bg_error_state_ != BackgroundErrorState::kDegradedReadOnly) {
+    return bg_error_state_ == BackgroundErrorState::kFatal ? bg_error_
+                                                           : Status::OK();
+  }
+  if (resume_probe_active_) {
+    // Another thread's probe is in flight (its I/O dropped the mutex);
+    // report still-degraded rather than stacking probes.
+    return bg_error_;
+  }
+  resume_probe_active_ = true;
+  const std::string probe_name = dbname_ + "/SPACE_PROBE";
+  mutex_.Unlock();
+  Status probe;
+  {
+    std::unique_ptr<WritableFile> f;
+    probe = env_->NewWritableFile(probe_name, &f);  // io: unlocked -- probe
+    if (probe.ok()) probe = f->Append("acheron-space-probe");
+    if (probe.ok()) probe = f->Sync();
+    if (probe.ok()) probe = f->Close();
+  }
+  // Best-effort: under real ENOSPC unlink still works and keeps the probe
+  // from occupying the space it just proved exists.
+  (void)env_->RemoveFile(probe_name);  // io: unlocked -- probe cleanup
+  mutex_.Lock();
+  resume_probe_active_ = false;
+  if (!probe.ok()) {
+    return bg_error_;  // still out of space (or worse); stay degraded
+  }
+  if (bg_error_state_ == BackgroundErrorState::kDegradedReadOnly) {
+    bg_error_state_ = BackgroundErrorState::kOk;
+    bg_error_ = Status::OK();
+    bg_error_attempts_ = 0;
+    retry_backoff_micros_ = 0;
+    stats_.resume_count++;
+    monitor_.SetDthAtRisk(false);
+    // Anything that stalled while degraded (a pending imm_, planner debt)
+    // resumes now.
+    MaybeScheduleCompaction();
+    background_work_finished_signal_.SignalAll();
+  }
+  return Status::OK();
+}
+
+void DBImpl::MaybeStartSpaceWatcher() {
+  if (options_.space_probe_interval_micros == 0) return;
+  if (space_watcher_scheduled_) return;
+  if (shutting_down_.load(std::memory_order_acquire)) return;
+  space_watcher_scheduled_ = true;
+  // io: mutex-held -- thread handoff only, no file I/O
+  env_->Schedule(&DBImpl::SpaceWatcherWork, this);
+}
+
+void DBImpl::SpaceWatcherWork(void* db) {
+  static_cast<DBImpl*>(db)->SpaceWatcherCall();
+}
+
+void DBImpl::SpaceWatcherCall() {
+  // Sleep in small chunks so shutdown is never held up by a long interval.
+  uint64_t remaining = options_.space_probe_interval_micros;
+  while (remaining > 0 && !shutting_down_.load(std::memory_order_acquire)) {
+    const uint64_t chunk = std::min<uint64_t>(remaining, 10 * 1000);
+    env_->SleepForMicroseconds(static_cast<int>(chunk));  // io: unlocked
+    remaining -= chunk;
+  }
+  MutexLock l(&mutex_);
+  if (!shutting_down_.load(std::memory_order_acquire) &&
+      bg_error_state_ == BackgroundErrorState::kDegradedReadOnly) {
+    (void)TryResumeFromNoSpace();  // on failure we simply watch again
+  }
+  if (!shutting_down_.load(std::memory_order_acquire) &&
+      bg_error_state_ == BackgroundErrorState::kDegradedReadOnly) {
+    // Still degraded: keep watching. The scheduled flag stays set across
+    // the handoff so the destructor keeps waiting for us.
+    // io: mutex-held -- thread handoff only, no file I/O
+    env_->Schedule(&DBImpl::SpaceWatcherWork, this);
+    return;
+  }
+  space_watcher_scheduled_ = false;
+  background_work_finished_signal_.SignalAll();
+}
+
+Status DBImpl::Resume() {
+  MutexLock l(&mutex_);
+  switch (bg_error_state_) {
+    case BackgroundErrorState::kOk:
+    case BackgroundErrorState::kRetrying:
+      // Healthy, or the engine is already retrying on its own.
+      return Status::OK();
+    case BackgroundErrorState::kDegradedReadOnly:
+      return TryResumeFromNoSpace();
+    case BackgroundErrorState::kFatal:
+      return bg_error_;  // past recovery; reopen the DB
+  }
+  return Status::OK();  // unreachable
 }
 
 // ---------------- Reads ----------------
@@ -2081,10 +2438,14 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         monitor_.OnRangeTombstoneWritten(counter.range_deletes);
       }
     } else {
-      // A sync error leaves the tail of the WAL in an unknown state; any
-      // failed group write poisons the DB exactly as before the pipeline.
+      // A WAL append/sync error leaves the tail of the log -- and the
+      // wal::Writer's block arithmetic -- in an unknown state. Classify as
+      // a WAL failure: with retries enabled the next write opens a fresh
+      // log and continues (the failed group was never acked and never
+      // reached the memtable); with retries disabled this poisons the DB
+      // exactly as before.
       (void)sync_error;
-      RecordBackgroundError(status);
+      RecordBackgroundError(status, ErrorSubsystem::kWalSync);
     }
     if (write_batch == &tmp_batch_) tmp_batch_.Clear();
 
@@ -2105,7 +2466,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       const bool flush_pending = (imm_ != nullptr);
       stats_.stall_ttl_waits++;
       const uint64_t t0 = SystemClock::NowMicros();
-      status = RunCompactions();
+      status = RunCompactionsWithRetry();
       stats_.stall_micros += SystemClock::NowMicros() - t0;
       if (!flush_pending) {
         // The round ran at the current horizon and the deadline is still
@@ -2140,14 +2501,29 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     // status, which is the documented async_wal_sync relaxation.
     mutex_.Unlock();
     sync_cq.WaitFor(1);
+    Status sync_status = sync_req.status;
+    if (!sync_status.ok() && options_.max_background_retries > 0) {
+      // Completion-path sync failed. Before acking, fall back to one
+      // blocking Sync() on the same file: the record already reached the
+      // OS (Flush succeeded before submit), so a transient completion
+      // failure is usually recovered by a plain fsync. This must happen
+      // BEFORE the inflight count drops -- that count is what keeps
+      // logfile_ alive against a concurrent rotation.
+      sync_status = sync_req.file->Sync();
+    }
     mutex_.Lock();
     wal_syncs_inflight_--;
     if (wal_syncs_inflight_ == 0) {
       wal_sync_done_.SignalAll();
     }
-    if (!sync_req.status.ok()) {
-      status = sync_req.status;
-      RecordBackgroundError(status);
+    if (!sync_status.ok()) {
+      status = sync_status;
+      RecordBackgroundError(status, ErrorSubsystem::kWalSync);
+    } else if (!sync_req.status.ok()) {
+      // The fallback recovered what the completion path could not: the
+      // group is durable and acked. Count the episode.
+      stats_.errors_transient++;
+      stats_.errors_retried++;
     }
   }
   return status;
@@ -2223,15 +2599,22 @@ Status DBImpl::WaitForCompactions() {
   // Drain to quiescence: wait out any in-flight background round, then run
   // rounds inline until there is no pending flush and the planner is
   // satisfied at the current horizon. Snapshot-pinned TTL work is not
-  // pickable, so this terminates.
-  while (bg_error_.ok() && !shutting_down_.load(std::memory_order_acquire)) {
+  // pickable, so this terminates. A kRetrying episode does not stop the
+  // drain -- the inline retry loop (or the scheduled background retry)
+  // either recovers it or escalates to kFatal, and the retry budget bounds
+  // how long that takes.
+  while (!shutting_down_.load(std::memory_order_acquire)) {
     if (bg_compaction_scheduled_ || compaction_active_) {
       background_work_finished_signal_.Wait();
       continue;
     }
+    if (!BackgroundWorkAllowed()) {
+      return bg_error_;  // fatal or degraded: nothing will run
+    }
     if (imm_ != nullptr ||
-        versions_->NeedsCompaction(planner_, SmallestSnapshot())) {
-      Status s = RunCompactions();
+        versions_->NeedsCompaction(planner_, SmallestSnapshot()) ||
+        bg_error_state_ == BackgroundErrorState::kRetrying) {
+      Status s = RunCompactionsWithRetry();
       if (!s.ok()) return s;
       continue;
     }
@@ -2251,8 +2634,9 @@ void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
       }
     }
   }
-  // Best-effort: a failed flush is recorded as the sticky background error
-  // and surfaces on the next write; CompactRange itself is void by API.
+  // Best-effort: a failed flush is recorded in the background-error state
+  // machine (retried, or surfacing on a later write once fatal);
+  // CompactRange itself is void by API.
   (void)FlushMemTable();
   for (int level = 0; level <= max_level_with_files; level++) {
     TEST_CompactRange(level, begin, end);
@@ -2290,7 +2674,7 @@ void DBImpl::TEST_CompactRange(int level, const Slice* begin,
     CompactionState* compact = new CompactionState(c.get());
     Status s = DoCompactionWork(compact, versions_->LastSequence());
     if (!s.ok()) {
-      RecordBackgroundError(s);
+      RecordBackgroundError(s, ErrorSubsystem::kCompaction);
     }
     CleanupCompaction(compact);
     c->ReleaseInputs();
@@ -2423,6 +2807,49 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
         versions_->current()->MaxTombstoneAge(versions_->LastSequence());
     monitor_.Snapshot(&ds, live, age, range_live);
     *value = ds.ToString();
+    return true;
+  } else if (in == "background-error") {
+    const char* state = nullptr;
+    switch (bg_error_state_) {
+      case BackgroundErrorState::kOk:
+        state = "ok";
+        break;
+      case BackgroundErrorState::kRetrying:
+        state = "retrying";
+        break;
+      case BackgroundErrorState::kDegradedReadOnly:
+        state = "degraded-read-only";
+        break;
+      case BackgroundErrorState::kFatal:
+        state = "fatal";
+        break;
+    }
+    const char* subsystem = nullptr;
+    switch (bg_error_subsystem_) {
+      case ErrorSubsystem::kFlush:
+        subsystem = "flush";
+        break;
+      case ErrorSubsystem::kCompaction:
+        subsystem = "compaction";
+        break;
+      case ErrorSubsystem::kWalSync:
+        subsystem = "wal-sync";
+        break;
+      case ErrorSubsystem::kManifest:
+        subsystem = "manifest";
+        break;
+    }
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "state=%s subsystem=%s attempts=%d budget=%d "
+                  "dth_at_risk=%d error=",
+                  state,
+                  bg_error_state_ == BackgroundErrorState::kOk ? "none"
+                                                               : subsystem,
+                  bg_error_attempts_, options_.max_background_retries,
+                  monitor_.DthAtRisk() ? 1 : 0);
+    value->assign(buf);
+    value->append(bg_error_.ToString());
     return true;
   }
   return false;
@@ -2710,7 +3137,7 @@ Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
     // did not need to publish individually.
     impl->PublishReadState();
     impl->RemoveObsoleteFiles();
-    s = impl->RunCompactions();
+    s = impl->RunCompactionsWithRetry();
   }
   impl->mutex_.Unlock();
   if (s.ok()) {

@@ -94,6 +94,7 @@ class DBImpl : public DB {
   DeleteStats GetDeleteStats() override;
   InternalStats GetStats() override;
   Status PurgeSecondaryRange(const Slice& threshold) override;
+  Status Resume() override;
 
   // Extra test/bench hooks.
   // Compact any files in level L that overlap [*begin,*end].
@@ -236,8 +237,69 @@ class DBImpl : public DB {
   void CleanupCompaction(CompactionState* compact)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  void RecordBackgroundError(const Status& s)
+  // ---- Background-error state machine (transient-fault tolerance) ----
+  //
+  // Replaces the old sticky bg_error_: background failures are classified
+  // by subsystem and errno class and drive a small state machine,
+  //
+  //     kOk -> kRetrying ----------> kFatal      (budget exhausted)
+  //      ^        |
+  //      |        +----------------> kFatal      (corruption, always)
+  //      `---- (round succeeds)
+  //     kOk -> kDegradedReadOnly -> kOk          (ENOSPC; space returns)
+  //     kDegradedReadOnly --------> kFatal       (never: space errors only
+  //                                               resolve or persist)
+  //
+  // While kRetrying, failed flush/compaction rounds are re-run with
+  // exponential backoff (deterministic, jitterless); WAL and MANIFEST
+  // failures consume two attempts per failure so they escalate faster.
+  // While kDegradedReadOnly, writes fail with Status::NoSpace but the
+  // lock-free read path stays fully live; a space-watcher probe (or
+  // DB::Resume) transitions back to kOk. kFatal is sticky and equals the
+  // old behavior.
+
+  // Where a background failure occurred; determines escalation speed and
+  // whether the WAL must rotate before the next record.
+  enum class ErrorSubsystem { kFlush, kCompaction, kWalSync, kManifest };
+  enum class BackgroundErrorState { kOk, kRetrying, kDegradedReadOnly, kFatal };
+
+  // Classify |s| and advance the state machine. All transitions happen
+  // here, in ClearBackgroundError, and in TryResumeFromNoSpace -- each
+  // under mutex_ (checked by tools/acheron_check.py).
+  void RecordBackgroundError(const Status& s, ErrorSubsystem subsystem)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // A background round completed while kRetrying: the episode recovered.
+  // No-op in any other state.
+  void ClearBackgroundError() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Probe the filesystem (mutex released for the I/O) and, if space has
+  // returned while kDegradedReadOnly, transition back to kOk and restart
+  // background work. Returns OK once writable, the space error otherwise.
+  Status TryResumeFromNoSpace() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Background work (flush/compaction rounds) may proceed in this state --
+  // possibly as a retry. False once fatal or degraded.
+  bool BackgroundWorkAllowed() const EXCLUSIVE_LOCKS_REQUIRED(mutex_) {
+    return bg_error_state_ == BackgroundErrorState::kOk ||
+           bg_error_state_ == BackgroundErrorState::kRetrying;
+  }
+
+  // RunCompactions, plus an inline unlock/backoff/retry loop for the
+  // synchronous-mode call sites (background mode retries by re-scheduling
+  // the round through Env::Schedule instead). Returns the final status;
+  // clears the error episode on success.
+  Status RunCompactionsWithRetry() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Consume the scheduled backoff for an in-writer retry (mutex released
+  // while sleeping). Returns true if the episode is still kRetrying -- the
+  // caller should re-attempt; false in any other state.
+  bool BackoffForRetry() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Kick off the ENOSPC space watcher if configured and not running.
+  void MaybeStartSpaceWatcher() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  static void SpaceWatcherWork(void* db);
+  void SpaceWatcherCall() LOCKS_EXCLUDED(mutex_);
 
   // The oldest sequence number any reader may still need.
   SequenceNumber SmallestSnapshot() const EXCLUSIVE_LOCKS_REQUIRED(mutex_);
@@ -302,6 +364,13 @@ class DBImpl : public DB {
   uint64_t pending_range_written_at_swap_ GUARDED_BY(mutex_) = 0;
   std::unique_ptr<WritableFile> logfile_ GUARDED_BY(mutex_);
   uint64_t logfile_number_ GUARDED_BY(mutex_);
+  // The log number created by the swap that produced the current imm_:
+  // the flush edit retires exactly the logs older than this. Usually
+  // equals logfile_number_, but a WAL-recovery rotation (see
+  // wal_rotation_pending_) can advance logfile_number_ while imm_ is still
+  // pending -- retiring by the *current* number would drop un-flushed
+  // acked records that live in the swap-time log.
+  uint64_t pending_log_number_at_swap_ GUARDED_BY(mutex_) = 0;
   std::unique_ptr<wal::Writer> log_ GUARDED_BY(mutex_);
 
   // Writer queue: the front writer is the group leader and the only thread
@@ -384,8 +453,32 @@ class DBImpl : public DB {
   // when no live tombstone is on the clock.
   uint64_t next_ttl_deadline_ GUARDED_BY(mutex_) = UINT64_MAX;
 
-  // Sticky error: once set, all writes fail with it.
+  // ---- Background-error state (see the state-machine comment above) ----
+
+  // Last background error recorded. Meaningful whenever bg_error_state_ is
+  // not kOk; returned to writers when kFatal, and by Resume when the DB is
+  // past recovery.
   Status bg_error_ GUARDED_BY(mutex_);
+  BackgroundErrorState bg_error_state_ GUARDED_BY(mutex_) =
+      BackgroundErrorState::kOk;
+  ErrorSubsystem bg_error_subsystem_ GUARDED_BY(mutex_) =
+      ErrorSubsystem::kCompaction;
+  // Attempts consumed by the current error episode (resets on recovery).
+  int bg_error_attempts_ GUARDED_BY(mutex_) = 0;
+  // Backoff the next background round should sleep before starting;
+  // consumed (and zeroed) with the mutex *released* at the top of
+  // BackgroundCall / inside RunCompactionsWithRetry.
+  uint64_t retry_backoff_micros_ GUARDED_BY(mutex_) = 0;
+  // A WAL append or sync failed: the wal::Writer's block arithmetic may
+  // have diverged from the bytes that reached the file, so the next record
+  // must go to a fresh log (MakeRoomForWrite performs the rotation; a
+  // retried append in place could be mis-parsed by recovery).
+  bool wal_rotation_pending_ GUARDED_BY(mutex_) = false;
+  // True while the ENOSPC space watcher is queued on or running in the
+  // Env's worker; the destructor waits for it to drain.
+  bool space_watcher_scheduled_ GUARDED_BY(mutex_) = false;
+  // Serializes TryResumeFromNoSpace probes (the probe I/O drops mutex_).
+  bool resume_probe_active_ GUARDED_BY(mutex_) = false;
 };
 
 // Sanitize db options: clamp user-supplied values to reasonable ranges and

@@ -178,6 +178,28 @@ struct Options {
   // Only consulted when background_compactions is true.
   int level0_stop_writes_trigger = 12;
 
+  // -------- Transient-fault tolerance --------
+
+  // How many times a failed background job (flush, compaction, WAL
+  // rotation, MANIFEST write) is retried before the error becomes fatal.
+  // Each failure within an error episode backs off exponentially
+  // (retry_backoff_base_micros << attempt, jitterless so fault-injection
+  // runs are deterministic). MANIFEST/WAL failures consume two attempts
+  // per failure -- they escalate twice as fast as flush/compaction
+  // failures -- and corruption is always immediately fatal. 0 restores
+  // the pre-retry behavior: the first background error sticks and halts
+  // background work (the crash matrix runs in this mode).
+  int max_background_retries = 5;
+
+  // Base of the exponential retry backoff, in microseconds.
+  uint64_t retry_backoff_base_micros = 1000;
+
+  // When a space error (ENOSPC) degrades the DB to read-only, a
+  // background watcher probes for returned space every this-many
+  // microseconds and auto-resumes writes once a probe file round-trips.
+  // 0 disables the watcher (recovery then requires DB::Resume()).
+  uint64_t space_probe_interval_micros = 100 * 1000;
+
   // -------- Acheron: delete persistence (FADE) --------
 
   // Delete persistence threshold D_th in *logical operations* (entries

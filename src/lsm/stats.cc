@@ -5,7 +5,7 @@
 namespace acheron {
 
 std::string InternalStats::ToString() const {
-  char buf[1280];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "writes: user=%llu wal=%llu | flush: n=%llu bytes=%llu | "
@@ -17,6 +17,7 @@ std::string InternalStats::ToString() const {
       "commit: wal_syncs=%llu groups=%llu grouped_writes=%llu | "
       "recovery: edits_replayed=%llu snapshots=%llu rotations=%llu "
       "torn_skipped=%llu | "
+      "errors: transient=%llu retried=%llu fatal=%llu resumes=%llu | "
       "WA=%.2f",
       static_cast<unsigned long long>(user_bytes_written),
       static_cast<unsigned long long>(wal_bytes_written),
@@ -46,6 +47,10 @@ std::string InternalStats::ToString() const {
       static_cast<unsigned long long>(manifest_snapshots_written),
       static_cast<unsigned long long>(manifest_rotations),
       static_cast<unsigned long long>(torn_snapshots_skipped),
+      static_cast<unsigned long long>(errors_transient),
+      static_cast<unsigned long long>(errors_retried),
+      static_cast<unsigned long long>(errors_fatal),
+      static_cast<unsigned long long>(resume_count),
       WriteAmplification());
   return buf;
 }

@@ -58,6 +58,14 @@ struct InternalStats {
   uint64_t torn_snapshots_skipped = 0;      // snapshots skipped on inner-CRC
                                             // failure during recovery
 
+  // --- background errors / transient-fault tolerance ---
+  uint64_t errors_transient = 0;  // background failures classified retryable
+  uint64_t errors_retried = 0;    // error episodes that ended in recovery
+  uint64_t errors_fatal = 0;      // episodes that exhausted the retry budget
+                                  // (or were corruption, which never retries)
+  uint64_t resume_count = 0;      // degraded-read-only -> writable recoveries
+                                  // (space probe or DB::Resume)
+
   // --- reads ---
   uint64_t gets = 0;
   uint64_t gets_found = 0;

@@ -991,14 +991,27 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
     FoldEditIntoJournal(*edit);
   } else {
     delete v;
+    // Whatever failed -- the record append, the sync, or installing a fresh
+    // descriptor -- the wal::Writer's block arithmetic may have diverged
+    // from the bytes that actually reached the file, so retrying in place
+    // could emit records a reader mis-parses. Abandon the descriptor: the
+    // next LogAndApply (e.g. a background retry, see
+    // DBImpl::RecordBackgroundError) lazily opens a brand-new MANIFEST
+    // headed by a full snapshot and repoints CURRENT only after a
+    // successful sync. Until then CURRENT keeps naming the last complete
+    // MANIFEST, whose torn tail recovery already tolerates.
+    // io: mutex-held -- abandon the possibly-desynced descriptor
+    delete descriptor_log_;
+    delete descriptor_file_;
+    descriptor_log_ = nullptr;
+    descriptor_file_ = nullptr;
     if (!new_manifest_file.empty()) {
-      delete descriptor_log_;
-      delete descriptor_file_;
-      descriptor_log_ = nullptr;
-      descriptor_file_ = nullptr;
       // io: mutex-held -- best-effort cleanup of the failed MANIFEST
       (void)env_->RemoveFile(new_manifest_file);
     }
+    // Never reuse the abandoned number: if CURRENT already points at it,
+    // reopening it would truncate the only complete MANIFEST on disk.
+    manifest_file_number_ = NewFileNumber();
   }
 
   return s;

@@ -33,6 +33,9 @@ std::string Status::ToString() const {
     case Code::kBusy:
       type = "Busy: ";
       break;
+    case Code::kNoSpace:
+      type = "No space: ";
+      break;
     default:
       type = "Unknown code: ";
       break;

@@ -39,6 +39,9 @@ class [[nodiscard]] Status {
   static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
     return Status(Code::kBusy, msg, msg2);
   }
+  static Status NoSpace(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNoSpace, msg, msg2);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -47,6 +50,7 @@ class [[nodiscard]] Status {
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
 
   // Human-readable description, e.g. "IO error: <msg>".
   std::string ToString() const;
@@ -60,6 +64,7 @@ class [[nodiscard]] Status {
     kInvalidArgument = 4,
     kIOError = 5,
     kBusy = 6,
+    kNoSpace = 7,
   };
 
   Status(Code code, const Slice& msg, const Slice& msg2);

@@ -231,6 +231,11 @@ class CrashRun {
     script_ = std::move(script);
   }
 
+  // The soft-error matrix (see soft_error_matrix_test.cc) re-enables
+  // background retries to exercise the recovery machinery; the crash matrix
+  // leaves them off so a crash-boundary IOError stays immediately fatal.
+  void set_max_background_retries(int n) { max_background_retries_ = n; }
+
   Options DbOptions() const {
     Options o;
     o.env = fault_.get();
@@ -242,6 +247,10 @@ class CrashRun {
     o.background_compactions = background_;
     o.delete_persistence_threshold = kDth;
     o.async_wal_sync = async_wal_sync_;
+    // Crash simulation turns the crash boundary into an injected IOError;
+    // retrying it would re-run file ops past the boundary and desync the
+    // op schedule, so the state machine is disabled by default here.
+    o.max_background_retries = max_background_retries_;
     return o;
   }
 
@@ -302,6 +311,7 @@ class CrashRun {
  private:
   const bool background_;
   bool async_wal_sync_ = false;
+  int max_background_retries_ = 0;
   std::vector<LogicalOp> script_ = ScriptedWorkload();
   const std::string dbname_;
   std::unique_ptr<Env> base_;

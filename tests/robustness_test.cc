@@ -1,6 +1,7 @@
 // Failure-injection and corruption robustness: the DB surfaces injected IO
-// errors as sticky failures instead of corrupting state, tolerates torn WAL
-// tails, and detects corrupted SSTables.
+// errors without corrupting state, recovers from transient write faults by
+// rotating onto a fresh WAL, tolerates torn WAL tails, and detects
+// corrupted SSTables.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -46,11 +47,44 @@ TEST_F(RobustnessTest, WriteFaultSurfacesAsError) {
   Status s = db_->Put(WriteOptions(), "during", "fails");
   EXPECT_FALSE(s.ok());
 
+  // The transient WAL failure parks the engine in the retrying state (with
+  // a WAL rotation pending) rather than a sticky fatal error.
+  std::string prop;
+  ASSERT_TRUE(db_->GetProperty("acheron.background-error", &prop));
+  EXPECT_NE(prop.find("state=retrying"), std::string::npos) << prop;
+  EXPECT_NE(prop.find("subsystem=wal-sync"), std::string::npos) << prop;
+
+  // Reads of previously committed data stay live throughout the episode.
+  EXPECT_EQ("ok", Get("before"));
+
   fault_env_.SetWriteFaultCountdown(-1);
-  // The WAL write failed, so the engine reports a sticky error rather than
-  // silently continuing on a broken log.
+  // Once the fault clears, the next write rotates onto a fresh WAL and
+  // succeeds. The failed write was never acked and stays absent.
+  s = db_->Put(WriteOptions(), "after", "x");
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ("x", Get("after"));
+  EXPECT_EQ("NOT_FOUND", Get("during"));
+  ASSERT_TRUE(db_->GetProperty("acheron.background-error", &prop));
+  EXPECT_NE(prop.find("state=ok"), std::string::npos) << prop;
+}
+
+TEST_F(RobustnessTest, WriteFaultFatalWithRetriesDisabled) {
+  // max_background_retries == 0 restores the pre-state-machine behavior:
+  // any background failure is immediately sticky-fatal.
+  options_.max_background_retries = 0;
+  ASSERT_TRUE(Open().ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "before", "ok").ok());
+
+  fault_env_.SetWriteFaultCountdown(0);
+  Status s = db_->Put(WriteOptions(), "during", "fails");
+  EXPECT_FALSE(s.ok());
+  fault_env_.SetWriteFaultCountdown(-1);
+
   s = db_->Put(WriteOptions(), "after", "x");
   EXPECT_FALSE(s.ok());
+  std::string prop;
+  ASSERT_TRUE(db_->GetProperty("acheron.background-error", &prop));
+  EXPECT_NE(prop.find("state=fatal"), std::string::npos) << prop;
   // Reads of previously committed data still work.
   EXPECT_EQ("ok", Get("before"));
 }
@@ -141,6 +175,42 @@ TEST_F(RobustnessTest, SstReadFaultSurfacesOnGet) {
   EXPECT_TRUE(s.IsIOError()) << s.ToString();
   fault_env_.SetReadFaultSubstring("");
   EXPECT_EQ("payload", Get("k5"));
+}
+
+TEST_F(RobustnessTest, MultiGetReadFaultFailsOnlyFaultedKeys) {
+  ASSERT_TRUE(Open().ok());
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), "k" + std::to_string(i), "payload").ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  // Reopen (cold table cache), then land one key in the memtable so the
+  // batch mixes faulted table reads with an unfaulted memtable hit.
+  ASSERT_TRUE(Open().ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "memkey", "hot").ok());
+
+  fault_env_.SetReadFaultSubstring(".sst");
+  std::vector<Slice> keys = {"memkey", "k5", "k6"};
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  ASSERT_EQ(3u, statuses.size());
+  ASSERT_EQ(3u, values.size());
+  // The faulted table reads fail their own keys only; the memtable hit in
+  // the same batch is untouched.
+  EXPECT_TRUE(statuses[0].ok()) << statuses[0].ToString();
+  EXPECT_EQ("hot", values[0]);
+  EXPECT_TRUE(statuses[1].IsIOError()) << statuses[1].ToString();
+  EXPECT_TRUE(statuses[2].IsIOError()) << statuses[2].ToString();
+
+  // The read fault is non-sticky: the same batch succeeds once it clears.
+  fault_env_.SetReadFaultSubstring("");
+  statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  ASSERT_EQ(3u, statuses.size());
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_TRUE(statuses[1].ok()) << statuses[1].ToString();
+  EXPECT_TRUE(statuses[2].ok()) << statuses[2].ToString();
+  EXPECT_EQ("payload", values[1]);
+  EXPECT_EQ("payload", values[2]);
 }
 
 TEST_F(RobustnessTest, CorruptedSstBlockIsDetected) {

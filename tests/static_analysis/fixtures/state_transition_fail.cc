@@ -1,0 +1,50 @@
+// acheron-check fixture: state-transition, must FAIL.
+//
+// Two seeded violations: WatcherWork calls TryResumeFromNoSpace with no
+// lock held at all, and WriterWork drops mutex_ for an IO window and then
+// records the background error BEFORE re-acquiring -- the transition races
+// with any concurrent reader of the error state.
+
+#define EXCLUSIVE_LOCKS_REQUIRED(x) __attribute__((exclusive_locks_required(x)))
+
+struct Status {
+  bool ok() const;
+};
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+
+class EngineImpl {
+ public:
+  void WatcherWork();
+  void WriterWork() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+ private:
+  void RecordBackgroundError(const Status& s, int subsystem)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  Status TryResumeFromNoSpace() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  void DoUnlockedIo();
+
+  Mutex mutex_;
+};
+
+void EngineImpl::WatcherWork() {
+  Status s = TryResumeFromNoSpace();  // no lock held: must be flagged
+  (void)s;
+}
+
+void EngineImpl::WriterWork() {
+  mutex_.Unlock();
+  DoUnlockedIo();
+  RecordBackgroundError(Status(), 1);  // still unlocked: must be flagged
+  mutex_.Lock();
+}

@@ -1,0 +1,65 @@
+// acheron-check fixture: state-transition, must PASS.
+//
+// Every call into the background-error state machine holds mutex_: the
+// flush path is annotated EXCLUSIVE_LOCKS_REQUIRED (held on entry), the
+// watcher takes a scoped MutexLock, and the writer re-acquires the mutex
+// after its unlocked IO window before recording. The transition functions
+// themselves carry the annotation on their declarations.
+
+#define EXCLUSIVE_LOCKS_REQUIRED(x) __attribute__((exclusive_locks_required(x)))
+
+struct Status {
+  bool ok() const;
+};
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+
+class EngineImpl {
+ public:
+  void FlushWork() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  void WatcherWork();
+  void WriterWork() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+ private:
+  void RecordBackgroundError(const Status& s, int subsystem)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  void ClearBackgroundError() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  Status TryResumeFromNoSpace() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  Status DoFlush();
+  void DoUnlockedIo();
+
+  Mutex mutex_;
+};
+
+void EngineImpl::FlushWork() {
+  Status s = DoFlush();
+  if (!s.ok()) {
+    RecordBackgroundError(s, 0);  // mutex_ held on entry (annotation)
+  }
+}
+
+void EngineImpl::WatcherWork() {
+  MutexLock l(&mutex_);
+  Status s = TryResumeFromNoSpace();  // mutex_ held via scoped lock
+  if (s.ok()) {
+    ClearBackgroundError();
+  }
+}
+
+void EngineImpl::WriterWork() {
+  mutex_.Unlock();
+  DoUnlockedIo();
+  mutex_.Lock();
+  // Re-acquired after the IO window: the transition is safe again.
+  RecordBackgroundError(Status(), 1);
+}

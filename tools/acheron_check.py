@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """acheron-check: Acheron's static invariant checker (portable driver).
 
-Implements five engine-specific checks over a C++ token stream produced by a
+Implements six engine-specific checks over a C++ token stream produced by a
 real lexer (comments, string/char literals, raw strings, and preprocessor
 lines are understood, so code moving or a call spanning lines cannot silence
 a check the way the old line-oriented awk passes could):
@@ -25,9 +25,14 @@ a check the way the old line-oriented awk passes could):
                        src/ outside src/env/, which implements the Env)
                        must carry an `// io:` marker on the call statement
                        or the line above it.
+  state-transition     Every call to a background-error state transition
+                       (RecordBackgroundError / ClearBackgroundError /
+                       TryResumeFromNoSpace) must hold mutex_ at the call
+                       site, and the transition functions themselves must
+                       be declared EXCLUSIVE_LOCKS_REQUIRED(mutex_).
 
 This driver is the *portable subset* of tools/acheron_check/ (the clang-tidy
-plugin implements the same five checks on the real AST, with CFG dominance
+plugin implements the same invariants on the real AST, with CFG dominance
 for sync-before-install). It exists so CI runners and dev boxes without the
 clang plugin toolchain still enforce the invariants: tools/lint.sh --ast
 invokes it against compile_commands.json.
@@ -1423,6 +1428,143 @@ def check_sync_before_install(models, reporter, reg):
 
 
 # ---------------------------------------------------------------------------
+# Check: state-transition
+# ---------------------------------------------------------------------------
+
+# The background-error state machine (DBImpl::bg_error_state_ and friends)
+# is mutated only through these entry points; each must run under mutex_ so
+# a transition is never interleaved with a concurrent reader of the state.
+TRANSITION_CALLS = {"RecordBackgroundError", "ClearBackgroundError",
+                    "TryResumeFromNoSpace"}
+TRANSITION_MUTEX = "mutex_"
+
+
+def harvest_required_mutex_decls(models):
+    """Names of functions whose *declaration* carries
+    EXCLUSIVE_LOCKS_REQUIRED(...mutex_...).
+
+    Definitions in .cc files do not repeat the annotation -- the
+    held-on-entry fact lives only on the header declaration, which the
+    parser otherwise discards (it only models definitions). Harvest the
+    names straight from the token stream: find each annotation macro, read
+    its lock expression, then walk backward over the parameter list to the
+    declared name."""
+    out = set()
+    for model in models:
+        toks = model.lexed.tokens
+        n = len(toks)
+        for j, t in enumerate(toks):
+            if not (t.kind == "id" and t.text in (
+                    "EXCLUSIVE_LOCKS_REQUIRED", "SHARED_LOCKS_REQUIRED")):
+                continue
+            if j + 1 >= n or toks[j + 1].text != "(":
+                continue
+            k = j + 2
+            d = 1
+            expr = []
+            while k < n and d > 0:
+                if toks[k].text == "(":
+                    d += 1
+                elif toks[k].text == ")":
+                    d -= 1
+                    if d == 0:
+                        break
+                expr.append(toks[k].text)
+                k += 1
+            if TRANSITION_MUTEX not in expr:
+                continue
+            # Walk backward past cv-qualifiers to the parameter list's ')'.
+            k = j - 1
+            while k >= 0 and toks[k].kind == "id" and toks[k].text in (
+                    "const", "noexcept", "override", "final"):
+                k -= 1
+            if k < 0 or toks[k].text != ")":
+                continue
+            d = 0
+            while k >= 0:
+                if toks[k].text == ")":
+                    d += 1
+                elif toks[k].text == "(":
+                    d -= 1
+                    if d == 0:
+                        break
+                k -= 1
+            k -= 1
+            if k >= 0 and toks[k].kind == "id" and \
+                    toks[k].text not in KEYWORDS:
+                out.add(toks[k].text)
+    return out
+
+
+def check_state_transition(models, reporter):
+    """Every call to a background-error transition function must hold
+    mutex_: either the caller is itself declared
+    EXCLUSIVE_LOCKS_REQUIRED(mutex_), or a MutexLock / mutex_.Lock() is
+    still live at the call site. The transition functions' own
+    declarations must carry the annotation so thread-safety analysis
+    enforces the same rule at compile time."""
+    annotated = harvest_required_mutex_decls(models)
+
+    # Rule half 1: a defined transition function must be annotated.
+    for model in models:
+        for fn in model.funcs:
+            if fn.name not in TRANSITION_CALLS:
+                continue
+            if fn.name in annotated or \
+                    any(TRANSITION_MUTEX in r for r in fn.required):
+                continue
+            reporter.report(
+                model.lexed, fn.line, "state-transition",
+                f"state-transition function {fn.qname} must be declared "
+                f"EXCLUSIVE_LOCKS_REQUIRED({TRANSITION_MUTEX}) so callers "
+                "are checked at compile time")
+
+    # Rule half 2: every call site holds mutex_ at the moment of the call.
+    for model in models:
+        for fn in model.funcs:
+            sites = [c for c in fn.calls
+                     if c.name in TRANSITION_CALLS and c.name != fn.name]
+            if not sites:
+                continue
+            # held entries: (scope_depth or None for explicit, acq_depth);
+            # annotation-required locks use acq_depth -1 (held on entry).
+            entry_held = fn.name in annotated or \
+                any(TRANSITION_MUTEX in r for r in fn.required)
+            held = [(None, -1)] if entry_held else []
+            events = [(e.index, "lockev", e) for e in fn.lock_events]
+            events += [(c.index, "call", c) for c in sites]
+            events.sort(key=lambda x: x[0])
+            for _, kind, ev in events:
+                if kind == "lockev":
+                    if ev.kind == "return":
+                        # Locks acquired inside the returning block are
+                        # released on that exiting path; the fall-through
+                        # never holds them.
+                        held = [h for h in held if h[1] < ev.depth]
+                        continue
+                    if not ev.lock or ev.lock[-1] != TRANSITION_MUTEX:
+                        continue
+                    if ev.kind == "unlock":
+                        held = []
+                        continue
+                    held = [h for h in held
+                            if h[0] is None or h[0] <= ev.depth]
+                    held.append((ev.depth if ev.kind == "scoped" else None,
+                                 ev.depth))
+                else:
+                    c = ev
+                    live = [h for h in held
+                            if h[0] is None or h[0] <= c.depth]
+                    if not live:
+                        reporter.report(
+                            model.lexed, c.start_line, "state-transition",
+                            f"background-error transition '{c.name}(...)' "
+                            f"called in {fn.qname} without {TRANSITION_MUTEX}"
+                            " held; the state machine may race with a "
+                            "concurrent reader or transition")
+
+
+# ---------------------------------------------------------------------------
 # Harvest pass shared by checks
 # ---------------------------------------------------------------------------
 
@@ -1444,7 +1586,7 @@ def harvest_atomics(models):
 # ---------------------------------------------------------------------------
 
 ALL_CHECKS = ["lock-order", "sync-before-install", "atomic-ordering",
-              "guarded-by", "io-marker"]
+              "guarded-by", "io-marker", "state-transition"]
 
 
 def files_from_compdb(compdb_path, root):
@@ -1558,6 +1700,8 @@ def main(argv=None):
         check_lock_order(models, reporter, args.lock_order, reg)
     if "sync-before-install" in checks:
         check_sync_before_install(models, reporter, reg)
+    if "state-transition" in checks:
+        check_state_transition(models, reporter)
 
     for path, line, check, msg in sorted(reporter.violations):
         print(f"{path}:{line}: [{check}] {msg}")

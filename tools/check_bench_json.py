@@ -44,6 +44,15 @@ SCHEMA = {
         "jobs_scheduled": int,
         "memtable_swaps": int,
     },
+    # Transient-fault tolerance: background-error episodes and recoveries.
+    # A healthy bench run reports zeros; CI trend scraping alerts on any
+    # nonzero fatal count.
+    "errors": {
+        "transient": int,
+        "retried": int,
+        "fatal": int,
+        "resumes": int,
+    },
     "compactions": int,
     "write_amplification": (int, float),
 }

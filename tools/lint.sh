@@ -13,8 +13,9 @@
 #   5. clang-tidy over src/ (skipped with a notice if clang-tidy or the
 #      compile_commands.json it needs is unavailable; --require-clang-tidy
 #      turns the skip into a hard failure, which CI uses)
-#   6. --ast: acheron-check -- the five engine invariant checks (lock-order,
-#      sync-before-install, atomic-ordering, guarded-by, io-marker) run by
+#   6. --ast: acheron-check -- the six engine invariant checks (lock-order,
+#      sync-before-install, atomic-ordering, guarded-by, io-marker,
+#      state-transition) run by
 #      tools/acheron_check.py against compile_commands.json; when the
 #      clang-tidy plugin (tools/acheron_check/) has been built, the
 #      acheron-* checks also run on the real AST
