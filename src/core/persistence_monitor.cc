@@ -5,14 +5,16 @@
 namespace acheron {
 
 std::string DeleteStats::ToString() const {
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "tombstones: written=%llu persisted=%llu superseded=%llu live=%llu "
       "oldest_live_age=%llu | persistence latency (ops): avg=%.0f p50=%.0f "
       "p90=%.0f p99=%.0f max=%.0f | range deletes: written=%llu "
       "persisted=%llu superseded=%llu live=%llu | range latency (ops): "
-      "avg=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f | dth_at_risk=%d",
+      "avg=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f | value purges: "
+      "purged=%llu backlog=%llu latency avg=%.0f p50=%.0f p99=%.0f "
+      "max=%.0f | dth_at_risk=%d",
       static_cast<unsigned long long>(tombstones_written),
       static_cast<unsigned long long>(tombstones_persisted),
       static_cast<unsigned long long>(tombstones_superseded),
@@ -27,7 +29,11 @@ std::string DeleteStats::ToString() const {
       static_cast<unsigned long long>(range_deletes_live),
       range_persistence_latency_avg, range_persistence_latency_p50,
       range_persistence_latency_p90, range_persistence_latency_p99,
-      range_persistence_latency_max, dth_at_risk ? 1 : 0);
+      range_persistence_latency_max,
+      static_cast<unsigned long long>(values_purged),
+      static_cast<unsigned long long>(value_purge_backlog),
+      value_purge_latency_avg, value_purge_latency_p50,
+      value_purge_latency_p99, value_purge_latency_max, dth_at_risk ? 1 : 0);
   return buf;
 }
 
@@ -116,10 +122,25 @@ void DeletePersistenceMonitor::RestoreRange(uint64_t written,
   range_latency_ = latency;
 }
 
+void DeletePersistenceMonitor::ApplyVlogDelta(uint64_t purged,
+                                              const Histogram& latency) {
+  MutexLock l(&mu_);
+  vlog_purged_ += purged;
+  vlog_latency_.Merge(latency);
+}
+
+void DeletePersistenceMonitor::RestoreVlog(uint64_t purged,
+                                           const Histogram& latency) {
+  MutexLock l(&mu_);
+  vlog_purged_ = purged;
+  vlog_latency_ = latency;
+}
+
 void DeletePersistenceMonitor::Snapshot(DeleteStats* stats,
                                         uint64_t tombstones_live,
                                         uint64_t oldest_live_age,
-                                        uint64_t range_tombstones_live) const {
+                                        uint64_t range_tombstones_live,
+                                        uint64_t value_purge_backlog) const {
   MutexLock l(&mu_);
   stats->tombstones_written = written_;
   stats->tombstones_persisted = persisted_;
@@ -140,6 +161,13 @@ void DeletePersistenceMonitor::Snapshot(DeleteStats* stats,
   stats->range_persistence_latency_p99 = range_latency_.Percentile(99);
   stats->range_persistence_latency_max = range_latency_.Max();
   stats->range_persistence_latency_avg = range_latency_.Average();
+  stats->values_purged = vlog_purged_;
+  stats->value_purge_backlog = value_purge_backlog;
+  stats->value_purge_latency_p50 = vlog_latency_.Percentile(50);
+  stats->value_purge_latency_p90 = vlog_latency_.Percentile(90);
+  stats->value_purge_latency_p99 = vlog_latency_.Percentile(99);
+  stats->value_purge_latency_max = vlog_latency_.Max();
+  stats->value_purge_latency_avg = vlog_latency_.Average();
   stats->dth_at_risk = dth_at_risk_;
 }
 
@@ -161,6 +189,11 @@ Histogram DeletePersistenceMonitor::LatencyHistogram() const {
 Histogram DeletePersistenceMonitor::RangeLatencyHistogram() const {
   MutexLock l(&mu_);
   return range_latency_;
+}
+
+Histogram DeletePersistenceMonitor::VlogLatencyHistogram() const {
+  MutexLock l(&mu_);
+  return vlog_latency_;
 }
 
 }  // namespace acheron

@@ -58,6 +58,20 @@ struct DeleteStats {
   double range_persistence_latency_max = 0;
   double range_persistence_latency_avg = 0;
 
+  // ---- Value-purge (key-value separation) counterparts ----
+  // A deleted key's value bytes in the vLog are only reclaimed when GC
+  // rewrites (or drops) the segment holding them; delete-compliant GC
+  // requires that to happen within D_th of the key purge. The latency here
+  // is key-purge seq -> value-purge seq, in logical ops.
+  uint64_t values_purged = 0;
+  // Deleted keys whose value bytes are still waiting in the vLog.
+  uint64_t value_purge_backlog = 0;
+  double value_purge_latency_p50 = 0;
+  double value_purge_latency_p90 = 0;
+  double value_purge_latency_p99 = 0;
+  double value_purge_latency_max = 0;
+  double value_purge_latency_avg = 0;
+
   // True while a background-error episode (see DBImpl::RecordBackgroundError)
   // is delaying compactions past a due tombstone TTL deadline: the FADE
   // D_th bound is at risk until the episode recovers. Not journaled -- it
@@ -119,11 +133,18 @@ class DeletePersistenceMonitor {
   void RestoreRange(uint64_t written, uint64_t persisted, uint64_t superseded,
                     const Histogram& latency);
 
+  // ---- Value-purge (key-value separation) counterparts ----
+  // vLog GC reclaimed the value bytes of deleted keys; same install-then-
+  // apply discipline as ApplyDelta (the delta rides the GC's version edit).
+  void ApplyVlogDelta(uint64_t purged, const Histogram& latency);
+  void RestoreVlog(uint64_t purged, const Histogram& latency);
+
   // Fill |*stats| with the current aggregate; live-tombstone numbers are
-  // supplied by the caller (they come from the current Version).
+  // supplied by the caller (they come from the current Version), as is the
+  // value-purge backlog (it comes from the vLog segment registry).
   void Snapshot(DeleteStats* stats, uint64_t tombstones_live,
-                uint64_t oldest_live_age,
-                uint64_t range_tombstones_live = 0) const;
+                uint64_t oldest_live_age, uint64_t range_tombstones_live = 0,
+                uint64_t value_purge_backlog = 0) const;
 
   // Flag (or clear) the D_th-at-risk condition: set by the engine when a
   // background-error episode stalls compactions while a tombstone TTL
@@ -134,6 +155,7 @@ class DeletePersistenceMonitor {
   // Raw access to the latency histograms (benchmark reporting).
   Histogram LatencyHistogram() const;
   Histogram RangeLatencyHistogram() const;
+  Histogram VlogLatencyHistogram() const;
 
  private:
   // mu_ is the innermost lock of the engine (see DESIGN.md "Locking
@@ -152,6 +174,8 @@ class DeletePersistenceMonitor {
   uint64_t range_persisted_ GUARDED_BY(mu_) = 0;
   uint64_t range_superseded_ GUARDED_BY(mu_) = 0;
   Histogram range_latency_ GUARDED_BY(mu_);
+  uint64_t vlog_purged_ GUARDED_BY(mu_) = 0;
+  Histogram vlog_latency_ GUARDED_BY(mu_);
   bool dth_at_risk_ GUARDED_BY(mu_) = false;
 };
 

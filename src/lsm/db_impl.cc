@@ -37,6 +37,10 @@ struct DBImpl::CompactionState {
     std::string range_del_end;
     std::string min_secondary_key;
     std::string max_secondary_key;
+    // [min,max] vLog segment span of kTypeValuePointer entries (0 = none);
+    // feeds FileMetaData so segment liveness tracking survives compaction.
+    uint64_t min_vlog_segment = 0;
+    uint64_t max_vlog_segment = 0;
   };
 
   Output* current_output() { return &outputs[outputs.size() - 1]; }
@@ -99,6 +103,9 @@ Options SanitizeOptions(const std::string&, const Options& src) {
   result.level0_stop_writes_trigger =
       clamp(result.level0_stop_writes_trigger,
             result.level0_slowdown_writes_trigger, 1 << 20);
+  result.vlog_segment_size =
+      clamp(result.vlog_segment_size, uint64_t{64} << 10, uint64_t{1} << 30);
+  result.vlog_gc_live_ratio = clamp(result.vlog_gc_live_ratio, 0.0, 1.0);
   // Test hook: ACHERON_BACKGROUND_COMPACTIONS=0|1 forces the scheduling
   // mode, letting unchanged test binaries (delete_persistence_test) run
   // against both pipelines without recompilation.
@@ -124,7 +131,8 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       compaction_active_(false),
       bg_compaction_scheduled_(false),
       background_work_finished_signal_(&mutex_),
-      planner_(options_, &internal_comparator_) {
+      planner_(options_, &internal_comparator_),
+      vlog_readers_(env_, dbname) {
   // The Options copy held by the DB (and handed to tables) always carries a
   // usable block cache; build a private one when the caller didn't.
   Options* mutable_options = const_cast<Options*>(&options_);
@@ -179,6 +187,16 @@ DBImpl::~DBImpl() {
     // io: mutex-held -- clean close, no concurrent writers remain
     (void)logfile_->Close();
     logfile_.reset();
+  }
+  // Same contract for the value-log head: every acked value was already
+  // individually synced, so a best-effort flush+close loses nothing. The
+  // head stays "unsealed" in the MANIFEST; the next Open CRC-scans it and
+  // seals it logically at its valid extent.
+  if (vlog_ != nullptr) {
+    // io: mutex-held -- clean close, no concurrent writers remain
+    (void)vlog_->Flush();
+    (void)vlog_->Close();
+    vlog_.reset();
   }
   // Best-effort clean-close snapshot: the next Open seeks to it and replays
   // zero edits. Failure is harmless -- recovery replays the edit suffix.
@@ -336,6 +354,12 @@ void DBImpl::RemoveObsoleteFiles() {
   // Make a set of all of the live files
   std::set<uint64_t> live = pending_outputs_;
   versions_->AddLiveFiles(&live);
+  // vLog liveness: a segment is live while the registry lists it OR while
+  // any file in ANY live version spans it (old versions keep segments
+  // readable for their iterators/snapshots until they die), OR while GC is
+  // building it (pending_outputs_, folded into |live| above).
+  std::set<uint64_t> live_vlog;
+  versions_->AddLiveVlogSegments(&live_vlog);
 
   std::vector<std::string> filenames;
   // io: mutex-held -- the listing must be classified against a stable
@@ -369,6 +393,10 @@ void DBImpl::RemoveObsoleteFiles() {
           // recorded in pending_outputs_, which is inserted into "live".
           keep = (live.find(number) != live.end());
           break;
+        case kVlogFile:
+          keep = (live_vlog.find(number) != live_vlog.end() ||
+                  live.find(number) != live.end());
+          break;
         case kCurrentFile:
         case kDBLockFile:
           keep = true;
@@ -381,6 +409,10 @@ void DBImpl::RemoveObsoleteFiles() {
           auto it = dead_table_levels_.find(number);
           if (it != dead_table_levels_.end()) dead_level = it->second;
           table_cache_->Evict(number);
+        }
+        if (type == kVlogFile) {
+          // Drop the cached read handle before the unlink below.
+          vlog_readers_.Evict(number);
         }
         files_to_delete.push_back(
             Doomed{std::move(filename), type == kTableFile, dead_level, number});
@@ -441,6 +473,11 @@ class DeleteCounter : public WriteBatch::Handler {
   void Put(const Slice& key, const Slice& value) override {
     bytes += key.size() + value.size();
   }
+  void PutPointer(const Slice& key, const Slice& pointer) override {
+    // Only seen during WAL replay (separation happens after the batch is
+    // counted on the live path); the value bytes live in the vLog.
+    bytes += key.size() + pointer.size();
+  }
   void Delete(const Slice& key) override {
     deletes++;
     bytes += key.size();
@@ -449,6 +486,75 @@ class DeleteCounter : public WriteBatch::Handler {
     range_deletes++;
     bytes += begin.size() + end.size();
   }
+};
+
+// Rewrites a write group so values at or above the separation threshold go
+// to the value log and the batch carries (segment, offset, size) pointers
+// instead. Runs in the leader's unlocked section; the single-leader group
+// commit protocol is what serializes appends to the shared head writer.
+class ValueSeparator : public WriteBatch::Handler {
+ public:
+  ValueSeparator(WriteBatch* out, vlog::Writer* vlog, size_t threshold)
+      : out_(out), vlog_(vlog), threshold_(threshold) {}
+  Status status;
+  uint64_t separated = 0;
+  uint64_t bytes_appended = 0;
+  void Put(const Slice& key, const Slice& value) override {
+    if (!status.ok()) return;
+    if (value.size() < threshold_) {
+      out_->Put(key, value);
+      return;
+    }
+    vlog::ValuePointer ptr;
+    status = vlog_->Add(key, value, &ptr);
+    if (!status.ok()) return;
+    encoded_.clear();
+    vlog::EncodeValuePointer(&encoded_, ptr);
+    out_->PutPointer(key, encoded_);
+    separated++;
+    bytes_appended += ptr.size;
+  }
+  void PutPointer(const Slice& key, const Slice& pointer) override {
+    out_->PutPointer(key, pointer);
+  }
+  void Delete(const Slice& key) override { out_->Delete(key); }
+  void DeleteRange(const Slice& begin, const Slice& end) override {
+    out_->DeleteRange(begin, end);
+  }
+
+ private:
+  WriteBatch* const out_;
+  vlog::Writer* const vlog_;
+  const size_t threshold_;
+  std::string encoded_;
+};
+
+/// WAL-replay guard: a pointer referencing bytes beyond a segment's durable
+// extent (or an unknown segment) belongs to a record that was never acked --
+// the vLog syncs strictly before the WAL on the ack path -- so replay stops
+// at the first such batch, torn-tail style.
+class VlogPointerCheck : public WriteBatch::Handler {
+ public:
+  explicit VlogPointerCheck(const std::map<uint64_t, uint64_t>* extents)
+      : extents_(extents) {}
+  bool ok = true;
+  void Put(const Slice&, const Slice&) override {}
+  void PutPointer(const Slice&, const Slice& pointer) override {
+    vlog::ValuePointer ptr;
+    if (!vlog::DecodeValuePointerStrict(pointer, &ptr)) {
+      ok = false;
+      return;
+    }
+    auto it = extents_->find(ptr.segment);
+    if (it == extents_->end() || ptr.offset + ptr.size > it->second) {
+      ok = false;
+    }
+  }
+  void Delete(const Slice&) override {}
+  void DeleteRange(const Slice&, const Slice&) override {}
+
+ private:
+  const std::map<uint64_t, uint64_t>* const extents_;
 };
 }  // namespace
 
@@ -505,6 +611,14 @@ Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
     return Status::Corruption(buf, TableFileName(dbname_, *expected.begin()));
   }
 
+  // Seal the previous incarnation's value-log head at its valid CRC prefix
+  // and collect per-segment durable extents before WAL replay needs them to
+  // validate pointers.
+  s = RecoverVlog(edit, save_manifest);
+  if (!s.ok()) {
+    return s;
+  }
+
   // Recover in the order in which the logs were generated
   std::sort(logs.begin(), logs.end());
   uint64_t replayed_deletes = 0;
@@ -538,8 +652,54 @@ Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
   monitor_.RestoreRange(journal.range_written + replayed_range_deletes,
                         journal.range_persisted, journal.range_superseded,
                         journal.range_latency);
+  monitor_.RestoreVlog(journal.vlog_purged, journal.vlog_latency);
   stats_.manifest_edits_replayed = versions_->manifest_edits_replayed();
 
+  recovered_vlog_extents_.clear();  // only needed during replay
+  return Status::OK();
+}
+
+Status DBImpl::RecoverVlog(VersionEdit* edit, bool* save_manifest) {
+  recovered_vlog_extents_.clear();
+  for (const auto& entry : versions_->vlog_registry()) {
+    const vlog::SegmentInfo& info = entry.second;
+    const std::string fname = VlogFileName(dbname_, info.number);
+    if (!env_->FileExists(fname)) {  // io: open/recovery
+      if (info.sealed && info.value_count > 0) {
+        // A sealed segment was synced before its seal installed; it cannot
+        // legitimately vanish while the registry still lists it.
+        return Status::Corruption("missing value log file", fname);
+      }
+      // A registered-but-never-written head (crash inside rotation, before
+      // the first append was flushed): drop the registry entry.
+      edit->RemoveVlogSegment(info.number);
+      *save_manifest = true;
+      continue;
+    }
+    if (info.sealed) {
+      // Sealed extents were durable before the seal installed
+      // (sync-before-install); trust the journaled byte count.
+      recovered_vlog_extents_[info.number] = info.total_bytes;
+      continue;
+    }
+    // The previous incarnation's head. Append-only writes plus a per-record
+    // CRC make the valid prefix exact; seal the segment logically there.
+    // Bytes past the scan point (a torn tail) were never sync-acked.
+    uint64_t valid_bytes = 0;
+    uint64_t value_count = 0;
+    Status s = vlog::ScanSegment(env_, fname, &valid_bytes,
+                                 &value_count);  // io: open/recovery
+    if (!s.ok()) {
+      return s;
+    }
+    vlog::SegmentInfo sealed = info;
+    sealed.sealed = true;
+    sealed.total_bytes = valid_bytes;
+    sealed.value_count = value_count;
+    edit->AddVlogSegment(sealed);
+    *save_manifest = true;
+    recovered_vlog_extents_[sealed.number] = valid_bytes;
+  }
   return Status::OK();
 }
 
@@ -582,6 +742,19 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, bool, bool* save_manifest,
       continue;
     }
     WriteBatchInternal::SetContents(&batch, record);
+
+    if (!recovered_vlog_extents_.empty()) {
+      // Pointers are only acked after their value bytes are synced, so a
+      // pointer past its segment's durable extent marks the unacked suffix
+      // of the final WAL: stop replaying here. (Only the crash-time head
+      // can have a short extent, and only the last WAL references it --
+      // rotation seals the head before a new WAL accepts records.)
+      VlogPointerCheck check(&recovered_vlog_extents_);
+      (void)batch.Iterate(&check);
+      if (!check.ok) {
+        break;
+      }
+    }
 
     if (mem == nullptr) {
       mem = new MemTable(internal_comparator_);
@@ -658,7 +831,12 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
             builder.Add(key, iter->value(), user_key);
             ParsedInternalKey parsed;
             if (ParseInternalKey(key, &parsed)) {
-              if (parsed.type == kTypeValue &&
+              if (parsed.type == kTypeValuePointer) {
+                // Track the [min,max] vLog segment span: RemoveObsoleteFiles
+                // keeps every segment inside a live file's span alive.
+                vlog::FoldVlogSpan(iter->value(), &meta.min_vlog_segment,
+                                   &meta.max_vlog_segment);
+              } else if (parsed.type == kTypeValue &&
                   options_.secondary_key_extractor) {
                 std::string sec =
                     options_.secondary_key_extractor(user_key, iter->value());
@@ -820,6 +998,453 @@ Status DBImpl::CompactMemTable() {
   return s;
 }
 
+Status DBImpl::NewVlogHead(VersionEdit* edit) {
+  const uint64_t number = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> file;
+  // io: mutex-held -- vLog head rotation; the segment must exist before the
+  // next leader's unlocked section appends (same contract as WAL rotation)
+  Status s = env_->NewWritableFile(VlogFileName(dbname_, number), &file);
+  if (!s.ok()) {
+    return s;
+  }
+  vlog_ = std::make_unique<vlog::Writer>(std::move(file), number);
+  // Sync the empty segment before its (unsealed) registration installs:
+  // the registry entry then always names a file that exists durably, and
+  // the sync-before-install invariant holds for vLog outputs uniformly.
+  s = vlog_->Sync();  // io: mutex-held -- empty-file sync at head creation
+  if (!s.ok()) {
+    vlog_.reset();
+    return s;
+  }
+  vlog_rotation_pending_ = false;
+  vlog::SegmentInfo info;
+  info.number = number;
+  info.sealed = false;
+  edit->AddVlogSegment(info);
+  stats_.vlog_segments_created++;
+  return s;
+}
+
+Status DBImpl::SealVlogHead(VersionEdit* edit) {
+  if (vlog_ == nullptr) {
+    return Status::OK();
+  }
+  const uint64_t number = vlog_->segment_number();
+  const bool poisoned = vlog_rotation_pending_;
+  // io: mutex-held -- sealing the head; rotation must not interleave with a
+  // leader's unlocked appends, and no leader is out while we hold the mutex
+  Status s = vlog_->Flush();
+  if (s.ok()) s = vlog_->Sync();
+  if (s.ok()) s = vlog_->Close();
+  if (!s.ok() && !poisoned) {
+    // A healthy head must seal durably before its extent can be journaled
+    // (sync-before-install); let the caller retry the whole rotation.
+    return s;
+  }
+  vlog::SegmentInfo info;
+  info.number = number;
+  info.sealed = true;
+  info.total_bytes = vlog_->offset();
+  info.value_count = vlog_->value_count();
+  if (poisoned) {
+    // After an append/sync error the writer's own arithmetic is untrusted;
+    // re-derive the extent from the file's valid CRC prefix. Every acked
+    // value was individually synced before its ack, so it lies inside that
+    // prefix by construction; the failed suffix was never acked.
+    uint64_t valid_bytes = 0;
+    uint64_t value_count = 0;
+    // io: mutex-held -- bounded by one segment; only runs on the error path
+    Status scan = vlog::ScanSegment(env_, VlogFileName(dbname_, number),
+                                    &valid_bytes, &value_count);
+    if (!scan.ok()) {
+      return scan;
+    }
+    info.total_bytes = valid_bytes;
+    info.value_count = value_count;
+  }
+  edit->AddVlogSegment(info);
+  vlog_.reset();
+  return Status::OK();
+}
+
+Status DBImpl::RotateVlogHead() {
+  VersionEdit edit;
+  Status s = SealVlogHead(&edit);
+  if (s.ok() && VlogEnabled()) {
+    s = NewVlogHead(&edit);
+  }
+  if (s.ok()) {
+    // Install immediately: the next leader appends to the new head as soon
+    // as the write queue advances, and its WAL records name the new segment
+    // number -- replay validation rejects pointers into unregistered
+    // segments, so registration must be durable before any ack.
+    s = versions_->LogAndApply(&edit, &mutex_);
+  }
+  if (!s.ok()) {
+    // Force a retry before any further separation: a head that is sealed
+    // but unregistered (or not sealed at all) must not accept appends.
+    vlog_rotation_pending_ = true;
+  }
+  return s;
+}
+
+void DBImpl::ComputeNextVlogGcDeadline() {
+  next_vlog_gc_deadline_ = UINT64_MAX;
+  const uint64_t dth = options_.delete_persistence_threshold;
+  if (dth == 0) return;
+  for (const auto& entry : versions_->vlog_registry()) {
+    const vlog::SegmentInfo& info = entry.second;
+    if (!info.sealed || info.pending.empty()) continue;
+    // Collect at half the delete-persistence budget: the key purge already
+    // spent up to ~D_th reaching the bottom level, and the *value* purge
+    // must land within D_th of that key purge, not of the original delete.
+    next_vlog_gc_deadline_ =
+        std::min(next_vlog_gc_deadline_,
+                 info.earliest_pending_seq() + dth / 2);
+  }
+}
+
+Status DBImpl::MaybeVlogGc() {
+  assert(compaction_active_);
+  Status s;
+  // A few segments can come due at once (e.g. after a large range delete
+  // compacts); collect until no victim qualifies. The registry shrinks by
+  // one segment per iteration, so this terminates.
+  while (s.ok() && !shutting_down_.load(std::memory_order_acquire)) {
+    const vlog::Registry& registry = versions_->vlog_registry();
+    const SequenceNumber now = versions_->LastSequence();
+    const uint64_t dth = options_.delete_persistence_threshold;
+    const uint64_t head =
+        (vlog_ != nullptr) ? vlog_->segment_number() : 0;
+    uint64_t victim = 0;
+    uint64_t best_deadline = UINT64_MAX;
+    double best_ratio = 2.0;
+    for (const auto& entry : registry) {
+      const vlog::SegmentInfo& info = entry.second;
+      if (!info.sealed || info.number == head) continue;
+      bool eligible = false;
+      uint64_t deadline = UINT64_MAX;
+      if (info.value_count == 0 && info.pending.empty()) {
+        // Empty segment (aborted rotation, or all values relocated):
+        // nothing can reference it; reclaim immediately.
+        eligible = true;
+        deadline = 0;
+      }
+      if (dth > 0 && !info.pending.empty()) {
+        // FADE trigger: the oldest key purge charged to this segment is
+        // waiting on its value bytes.
+        deadline = info.earliest_pending_seq() + dth / 2;
+        eligible = eligible || now >= deadline;
+      }
+      if (!eligible && info.garbage_bytes > 0 &&
+          info.live_ratio() <= options_.vlog_gc_live_ratio) {
+        // Space trigger (Scavenger-style), independent of the delete clock.
+        eligible = true;
+      }
+      if (!eligible) continue;
+      // Earliest purge deadline wins; live-byte ratio breaks ties (and
+      // orders the space-triggered victims, which all carry UINT64_MAX).
+      if (deadline < best_deadline ||
+          (deadline == best_deadline && info.live_ratio() < best_ratio)) {
+        victim = info.number;
+        best_deadline = deadline;
+        best_ratio = info.live_ratio();
+      }
+    }
+    if (victim == 0) break;
+    s = CollectVlogSegment(victim);
+  }
+  if (!s.ok()) {
+    RecordBackgroundError(s, ErrorSubsystem::kCompaction);
+  }
+  ComputeNextVlogGcDeadline();
+  return s;
+}
+
+Status DBImpl::CollectVlogSegment(uint64_t segment) {
+  assert(compaction_active_);
+  const vlog::Registry& registry = versions_->vlog_registry();
+  auto reg_it = registry.find(segment);
+  if (reg_it == registry.end()) {
+    return Status::OK();
+  }
+  // Copy: LogAndApply below replaces the registry entry set.
+  const vlog::SegmentInfo victim_info = reg_it->second;
+  const SequenceNumber now_seq = versions_->LastSequence();
+
+  // Files in the current version whose segment span admits the victim.
+  // Rotation-at-swap confines a sealed segment's pointers to one memtable
+  // generation, and a segment only becomes eligible (garbage, purges, or
+  // emptiness) after that generation flushed -- so scanning tables covers
+  // every live pointer; no memtable can hold one.
+  Version* base = versions_->current();
+  base->Ref();
+  struct Target {
+    FileMetaData* f;
+    int level;
+  };
+  std::vector<Target> targets;
+  for (int level = 0; level < kNumLevels; level++) {
+    for (FileMetaData* f : base->files(level)) {
+      if (f->has_vlog_pointers() && f->min_vlog_segment <= segment &&
+          segment <= f->max_vlog_segment) {
+        targets.push_back({f, level});
+      }
+    }
+  }
+
+  VersionEdit edit;
+  Status s;
+
+  // Live values relocate into a fresh sealed segment. Its number rides
+  // pending_outputs_ until the edit installs so RemoveObsoleteFiles cannot
+  // unlink the half-built file.
+  std::unique_ptr<vlog::Writer> reloc;
+  uint64_t reloc_number = 0;
+  if (!targets.empty()) {
+    reloc_number = versions_->NewFileNumber();
+    pending_outputs_.insert(reloc_number);
+    std::unique_ptr<WritableFile> file;
+    // io: mutex-held -- GC relocation segment creation (slot held; cheap)
+    s = env_->NewWritableFile(VlogFileName(dbname_, reloc_number), &file);
+    if (s.ok()) {
+      reloc = std::make_unique<vlog::Writer>(std::move(file), reloc_number);
+    } else {
+      pending_outputs_.erase(reloc_number);
+    }
+  }
+
+  uint64_t relocated_values = 0;
+  uint64_t relocated_bytes = 0;
+  for (const Target& t : targets) {
+    if (!s.ok()) break;
+    s = RewriteFileForVlogGc(t.f, t.level, segment, reloc.get(), &edit,
+                             &relocated_values, &relocated_bytes);
+  }
+
+  if (s.ok() && reloc != nullptr) {
+    if (reloc->value_count() > 0) {
+      // Sync-before-install: the relocated bytes must be durable before
+      // the manifest edit that points rewritten tables at them.
+      // io: mutex-held -- sealing the GC relocation segment
+      s = reloc->Flush();
+      if (s.ok()) s = reloc->Sync();
+      if (s.ok()) s = reloc->Close();
+      if (s.ok()) {
+        vlog::SegmentInfo rinfo;
+        rinfo.number = reloc_number;
+        rinfo.sealed = true;
+        rinfo.total_bytes = reloc->offset();
+        rinfo.value_count = reloc->value_count();
+        edit.AddVlogSegment(rinfo);
+      }
+    } else {
+      (void)reloc->Close();
+      // io: mutex-held -- discarding an unused relocation segment
+      (void)env_->RemoveFile(VlogFileName(dbname_, reloc_number));
+      reloc_number = 0;
+    }
+  }
+
+  // The victim's pending purges complete the moment the edit that drops the
+  // segment installs: only then are the value bytes provably unreachable
+  // and the file reclaimable. Latency = value-purge time - key-purge time,
+  // on the same logical clock as the tombstone persistence bound.
+  uint64_t purged = 0;
+  Histogram purge_latency;
+  for (const auto& p : victim_info.pending) {
+    purged += p.count;
+    const double latency =
+        now_seq >= p.purge_seq
+            ? static_cast<double>(now_seq - p.purge_seq)
+            : 0.0;
+    for (uint64_t i = 0; i < p.count; i++) purge_latency.Add(latency);
+  }
+
+  if (s.ok()) {
+    edit.RemoveVlogSegment(segment);
+    if (purged > 0) {
+      edit.SetVlogMonitorDelta(purged, purge_latency);
+    }
+    s = versions_->LogAndApply(&edit, &mutex_);
+  }
+  if (s.ok()) {
+    if (purged > 0) {
+      monitor_.ApplyVlogDelta(purged, purge_latency);
+    }
+    stats_.vlog_gc_runs++;
+    stats_.vlog_gc_values_relocated += relocated_values;
+    stats_.vlog_gc_bytes_relocated += relocated_bytes;
+    // Relocation writes count toward write amplification like any other
+    // vLog append; GC is not free and the WA metric must say so.
+    stats_.vlog_bytes_written += relocated_bytes;
+    RecordDeadTableLevels(edit);
+    PublishReadState();
+    RemoveObsoleteFiles();
+  }
+  if (reloc_number != 0) pending_outputs_.erase(reloc_number);
+  base->Unref();
+  return s;
+}
+
+Status DBImpl::RewriteFileForVlogGc(const FileMetaData* f, int level,
+                                    uint64_t victim, vlog::Writer* reloc,
+                                    VersionEdit* edit,
+                                    uint64_t* relocated_values,
+                                    uint64_t* relocated_bytes) {
+  // Rewrites |f|, relocating every pointer into |victim| to |reloc| (all
+  // other entries are carried verbatim, sequences included, so snapshot
+  // reads through the replacement are unchanged).
+  const uint64_t new_number = versions_->NewFileNumber();
+  pending_outputs_.insert(new_number);
+
+  // The rewrite I/O runs unlocked; the caller holds the compaction slot and
+  // a reference on |f|'s version, so the input cannot be deleted.
+  mutex_.Unlock();
+  ReadOptions ropts;
+  ropts.fill_cache = false;
+  std::unique_ptr<Iterator> it(
+      table_cache_->NewIterator(ropts, f->number, f->file_size));
+  std::vector<RangeTombstone> range_dels;
+  Status s;
+  if (f->has_range_tombstones()) {
+    s = table_cache_->GetRangeTombstones(f->number, f->file_size,
+                                         &range_dels);
+  }
+  std::unique_ptr<WritableFile> file;
+  if (s.ok()) {
+    s = env_->NewWritableFile(TableFileName(dbname_, new_number),
+                              &file);  // io: unlocked
+  }
+  if (!s.ok()) {
+    mutex_.Lock();
+    pending_outputs_.erase(new_number);
+    return s;
+  }
+
+  FileMetaData meta;
+  meta.number = new_number;
+  TableBuilder builder(options_, file.get());
+  std::string relocated_value;
+  std::string pointer_scratch;
+  for (it->SeekToFirst(); s.ok() && it->Valid(); it->Next()) {
+    Slice key = it->key();
+    Slice value = it->value();
+    ParsedInternalKey parsed;
+    const bool is_pointer =
+        ParseInternalKey(key, &parsed) && parsed.type == kTypeValuePointer;
+    vlog::ValuePointer ptr;
+    if (is_pointer) {
+      if (!vlog::DecodeValuePointerStrict(value, &ptr)) {
+        s = Status::Corruption("bad value pointer in table",
+                               TableFileName(dbname_, f->number));
+        break;
+      }
+      if (ptr.segment == victim) {
+        // Keyed back-check: the record must still carry this user key, or
+        // the pointer and segment disagree and relocating would graft the
+        // wrong bytes under the key. ReaderCache::Get enforces it.
+        relocated_value.clear();
+        s = vlog_readers_.Get(ptr, parsed.user_key, &relocated_value);
+        if (!s.ok()) break;
+        vlog::ValuePointer moved;
+        s = reloc->Add(parsed.user_key, relocated_value, &moved);
+        if (!s.ok()) break;
+        pointer_scratch.clear();
+        vlog::EncodeValuePointer(&pointer_scratch, moved);
+        value = Slice(pointer_scratch);
+        ptr = moved;
+        (*relocated_values)++;
+        *relocated_bytes += moved.size;
+      }
+    }
+    if (builder.NumEntries() == 0) meta.smallest.DecodeFrom(key);
+    meta.largest.DecodeFrom(key);
+    builder.Add(key, value, ExtractUserKey(key));
+    if (ParseInternalKey(key, &parsed)) {
+      if (parsed.type == kTypeDeletion) {
+        meta.num_tombstones++;
+        meta.earliest_tombstone_seq =
+            std::min(meta.earliest_tombstone_seq, parsed.sequence);
+        meta.earliest_tombstone_wall_micros =
+            std::min(meta.earliest_tombstone_wall_micros,
+                     f->earliest_tombstone_wall_micros);
+      } else if (is_pointer) {
+        if (meta.min_vlog_segment == 0 ||
+            ptr.segment < meta.min_vlog_segment) {
+          meta.min_vlog_segment = ptr.segment;
+        }
+        meta.max_vlog_segment = std::max(meta.max_vlog_segment, ptr.segment);
+      } else if (parsed.type == kTypeValue &&
+                 options_.secondary_key_extractor) {
+        std::string sec =
+            options_.secondary_key_extractor(parsed.user_key, it->value());
+        if (!sec.empty()) {
+          if (meta.min_secondary_key.empty() ||
+              sec < meta.min_secondary_key) {
+            meta.min_secondary_key = sec;
+          }
+          if (meta.max_secondary_key.empty() ||
+              sec > meta.max_secondary_key) {
+            meta.max_secondary_key = sec;
+          }
+        }
+      }
+    }
+  }
+  if (s.ok() && !it->status().ok()) {
+    s = it->status();
+  }
+
+  if (s.ok() && !range_dels.empty()) {
+    // Carried verbatim, same as the secondary purge rewrite: losing them
+    // would resurrect every key they cover.
+    for (const RangeTombstone& t : range_dels) {
+      builder.AddRangeTombstone(t.begin, t.end, t.seq,
+                                internal_comparator_.user_comparator());
+      meta.num_range_tombstones++;
+      meta.earliest_range_tombstone_seq =
+          std::min(meta.earliest_range_tombstone_seq, t.seq);
+    }
+    meta.earliest_range_tombstone_wall_micros =
+        f->earliest_range_tombstone_wall_micros;
+    meta.range_del_begin = f->range_del_begin;
+    meta.range_del_end = f->range_del_end;
+  }
+
+  if (s.ok()) {
+    meta.num_entries = builder.NumEntries();
+    TableProperties* props = builder.mutable_properties();
+    props->num_tombstones = meta.num_tombstones;
+    props->earliest_tombstone_time = meta.earliest_tombstone_seq;
+    if (meta.num_range_tombstones > 0) {
+      props->earliest_range_tombstone_wall_micros =
+          meta.earliest_range_tombstone_wall_micros;
+    }
+    props->min_secondary_key = meta.min_secondary_key;
+    props->max_secondary_key = meta.max_secondary_key;
+    s = builder.Finish();
+    if (s.ok()) {
+      meta.file_size = builder.FileSize();
+      meta.run_id = f->run_id;  // preserve recency ordering within the level
+      // Durable before the (synced) manifest record references it.
+      s = file->Sync();
+      if (s.ok()) s = file->Close();
+    }
+  } else {
+    builder.Abandon();
+    (void)file->Close();  // io: unlocked -- abandoned GC rewrite output
+  }
+
+  mutex_.Lock();
+  if (s.ok()) {
+    edit->RemoveFile(level, f->number);
+    edit->AddFile(level, meta);
+  }
+  pending_outputs_.erase(new_number);
+  return s;
+}
+
 void DBImpl::AcquireCompactionSlot() {
   while (compaction_active_) {
     background_work_finished_signal_.Wait();
@@ -849,6 +1474,12 @@ Status DBImpl::RunCompactions() {
   }
   if (s.ok()) {
     s = MaybeCompact(horizon);
+  }
+  if (s.ok()) {
+    // Value-log GC rides the compaction slot: compactions above may have
+    // charged new garbage/pending purges, and the FADE deadline check
+    // inside picks up exactly that state.
+    s = MaybeVlogGc();
   }
   ReleaseCompactionSlot();
   return s;
@@ -984,6 +1615,22 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       continue;
     }
 
+    // Value-log head rotation: poisoned by an append/sync error (the
+    // writer's arithmetic is untrusted, exactly like the WAL case above),
+    // or simply past the segment size cap. Must complete before the next
+    // leader's unlocked section can separate values.
+    if ((vlog_rotation_pending_ && VlogEnabled()) ||
+        (vlog_ != nullptr &&
+         vlog_->offset() >= options_.vlog_segment_size)) {
+      s = RotateVlogHead();
+      if (!s.ok()) {
+        RecordBackgroundError(s, ErrorSubsystem::kFlush);
+        if (bg_error_state_ == BackgroundErrorState::kFatal) break;
+        (void)BackoffForRetry();
+        continue;
+      }
+    }
+
     // An empty memtable never flushes: it would emit no L0 file, and with a
     // write_buffer_size at the arena's block granularity a fresh (empty)
     // memtable can already sit at the usage threshold -- flushing it would
@@ -1089,6 +1736,24 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       background_work_finished_signal_.Wait();
       stats_.stall_micros += SystemClock::NowMicros() - t0;
       continue;
+    }
+
+    // Rotate the value-log head with the memtable: every pointer into the
+    // segment being sealed lives in the outgoing memtable (or in already
+    // flushed tables), never in the new one. This is the invariant vLog GC
+    // relies on to prove a collectable segment is memtable-free -- a
+    // segment only accrues garbage or pending purges after a compaction
+    // drops one of its pointers, which requires this generation's flush to
+    // have installed first. Runs before the WAL rotation so a failure here
+    // retries without burning a log file per attempt.
+    if (vlog_ != nullptr && vlog_->value_count() > 0) {
+      s = RotateVlogHead();
+      if (!s.ok()) {
+        RecordBackgroundError(s, ErrorSubsystem::kFlush);
+        if (bg_error_state_ == BackgroundErrorState::kFatal) break;
+        (void)BackoffForRetry();
+        continue;
+      }
     }
 
     // Rotate the WAL and swap mem_ into the immutable slot. The new log
@@ -1393,6 +2058,8 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
     meta.range_del_end = out.range_del_end;
     meta.min_secondary_key = out.min_secondary_key;
     meta.max_secondary_key = out.max_secondary_key;
+    meta.min_vlog_segment = out.min_vlog_segment;
+    meta.max_vlog_segment = out.max_vlog_segment;
     meta.run_id = out.number;
     compact->compaction->edit()->AddFile(output_level, meta);
   }
@@ -1552,6 +2219,12 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
   Histogram latency_delta;
   uint64_t range_persisted_delta = 0;
   Histogram range_latency_delta;
+  // Per-segment vLog charges for pointer entries this compaction drops:
+  // garbage bytes always; additionally a pending purge (the FADE clock for
+  // value bytes) when the drop is deletion-driven. Journaled as kVlogDelta
+  // on the compaction's edit, same install discipline as the monitor
+  // deltas above.
+  std::map<uint64_t, vlog::SegmentDelta> vlog_deltas;
 
   input->SeekToFirst();
   Status status = range_status;
@@ -1559,6 +2232,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
   std::string current_user_key;
   bool has_current_user_key = false;
   SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+  ValueType last_type_for_key = kTypeValue;
 
   while (status.ok() && input->Valid()) {
     // A memtable swapped out mid-merge stays queued until this round ends:
@@ -1576,6 +2250,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
       current_user_key.clear();
       has_current_user_key = false;
       last_sequence_for_key = kMaxSequenceNumber;
+      last_type_for_key = kTypeValue;
     } else {
       if (!has_current_user_key ||
           internal_comparator_.user_comparator()->Compare(
@@ -1584,8 +2259,10 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
         current_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
         has_current_user_key = true;
         last_sequence_for_key = kMaxSequenceNumber;
+        last_type_for_key = kTypeValue;
       }
 
+      bool deletion_driven = false;
       if (last_sequence_for_key <= compact->smallest_snapshot) {
         // Hidden by an newer entry for same user key
         drop = true;  // (A)
@@ -1594,6 +2271,10 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
           // A newer write replaced this tombstone before it could persist.
           superseded_delta++;
         }
+        // A pointer hidden by a *tombstone* is a deleted value: its bytes
+        // join the segment's pending-purge clock. Hidden by a newer value
+        // it is mere overwrite garbage (space trigger only).
+        deletion_driven = (last_type_for_key == kTypeDeletion);
       } else if (ikey.type == kTypeDeletion &&
                  ikey.sequence <= compact->smallest_snapshot &&
                  compact->compaction->IsBaseLevelForKey(ikey.user_key)) {
@@ -1623,9 +2304,29 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
         if (ikey.type == kTypeDeletion) {
           superseded_delta++;
         }
+        // Range-covered values are deletion-driven by definition.
+        deletion_driven = true;
+      }
+
+      if (drop && ikey.type == kTypeValuePointer) {
+        vlog::ValuePointer ptr;
+        if (vlog::DecodeValuePointerStrict(input->value(), &ptr)) {
+          vlog::SegmentDelta& d = vlog_deltas[ptr.segment];
+          d.number = ptr.segment;
+          d.garbage_bytes += ptr.size;
+          d.dead_count++;
+          if (deletion_driven) {
+            // Key purge happens when this edit installs; stamp the round's
+            // horizon as the purge time (one clock for the whole round,
+            // so background and synchronous schedules agree).
+            d.purge_count++;
+            d.purge_seq = now_seq;
+          }
+        }
       }
 
       last_sequence_for_key = ikey.sequence;
+      last_type_for_key = ikey.type;
     }
 
     if (!drop) {
@@ -1659,6 +2360,11 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
             }
           }
         }
+      } else if (ikey.type == kTypeValuePointer) {
+        // The extractor must never run on a pointer payload; track the
+        // segment span instead (liveness for RemoveObsoleteFiles).
+        vlog::FoldVlogSpan(input->value(), &out->min_vlog_segment,
+                           &out->max_vlog_segment);
       } else if (options_.secondary_key_extractor) {
         std::string sec = options_.secondary_key_extractor(ikey.user_key,
                                                            input->value());
@@ -1829,6 +2535,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact,
     if (range_persisted_delta > 0) {
       compact->compaction->edit()->SetMonitorRangeDelta(
           range_persisted_delta, 0, range_latency_delta);
+    }
+    for (const auto& entry : vlog_deltas) {
+      compact->compaction->edit()->AddVlogDelta(entry.second);
     }
     status = InstallCompactionResults(compact);
     if (status.ok()) {
@@ -2070,6 +2779,17 @@ Status DBImpl::Resume() {
 
 // ---------------- Reads ----------------
 
+Status DBImpl::DerefValuePointer(const Slice& encoded, const Slice& user_key,
+                                 std::string* value) {
+  vlog::ValuePointer ptr;
+  if (!vlog::DecodeValuePointerStrict(encoded, &ptr)) {
+    return Status::Corruption("bad vLog value pointer");
+  }
+  Status s = vlog_readers_.Get(ptr, user_key, value);
+  if (s.ok()) vlog_reads_.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
   Status s;
@@ -2095,14 +2815,15 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   uint64_t filter_negatives = 0;
   LookupKey lkey(key, snapshot);
   SequenceNumber found_seq = 0;
-  if (state->mem->Get(lkey, value, &s, &found_seq)) {
+  bool is_pointer = false;
+  if (state->mem->Get(lkey, value, &s, &found_seq, &is_pointer)) {
     // Done
   } else if (state->imm != nullptr &&
-             state->imm->Get(lkey, value, &s, &found_seq)) {
+             state->imm->Get(lkey, value, &s, &found_seq, &is_pointer)) {
     // Done
   } else {
     s = state->current->Get(options, lkey, value, &filter_negatives,
-                            &found_seq);
+                            &found_seq, &is_pointer);
   }
 
   // Range-tombstone coverage. Sequence numbers are global, so one coverage
@@ -2120,6 +2841,14 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     if (rcov > found_seq) {
       value->clear();
       s = Status::NotFound(Slice());
+    } else if (is_pointer) {
+      // The raw hit is an encoded vLog pointer; swap in the value bytes.
+      // Safe off the mutex: the pinned ReadState keeps the deciding
+      // version alive, and its file's segment span keeps the segment file
+      // on disk (RemoveObsoleteFiles' liveness rule).
+      std::string encoded;
+      encoded.swap(*value);
+      s = DerefValuePointer(encoded, key, value);
     }
   }
 
@@ -2162,12 +2891,13 @@ std::vector<Status> DBImpl::MultiGet(const ReadOptions& options,
     items[i].key = lkeys.back().get();
     items[i].value = &(*values)[i];
     Status s;
-    if (state->mem->Get(*lkeys[i], items[i].value, &s, &items[i].seq)) {
+    if (state->mem->Get(*lkeys[i], items[i].value, &s, &items[i].seq,
+                        &items[i].is_pointer)) {
       items[i].status = s;
       items[i].done = true;
     } else if (state->imm != nullptr &&
-               state->imm->Get(*lkeys[i], items[i].value, &s,
-                               &items[i].seq)) {
+               state->imm->Get(*lkeys[i], items[i].value, &s, &items[i].seq,
+                               &items[i].is_pointer)) {
       items[i].status = s;
       items[i].done = true;
     } else {
@@ -2183,7 +2913,6 @@ std::vector<Status> DBImpl::MultiGet(const ReadOptions& options,
     state->current->MultiGet(options, items.data(), n, &filter_negatives);
   }
 
-  uint64_t found = 0;
   for (size_t i = 0; i < n; i++) {
     // Same global coverage test as Get: a found value whose sequence is
     // below a covering range tombstone (<= the batch snapshot) is hidden.
@@ -2199,8 +2928,43 @@ std::vector<Status> DBImpl::MultiGet(const ReadOptions& options,
       if (rcov > items[i].seq) {
         items[i].value->clear();
         items[i].status = Status::NotFound(Slice());
+        items[i].is_pointer = false;
       }
     }
+  }
+
+  // Batch-dereference every surviving pointer hit through one SubmitReads
+  // round: vLog resolution pipelines exactly like the table reads above.
+  std::vector<vlog::ReadItem> deref;
+  std::vector<size_t> deref_idx;
+  for (size_t i = 0; i < n; i++) {
+    if (!items[i].status.ok() || !items[i].is_pointer) continue;
+    vlog::ValuePointer ptr;
+    if (!vlog::DecodeValuePointerStrict(Slice(*items[i].value), &ptr)) {
+      items[i].status = Status::Corruption("bad value pointer");
+      items[i].value->clear();
+      continue;
+    }
+    vlog::ReadItem r;
+    r.ptr = ptr;  // decoded by value: overwriting *value below is safe
+    r.expected_key = keys[i];
+    r.value = items[i].value;
+    deref.push_back(r);
+    deref_idx.push_back(i);
+  }
+  if (!deref.empty()) {
+    vlog_readers_.MultiGet(deref.data(), deref.size());
+    vlog_reads_.fetch_add(deref.size(), std::memory_order_relaxed);
+    for (size_t j = 0; j < deref.size(); j++) {
+      if (!deref[j].status.ok()) {
+        items[deref_idx[j]].status = deref[j].status;
+        items[deref_idx[j]].value->clear();
+      }
+    }
+  }
+
+  uint64_t found = 0;
+  for (size_t i = 0; i < n; i++) {
     statuses[i] = items[i].status;
     if (statuses[i].ok()) found++;
   }
@@ -2296,7 +3060,8 @@ Iterator* DBImpl::NewIterator(const ReadOptions& options) {
     range_dels->Build(internal_comparator_.user_comparator(), raw);
   }
   return NewDBIterator(internal_comparator_.user_comparator(), iter, seq,
-                       &iter_tombstones_skipped_, range_dels);
+                       &iter_tombstones_skipped_, range_dels, &vlog_readers_,
+                       &vlog_reads_);
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
@@ -2361,7 +3126,10 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     DeleteCounter counter;
     uint64_t wal_bytes = 0;
     uint64_t wal_syncs = 0;
+    uint64_t vlog_appended_bytes = 0;
+    uint64_t vlog_appended_values = 0;
     bool sync_error = false;
+    bool vlog_error = false;
     {
       // Apply the group to the WAL and memtable with the mutex released:
       // the leader is the only awake writer (followers sleep on their cv),
@@ -2371,11 +3139,52 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       MemTable* mem = mem_;
       wal::Writer* log = log_.get();
       WritableFile* logfile = logfile_.get();
+      vlog::Writer* vlog = vlog_.get();
+      WriteBatch* applied = write_batch;
+      if (vlog != nullptr && options_.value_separation_threshold > 0) {
+        separated_batch_.Clear();
+      }
       mutex_.Unlock();
-      if (!options_.disable_wal) {
-        Slice contents = WriteBatchInternal::Contents(write_batch);
+      if (vlog != nullptr && options_.value_separation_threshold > 0) {
+        // Key-value separation: route large values into the vLog head and
+        // rewrite their entries into pointers. The WAL and memtable see the
+        // transformed batch; the stats/monitor accounting below keeps using
+        // the original batch so user byte counts stay honest.
+        ValueSeparator sep(&separated_batch_, vlog,
+                           options_.value_separation_threshold);
+        status = write_batch->Iterate(&sep);
+        if (status.ok()) status = sep.status;
+        if (status.ok() && sep.separated > 0) {
+          // Push the appended records to the OS so the lock-free read path
+          // (pread on the segment) can see them the moment the memtable
+          // pointers become visible.
+          status = vlog->Flush();  // io: unlocked
+        }
+        if (!status.ok()) {
+          // The head's write arithmetic is now untrusted; the next leader
+          // seals it (scan-derived extent) and opens a fresh segment. This
+          // group was never applied or acked.
+          vlog_error = true;
+        } else if (sep.separated > 0) {
+          WriteBatchInternal::SetSequence(
+              &separated_batch_, WriteBatchInternal::Sequence(write_batch));
+          applied = &separated_batch_;
+          vlog_appended_bytes = sep.bytes_appended;
+          vlog_appended_values = sep.separated;
+        }
+      }
+      if (status.ok() && !options_.disable_wal) {
+        Slice contents = WriteBatchInternal::Contents(applied);
         status = log->AddRecord(contents);
         wal_bytes = contents.size();
+        if (status.ok() && w.sync && vlog_appended_values > 0) {
+          // Durability ordering: the vLog record must be durable before the
+          // WAL record that points at it -- recovery trusts any pointer
+          // inside a segment's synced extent. A failure here is a vLog
+          // failure (poison the head), not a WAL failure.
+          status = vlog->Sync();  // io: unlocked
+          if (!status.ok()) vlog_error = true;
+        }
         if (status.ok() && w.sync) {
           // Group commit's payoff: ONE fsync covers every batch in the
           // group (followers piggyback on the leader's sync; BuildBatchGroup
@@ -2411,13 +3220,20 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         }
       }
       if (status.ok()) {
-        status = WriteBatchInternal::InsertInto(write_batch, mem);
+        status = WriteBatchInternal::InsertInto(applied, mem);
       }
       if (status.ok()) {
-        // The batch was just applied, so re-iterating it cannot fail.
+        // Count deletes/bytes from the ORIGINAL batch (pre-separation), so
+        // user_bytes_written reflects what the user wrote, not pointer
+        // sizes. The batch was just applied, so re-iterating cannot fail.
         (void)write_batch->Iterate(&counter);
       }
       mutex_.Lock();
+    }
+    if (vlog_error) {
+      // Force the next leader through RotateVlogHead before any further
+      // separation: the current head is poisoned (unknown tail state).
+      vlog_rotation_pending_ = true;
     }
     if (async_sync) {
       // Claimed before any successor leader can run MakeRoomForWrite: a WAL
@@ -2431,6 +3247,8 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     if (status.ok()) {
       versions_->SetLastSequence(last_sequence);
       stats_.user_bytes_written += counter.bytes;
+      stats_.vlog_bytes_written += vlog_appended_bytes;
+      stats_.vlog_values_written += vlog_appended_values;
       if (counter.deletes > 0) {
         monitor_.OnTombstoneWritten(counter.deletes);
       }
@@ -2462,7 +3280,8 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     // first round flushes and exposes the real deadline, so loop once more.
     while (status.ok() &&
            versions_->LastSequence() >=
-               std::min(next_ttl_deadline_, pending_ttl_floor_)) {
+               std::min({next_ttl_deadline_, pending_ttl_floor_,
+                         next_vlog_gc_deadline_})) {
       const bool flush_pending = (imm_ != nullptr);
       stats_.stall_ttl_waits++;
       const uint64_t t0 = SystemClock::NowMicros();
@@ -2805,8 +3624,60 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     }
     uint64_t age =
         versions_->current()->MaxTombstoneAge(versions_->LastSequence());
-    monitor_.Snapshot(&ds, live, age, range_live);
+    uint64_t backlog = 0;
+    for (const auto& entry : versions_->vlog_registry()) {
+      backlog += entry.second.pending_count();
+    }
+    monitor_.Snapshot(&ds, live, age, range_live, backlog);
     *value = ds.ToString();
+    return true;
+  } else if (in == "vlog-stats") {
+    // Key-value separation observability: the segment registry plus the GC
+    // and read counters. max_pending_age is the per-segment FADE clock --
+    // the logical age of the oldest key purge whose value bytes are still
+    // waiting for GC (must stay <= D_th under delete-compliant GC).
+    const vlog::Registry& registry = versions_->vlog_registry();
+    const SequenceNumber now = versions_->LastSequence();
+    uint64_t segments = 0, sealed = 0, total_bytes = 0, garbage_bytes = 0;
+    uint64_t backlog = 0, max_pending_age = 0;
+    for (const auto& entry : registry) {
+      const vlog::SegmentInfo& info = entry.second;
+      segments++;
+      if (info.sealed) sealed++;
+      total_bytes += info.total_bytes;
+      garbage_bytes += info.garbage_bytes;
+      backlog += info.pending_count();
+      if (!info.pending.empty()) {
+        SequenceNumber earliest = info.earliest_pending_seq();
+        if (now > earliest) {
+          max_pending_age = std::max(max_pending_age, now - earliest);
+        }
+      }
+    }
+    const double live_ratio =
+        total_bytes == 0
+            ? 1.0
+            : 1.0 - static_cast<double>(garbage_bytes) / total_bytes;
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "segments=%llu sealed=%llu total_bytes=%llu garbage_bytes=%llu "
+        "live_ratio=%.3f value_purge_backlog=%llu max_pending_age=%llu "
+        "gc_runs=%llu gc_values_relocated=%llu gc_bytes_relocated=%llu "
+        "reads=%llu next_gc_deadline=%llu",
+        static_cast<unsigned long long>(segments),
+        static_cast<unsigned long long>(sealed),
+        static_cast<unsigned long long>(total_bytes),
+        static_cast<unsigned long long>(garbage_bytes), live_ratio,
+        static_cast<unsigned long long>(backlog),
+        static_cast<unsigned long long>(max_pending_age),
+        static_cast<unsigned long long>(stats_.vlog_gc_runs),
+        static_cast<unsigned long long>(stats_.vlog_gc_values_relocated),
+        static_cast<unsigned long long>(stats_.vlog_gc_bytes_relocated),
+        static_cast<unsigned long long>(
+            vlog_reads_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(next_vlog_gc_deadline_));
+    value->assign(buf);
     return true;
   } else if (in == "background-error") {
     const char* state = nullptr;
@@ -2876,7 +3747,11 @@ DeleteStats DBImpl::GetDeleteStats() {
                               imm_->earliest_tombstone_seq());
     }
   }
-  monitor_.Snapshot(&ds, live, age, range_live);
+  uint64_t backlog = 0;
+  for (const auto& entry : versions_->vlog_registry()) {
+    backlog += entry.second.pending_count();
+  }
+  monitor_.Snapshot(&ds, live, age, range_live, backlog);
   return ds;
 }
 
@@ -2886,6 +3761,7 @@ void DBImpl::MergeReadPathCounters(InternalStats* merged) const {
   merged->gets = gets_.load(std::memory_order_relaxed);
   merged->gets_found = gets_found_.load(std::memory_order_relaxed);
   merged->bloom_useful = table_cache_->filter_negatives_total();
+  merged->vlog_reads = vlog_reads_.load(std::memory_order_relaxed);
 }
 
 InternalStats DBImpl::GetStats() {
@@ -2965,6 +3841,12 @@ Status DBImpl::RewriteFileForPurge(FileMetaData* f, int level,
         meta.earliest_tombstone_wall_micros = std::min(
             meta.earliest_tombstone_wall_micros,
             f->earliest_tombstone_wall_micros);
+      } else if (parsed.type == kTypeValuePointer) {
+        // Pointer entries ride through the purge verbatim (the extractor
+        // never sees them); the replacement must keep their segment span or
+        // RemoveObsoleteFiles could unlink a segment they still reference.
+        vlog::FoldVlogSpan(it->value(), &meta.min_vlog_segment,
+                           &meta.max_vlog_segment);
       } else if (!sec.empty()) {
         if (meta.min_secondary_key.empty() || sec < meta.min_secondary_key) {
           meta.min_secondary_key = sec;
@@ -3121,6 +4003,14 @@ Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
       impl->mem_ = new MemTable(impl->internal_comparator_);
       impl->mem_->Ref();
     }
+  }
+  if (s.ok() && impl->VlogEnabled()) {
+    // Every Open starts a fresh vLog head (the previous head was sealed at
+    // its recovered extent by RecoverVlog). Registering it rides the same
+    // edit that retires the replayed WALs, so the head is journaled before
+    // the first write can put a pointer to it anywhere durable.
+    s = impl->NewVlogHead(&edit);
+    save_manifest = true;
   }
   if (s.ok() && save_manifest) {
     edit.SetLogNumber(impl->logfile_number_);

@@ -55,6 +55,8 @@
 #include "src/lsm/write_batch.h"
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
+#include "src/vlog/vlog_reader.h"
+#include "src/vlog/vlog_writer.h"
 #include "src/wal/log_writer.h"
 
 namespace acheron {
@@ -321,6 +323,70 @@ class DBImpl : public DB {
                              VersionEdit* edit)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
+  // ---- Value log (key-value separation; see src/vlog/ and DESIGN.md) ----
+  //
+  // Values at or above Options::value_separation_threshold are appended to
+  // an append-only, checksummed value-log segment by the write-group leader
+  // (in its unlocked section -- one leader at a time serializes appends, the
+  // same argument that covers log_), leaving a (segment, offset, size)
+  // pointer in the WAL/memtable/SSTs. The registry of segments lives in the
+  // VersionSet and is journaled through the MANIFEST (tags 13-16), so the
+  // set of value-bearing files recovers exactly like the set of tables.
+
+  bool VlogEnabled() const { return options_.value_separation_threshold > 0; }
+
+  // Open a fresh head segment and register it (unsealed) in |edit|.
+  Status NewVlogHead(VersionEdit* edit) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Seal the current head: flush + sync + close the file and record the
+  // final sealed extent in |edit|. Sync-before-install: callers LogAndApply
+  // |edit| only after this returns OK, so a "sealed" registry entry always
+  // describes durable bytes.
+  Status SealVlogHead(VersionEdit* edit) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Seal the head (if it holds values), open a successor, and install both
+  // through one immediately-applied edit. Runs at every memtable swap --
+  // which keeps all pointers into a sealed segment inside a single memtable
+  // generation, the invariant vLog GC's safety proof rests on -- and when
+  // the head exceeds Options::vlog_segment_size or is poisoned by an
+  // append/sync error (vlog_rotation_pending_).
+  Status RotateVlogHead() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Recompute next_vlog_gc_deadline_ from the registry's pending purges.
+  void ComputeNextVlogGcDeadline() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Collect every GC-eligible sealed segment: FADE deadline reached
+  // (earliest pending purge_seq + D_th/2 <= now) or live-byte ratio at or
+  // below Options::vlog_gc_live_ratio. Caller holds the compaction slot.
+  Status MaybeVlogGc() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Relocate |segment|'s live values (keyed back-check through the tables
+  // that still point at it) into a fresh sealed segment, then drop it from
+  // the registry and journal the value-purge latencies of its pending
+  // purges. Caller holds the compaction slot.
+  Status CollectVlogSegment(uint64_t segment) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Rewrite |f|, redirecting every pointer into |victim| at |reloc|; all
+  // other entries are copied verbatim (same level, preserved run_id --
+  // mirrors RewriteFileForPurge). The rewrite I/O runs unlocked.
+  Status RewriteFileForVlogGc(const FileMetaData* f, int level,
+                              uint64_t victim, vlog::Writer* reloc,
+                              VersionEdit* edit, uint64_t* relocated_values,
+                              uint64_t* relocated_bytes)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Recovery: reconcile the recovered registry against the .vlog files on
+  // disk. The unsealed head (if any) is CRC-scanned and logically sealed at
+  // its valid extent via |edit|; recovered_vlog_extents_ is filled for WAL
+  // pointer validation during replay.
+  Status RecoverVlog(VersionEdit* edit, bool* save_manifest)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Lock-free: dereference an encoded value pointer (keyed back-check
+  // against |user_key|) through the reader cache.
+  Status DerefValuePointer(const Slice& encoded, const Slice& user_key,
+                           std::string* value);
+
   // Constant after construction.
   Env* const env_;
   const InternalKeyComparator internal_comparator_;
@@ -479,6 +545,39 @@ class DBImpl : public DB {
   bool space_watcher_scheduled_ GUARDED_BY(mutex_) = false;
   // Serializes TryResumeFromNoSpace probes (the probe I/O drops mutex_).
   bool resume_probe_active_ GUARDED_BY(mutex_) = false;
+
+  // ---- Value-log state ----
+
+  // Head segment writer. Rotated only under mutex_; the group leader
+  // appends through a pointer captured under the lock -- exactly the
+  // log_/logfile_ protocol, safe for the same one-leader-awake reason.
+  std::unique_ptr<vlog::Writer> vlog_ GUARDED_BY(mutex_);
+  // Pointer dereferences on the lock-free read path (provides its own
+  // synchronization; a leaf lock under tools/lock_order.txt).
+  vlog::ReaderCache vlog_readers_;
+  // Dereferences served; relaxed atomic because Get/iterators never hold
+  // mutex_. Merged into stats snapshots like gets_.
+  std::atomic<uint64_t> vlog_reads_{0};
+  // Scratch batch for the leader's value-separation transform (only the
+  // leader touches it, through a pointer captured under the lock -- the
+  // tmp_batch_ argument).
+  WriteBatch separated_batch_ GUARDED_BY(mutex_);
+  // A vLog append/flush/sync failed: the writer's offset arithmetic may
+  // have diverged from the file, so the head must rotate before the next
+  // separated value lands (same contract as wal_rotation_pending_).
+  bool vlog_rotation_pending_ GUARDED_BY(mutex_) = false;
+  // Earliest logical time at which some segment's pending value purges hit
+  // the GC deadline (earliest purge_seq + D_th/2); UINT64_MAX when none.
+  // Checked by the write path's inline deadline loop alongside
+  // next_ttl_deadline_, so value purges obey the same clock discipline in
+  // both pipeline modes.
+  uint64_t next_vlog_gc_deadline_ GUARDED_BY(mutex_) = UINT64_MAX;
+  // Durable byte extent per segment as recovered (sealed extent, or the
+  // CRC-scanned extent of the unsealed head). Used only during Recover: a
+  // replayed WAL pointer past its segment's extent proves the write was
+  // never acked (the vLog syncs before the WAL on the ack path), so replay
+  // stops there -- the vLog analogue of torn-WAL-tail truncation.
+  std::map<uint64_t, uint64_t> recovered_vlog_extents_ GUARDED_BY(mutex_);
 };
 
 // Sanitize db options: clamp user-supplied values to reasonable ranges and

@@ -20,12 +20,15 @@ class DBIter : public Iterator {
 
   DBIter(const Comparator* cmp, Iterator* iter, SequenceNumber s,
          std::atomic<uint64_t>* tombstone_skips,
-         FragmentedRangeTombstoneList* range_dels)
+         FragmentedRangeTombstoneList* range_dels,
+         vlog::ReaderCache* vlog_readers, std::atomic<uint64_t>* vlog_reads)
       : user_comparator_(cmp),
         iter_(iter),
         sequence_(s),
         tombstone_skips_(tombstone_skips),
         range_dels_(range_dels),
+        vlog_readers_(vlog_readers),
+        vlog_reads_(vlog_reads),
         direction_(kForward),
         valid_(false) {}
 
@@ -45,7 +48,10 @@ class DBIter : public Iterator {
   }
   Slice value() const override {
     assert(valid_);
-    return (direction_ == kForward) ? iter_->value() : saved_value_;
+    if (direction_ == kForward) {
+      return forward_is_resolved_ ? Slice(resolved_value_) : iter_->value();
+    }
+    return saved_value_;
   }
   Status status() const override {
     if (status_.ok()) {
@@ -72,6 +78,29 @@ class DBIter : public Iterator {
     return range_dels_ != nullptr &&
            range_dels_->MaxCoveringSeq(ikey.user_key, sequence_) >
                ikey.sequence;
+  }
+
+  // Dereference an encoded vLog pointer into resolved_value_. On failure
+  // sets status_ and returns false (the caller invalidates the iterator).
+  bool ResolvePointer(const Slice& encoded, const Slice& user_key) {
+    vlog::ValuePointer ptr;
+    if (!vlog::DecodeValuePointerStrict(encoded, &ptr)) {
+      status_ = Status::Corruption("bad vLog pointer in iterator");
+      return false;
+    }
+    if (vlog_readers_ == nullptr) {
+      status_ = Status::Corruption("vLog pointer but no value log attached");
+      return false;
+    }
+    Status s = vlog_readers_->Get(ptr, user_key, &resolved_value_);
+    if (!s.ok()) {
+      status_ = s;
+      return false;
+    }
+    if (vlog_reads_ != nullptr) {
+      vlog_reads_->fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
   }
 
   inline void SaveKey(const Slice& k, std::string* dst) {
@@ -106,10 +135,16 @@ class DBIter : public Iterator {
   SequenceNumber const sequence_;
   std::atomic<uint64_t>* const tombstone_skips_;
   FragmentedRangeTombstoneList* const range_dels_;  // owned; may be null
+  vlog::ReaderCache* const vlog_readers_;           // not owned; may be null
+  std::atomic<uint64_t>* const vlog_reads_;
   uint64_t pending_tombstone_skips_ = 0;
   Status status_;
   std::string saved_key_;    // == current key when direction_==kReverse
   std::string saved_value_;  // == current raw value when direction_==kReverse
+  std::string resolved_value_;  // dereferenced vLog value (forward accept)
+  // True when the forward-direction current entry is a resolved pointer, so
+  // value() must serve resolved_value_ instead of the raw iterator payload.
+  bool forward_is_resolved_ = false;
   Direction direction_;
   bool valid_;
 };
@@ -175,6 +210,7 @@ void DBIter::FindNextUserEntry(bool skipping, std::string* skip) {
           CountTombstoneSkip();
           break;
         case kTypeValue:
+        case kTypeValuePointer:
           if (skipping &&
               user_comparator_->Compare(ikey.user_key, *skip) <= 0) {
             // Entry hidden
@@ -186,6 +222,13 @@ void DBIter::FindNextUserEntry(bool skipping, std::string* skip) {
             skipping = true;
             CountTombstoneSkip();
           } else {
+            forward_is_resolved_ = (ikey.type == kTypeValuePointer);
+            if (forward_is_resolved_ &&
+                !ResolvePointer(iter_->value(), ikey.user_key)) {
+              valid_ = false;
+              saved_key_.clear();
+              return;
+            }
             valid_ = true;
             saved_key_.clear();
             return;
@@ -241,7 +284,8 @@ void DBIter::FindPrevUserEntry() {
           break;
         }
         value_type = ikey.type;
-        if (value_type == kTypeValue && RangeCovered(ikey)) {
+        if ((value_type == kTypeValue || value_type == kTypeValuePointer) &&
+            RangeCovered(ikey)) {
           // Hidden by a range tombstone: treat like a point deletion.
           value_type = kTypeDeletion;
         }
@@ -270,6 +314,18 @@ void DBIter::FindPrevUserEntry() {
     ClearSavedValue();
     direction_ = kForward;
   } else {
+    // saved_value_ holds the raw payload of the winning entry; if that
+    // entry was a pointer, dereference it once now (not per candidate).
+    if (value_type == kTypeValuePointer) {
+      if (!ResolvePointer(saved_value_, saved_key_)) {
+        valid_ = false;
+        saved_key_.clear();
+        ClearSavedValue();
+        direction_ = kForward;
+        return;
+      }
+      saved_value_ = resolved_value_;
+    }
     valid_ = true;
   }
 }
@@ -314,9 +370,11 @@ void DBIter::SeekToLast() {
 Iterator* NewDBIterator(const Comparator* user_key_comparator,
                         Iterator* internal_iter, SequenceNumber sequence,
                         std::atomic<uint64_t>* tombstone_skips,
-                        FragmentedRangeTombstoneList* range_dels) {
+                        FragmentedRangeTombstoneList* range_dels,
+                        vlog::ReaderCache* vlog_readers,
+                        std::atomic<uint64_t>* vlog_reads) {
   return new DBIter(user_key_comparator, internal_iter, sequence,
-                    tombstone_skips, range_dels);
+                    tombstone_skips, range_dels, vlog_readers, vlog_reads);
 }
 
 }  // namespace acheron

@@ -18,7 +18,10 @@ bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result) {
   result->sequence = num >> 8;
   result->type = static_cast<ValueType>(c);
   result->user_key = Slice(internal_key.data(), n - 8);
-  return (c <= static_cast<uint8_t>(kTypeValue));
+  // Point-key ordering admits deletions, inline values, and vLog pointers;
+  // kTypeRangeDeletion never appears in an internal point key.
+  return (c <= static_cast<uint8_t>(kTypeValuePointer) &&
+          c != static_cast<uint8_t>(kTypeRangeDeletion));
 }
 
 std::string ParsedInternalKey::DebugString() const {

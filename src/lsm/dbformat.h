@@ -31,10 +31,17 @@ class InternalKey;
 // dedicated range-tombstone blocks (begin key in the record, end key as the
 // value); they never enter the point-key ordering of memtables or data
 // blocks.
+//
+// kTypeValuePointer is a point entry (ordered like kTypeValue) whose payload
+// is not the user value but an encoded (segment, offset, size) reference
+// into the value log (src/vlog/vlog_format.h): key-value separation routes
+// values >= Options::value_separation_threshold through the vLog, and the
+// read paths dereference the pointer transparently.
 enum ValueType {
   kTypeDeletion = 0x0,
   kTypeValue = 0x1,
-  kTypeRangeDeletion = 0x2
+  kTypeRangeDeletion = 0x2,
+  kTypeValuePointer = 0x3
 };
 
 // kValueTypeForSeek defines the ValueType that should be passed when
@@ -43,8 +50,9 @@ enum ValueType {
 // and the value type is embedded as the low 8 bits in the sequence
 // number in internal keys, we need to use the highest-numbered
 // ValueType *among those in the point-key ordering*, not the lowest;
-// kTypeRangeDeletion is stored out of band and does not participate).
-static const ValueType kValueTypeForSeek = kTypeValue;
+// kTypeRangeDeletion is stored out of band and does not participate, but
+// kTypeValuePointer does -- it is an ordinary point entry).
+static const ValueType kValueTypeForSeek = kTypeValuePointer;
 
 typedef uint64_t SequenceNumber;
 

@@ -44,11 +44,16 @@ std::string TempFileName(const std::string& dbname, uint64_t number) {
   return MakeFileName(dbname, number, "tmp");
 }
 
+std::string VlogFileName(const std::string& dbname, uint64_t number) {
+  assert(number > 0);
+  return MakeFileName(dbname, number, "vlog");
+}
+
 // Owned filenames have the form:
 //    dbname/CURRENT
 //    dbname/LOCK
 //    dbname/MANIFEST-[0-9]+
-//    dbname/[0-9]+.(log|sst|tmp)
+//    dbname/[0-9]+.(log|sst|tmp|vlog)
 bool ParseFileName(const std::string& filename, uint64_t* number,
                    FileType* type) {
   Slice rest(filename);
@@ -84,6 +89,8 @@ bool ParseFileName(const std::string& filename, uint64_t* number,
       *type = kTableFile;
     } else if (suffix == Slice(".tmp")) {
       *type = kTempFile;
+    } else if (suffix == Slice(".vlog")) {
+      *type = kVlogFile;
     } else {
       return false;
     }

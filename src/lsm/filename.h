@@ -5,6 +5,7 @@
 //   CURRENT            -- names the current MANIFEST
 //   LOCK               -- advisory lock marker
 //   <number>.tmp       -- temporary (descriptor swap)
+//   <number>.vlog      -- value-log segment (key-value separation)
 #ifndef ACHERON_LSM_FILENAME_H_
 #define ACHERON_LSM_FILENAME_H_
 
@@ -25,6 +26,7 @@ enum FileType {
   kDescriptorFile,
   kCurrentFile,
   kTempFile,
+  kVlogFile,
 };
 
 std::string LogFileName(const std::string& dbname, uint64_t number);
@@ -33,6 +35,7 @@ std::string DescriptorFileName(const std::string& dbname, uint64_t number);
 std::string CurrentFileName(const std::string& dbname);
 std::string LockFileName(const std::string& dbname);
 std::string TempFileName(const std::string& dbname, uint64_t number);
+std::string VlogFileName(const std::string& dbname, uint64_t number);
 
 // If filename is an acheron file, store the type of the file in *type.
 // The number encoded in the filename is stored in *number. If the filename

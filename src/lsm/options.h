@@ -220,6 +220,30 @@ struct Options {
   // Optional extractor for a secondary delete key stored inside values;
   // enables DB::PurgeSecondaryRange (KiWi-style retention deletes).
   SecondaryKeyExtractor secondary_key_extractor;
+
+  // -------- Key-value separation (value log) --------
+
+  // Values of at least this many bytes are routed through the append-only
+  // value log (src/vlog/): the WAL/memtable/SSTs carry a
+  // (segment, offset, size) pointer and compaction shuffles only
+  // keys+pointers, cutting large-value write amplification by the depth of
+  // the tree. 0 disables separation entirely (no vLog files are created).
+  // Reads dereference pointers transparently; vLog garbage collection is
+  // scheduled by the same FADE clock as tombstone-aware compaction, so a
+  // configured delete_persistence_threshold bounds when the *value bytes*
+  // of a deleted key are gone, not just its key.
+  size_t value_separation_threshold = 0;
+
+  // Target size of one vLog segment; the head is sealed and rotated once it
+  // grows past this (rotation also happens at every memtable swap, so a
+  // sealed segment never has pointers outside flushed state for long).
+  uint64_t vlog_segment_size = 4 * 1024 * 1024;
+
+  // Space trigger for vLog GC, independent of the FADE clock: a sealed
+  // segment whose live-byte ratio drops to or below this is collected even
+  // if no delete deadline is due (Scavenger-style space reclamation).
+  // 0 collects only fully-dead or deadline-due segments.
+  double vlog_gc_live_ratio = 0.25;
 };
 
 // Options that control read operations.

@@ -16,10 +16,14 @@
 //   (2) inspects every table file, re-deriving its key range and tombstone
 //       metadata from the file itself (the properties block, falling back
 //       to a full scan),
-//   (3) writes a new MANIFEST placing every surviving table in level 0
+//   (3) salvages orphaned vLog segments: every .vlog file is CRC-scanned
+//       and re-registered, sealed at its valid prefix, so surviving value
+//       pointers dereference again (pointers into lost bytes fail cleanly
+//       at read time -- the record CRC and keyed back-check reject them),
+//   (4) writes a new MANIFEST placing every surviving table in level 0
 //       (conservatively correct: L0 runs may overlap; subsequent
 //       compactions restructure the tree), and
-//   (4) leaves undecodable files in place but outside the new version.
+//   (5) leaves undecodable files in place but outside the new version.
 //
 // Sequence numbers embedded in the tables are preserved, so snapshots of
 // logical time -- and with them Acheron's delete-persistence clock --
@@ -38,6 +42,8 @@
 #include "src/memtable/memtable.h"
 #include "src/table/table.h"
 #include "src/table/table_builder.h"
+#include "src/vlog/vlog_format.h"
+#include "src/vlog/vlog_reader.h"
 #include "src/wal/log_reader.h"
 #include "src/wal/log_writer.h"
 
@@ -69,6 +75,7 @@ class Repairer {
       }
       ConvertLogFilesToTables();
       ExtractMetaData();
+      SalvageVlogSegments();
       status = WriteDescriptor();
     }
     return status;
@@ -99,6 +106,9 @@ class Repairer {
     uint64_t journal_range_persisted = 0;
     uint64_t journal_range_superseded = 0;
     Histogram journal_range_latency;
+    vlog::Registry vlog_registry;
+    uint64_t journal_vlog_purged = 0;
+    Histogram journal_vlog_latency;
   };
 
   Status BoundedRepair() {
@@ -135,6 +145,7 @@ class Repairer {
       ReplayedVersion v;
       status = ReplayManifest(entry.second, &v);
       if (status.ok()) status = VerifyTables(v);
+      if (status.ok()) status = VerifyVlogSegments(&v);
       if (status.ok()) return WriteBoundedDescriptor(min_new_number, v);
     }
     return status;
@@ -182,6 +193,9 @@ class Repairer {
         v->journal_range_persisted = 0;
         v->journal_range_superseded = 0;
         v->journal_range_latency.Clear();
+        v->vlog_registry.clear();
+        v->journal_vlog_purged = 0;
+        v->journal_vlog_latency.Clear();
       }
       for (const auto& dead : edit.deleted_files()) {
         v->levels[dead.first].erase(dead.second);
@@ -217,6 +231,20 @@ class Repairer {
         v->journal_range_superseded += edit.monitor_range_superseded();
         v->journal_range_latency.Merge(edit.monitor_range_latency());
       }
+      if (edit.has_vlog_monitor_delta()) {
+        v->journal_vlog_purged += edit.vlog_monitor_purged();
+        v->journal_vlog_latency.Merge(edit.vlog_monitor_latency());
+      }
+      // vLog registry replay, same fold-in as VersionSet::Recover.
+      for (const vlog::SegmentInfo& info : edit.vlog_segments()) {
+        v->vlog_registry[info.number] = info;
+      }
+      for (uint64_t seg : edit.vlog_removed_segments()) {
+        v->vlog_registry.erase(seg);
+      }
+      for (const vlog::SegmentDelta& delta : edit.vlog_deltas()) {
+        vlog::ApplyDelta(&v->vlog_registry, delta);
+      }
     }
     if (records == 0) {
       return Status::Corruption(fname, "empty MANIFEST");
@@ -246,6 +274,44 @@ class Repairer {
     return Status::OK();
   }
 
+  // Mirror of DBImpl::RecoverVlog for the bounded tier. A sealed segment
+  // with values must exist at no less than its recorded extent (pointers
+  // into it would dangle otherwise -- fall back to salvage). The unsealed
+  // head (or an empty sealed segment) that never made it to disk is simply
+  // dropped; a present unsealed head is CRC-scanned and sealed at its valid
+  // prefix, exactly like a torn WAL tail.
+  Status VerifyVlogSegments(ReplayedVersion* v) {
+    for (auto it = v->vlog_registry.begin(); it != v->vlog_registry.end();) {
+      vlog::SegmentInfo& info = it->second;
+      const std::string fname = VlogFileName(dbname_, info.number);
+      uint64_t size = 0;
+      Status s = env_->GetFileSize(fname, &size);  // io: repair
+      if (!s.ok()) {
+        if (info.sealed && info.value_count > 0) {
+          return Status::Corruption(fname, "missing value log segment");
+        }
+        it = v->vlog_registry.erase(it);
+        continue;
+      }
+      if (info.sealed) {
+        if (size < info.total_bytes) {
+          return Status::Corruption(fname, "value log shorter than recorded");
+        }
+      } else {
+        uint64_t valid_bytes = 0;
+        uint64_t value_count = 0;
+        // io: repair -- torn-tail scan of the crash-time head
+        s = vlog::ScanSegment(env_, fname, &valid_bytes, &value_count);
+        if (!s.ok()) return s;
+        info.sealed = true;
+        info.total_bytes = valid_bytes;
+        info.value_count = value_count;
+      }
+      ++it;
+    }
+    return Status::OK();
+  }
+
   Status WriteBoundedDescriptor(uint64_t min_new_number,
                                 const ReplayedVersion& v) {
     // The descriptor's recorded next_file must exceed its own number, or
@@ -269,6 +335,12 @@ class Repairer {
     edit.SetMonitorRangeDelta(v.journal_range_persisted,
                               v.journal_range_superseded,
                               v.journal_range_latency);
+    if (v.journal_vlog_purged > 0) {
+      edit.SetVlogMonitorDelta(v.journal_vlog_purged, v.journal_vlog_latency);
+    }
+    for (const auto& seg : v.vlog_registry) {
+      edit.AddVlogSegment(seg.second);
+    }
     for (const auto& level : v.levels) {
       for (const auto& f : level.second) {
         edit.AddFile(level.first, f.second);
@@ -342,6 +414,8 @@ class Repairer {
             logs_.push_back(number);
           } else if (type == kTableFile) {
             table_numbers_.push_back(number);
+          } else if (type == kVlogFile) {
+            vlog_numbers_.push_back(number);
           } else {
             // Ignore other files
           }
@@ -484,6 +558,11 @@ class Repairer {
         if (parsed.sequence < t->meta.earliest_tombstone_seq) {
           t->meta.earliest_tombstone_seq = parsed.sequence;
         }
+      } else if (parsed.type == kTypeValuePointer) {
+        // Re-derive the table's vLog span so obsolete-file collection keeps
+        // the referenced segments alive after the repair.
+        vlog::FoldVlogSpan(iter->value(), &t->meta.min_vlog_segment,
+                           &t->meta.max_vlog_segment);
       }
     }
     Status iter_status = iter->status();
@@ -536,6 +615,30 @@ class Repairer {
     return Status::OK();
   }
 
+  // Full-salvage counterpart of VerifyVlogSegments: with the MANIFEST gone,
+  // the registry is rebuilt from the .vlog files themselves. Each segment is
+  // CRC-scanned and re-registered sealed at its valid prefix; garbage/
+  // pending-purge accounting is lost (conservatively zero -- GC re-learns
+  // garbage as compactions drop pointers). Unreadable or empty segments are
+  // left on disk but outside the new version; the next Open's obsolete-file
+  // pass removes them if no surviving table references their span.
+  void SalvageVlogSegments() {
+    for (uint64_t number : vlog_numbers_) {
+      uint64_t valid_bytes = 0;
+      uint64_t value_count = 0;
+      // io: repair -- CRC scan of one orphaned segment
+      Status s = vlog::ScanSegment(env_, VlogFileName(dbname_, number),
+                                   &valid_bytes, &value_count);
+      if (!s.ok() || value_count == 0) continue;
+      vlog::SegmentInfo info;
+      info.number = number;
+      info.sealed = true;
+      info.total_bytes = valid_bytes;
+      info.value_count = value_count;
+      salvaged_vlog_.push_back(info);
+    }
+  }
+
   Status WriteDescriptor() {
     // Highest sequence across all salvaged tables.
     SequenceNumber max_sequence = 0;
@@ -550,6 +653,9 @@ class Repairer {
     edit.SetLastSequence(max_sequence);
     for (const TableInfo& t : tables_) {
       edit.AddFile(0, t.meta);
+    }
+    for (const vlog::SegmentInfo& info : salvaged_vlog_) {
+      edit.AddVlogSegment(info);
     }
 
     const uint64_t manifest_number = next_file_number_ + 2;
@@ -589,7 +695,9 @@ class Repairer {
   std::vector<std::string> manifests_;
   std::vector<uint64_t> table_numbers_;
   std::vector<uint64_t> logs_;
+  std::vector<uint64_t> vlog_numbers_;
   std::vector<TableInfo> tables_;
+  std::vector<vlog::SegmentInfo> salvaged_vlog_;
   uint64_t next_file_number_;
 };
 

@@ -5,7 +5,7 @@
 namespace acheron {
 
 std::string InternalStats::ToString() const {
-  char buf[1536];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "writes: user=%llu wal=%llu | flush: n=%llu bytes=%llu | "
@@ -18,6 +18,8 @@ std::string InternalStats::ToString() const {
       "recovery: edits_replayed=%llu snapshots=%llu rotations=%llu "
       "torn_skipped=%llu | "
       "errors: transient=%llu retried=%llu fatal=%llu resumes=%llu | "
+      "vlog: bytes=%llu values=%llu segments=%llu gc_runs=%llu "
+      "relocated=%llu relocated_bytes=%llu reads=%llu | "
       "WA=%.2f",
       static_cast<unsigned long long>(user_bytes_written),
       static_cast<unsigned long long>(wal_bytes_written),
@@ -51,6 +53,13 @@ std::string InternalStats::ToString() const {
       static_cast<unsigned long long>(errors_retried),
       static_cast<unsigned long long>(errors_fatal),
       static_cast<unsigned long long>(resume_count),
+      static_cast<unsigned long long>(vlog_bytes_written),
+      static_cast<unsigned long long>(vlog_values_written),
+      static_cast<unsigned long long>(vlog_segments_created),
+      static_cast<unsigned long long>(vlog_gc_runs),
+      static_cast<unsigned long long>(vlog_gc_values_relocated),
+      static_cast<unsigned long long>(vlog_gc_bytes_relocated),
+      static_cast<unsigned long long>(vlog_reads),
       WriteAmplification());
   return buf;
 }

@@ -66,18 +66,30 @@ struct InternalStats {
   uint64_t resume_count = 0;      // degraded-read-only -> writable recoveries
                                   // (space probe or DB::Resume)
 
+  // --- value log (key-value separation) ---
+  uint64_t vlog_bytes_written = 0;      // record bytes appended to the vLog
+  uint64_t vlog_values_written = 0;     // values routed through the vLog
+  uint64_t vlog_segments_created = 0;   // head segments opened
+  uint64_t vlog_gc_runs = 0;            // GC passes that collected a segment
+  uint64_t vlog_gc_values_relocated = 0;  // live values rewritten by GC
+  uint64_t vlog_gc_bytes_relocated = 0;   // record bytes rewritten by GC
+  uint64_t vlog_reads = 0;              // pointer dereferences served
+
   // --- reads ---
   uint64_t gets = 0;
   uint64_t gets_found = 0;
   uint64_t bloom_useful = 0;         // table probes skipped by the filter
   uint64_t iter_tombstones_skipped = 0;  // tombstones stepped over by scans
 
-  // Write amplification: bytes written to storage (flush + compaction)
-  // per user byte.
+  // Write amplification: bytes written to storage (flush + compaction +
+  // value-log appends, including GC relocations) per user byte. Counting
+  // the vLog keeps the separated and unseparated configurations honestly
+  // comparable.
   double WriteAmplification() const {
     if (user_bytes_written == 0) return 0.0;
     return static_cast<double>(flush_bytes_written +
-                               compaction_bytes_written) /
+                               compaction_bytes_written +
+                               vlog_bytes_written) /
            static_cast<double>(user_bytes_written);
   }
 

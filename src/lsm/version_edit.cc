@@ -29,6 +29,16 @@ enum Tag {
   // Range-delete counterparts of the monitor journal fields.
   kMonitorRangeWritten = 11,
   kMonitorRangeDelta = 12,
+  // ---- vLog segment registry (key-value separation) ----
+  // Upsert of one segment's full registry state (see vlog::SegmentInfo).
+  kVlogSegment = 13,
+  // Segment collected by GC: drop it from the registry.
+  kVlogRemove = 14,
+  // One compaction's garbage/pending-purge charge (see vlog::SegmentDelta).
+  kVlogDelta = 15,
+  // Value-purge monitor journal: purged count + latency histogram. Delta on
+  // ordinary edits, cumulative on snapshot records (mirrors kMonitorDelta).
+  kVlogMonitorDelta = 16,
 };
 
 void VersionEdit::Clear() {
@@ -56,6 +66,12 @@ void VersionEdit::Clear() {
   compact_pointers_.clear();
   deleted_files_.clear();
   new_files_.clear();
+  vlog_segments_.clear();
+  vlog_removed_segments_.clear();
+  vlog_deltas_.clear();
+  has_vlog_monitor_delta_ = false;
+  vlog_monitor_purged_ = 0;
+  vlog_monitor_latency_.Clear();
 }
 
 void VersionEdit::EncodeTo(std::string* dst) const {
@@ -119,6 +135,8 @@ void VersionEdit::EncodeBodyTo(std::string* dst) const {
     PutVarint64(dst, f.earliest_range_tombstone_wall_micros);
     PutLengthPrefixedSlice(dst, f.range_del_begin);
     PutLengthPrefixedSlice(dst, f.range_del_end);
+    PutVarint64(dst, f.min_vlog_segment);
+    PutVarint64(dst, f.max_vlog_segment);
   }
 
   if (has_monitor_written_) {
@@ -143,6 +161,29 @@ void VersionEdit::EncodeBodyTo(std::string* dst) const {
     PutVarint64(dst, monitor_range_superseded_);
     std::string hist;
     monitor_range_latency_.EncodeTo(&hist);
+    PutLengthPrefixedSlice(dst, hist);
+  }
+  for (const vlog::SegmentInfo& info : vlog_segments_) {
+    PutVarint32(dst, kVlogSegment);
+    std::string enc;
+    vlog::EncodeSegmentInfo(&enc, info);
+    PutLengthPrefixedSlice(dst, enc);
+  }
+  for (uint64_t seg : vlog_removed_segments_) {
+    PutVarint32(dst, kVlogRemove);
+    PutVarint64(dst, seg);
+  }
+  for (const vlog::SegmentDelta& delta : vlog_deltas_) {
+    PutVarint32(dst, kVlogDelta);
+    std::string enc;
+    vlog::EncodeSegmentDelta(&enc, delta);
+    PutLengthPrefixedSlice(dst, enc);
+  }
+  if (has_vlog_monitor_delta_) {
+    PutVarint32(dst, kVlogMonitorDelta);
+    PutVarint64(dst, vlog_monitor_purged_);
+    std::string hist;
+    vlog_monitor_latency_.EncodeTo(&hist);
     PutLengthPrefixedSlice(dst, hist);
   }
 }
@@ -265,7 +306,9 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
             GetVarint64(&input, &f.earliest_range_tombstone_seq) &&
             GetVarint64(&input, &f.earliest_range_tombstone_wall_micros) &&
             GetLengthPrefixedSlice(&input, &rd_begin) &&
-            GetLengthPrefixedSlice(&input, &rd_end)) {
+            GetLengthPrefixedSlice(&input, &rd_end) &&
+            GetVarint64(&input, &f.min_vlog_segment) &&
+            GetVarint64(&input, &f.max_vlog_segment)) {
           f.min_secondary_key = min_sec.ToString();
           f.max_secondary_key = max_sec.ToString();
           f.range_del_begin = rd_begin.ToString();
@@ -319,6 +362,50 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
         break;
       }
 
+      case kVlogSegment: {
+        Slice enc;
+        vlog::SegmentInfo info;
+        if (GetLengthPrefixedSlice(&input, &enc) &&
+            vlog::DecodeSegmentInfo(&enc, &info) && enc.empty()) {
+          vlog_segments_.push_back(std::move(info));
+        } else {
+          msg = "vlog segment";
+        }
+        break;
+      }
+
+      case kVlogRemove:
+        if (GetVarint64(&input, &number)) {
+          vlog_removed_segments_.push_back(number);
+        } else {
+          msg = "vlog remove";
+        }
+        break;
+
+      case kVlogDelta: {
+        Slice enc;
+        vlog::SegmentDelta delta;
+        if (GetLengthPrefixedSlice(&input, &enc) &&
+            vlog::DecodeSegmentDelta(&enc, &delta) && enc.empty()) {
+          vlog_deltas_.push_back(delta);
+        } else {
+          msg = "vlog delta";
+        }
+        break;
+      }
+
+      case kVlogMonitorDelta: {
+        Slice hist;
+        if (GetVarint64(&input, &vlog_monitor_purged_) &&
+            GetLengthPrefixedSlice(&input, &hist) &&
+            vlog_monitor_latency_.DecodeFrom(&hist) && hist.empty()) {
+          has_vlog_monitor_delta_ = true;
+        } else {
+          msg = "vlog monitor delta";
+        }
+        break;
+      }
+
       default:
         msg = "unknown tag";
         break;
@@ -367,6 +454,26 @@ std::string VersionEdit::DebugString() const {
        << " " << f.smallest.DebugString() << " .. " << f.largest.DebugString()
        << " tombstones=" << f.num_tombstones
        << " range_tombstones=" << f.num_range_tombstones;
+    if (f.has_vlog_pointers()) {
+      ss << " vlog=[" << f.min_vlog_segment << "," << f.max_vlog_segment
+         << "]";
+    }
+  }
+  for (const vlog::SegmentInfo& info : vlog_segments_) {
+    ss << "\n  VlogSegment: " << info.number
+       << (info.sealed ? " sealed" : " head") << " bytes=" << info.total_bytes
+       << " garbage=" << info.garbage_bytes
+       << " pending=" << info.pending_count();
+  }
+  for (uint64_t seg : vlog_removed_segments_) {
+    ss << "\n  VlogRemove: " << seg;
+  }
+  for (const vlog::SegmentDelta& d : vlog_deltas_) {
+    ss << "\n  VlogDelta: segment=" << d.number << " garbage=" << d.garbage_bytes
+       << " purges=" << d.purge_count;
+  }
+  if (has_vlog_monitor_delta_) {
+    ss << "\n  VlogMonitorDelta: purged=" << vlog_monitor_purged_;
   }
   ss << "\n}\n";
   return ss.str();

@@ -11,6 +11,7 @@
 #include "src/lsm/dbformat.h"
 #include "src/util/histogram.h"
 #include "src/util/status.h"
+#include "src/vlog/vlog_registry.h"
 
 namespace acheron {
 
@@ -57,6 +58,16 @@ struct FileMetaData {
   // (empty when none): a cheap containment test before opening the table.
   std::string range_del_begin;
   std::string range_del_end;
+
+  // ---- Key-value separation (vLog pointers) ----
+  // Range of vLog segment numbers referenced by kTypeValuePointer entries
+  // in this file; 0 when the file holds no pointers. The range is the
+  // liveness anchor for segment files (RemoveObsoleteFiles) and the
+  // file-selection filter for vLog GC rewrites.
+  uint64_t min_vlog_segment = 0;
+  uint64_t max_vlog_segment = 0;
+
+  bool has_vlog_pointers() const { return max_vlog_segment != 0; }
 
   bool has_tombstones() const { return num_tombstones > 0; }
   bool has_range_tombstones() const { return num_range_tombstones > 0; }
@@ -187,6 +198,45 @@ class VersionEdit {
     return monitor_range_latency_;
   }
 
+  // ---- vLog segment registry journal (key-value separation) ----
+  // Upsert the full per-segment state (rotation/seal edits journal the new
+  // head or the finalized totals; snapshot records carry every segment).
+  void AddVlogSegment(const vlog::SegmentInfo& info) {
+    vlog_segments_.push_back(info);
+  }
+  // Remove a segment from the registry (GC collected it).
+  void RemoveVlogSegment(uint64_t number) {
+    vlog_removed_segments_.push_back(number);
+  }
+  // One compaction's garbage/pending-purge charge against a segment.
+  void AddVlogDelta(const vlog::SegmentDelta& delta) {
+    vlog_deltas_.push_back(delta);
+  }
+  const std::vector<vlog::SegmentInfo>& vlog_segments() const {
+    return vlog_segments_;
+  }
+  const std::vector<uint64_t>& vlog_removed_segments() const {
+    return vlog_removed_segments_;
+  }
+  const std::vector<vlog::SegmentDelta>& vlog_deltas() const {
+    return vlog_deltas_;
+  }
+
+  // Value-purge monitor journal: count of deleted keys whose vLog value
+  // bytes were collected, plus the key-purge -> value-purge latency samples.
+  // Delta semantics on ordinary edits, cumulative on snapshot records
+  // (mirrors SetMonitorDelta).
+  void SetVlogMonitorDelta(uint64_t purged, const Histogram& latency) {
+    has_vlog_monitor_delta_ = true;
+    vlog_monitor_purged_ = purged;
+    vlog_monitor_latency_ = latency;
+  }
+  bool has_vlog_monitor_delta() const { return has_vlog_monitor_delta_; }
+  uint64_t vlog_monitor_purged() const { return vlog_monitor_purged_; }
+  const Histogram& vlog_monitor_latency() const {
+    return vlog_monitor_latency_;
+  }
+
   void EncodeTo(std::string* dst) const;
   Status DecodeFrom(const Slice& src);
 
@@ -224,6 +274,13 @@ class VersionEdit {
   std::vector<std::pair<int, InternalKey>> compact_pointers_;
   DeletedFileSet deleted_files_;
   std::vector<std::pair<int, FileMetaData>> new_files_;
+
+  std::vector<vlog::SegmentInfo> vlog_segments_;
+  std::vector<uint64_t> vlog_removed_segments_;
+  std::vector<vlog::SegmentDelta> vlog_deltas_;
+  bool has_vlog_monitor_delta_;
+  uint64_t vlog_monitor_purged_;
+  Histogram vlog_monitor_latency_;
 };
 
 }  // namespace acheron

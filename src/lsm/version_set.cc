@@ -231,7 +231,8 @@ struct Saver {
   const Comparator* ucmp;
   Slice user_key;
   std::string* value;
-  SequenceNumber seq = 0;  // sequence of the deciding entry
+  SequenceNumber seq = 0;   // sequence of the deciding entry
+  bool is_pointer = false;  // *value is an encoded vLog pointer
 };
 }  // namespace
 static void SaveValue(void* arg, const Slice& ikey, const Slice& v) {
@@ -241,10 +242,14 @@ static void SaveValue(void* arg, const Slice& ikey, const Slice& v) {
     s->state = kCorrupt;
   } else {
     if (s->ucmp->Compare(parsed_key.user_key, s->user_key) == 0) {
-      s->state = (parsed_key.type == kTypeValue) ? kFound : kDeleted;
+      s->state = (parsed_key.type == kTypeValue ||
+                  parsed_key.type == kTypeValuePointer)
+                     ? kFound
+                     : kDeleted;
       s->seq = parsed_key.sequence;
       if (s->state == kFound) {
         s->value->assign(v.data(), v.size());
+        s->is_pointer = (parsed_key.type == kTypeValuePointer);
       }
     }
   }
@@ -256,7 +261,7 @@ static bool NewestFirst(FileMetaData* a, FileMetaData* b) {
 
 Status Version::Get(const ReadOptions& options, const LookupKey& k,
                     std::string* value, uint64_t* filter_negatives,
-                    SequenceNumber* found_seq) {
+                    SequenceNumber* found_seq, bool* is_pointer) {
   Slice ikey = k.internal_key();
   Slice user_key = k.user_key();
   const Comparator* ucmp = vset_->icmp_.user_comparator();
@@ -294,6 +299,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
             break;  // Keep searching
           case kFound:
             if (found_seq != nullptr) *found_seq = saver.seq;
+            if (is_pointer != nullptr) *is_pointer = saver.is_pointer;
             return Status::OK();
           case kDeleted:
             if (found_seq != nullptr) *found_seq = saver.seq;
@@ -324,6 +330,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
           break;  // Keep searching deeper levels
         case kFound:
           if (found_seq != nullptr) *found_seq = saver.seq;
+          if (is_pointer != nullptr) *is_pointer = saver.is_pointer;
           return Status::OK();
         case kDeleted:
           if (found_seq != nullptr) *found_seq = saver.seq;
@@ -480,6 +487,7 @@ void Version::MultiGet(const ReadOptions& options, MultiGetItem* items,
           case kFound:
             item.status = Status::OK();
             item.seq = saver.seq;
+            item.is_pointer = saver.is_pointer;
             item.done = true;
             break;
           case kDeleted:
@@ -1017,6 +1025,21 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
   return s;
 }
 
+// Fold an edit's vLog registry fields into |registry|. Shared by
+// LogAndApply (live state) and Recover (replay), so the recovered registry
+// is bit-identical to the pre-crash one.
+static void ApplyVlogEditTo(const VersionEdit& edit, vlog::Registry* registry) {
+  for (const vlog::SegmentInfo& info : edit.vlog_segments()) {
+    (*registry)[info.number] = info;
+  }
+  for (uint64_t seg : edit.vlog_removed_segments()) {
+    registry->erase(seg);
+  }
+  for (const vlog::SegmentDelta& delta : edit.vlog_deltas()) {
+    vlog::ApplyDelta(registry, delta);
+  }
+}
+
 void VersionSet::FoldEditIntoJournal(const VersionEdit& edit) {
   if (edit.has_monitor_written()) {
     journal_state_.written = edit.monitor_written();
@@ -1034,6 +1057,11 @@ void VersionSet::FoldEditIntoJournal(const VersionEdit& edit) {
     journal_state_.range_superseded += edit.monitor_range_superseded();
     journal_state_.range_latency.Merge(edit.monitor_range_latency());
   }
+  if (edit.has_vlog_monitor_delta()) {
+    journal_state_.vlog_purged += edit.vlog_monitor_purged();
+    journal_state_.vlog_latency.Merge(edit.vlog_monitor_latency());
+  }
+  ApplyVlogEditTo(edit, &vlog_registry_);
 }
 
 Status VersionSet::WriteCleanCloseSnapshot() {
@@ -1089,6 +1117,7 @@ Status VersionSet::Recover(bool* save_manifest) {
   uint64_t log_number = 0;
   std::unique_ptr<Builder> builder(new Builder(this, current_));
   MonitorJournal journal;
+  vlog::Registry registry;
   uint64_t edits_replayed = 0;
   int read_records = 0;
 
@@ -1131,6 +1160,7 @@ Status VersionSet::Recover(bool* save_manifest) {
           builder.reset();
           builder.reset(new Builder(this, new Version(this)));
           journal = MonitorJournal();
+          registry.clear();
           edits_replayed = 0;
         } else {
           edits_replayed++;
@@ -1152,6 +1182,11 @@ Status VersionSet::Recover(bool* save_manifest) {
           journal.range_superseded += edit.monitor_range_superseded();
           journal.range_latency.Merge(edit.monitor_range_latency());
         }
+        if (edit.has_vlog_monitor_delta()) {
+          journal.vlog_purged += edit.vlog_monitor_purged();
+          journal.vlog_latency.Merge(edit.vlog_monitor_latency());
+        }
+        ApplyVlogEditTo(edit, &registry);
       }
 
       if (edit.has_log_number_) {
@@ -1194,6 +1229,7 @@ Status VersionSet::Recover(bool* save_manifest) {
     last_sequence_.store(last_sequence, std::memory_order_release);
     log_number_ = log_number;
     journal_state_ = journal;
+    vlog_registry_ = std::move(registry);
     manifest_edits_replayed_ = edits_replayed;
 
     // A new MANIFEST is always written on open (no manifest reuse).
@@ -1227,6 +1263,13 @@ Status VersionSet::WriteSnapshot(wal::Writer* log) {
   edit.SetMonitorRangeDelta(journal_state_.range_persisted,
                             journal_state_.range_superseded,
                             journal_state_.range_latency);
+  edit.SetVlogMonitorDelta(journal_state_.vlog_purged,
+                           journal_state_.vlog_latency);
+  // Snapshot the vLog segment registry (cumulative: replay resets on the
+  // snapshot record, then upserts each segment).
+  for (const auto& entry : vlog_registry_) {
+    edit.AddVlogSegment(entry.second);
+  }
 
   // Save compaction pointers
   for (int level = 0; level < kNumLevels; level++) {
@@ -1297,6 +1340,27 @@ void VersionSet::AddLiveFiles(std::set<uint64_t>* live) {
       const std::vector<FileMetaData*>& files = v->files_[level];
       for (size_t i = 0; i < files.size(); i++) {
         live->insert(files[i]->number);
+      }
+    }
+  }
+}
+
+void VersionSet::AddLiveVlogSegments(std::set<uint64_t>* live) {
+  for (const auto& entry : vlog_registry_) {
+    live->insert(entry.first);
+  }
+  // A file's [min,max] span may cover numbers that are not vLog segments at
+  // all (file numbers are shared across file kinds); the extra entries are
+  // harmless since callers only test membership for actual .vlog files.
+  for (Version* v = dummy_versions_.next_; v != &dummy_versions_;
+       v = v->next_) {
+    for (int level = 0; level < kNumLevels; level++) {
+      for (const FileMetaData* f : v->files_[level]) {
+        if (!f->has_vlog_pointers()) continue;
+        for (uint64_t seg = f->min_vlog_segment; seg <= f->max_vlog_segment;
+             seg++) {
+          live->insert(seg);
+        }
       }
     }
   }

@@ -67,10 +67,14 @@ class Version {
   // once per op) instead of one shared atomic RMW per filtered-out table.
   // A non-null |found_seq| receives the sequence number of the entry that
   // decided the result (value or point tombstone), so the caller can test
-  // it against range-tombstone coverage; untouched on NotFound.
+  // it against range-tombstone coverage; untouched on NotFound. When the
+  // deciding entry is a vLog pointer (kTypeValuePointer), |*val| receives
+  // the *encoded pointer* and a non-null |*is_pointer| is set to true --
+  // the caller dereferences through the value log.
   Status Get(const ReadOptions&, const LookupKey& key, std::string* val,
              uint64_t* filter_negatives = nullptr,
-             SequenceNumber* found_seq = nullptr);
+             SequenceNumber* found_seq = nullptr,
+             bool* is_pointer = nullptr);
 
   // One key of a batched lookup (see MultiGet).
   struct MultiGetItem {
@@ -80,6 +84,9 @@ class Version {
     bool done = false;               // resolved -- deeper levels skipped
     // Sequence of the deciding entry (coverage test; 0 when NotFound).
     SequenceNumber seq = 0;
+    // True when *value holds an encoded vLog pointer the caller must
+    // dereference (kTypeValuePointer entry decided the lookup).
+    bool is_pointer = false;
   };
 
   // Batched Get over every not-yet-done item: walks levels shallow to
@@ -227,6 +234,11 @@ class VersionSet {
     uint64_t range_persisted = 0;
     uint64_t range_superseded = 0;
     Histogram range_latency;
+    // Value-purge population (kVlogMonitorDelta tag): deleted keys whose
+    // vLog value bytes were reclaimed, with key-purge -> value-purge
+    // latency samples.
+    uint64_t vlog_purged = 0;
+    Histogram vlog_latency;
   };
   const MonitorJournal& monitor_journal() const { return journal_state_; }
 
@@ -314,6 +326,18 @@ class VersionSet {
   // Add all files listed in any live version to *live.
   void AddLiveFiles(std::set<uint64_t>* live);
 
+  // ---- vLog segment registry (key-value separation) ----
+  // Durable per-segment accounting, journaled through the MANIFEST via
+  // kVlogSegment/kVlogRemove/kVlogDelta tags: LogAndApply folds an edit's
+  // vlog fields in after durable install, Recover replays them, snapshot
+  // records carry the whole registry. Mutated only under the DB mutex.
+  const vlog::Registry& vlog_registry() const { return vlog_registry_; }
+
+  // Add every vLog segment number that any file of any live version might
+  // reference ([min,max] spans) plus the registry's own segments to *live.
+  // Used by RemoveObsoleteFiles to classify .vlog files.
+  void AddLiveVlogSegments(std::set<uint64_t>* live);
+
   // Capacity of |level| in bytes under leveling.
   uint64_t MaxBytesForLevel(int level) const;
 
@@ -376,6 +400,8 @@ class VersionSet {
   // Cumulative monitor state as of the last installed edit (journaled into
   // every snapshot record; reconstructed by Recover).
   MonitorJournal journal_state_;
+  // Durable vLog segment accounting (see vlog_registry() above).
+  vlog::Registry vlog_registry_;
   // Set by Recover: edits applied after the last valid snapshot record.
   uint64_t manifest_edits_replayed_;
   uint64_t snapshots_written_;

@@ -4,6 +4,7 @@
 //    data: record[count]
 // record :=
 //    kTypeValue varstring varstring         |
+//    kTypeValuePointer varstring varstring  |
 //    kTypeDeletion varstring                |
 //    kTypeRangeDeletion varstring varstring
 // varstring :=
@@ -49,6 +50,16 @@ Status WriteBatch::Iterate(Handler* handler) const {
           handler->Put(key, value);
         } else {
           return Status::Corruption("bad WriteBatch Put");
+        }
+        break;
+      case kTypeValuePointer:
+        // The value slice is an encoded vlog::ValuePointer; framing only,
+        // the pointer itself is validated by its consumers.
+        if (GetLengthPrefixedSlice(&input, &key) &&
+            GetLengthPrefixedSlice(&input, &value)) {
+          handler->PutPointer(key, value);
+        } else {
+          return Status::Corruption("bad WriteBatch PutPointer");
         }
         break;
       case kTypeDeletion:
@@ -103,6 +114,13 @@ void WriteBatch::Put(const Slice& key, const Slice& value) {
   PutLengthPrefixedSlice(&rep_, value);
 }
 
+void WriteBatch::PutPointer(const Slice& key, const Slice& pointer) {
+  WriteBatchInternal::SetCount(this, WriteBatchInternal::Count(this) + 1);
+  rep_.push_back(static_cast<char>(kTypeValuePointer));
+  PutLengthPrefixedSlice(&rep_, key);
+  PutLengthPrefixedSlice(&rep_, pointer);
+}
+
 void WriteBatch::Delete(const Slice& key) {
   WriteBatchInternal::SetCount(this, WriteBatchInternal::Count(this) + 1);
   rep_.push_back(static_cast<char>(kTypeDeletion));
@@ -131,6 +149,10 @@ class MemTableInserter : public WriteBatch::Handler {
 
   void Put(const Slice& key, const Slice& value) override {
     mem_->Add(sequence_, kTypeValue, key, value);
+    sequence_++;
+  }
+  void PutPointer(const Slice& key, const Slice& pointer) override {
+    mem_->Add(sequence_, kTypeValuePointer, key, pointer);
     sequence_++;
   }
   void Delete(const Slice& key) override {

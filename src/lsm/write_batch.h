@@ -21,6 +21,10 @@ class WriteBatch {
    public:
     virtual ~Handler() = default;
     virtual void Put(const Slice& key, const Slice& value) = 0;
+    // Key-value separation: |pointer| is an encoded vlog::ValuePointer, not
+    // the user value. Pure virtual like DeleteRange: every handler must
+    // decide whether it deals in pointers or needs the dereferenced value.
+    virtual void PutPointer(const Slice& key, const Slice& pointer) = 0;
     virtual void Delete(const Slice& key) = 0;
     // Range delete of user keys in [begin, end). Pure virtual on purpose:
     // every handler must decide how ranges map onto its domain.
@@ -37,6 +41,11 @@ class WriteBatch {
 
   // Store the mapping "key->value" in the database.
   void Put(const Slice& key, const Slice& value);
+
+  // Store a vLog pointer record: key maps to a value living in the value
+  // log at the encoded (segment, offset, size) address. Used by the write
+  // path after separating large values; not part of the public API proper.
+  void PutPointer(const Slice& key, const Slice& pointer);
 
   // If the database contains a mapping for "key", erase it. Else do nothing.
   void Delete(const Slice& key);

@@ -190,7 +190,7 @@ void MemTable::CollectRangeTombstones(std::vector<RangeTombstone>* out) const {
 }
 
 bool MemTable::Get(const LookupKey& key, std::string* value, Status* s,
-                   SequenceNumber* seq_out) {
+                   SequenceNumber* seq_out, bool* is_pointer) {
   Slice memkey = key.memtable_key();
   Table::Iterator iter(&table_);
   iter.Seek(memkey.data());
@@ -216,6 +216,13 @@ bool MemTable::Get(const LookupKey& key, std::string* value, Status* s,
         case kTypeValue: {
           Slice v = GetLengthPrefixedSliceAt(key_ptr + key_length);
           value->assign(v.data(), v.size());
+          return true;
+        }
+        case kTypeValuePointer: {
+          // Hand the encoded vLog pointer to the caller to dereference.
+          Slice v = GetLengthPrefixedSliceAt(key_ptr + key_length);
+          value->assign(v.data(), v.size());
+          if (is_pointer != nullptr) *is_pointer = true;
           return true;
         }
         case kTypeDeletion:

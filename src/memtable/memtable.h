@@ -66,9 +66,11 @@ class MemTable {
   // true. If memtable contains a deletion for key, store a NotFound() error
   // in *status and return true. Else, return false. A non-null |seq_out|
   // receives the matched entry's sequence number so callers can test it
-  // against range-tombstone coverage.
+  // against range-tombstone coverage. When the matched entry is a vLog
+  // pointer (kTypeValuePointer), |*value| receives the *encoded pointer*
+  // and a non-null |*is_pointer| is set to true -- the caller dereferences.
   bool Get(const LookupKey& key, std::string* value, Status* s,
-           SequenceNumber* seq_out = nullptr);
+           SequenceNumber* seq_out = nullptr, bool* is_pointer = nullptr);
 
   // Largest range-tombstone sequence <= |snapshot| covering |user_key|
   // in this memtable, or 0 when uncovered.

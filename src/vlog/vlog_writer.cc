@@ -1,0 +1,49 @@
+#include "src/vlog/vlog_writer.h"
+
+#include <utility>
+
+#include "src/util/crc32c.h"
+
+namespace acheron {
+namespace vlog {
+
+Writer::Writer(std::unique_ptr<WritableFile> file, uint64_t segment_number)
+    : file_(std::move(file)), segment_number_(segment_number) {}
+
+Status Writer::Add(const Slice& key, const Slice& value, ValuePointer* ptr) {
+  // Body first (lengths + key + value), then the CRC over the body: the
+  // record is self-validating independent of any file framing.
+  std::string body;
+  body.reserve(10 + key.size() + value.size());
+  PutVarint32(&body, static_cast<uint32_t>(key.size()));
+  PutVarint32(&body, static_cast<uint32_t>(value.size()));
+  body.append(key.data(), key.size());
+  body.append(value.data(), value.size());
+
+  char crc_buf[kRecordCrcSize];
+  EncodeFixed32(crc_buf, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+
+  Status s = file_->Append(Slice(crc_buf, kRecordCrcSize));
+  if (s.ok()) s = file_->Append(body);
+  if (!s.ok()) return s;
+
+  ptr->segment = segment_number_;
+  ptr->offset = offset_;
+  ptr->size = kRecordCrcSize + body.size();
+  offset_ += ptr->size;
+  value_count_++;
+  return s;
+}
+
+Status Writer::Flush() { return file_->Flush(); }
+
+Status Writer::Sync() {
+  Status s = file_->Flush();
+  if (s.ok()) s = file_->Sync();
+  return s;
+}
+
+Status Writer::Close() { return file_->Close(); }
+
+}  // namespace vlog
+}  // namespace acheron

@@ -1,0 +1,54 @@
+// Appends checksummed key/value records to one vLog segment file.
+//
+// Not internally synchronized: the write path's group-commit protocol
+// already serializes appends (one leader at a time owns the unlocked write
+// section), and segment rotation happens under the DB mutex while no leader
+// is in that section (see db_impl.cc MakeRoomForWrite).
+#ifndef ACHERON_VLOG_VLOG_WRITER_H_
+#define ACHERON_VLOG_VLOG_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/env/env.h"
+#include "src/util/status.h"
+#include "src/vlog/vlog_format.h"
+
+namespace acheron {
+namespace vlog {
+
+class Writer {
+ public:
+  // Takes ownership of |file|, an empty (or logically-truncated) segment.
+  Writer(std::unique_ptr<WritableFile> file, uint64_t segment_number);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  // Append one record; on success fills |*ptr| with its address. The bytes
+  // may still sit in the file's user-space buffer until Flush().
+  [[nodiscard]] Status Add(const Slice& key, const Slice& value,
+                           ValuePointer* ptr);
+
+  // Push buffered records to the OS (pointer visibility for readers).
+  [[nodiscard]] Status Flush();
+  // Durably persist everything appended so far.
+  [[nodiscard]] Status Sync();
+  [[nodiscard]] Status Close();
+
+  uint64_t segment_number() const { return segment_number_; }
+  // Bytes successfully appended (== the durable extent after Sync()).
+  uint64_t offset() const { return offset_; }
+  uint64_t value_count() const { return value_count_; }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+  const uint64_t segment_number_;
+  uint64_t offset_ = 0;
+  uint64_t value_count_ = 0;
+};
+
+}  // namespace vlog
+}  // namespace acheron
+
+#endif  // ACHERON_VLOG_VLOG_WRITER_H_

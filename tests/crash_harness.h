@@ -1,9 +1,11 @@
 // Shared helpers for the crash-recovery matrix (crash_recovery_test.cc):
-// fixed scripted workloads (point-op and range-delete variants), a per-run
-// wrapper around MemEnv + FaultInjectionEnv, an in-memory model of the
-// workload's visible state, and the recovery-invariant checks. The
-// invariants the matrix enforces (the five point-op ones plus "a durable
-// range delete never resurrects a covered key") are documented in
+// fixed scripted workloads (point-op, range-delete, and key-value-separated
+// variants), a per-run wrapper around MemEnv + FaultInjectionEnv, an
+// in-memory model of the workload's visible state, and the
+// recovery-invariant checks. The invariants the matrix enforces (the five
+// point-op ones, "a durable range delete never resurrects a covered key",
+// and "an acked write whose value went to the vLog survives restart; a
+// persisted delete's value bytes never resurrect") are documented in
 // DESIGN.md ("Recovery invariants"); how to run the matrix and read a
 // repro line is in TESTING.md.
 #ifndef ACHERON_TESTS_CRASH_HARNESS_H_
@@ -32,6 +34,26 @@ constexpr uint64_t kDth = 600;
 // Slack on the D_th bound: the deadline check runs at write granularity and
 // the triggering write plus the tombstone's own entry land after it.
 constexpr uint64_t kDthSlack = 2;
+
+// Separation threshold the key-value-separated workload runs with: values
+// of at least this many bytes route through the value log, smaller ones
+// stay inline. Chosen well clear of both the workload's small values
+// (~16 B) and its separated ones (kVlogValueSize).
+constexpr size_t kVlogThreshold = 256;
+constexpr size_t kVlogValueSize = 400;
+
+// A deterministic separated-size value: a distinctive tag followed by
+// filler up to kVlogValueSize bytes. Byte-for-byte reproducible, so the
+// invariant checks can compare exact contents through the pointer
+// dereference path.
+inline std::string BigValue(const std::string& tag) {
+  std::string v = tag;
+  v.push_back(':');
+  while (v.size() < kVlogValueSize) {
+    v.push_back(static_cast<char>('a' + (v.size() % 23)));
+  }
+  return v;
+}
 
 struct Entry {
   bool is_delete = false;
@@ -188,6 +210,71 @@ inline std::vector<LogicalOp> ScriptedRangeDeleteWorkload() {
   return ops;
 }
 
+// Key-value-separated variant of the scripted workload (run with
+// set_value_separation(kVlogThreshold)): the same phase structure, but most
+// values are large enough to route through the value log, so every crash
+// point also lands inside vLog appends, syncs, head rotations, seals, and
+// -- because phase 4 deliberately sinks segment 1's live ratio below the
+// GC floor -- a GC relocation rewriting tables and sealing a relocation
+// segment. Exercises every structure key-value separation adds: pointer
+// WAL records, pointer memtable entries, pointer-bearing L0/bottom tables,
+// sealed segments, the per-segment FADE purge ledger, and the registry
+// edits in the MANIFEST.
+inline std::vector<LogicalOp> ScriptedVlogWorkload() {
+  std::vector<LogicalOp> ops;
+  auto key = [](int i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key%03d", i);
+    return std::string(buf);
+  };
+
+  // Phase 1: 12 separated values plus inline ones, ending on a synced
+  // separated write (ack barrier). All 13 separated values land in the
+  // first vLog head segment.
+  for (int i = 0; i < 12; i++) ops.push_back(Put(key(i), BigValue("v1-" + key(i))));
+  for (int i = 12; i < 16; i++) ops.push_back(Put(key(i), "v1-small-" + key(i)));
+  ops.push_back(Put(key(16), BigValue("v1-sync"), /*sync=*/true));
+  // Phase 2: pointers into L0, then the bottom; the flush's memtable swap
+  // rotates the vLog head, sealing segment 1.
+  ops.push_back(Flush());
+  ops.push_back(Compact());
+  // Phase 3: tombstones over 11 of the 13 separated values, one batch
+  // mixing deletes with an inline put (one WAL record: all-or-nothing),
+  // and a synced delete of an inline value.
+  for (int i = 0; i < 9; i++) ops.push_back(Del(key(i)));
+  {
+    LogicalOp batch;
+    batch.entries.push_back(Entry{true, false, key(9), std::string(), ""});
+    batch.entries.push_back(Entry{false, false, key(17), "v1-batch", ""});
+    batch.entries.push_back(Entry{true, false, key(10), std::string(), ""});
+    ops.push_back(batch);
+  }
+  ops.push_back(Del(key(12), /*sync=*/true));
+  // Phase 4: the tombstones flush to L0, separated re-puts land over
+  // deleted keys (a fresh segment), and the compaction persists the
+  // deletes at the bottom -- charging their value bytes as garbage on
+  // segment 1, whose live ratio (2 of 13 values) drops below the GC
+  // floor. The trailing put+flush drives one more compaction round, and
+  // the value-log GC riding it relocates segment 1's live values and
+  // counts its pending purges persisted.
+  ops.push_back(Flush());
+  for (int i = 5; i < 9; i++) ops.push_back(Put(key(i), BigValue("v2-" + key(i))));
+  ops.push_back(Put(key(18), BigValue("v2-sync"), /*sync=*/true));
+  ops.push_back(Flush());
+  ops.push_back(Compact());
+  ops.push_back(Put(key(19), "gc-tick"));
+  ops.push_back(Flush());
+  // Phase 5: an unsynced tail straddling one last ack barrier, with
+  // separated values on both sides and a delete of a relocated value.
+  ops.push_back(Put(key(30), BigValue("tail-" + key(30))));
+  ops.push_back(Del(key(11)));  // its value was just GC-relocated
+  ops.push_back(Put(key(31), "tail-small"));
+  ops.push_back(Put(key(32), BigValue("tail-sync"), /*sync=*/true));
+  ops.push_back(Put(key(33), BigValue("tail-unsynced")));
+  ops.push_back(Del(key(5)));
+  return ops;
+}
+
 // The result of one workload execution against a (possibly crashing) env.
 struct RunResult {
   std::vector<LogicalOp> ops;  // acked flags filled in
@@ -236,6 +323,13 @@ class CrashRun {
   // leaves them off so a crash-boundary IOError stays immediately fatal.
   void set_max_background_retries(int n) { max_background_retries_ = n; }
 
+  // Route values of at least |threshold| bytes through the value log for
+  // this run (0, the default, disables separation). Used with
+  // ScriptedVlogWorkload() + kVlogThreshold.
+  void set_value_separation(size_t threshold) {
+    value_separation_ = threshold;
+  }
+
   Options DbOptions() const {
     Options o;
     o.env = fault_.get();
@@ -251,6 +345,13 @@ class CrashRun {
     // retrying it would re-run file ops past the boundary and desync the
     // op schedule, so the state machine is disabled by default here.
     o.max_background_retries = max_background_retries_;
+    if (value_separation_ > 0) {
+      o.value_separation_threshold = value_separation_;
+      // The minimum segment size; rotation is flush-driven anyway (the head
+      // rotates at every non-empty memtable swap), this just keeps the
+      // size-based rotation path armed too.
+      o.vlog_segment_size = 64 << 10;
+    }
     return o;
   }
 
@@ -312,6 +413,7 @@ class CrashRun {
   const bool background_;
   bool async_wal_sync_ = false;
   int max_background_retries_ = 0;
+  size_t value_separation_ = 0;
   std::vector<LogicalOp> script_ = ScriptedWorkload();
   const std::string dbname_;
   std::unique_ptr<Env> base_;
@@ -463,6 +565,67 @@ inline void CheckDeletePersistenceBound(DB* db, const std::string& repro) {
   ASSERT_TRUE(db->GetProperty("acheron.max-tombstone-age", &v)) << repro;
   EXPECT_LE(std::stoull(v), kDth + kDthSlack)
       << repro << " FADE D_th bound violated after restart";
+}
+
+// Invariant 7 (key-value-separated runs): an acked write whose value went
+// to the value log survives restart byte-for-byte, and a persisted
+// delete's value bytes never resurrect -- neither at reopen nor after the
+// compaction + value-log GC machinery runs over the recovered tree.
+// CheckRecoveredState already proves the visible state is a consistent
+// workload prefix (dereferencing every pointer along the way); this states
+// the vLog half directly, pinned to keys whose outcome is prefix-
+// independent: if every op touching a key lies inside the durable prefix,
+// the last of them fixes the key's state no matter which prefix recovery
+// matched.
+inline void CheckVlogRecoveredState(DB* db, const RunResult& run,
+                                    const std::string& repro) {
+  std::string prop;
+  EXPECT_TRUE(db->GetProperty("acheron.vlog-stats", &prop))
+      << repro << " vlog-stats property missing after recovery";
+
+  std::map<std::string, const Entry*> final_durable_op;
+  std::set<std::string> touched_after_lb;
+  for (size_t i = 0; i < run.ops.size(); i++) {
+    for (const Entry& e : run.ops[i].entries) {
+      if (e.is_range) continue;  // the vLog script is point-op only
+      if (i < run.durable_lb) {
+        final_durable_op[e.key] = &e;
+      } else {
+        touched_after_lb.insert(e.key);
+      }
+    }
+  }
+  auto check = [&](const char* when) {
+    for (const auto& kv : final_durable_op) {
+      if (touched_after_lb.count(kv.first)) continue;
+      std::string v;
+      Status s = db->Get(ReadOptions(), kv.first, &v);
+      if (kv.second->is_delete) {
+        EXPECT_TRUE(s.IsNotFound())
+            << repro << " " << when << ": durable delete of " << kv.first
+            << " resurrected (value bytes came back: "
+            << (s.ok() ? std::to_string(v.size()) + "B" : s.ToString())
+            << ")";
+      } else {
+        EXPECT_TRUE(s.ok() && v == kv.second->value)
+            << repro << " " << when << ": durable value of " << kv.first
+            << " did not survive ("
+            << (s.ok() ? "bytes differ, got " + std::to_string(v.size()) +
+                             "B want " +
+                             std::to_string(kv.second->value.size()) + "B"
+                       : s.ToString())
+            << ")";
+      }
+    }
+  };
+  check("at reopen");
+  // ...and after the persistence machinery runs over the recovered tree:
+  // compactions persist the tombstones and the value-log GC purges or
+  // relocates their value bytes; neither may disturb a live value or
+  // resurrect a purged one.
+  db->CompactRange(nullptr, nullptr);
+  ASSERT_TRUE(db->WaitForCompactions().ok()) << repro;
+  check("after compaction+GC");
 }
 
 }  // namespace crash

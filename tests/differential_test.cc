@@ -7,6 +7,12 @@
 // compactions, and full close/reopen cycles; the PRNG is seeded with a
 // fixed constant so a failure reproduces exactly, and the seed is printed
 // in every assertion for when someone changes it.
+//
+// Key-value separation is ON with value lengths randomized across the
+// threshold: roughly half the puts route their value through the value log
+// and half stay inline, so every read path (Get, MultiGet, scans), every
+// overwrite/delete, and every reopen continuously crosses the
+// pointer/inline boundary while the value-log GC churns underneath.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -27,6 +33,9 @@ namespace {
 constexpr uint32_t kSeed = 0xac4e207;
 constexpr int kSteps = 10000;
 constexpr int kKeySpace = 400;  // small enough to force overwrite/delete churn
+// Separation threshold; random value lengths are drawn from
+// [1, 2 * kSepThreshold], so puts land on both sides of it.
+constexpr size_t kSepThreshold = 64;
 
 class DifferentialTest : public ::testing::Test {
  protected:
@@ -39,6 +48,8 @@ class DifferentialTest : public ::testing::Test {
     o.create_if_missing = true;
     o.write_buffer_size = 16 << 10;  // small: steady flush/compaction churn
     o.background_compactions = background_;
+    o.value_separation_threshold = kSepThreshold;
+    o.vlog_segment_size = 64 << 10;  // small segments: rotation + GC churn
     return o;
   }
 
@@ -127,9 +138,12 @@ TEST_F(DifferentialTest, DbMatchesModelOverRandomHistory) {
       const uint32_t roll = rng() % 1000;
       if (roll < 550) {
         // Put (overwrites included by construction of the small key space).
+        // The length straddles the separation threshold, so this randomly
+        // alternates inline values and vLog pointers on the same keys.
         std::string k = Key(rng);
         std::string v = "v" + std::to_string(step_) + "-" +
-                        std::string(1 + rng() % 60, 'a' + rng() % 26);
+                        std::string(1 + rng() % (2 * kSepThreshold),
+                                    'a' + rng() % 26);
         ASSERT_TRUE(db_->Put(WriteOptions(), k, v).ok()) << Ctx();
         model_[k] = v;
       } else if (roll < 750) {

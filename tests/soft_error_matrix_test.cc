@@ -126,19 +126,28 @@ void OpenForRun(CrashRun& run, const std::string& repro, DB** dbp) {
   }
 }
 
-// Runs every fault index k with k % nshards == shard.
+// Runs every fault index k with k % nshards == shard. With |vlog| set, the
+// key-value-separated workload runs instead, so the enumerated indices land
+// on vLog appends, syncs, head rotations/seals, and the GC relocation's
+// table rewrites and segment seal -- each of which must honor the same
+// transient-fault contract as every other file op.
 void RunSoftErrorMatrix(bool background, bool async_wal, SoftFaultClass cls,
-                        uint64_t shard, uint64_t nshards) {
+                        uint64_t shard, uint64_t nshards, bool vlog = false) {
   const bool full = FullMatrix();
   const char* cls_name =
       cls == SoftFaultClass::kTransientEio ? "eio" : "nospace";
   const std::string mode = std::string(background ? "background" : "sync") +
-                           (async_wal ? "+async-wal" : "");
+                           (async_wal ? "+async-wal" : "") +
+                           (vlog ? "+vlog" : "");
   auto make_run = [&] {
     CrashRun r(background);
     r.set_async_wal_sync(async_wal);
     r.set_max_background_retries(5);  // the machinery under test
+    if (vlog) r.set_value_separation(crash::kVlogThreshold);
     return r;
+  };
+  auto script = [&] {
+    return vlog ? crash::ScriptedVlogWorkload() : crash::ScriptedWorkload();
   };
 
   // Dry run (twice): learn the fault-free op count of the workload --
@@ -151,7 +160,7 @@ void RunSoftErrorMatrix(bool background, bool async_wal, SoftFaultClass cls,
     DB* db = nullptr;
     OpenForRun(dry, "[soft-error dry run]", &db);
     if (::testing::Test::HasFatalFailure()) return;
-    std::vector<LogicalOp> ops = crash::ScriptedWorkload();
+    std::vector<LogicalOp> ops = script();
     RunScript(db, &ops);
     for (const LogicalOp& op : ops) {
       ASSERT_TRUE(op.acked) << "dry run must ack every op";
@@ -164,7 +173,7 @@ void RunSoftErrorMatrix(bool background, bool async_wal, SoftFaultClass cls,
     DB* db2 = nullptr;
     OpenForRun(dry2, "[soft-error dry run 2]", &db2);
     if (::testing::Test::HasFatalFailure()) return;
-    std::vector<LogicalOp> ops2 = crash::ScriptedWorkload();
+    std::vector<LogicalOp> ops2 = script();
     RunScript(db2, &ops2);
     const uint64_t total2 = dry2.env()->FileOpCount();
     delete db2;
@@ -179,7 +188,7 @@ void RunSoftErrorMatrix(bool background, bool async_wal, SoftFaultClass cls,
     DB* db = nullptr;
     OpenForRun(run, repro, &db);
     if (::testing::Test::HasFatalFailure()) return;
-    std::vector<LogicalOp> ops = crash::ScriptedWorkload();
+    std::vector<LogicalOp> ops = script();
     RunScript(db, &ops);
 
     // The armed index lies inside the fault-free schedule, so it fired.
@@ -284,6 +293,39 @@ TEST(SoftErrorMatrixAsyncWalBackground, Shard0) {
 }
 TEST(SoftErrorMatrixAsyncWalBackground, Shard1) {
   RunSoftErrorMatrix(true, true, SoftFaultClass::kTransientEio, 1, 2);
+}
+
+// The key-value-separated workload through the matrix: the one-shot fault
+// indices now land on vLog appends, write-path syncs, head rotations and
+// seals, and the GC relocation's table rewrites -- a faulted separation
+// fails only its own write, a faulted rotation or GC retries behind the
+// background-error state machine, and no vLog fault may ever go fatal or
+// lose an acked value.
+TEST(SoftErrorMatrixVlogSync, Shard0) {
+  RunSoftErrorMatrix(false, false, SoftFaultClass::kTransientEio, 0, 2, true);
+}
+TEST(SoftErrorMatrixVlogSync, Shard1) {
+  RunSoftErrorMatrix(false, false, SoftFaultClass::kTransientEio, 1, 2, true);
+}
+TEST(SoftErrorMatrixVlogBackground, Shard0) {
+  RunSoftErrorMatrix(true, false, SoftFaultClass::kTransientEio, 0, 2, true);
+}
+TEST(SoftErrorMatrixVlogBackground, Shard1) {
+  RunSoftErrorMatrix(true, false, SoftFaultClass::kTransientEio, 1, 2, true);
+}
+TEST(SoftErrorMatrixVlogAsyncWal, Shard0) {
+  RunSoftErrorMatrix(false, true, SoftFaultClass::kTransientEio, 0, 2, true);
+}
+TEST(SoftErrorMatrixVlogAsyncWal, Shard1) {
+  RunSoftErrorMatrix(false, true, SoftFaultClass::kTransientEio, 1, 2, true);
+}
+TEST(SoftErrorMatrixVlogNoSpace, Sync) {
+  RunSoftErrorMatrix(false, false, SoftFaultClass::kNoSpace, 0,
+                     FullMatrix() ? 1 : 5, true);
+}
+TEST(SoftErrorMatrixVlogNoSpace, Background) {
+  RunSoftErrorMatrix(true, false, SoftFaultClass::kNoSpace, 0,
+                     FullMatrix() ? 1 : 5, true);
 }
 
 // One-shot ENOSPC round-trips: degraded read-only in, recovered out.

@@ -1,0 +1,46 @@
+// acheron-check fixture: sync-before-install over vLog outputs, must FAIL.
+//
+// SealSegment creates a vLog segment file and installs the registry edit
+// without ever calling WritableFile::Sync: a crash after LogAndApply's
+// manifest write would leave a durable registry entry -- and durable LSM
+// pointers -- naming value bytes that never reached disk.
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+struct WritableFile {
+  Status Sync();
+  Status Close();
+};
+
+struct Env {
+  Status NewWritableFile(const char* fname, WritableFile** file);
+};
+
+const char* VlogFileName(int number);
+
+class VersionSetStub {
+ public:
+  Status LogAndApply(int edit);
+};
+
+class VlogGc {
+ public:
+  Status SealSegment() {
+    WritableFile* file = nullptr;
+    Status s = env_->NewWritableFile(VlogFileName(11), &file);
+    if (s.ok()) {
+      s = file->Close();  // closed but never synced
+    }
+    if (s.ok()) {
+      s = versions_->LogAndApply(0);  // installs dangling value pointers
+    }
+    return s;
+  }
+
+ private:
+  Env* env_ = nullptr;
+  VersionSetStub* versions_ = nullptr;
+};

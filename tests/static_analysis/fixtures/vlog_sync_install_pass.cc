@@ -1,0 +1,49 @@
+// acheron-check fixture: sync-before-install over vLog outputs, must PASS.
+//
+// SealSegment creates a vLog segment file (NewWritableFile on a
+// VlogFileName), Syncs it, and only then installs the registry edit via
+// LogAndApply -- the PR-10 invariant: a "sealed" registry entry always
+// describes durable value bytes, so no installed pointer can dangle.
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+struct WritableFile {
+  Status Sync();
+  Status Close();
+};
+
+struct Env {
+  Status NewWritableFile(const char* fname, WritableFile** file);
+};
+
+const char* VlogFileName(int number);
+
+class VersionSetStub {
+ public:
+  Status LogAndApply(int edit);
+};
+
+class VlogGc {
+ public:
+  Status SealSegment() {
+    WritableFile* file = nullptr;
+    Status s = env_->NewWritableFile(VlogFileName(11), &file);
+    if (s.ok()) {
+      s = file->Sync();  // value bytes durable before pointers install
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+    if (s.ok()) {
+      s = versions_->LogAndApply(0);
+    }
+    return s;
+  }
+
+ private:
+  Env* env_ = nullptr;
+  VersionSetStub* versions_ = nullptr;
+};

@@ -1297,7 +1297,7 @@ def fn_required_set(fn, resolve):
 INSTALL_CALLS = {"LogAndApply", "SetCurrentFile"}
 CREATE_CALLS = {"NewWritableFile"}
 SYNC_CALLS = {"Sync", "SyncDurable"}
-OUTPUT_NAME_HINTS = {"TableFileName", "DescriptorFileName"}
+OUTPUT_NAME_HINTS = {"TableFileName", "DescriptorFileName", "VlogFileName"}
 # Async durability (Env::SubmitSync): the submission alone leaves the fsync
 # merely in flight -- only a later CompletionQueue::WaitFor in the same body
 # observes its completion. The pair therefore counts as a sync; a bare

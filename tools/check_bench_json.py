@@ -58,7 +58,7 @@ SCHEMA = {
 }
 
 KNOWN_BENCHES = {"fillrandom", "readrandom", "readwhilewriting", "multiget",
-                 "range_delete"}
+                 "range_delete", "kv_sep"}
 
 # Bench-specific top-level fields (WriteJsonResult's |extra| fragment).
 # Records for these benches must carry exactly SCHEMA + their entry here.
@@ -73,6 +73,25 @@ EXTRA_KEYS = {
         "range_deletes_written": int,
         "range_deletes_persisted": int,
         "range_persistence_latency_max": (int, float),
+    },
+    # exp_kv_sep (E15): key-value separation. The headline record is the
+    # 4 KiB separation-on run; baseline/reduction fields compare against
+    # the separation-off twin, and the GC/purge fields come from the
+    # tightest-D_th delete-heavy run (the put-only 4 KiB fill never
+    # triggers GC).
+    "kv_sep": {
+        "value_size": int,
+        "write_amplification_baseline": (int, float),
+        "wa_reduction": (int, float),
+        "readrandom_ops_per_sec": (int, float),
+        "readrandom_baseline_ops_per_sec": (int, float),
+        "vlog_bytes_written": int,
+        "vlog_values_written": int,
+        "vlog_gc_runs": int,
+        "vlog_gc_values_relocated": int,
+        "dth": int,
+        "values_purged": int,
+        "value_purge_latency_max": (int, float),
     },
 }
 
